@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table/figure/claim — see
+DESIGN.md §4).  Results are printed *and* written to
+``benchmarks/results/<bench>.txt`` so a ``--benchmark-only`` run leaves
+the reproduced tables on disk for EXPERIMENTS.md regardless of pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """report(bench_id, text): print + persist one reproduced artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(bench_id: str, text: str) -> None:
+        body = text if text.endswith("\n") else text + "\n"
+        print(f"\n{body}")
+        (RESULTS_DIR / f"{bench_id}.txt").write_text(body)
+
+    return _report
+
+
+def run_sim(cluster, generator):
+    """Run one simulation generator to completion, return its value."""
+
+    def driver():
+        result = yield from generator
+        return result
+
+    return cluster.engine.run(until=cluster.engine.process(driver()))
+
+
+def once(benchmark, fn):
+    """Benchmark a deterministic simulation exactly once.
+
+    The interesting output of these benches is the *simulated* metrics
+    they print; wall-clock timing of the harness itself is recorded as a
+    single round so `--benchmark-only` still reports it.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

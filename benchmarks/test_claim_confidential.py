@@ -1,0 +1,105 @@
+"""C14 — confidential data on shared memory: isolation vs encryption.
+
+The paper attaches ``confidential: true`` to tasks (Figure 2c) and
+separately motivates the built-in crypto accelerators of modern parts
+(§1, Sapphire Rapids).  This bench connects the two: when isolated
+memory runs out, the strict policy rejects confidential requests, while
+the encrypting policy spills them to shared far memory and pays crypto
+cycles per access — cheaply on devices with crypto engines (FPGA, DPU),
+expensively in software on a GPU.
+"""
+
+from benchmarks.conftest import once, run_sim
+from repro.hardware import Cluster
+from repro.memory.interfaces import AccessPattern, Accessor, encryption_time
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.properties import BandwidthClass, MemoryProperties
+from repro.metrics import Table, format_ns
+from repro.runtime import CostModel, DeclarativePlacement, PlacementRequest
+from repro.runtime.placement import EncryptingPlacement
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+def exhausted_host():
+    """table1-host with every isolated byte-addressable tier hogged."""
+    cluster = Cluster.preset("table1-host")
+    mm = MemoryManager(cluster)
+    for name in ("cache0", "hbm0", "dram0", "pmem0", "cxl0"):
+        mm.allocate_on(name, cluster.memory[name].capacity,
+                       MemoryProperties(), owner="hog")
+    return cluster, mm, CostModel(cluster)
+
+
+def confidential(size):
+    return PlacementRequest(
+        size=size,
+        properties=MemoryProperties(confidential=True,
+                                    bandwidth=BandwidthClass.MEDIUM),
+        owner="t", observers=("cpu0",),
+    )
+
+
+def test_claim_confidential_spill(benchmark, report):
+    results = {}
+
+    def experiment():
+        cluster, mm, cm = exhausted_host()
+        strict = DeclarativePlacement(cluster, mm, cm)
+        try:
+            strict.place(confidential(1 * MiB))
+            results["strict"] = "placed (bug)"
+        except PlacementError:
+            results["strict"] = "rejected: no isolated memory left"
+
+        encrypting = EncryptingPlacement(cluster, mm, cm)
+        region = encrypting.place(confidential(1 * MiB))
+        results["encrypting"] = (
+            f"placed on {region.device.name} (encrypted={region.encrypted})"
+        )
+
+        accessor = Accessor(cluster, region.handle("t"), "cpu0")
+        t0 = cluster.engine.now
+        run_sim(cluster, accessor.read(pattern=AccessPattern.RANDOM,
+                                       access_size=4096))
+        results["access_time"] = cluster.engine.now - t0
+        results["crypto_share"] = encryption_time(cluster, "cpu0", 1 * MiB)
+        return results
+
+    once(benchmark, experiment)
+
+    table = Table(["policy under memory pressure", "outcome"],
+                  title="C14 (reproduced): confidential request, isolated "
+                        "tiers full")
+    table.add_row("strict isolation", results["strict"])
+    table.add_row("isolation-or-encryption", results["encrypting"])
+    table.add_row("encrypted random read of 1 MiB",
+                  format_ns(results["access_time"]))
+    table.add_row("  of which crypto (CPU AES units)",
+                  format_ns(results["crypto_share"]))
+    report("claim_confidential", table.render())
+
+    assert "rejected" in results["strict"]
+    assert "encrypted=True" in results["encrypting"]
+
+
+def test_claim_confidential_crypto_accelerators(benchmark, report):
+    """The accelerator angle: who should touch encrypted memory?"""
+    cluster = Cluster.preset("pooled-rack")
+
+    def experiment():
+        rates = {}
+        for observer in ("cpu1", "gpu1", "fpga1"):
+            rates[observer] = encryption_time(cluster, observer, 64 * MiB)
+        return rates
+
+    rates = once(benchmark, experiment)
+    table = Table(["compute device", "time to en/decrypt 64 MiB"],
+                  title="C14 follow-on: crypto engines change the economics")
+    for observer, duration in sorted(rates.items(), key=lambda kv: kv[1]):
+        table.add_row(observer, format_ns(duration))
+    report("claim_confidential_crypto", table.render())
+
+    assert rates["fpga1"] < rates["gpu1"]
+    assert rates["fpga1"] < rates["cpu1"] / 10

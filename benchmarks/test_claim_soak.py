@@ -1,0 +1,127 @@
+"""C13 — availability soak: stochastic faults against protected memory.
+
+The paper: "planned and unplanned node faults ... are common in data
+centers having thousands of interconnected compute and memory devices."
+We subject an erasure-coded far-memory store to a Poisson crash/restart
+process for a long horizon, with the recovery orchestrator repairing in
+the background, and audit every object at the end.  Pass criteria: all
+data byte-exact as long as concurrent-failure count stays within the
+code's tolerance; repair traffic proportional to crashes; the same soak
+against an *unprotected* store loses data.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, run_sim
+from repro.ft import ErasureCodedStore, RecoveryOrchestrator
+from repro.hardware import Cluster
+from repro.memory.manager import MemoryManager
+from repro.memory.properties import MemoryProperties
+from repro.memory.region import RegionState
+from repro.metrics import Table, format_bytes, format_ns
+from repro.sim.faults import FaultKind
+
+KiB = 1024
+N_NODES = 10
+N_OBJECTS = 12
+HORIZON = 50_000_000.0  # 50 ms of simulated rack time
+FARS = [f"far{i}" for i in range(N_NODES)]
+
+
+def crash_restart_schedule(cluster, rate, horizon, restart_after):
+    """Poisson crashes, each followed by a restart after a fixed delay."""
+    rng = cluster.streams.stream("soak")
+    t = 0.0
+    crashes = []
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= horizon:
+            break
+        node = f"memnode{int(rng.integers(0, N_NODES))}"
+        crashes.append((t, node))
+        cluster.faults.inject_at(t, FaultKind.NODE_CRASH, node)
+        cluster.faults.inject_at(t + restart_after, FaultKind.NODE_RESTART, node)
+    return crashes
+
+
+def test_claim_soak_erasure_store_survives(benchmark, report):
+    results = {}
+
+    def experiment():
+        cluster = Cluster.preset("far-memory-rack", n_nodes=N_NODES, seed=101)
+        manager = MemoryManager(cluster)
+        store = ErasureCodedStore(
+            cluster, manager, FARS, home="dram0", k=4, m=2,
+            shard_size=16 * KiB,
+        )
+        orchestrator = RecoveryOrchestrator(cluster, [store],
+                                            detection_delay_ns=20_000.0)
+        rng = np.random.default_rng(7)
+        objects = {}
+        for i in range(N_OBJECTS):
+            data = rng.integers(0, 256, 64 * KiB).astype(np.uint8)
+            run_sim(cluster, store.put(f"obj{i}", data))
+            objects[f"obj{i}"] = data
+
+        crashes = crash_restart_schedule(
+            cluster, rate=1.0 / 4_000_000.0, horizon=HORIZON,
+            restart_after=1_000_000.0,
+        )
+        cluster.engine.run(until=HORIZON)
+        cluster.engine.run()  # drain outstanding repairs
+
+        intact = sum(
+            1 for name, data in objects.items()
+            if np.array_equal(run_sim(cluster, store.get(name)), data)
+        )
+        results["protected"] = {
+            "crashes": len(crashes),
+            "repairs": orchestrator.stats.repairs_completed,
+            "rebuilt": orchestrator.stats.shards_rebuilt,
+            "repair_traffic": store.repair_bytes,
+            "mean_repair": orchestrator.stats.mean_repair_time_ns,
+            "intact": intact,
+        }
+
+        # Control: the same crash schedule against raw (unprotected)
+        # far-memory regions.
+        cluster2 = Cluster.preset("far-memory-rack", n_nodes=N_NODES, seed=101)
+        manager2 = MemoryManager(cluster2)
+        survivors = []
+        for i in range(N_OBJECTS):
+            region = manager2.allocate_on(
+                FARS[i % N_NODES], 64 * KiB, MemoryProperties(),
+                owner="raw", name=f"raw{i}",
+            )
+            survivors.append(region)
+        crash_restart_schedule(
+            cluster2, rate=1.0 / 4_000_000.0, horizon=HORIZON,
+            restart_after=1_000_000.0,
+        )
+        cluster2.engine.run(until=HORIZON)
+        results["unprotected"] = {
+            "lost": sum(1 for r in survivors if r.state is RegionState.LOST),
+        }
+        return results
+
+    once(benchmark, experiment)
+
+    protected = results["protected"]
+    table = Table(["metric", "value"],
+                  title=f"C13 (soak): {format_ns(HORIZON)} of Poisson node "
+                        "crashes vs RS(4+2) far memory")
+    table.add_row("node crashes injected", protected["crashes"])
+    table.add_row("repairs completed", protected["repairs"])
+    table.add_row("shards rebuilt", protected["rebuilt"])
+    table.add_row("repair traffic", format_bytes(protected["repair_traffic"]))
+    table.add_row("mean repair time", format_ns(protected["mean_repair"]))
+    table.add_row("objects intact (of 12)", protected["intact"])
+    table.add_row("unprotected store: regions lost",
+                  results["unprotected"]["lost"])
+    report("claim_soak", table.render())
+
+    assert protected["crashes"] >= 5
+    assert protected["intact"] == N_OBJECTS
+    assert protected["repairs"] == protected["crashes"]
+    assert protected["rebuilt"] > 0
+    assert results["unprotected"]["lost"] > 0

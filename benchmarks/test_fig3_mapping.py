@@ -1,0 +1,107 @@
+"""F3 — reproduce Figure 3: logical→physical mapping depends on the
+compute device.
+
+Figure 3's point: the *same* logical Memory Region ("fast local
+scratch") maps to DRAM when the task runs on a CPU but to GDDR when it
+runs on a GPU.  We submit the identical request from every compute
+device on the pooled rack and report the chosen device, plus the same
+for the other two Table 2 regions.
+"""
+
+from benchmarks.conftest import once
+from repro.hardware import Cluster
+from repro.hardware.spec import MemoryKind
+from repro.memory.manager import MemoryManager
+from repro.memory.regions import RegionType, region_properties
+from repro.metrics import Table, format_ns
+from repro.runtime import CostModel, DeclarativePlacement, PlacementRequest
+
+MiB = 1024 * 1024
+
+OBSERVERS = ["cpu1", "cpu2", "gpu1", "gpu2", "tpu1", "fpga1"]
+
+
+def test_fig3_observer_dependent_mapping(benchmark, report):
+    cluster = Cluster.preset("pooled-rack")
+    manager = MemoryManager(cluster)
+    costmodel = CostModel(cluster)
+    policy = DeclarativePlacement(cluster, manager, costmodel)
+
+    chosen = {}
+
+    def experiment():
+        for observer in OBSERVERS:
+            region = policy.place(PlacementRequest(
+                size=4 * MiB,
+                properties=region_properties(RegionType.PRIVATE_SCRATCH),
+                owner=f"task@{observer}",
+                observers=(observer,),
+                region_type=RegionType.PRIVATE_SCRATCH,
+            ))
+            chosen[observer] = region
+            manager.free(region)  # keep capacity identical per observer
+        return chosen
+
+    once(benchmark, experiment)
+
+    table = Table(
+        ["task runs on", "same logical request", "mapped to", "RTT from task"],
+        title="Figure 3 (reproduced): one logical region, per-device mapping",
+    )
+    spec_text = region_properties(RegionType.PRIVATE_SCRATCH).describe()
+    for observer in OBSERVERS:
+        region = chosen[observer]
+        rtt = costmodel.offered(observer, region.device).rtt_ns
+        table.add_row(observer, spec_text, region.device.name, format_ns(rtt))
+    report("fig3_mapping", table.render())
+
+    # The figure's exact claim: CPU scratch -> DRAM, GPU scratch -> GDDR.
+    assert chosen["cpu1"].device.kind is MemoryKind.DRAM
+    assert chosen["cpu2"].device.kind is MemoryKind.DRAM
+    assert chosen["gpu1"].device.name == "gddr1"
+    assert chosen["gpu2"].device.name == "gddr2"
+    assert chosen["tpu1"].device.kind is MemoryKind.HBM
+    # All placements satisfy the declared properties from their observer.
+    for observer in OBSERVERS:
+        offer = costmodel.offered(observer, chosen[observer].device)
+        assert offer.satisfies(region_properties(RegionType.PRIVATE_SCRATCH))
+
+
+def test_fig3_capacity_forces_next_best_tier(benchmark, report):
+    """When a GPU's GDDR fills up, the same request spills to the next
+    device that still satisfies the properties — the runtime, not the
+    developer, re-plans."""
+    cluster = Cluster.preset("pooled-rack")
+    manager = MemoryManager(cluster)
+    policy = DeclarativePlacement(cluster, manager, CostModel(cluster))
+
+    def experiment():
+        steps = []
+        gddr = cluster.memory["gddr1"]
+        request_props = region_properties(RegionType.PRIVATE_SCRATCH)
+        filler = manager.allocate_on(
+            "gddr1", gddr.capacity - 2 * MiB, request_props, owner="hog"
+        )
+        region = policy.place(PlacementRequest(
+            size=16 * MiB, properties=request_props, owner="t",
+            observers=("gpu1",), region_type=RegionType.PRIVATE_SCRATCH,
+        ))
+        steps.append(("gddr1 nearly full", region.device.name))
+        manager.free(region)
+        manager.free(filler)
+        region = policy.place(PlacementRequest(
+            size=16 * MiB, properties=request_props, owner="t",
+            observers=("gpu1",), region_type=RegionType.PRIVATE_SCRATCH,
+        ))
+        steps.append(("gddr1 freed again", region.device.name))
+        return steps
+
+    steps = once(benchmark, experiment)
+    table = Table(["cluster state", "16 MiB GPU scratch mapped to"],
+                  title="Figure 3 follow-on: mapping adapts to capacity")
+    for state, device in steps:
+        table.add_row(state, device)
+    report("fig3_capacity", table.render())
+
+    assert steps[0][1] != "gddr1"
+    assert steps[1][1] == "gddr1"

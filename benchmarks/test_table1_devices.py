@@ -1,0 +1,147 @@
+"""T1 — reproduce Table 1: memory device properties as seen from a CPU.
+
+For every device attached to the ``table1-host`` preset, measure on the
+simulated fabric (not just read off the spec):
+
+* sequential read bandwidth (streaming 4 MiB through the flow network),
+* random 64 B access latency (one synchronous round trip, or the async
+  equivalent for devices without sync load/store),
+
+and report them next to the static columns (granularity, attachment,
+sync, persistence).  Pass criterion: the orderings of the paper's
+``++/+/o/-/--`` columns hold end-to-end.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import once, run_sim
+from repro.hardware import Cluster
+from repro.memory.interfaces import AccessMode, AccessPattern, Accessor
+from repro.memory.manager import MemoryManager
+from repro.memory.properties import MemoryProperties
+from repro.metrics import Table, format_bytes, format_ns
+
+MiB = 1024 * 1024
+
+#: Table 1 rows in the paper's order, mapped to preset device names.
+DEVICES = ["cache0", "hbm0", "dram0", "pmem0", "cxl0", "far0", "ssd0", "hdd0"]
+PAPER_ROWS = {
+    "cache0": ("Cache", "++", "++"),
+    "hbm0": ("HBM", "++", "+"),
+    "dram0": ("DRAM", "+", "+"),
+    "pmem0": ("PMem", "o", "o"),
+    "cxl0": ("CXL-DRAM", "o", "o"),
+    "far0": ("Disagg. Mem.", "o", "-"),
+    "ssd0": ("SSD", "-", "-"),
+    "hdd0": ("HDD", "--", "--"),
+}
+
+
+def measure_device(cluster, manager, name):
+    device = cluster.memory[name]
+    region = manager.allocate_on(
+        name, 4 * MiB, MemoryProperties(), owner="bench", name=f"probe-{name}"
+    )
+    accessor = Accessor(cluster, region.handle("bench"), "cpu0")
+    mode = accessor.default_mode()
+
+    t0 = cluster.engine.now
+    run_sim(cluster, accessor.read(4 * MiB, pattern=AccessPattern.SEQUENTIAL, mode=mode))
+    seq_time = cluster.engine.now - t0
+    bandwidth = 4 * MiB / seq_time  # bytes/ns
+
+    t0 = cluster.engine.now
+    run_sim(cluster, accessor.read(
+        64, pattern=AccessPattern.RANDOM, access_size=64, mode=mode,
+    ))
+    latency = cluster.engine.now - t0
+    manager.free(region)
+    return bandwidth, latency, mode
+
+
+def test_table1_device_properties(benchmark, report):
+    cluster = Cluster.preset("table1-host")
+    manager = MemoryManager(cluster)
+
+    measured = {}
+
+    def experiment():
+        for name in DEVICES:
+            measured[name] = measure_device(cluster, manager, name)
+        return measured
+
+    once(benchmark, experiment)
+
+    table = Table(
+        ["Name", "Bw(paper)", "Bw meas.", "Lat(paper)", "Lat meas.",
+         "Gran.", "Attached", "Sync", "Persist."],
+        title="Table 1 (reproduced): memory device properties as seen from a CPU",
+    )
+    for name in DEVICES:
+        device = cluster.memory[name]
+        bandwidth, latency, mode = measured[name]
+        table.add_row(
+            PAPER_ROWS[name][0],
+            PAPER_ROWS[name][1],
+            f"{bandwidth:7.2f}GB/s",
+            PAPER_ROWS[name][2],
+            format_ns(latency),
+            format_bytes(device.spec.granularity),
+            device.spec.attachment.value,
+            "yes" if mode is AccessMode.SYNC else "no (async)",
+            "yes" if device.spec.persistent else "no",
+        )
+    report("table1_devices", table.render())
+
+    # --- shape assertions: the paper's orderings hold end to end -------
+    bw = {n: measured[n][0] for n in DEVICES}
+    lat = {n: measured[n][1] for n in DEVICES}
+    assert bw["cache0"] > bw["hbm0"] > bw["dram0"]
+    assert bw["dram0"] > bw["cxl0"] > bw["pmem0"]
+    assert bw["pmem0"] > bw["ssd0"] > bw["hdd0"]
+    assert lat["cache0"] < lat["dram0"] < lat["pmem0"]
+    assert lat["dram0"] < lat["cxl0"] < lat["far0"] < lat["ssd0"] < lat["hdd0"]
+    # Sync column: far memory/SSD/HDD are async-only (Table 1).
+    assert measured["dram0"][2] is AccessMode.SYNC
+    assert measured["cxl0"][2] is AccessMode.SYNC
+    for name in ("far0", "ssd0", "hdd0"):
+        assert measured[name][2] is AccessMode.ASYNC
+
+
+def test_table1_granularity_amplification(benchmark, report):
+    """Sub-granule random writes are amplified to the device granule —
+    the reason Table 1 has a 'Gran.' column at all."""
+    cluster = Cluster.preset("table1-host")
+    manager = MemoryManager(cluster)
+
+    def experiment():
+        results = {}
+        for name in ("dram0", "pmem0", "ssd0"):
+            device = cluster.memory[name]
+            region = manager.allocate_on(
+                name, 1 * MiB, MemoryProperties(), owner="bench"
+            )
+            accessor = Accessor(cluster, region.handle("bench"), "cpu0")
+            before = device.bytes_written
+            run_sim(cluster, accessor.write(
+                8 * 1024, pattern=AccessPattern.RANDOM, access_size=8,
+                mode=accessor.default_mode(),
+            ))
+            results[name] = (device.bytes_written - before) / (8 * 1024)
+            manager.free(region)
+        return results
+
+    amplification = once(benchmark, experiment)
+    table = Table(["device", "granularity", "write amplification (8B ops)"],
+                  title="Table 1 follow-on: access-granularity amplification")
+    for name, factor in amplification.items():
+        table.add_row(name, format_bytes(cluster.memory[name].spec.granularity),
+                      f"{factor:.0f}x")
+    report("table1_granularity", table.render())
+
+    assert amplification["dram0"] == pytest.approx(8.0)  # 64 B lines
+    assert amplification["pmem0"] == pytest.approx(32.0)  # 256 B lines
+    assert amplification["ssd0"] == pytest.approx(512.0)  # 4 KiB blocks
+    assert not math.isclose(amplification["dram0"], amplification["pmem0"])

@@ -1,0 +1,147 @@
+"""T2 — reproduce Table 2: the predefined Memory Regions.
+
+For each predefined region type (Private Scratch, Global State, Global
+Scratch) request a region through the declarative placement policy on
+the pooled rack and report where it landed and what the offer
+guarantees.  Pass criteria:
+
+* Global State lands somewhere coherent + synchronously addressable
+  from *every* compute device (it synchronizes tasks);
+* Private Scratch lands on the fastest sync-addressable device for its
+  observer, and is *not* required to be coherent;
+* Global Scratch may land far away (capacity over speed) and is
+  reachable asynchronously by everyone;
+* the properties are *enforced*: a region typed coherent can never be
+  accessed over a non-coherent path, sync access to async-only devices
+  is rejected.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.hardware import Cluster
+from repro.memory.manager import MemoryManager
+from repro.memory.regions import RegionType, region_properties
+from repro.metrics import Table, format_ns
+from repro.runtime import CostModel, DeclarativePlacement, PlacementRequest
+
+MiB = 1024 * 1024
+
+OBSERVER_SETS = {
+    RegionType.PRIVATE_SCRATCH: ("cpu1",),  # thread-local: one observer
+    RegionType.GLOBAL_STATE: ("cpu1", "cpu2", "gpu1", "gpu2", "tpu1", "fpga1"),
+    RegionType.GLOBAL_SCRATCH: ("cpu1", "cpu2", "gpu1", "gpu2", "tpu1", "fpga1"),
+}
+
+PAPER_PURPOSE = {
+    RegionType.PRIVATE_SCRATCH: ("{noncoherent, sync}", "Thread-local data"),
+    RegionType.GLOBAL_STATE: ("{coherent, sync}", "Syncing tasks"),
+    RegionType.GLOBAL_SCRATCH: ("{coherent, async}", "Data exchange"),
+}
+
+
+def test_table2_region_placement(benchmark, report):
+    cluster = Cluster.preset("pooled-rack")
+    manager = MemoryManager(cluster)
+    costmodel = CostModel(cluster)
+    policy = DeclarativePlacement(cluster, manager, costmodel)
+
+    placements = {}
+
+    def experiment():
+        for region_type, observers in OBSERVER_SETS.items():
+            region = policy.place(PlacementRequest(
+                size=8 * MiB,
+                properties=region_properties(region_type),
+                owner="bench",
+                observers=observers,
+                region_type=region_type,
+            ))
+            placements[region_type] = region
+        return placements
+
+    once(benchmark, experiment)
+
+    table = Table(
+        ["Name", "Properties (paper)", "Purpose (paper)", "Placed on",
+         "worst-observer RTT"],
+        title="Table 2 (reproduced): common Memory Regions on the pooled rack",
+    )
+    for region_type, observers in OBSERVER_SETS.items():
+        region = placements[region_type]
+        worst_rtt = max(
+            costmodel.offered(o, region.device).rtt_ns for o in observers
+        )
+        props, purpose = PAPER_PURPOSE[region_type]
+        table.add_row(region_type.value, props, purpose,
+                      region.device.name, format_ns(worst_rtt))
+    report("table2_regions", table.render())
+
+    # Global State: coherent + sync from every compute device.
+    state = placements[RegionType.GLOBAL_STATE]
+    for observer in OBSERVER_SETS[RegionType.GLOBAL_STATE]:
+        offer = costmodel.offered(observer, state.device)
+        assert offer.coherent and offer.sync, observer
+
+    # Private Scratch: the lowest-RTT sync device for its single observer.
+    scratch = placements[RegionType.PRIVATE_SCRATCH]
+    best = costmodel.best_scratch_device("cpu1")
+    assert costmodel.offered("cpu1", scratch.device).rtt_ns == pytest.approx(
+        costmodel.offered("cpu1", best).rtt_ns, rel=0.5
+    )
+
+    # Global Scratch: nobody is cut off from it.
+    gscratch = placements[RegionType.GLOBAL_SCRATCH]
+    for observer in OBSERVER_SETS[RegionType.GLOBAL_SCRATCH]:
+        assert costmodel.offered(observer, gscratch.device).bytes_per_ns > 0
+
+
+def test_table2_property_enforcement(benchmark, report):
+    """The region types are contracts, not hints: violations raise."""
+    from repro.memory.interfaces import AccessMode, Accessor, InterfaceError
+    from repro.memory.properties import MemoryProperties
+
+    cluster = Cluster.preset("table1-host")
+    manager = MemoryManager(cluster)
+
+    checks = []
+
+    def experiment():
+        # 1. sync access to an async-only device (Table 1 far memory).
+        far = manager.allocate_on("far0", 4096, MemoryProperties(), owner="b")
+        accessor = Accessor(cluster, far.handle("b"), "cpu0")
+        try:
+            list(accessor.read(mode=AccessMode.SYNC))
+            checks.append(("sync ld/st on far memory", "ALLOWED (bug)"))
+        except InterfaceError:
+            checks.append(("sync ld/st on far memory", "rejected"))
+
+        # 2. coherent-typed region behind a non-coherent path.
+        ssd = manager.allocate_on(
+            "ssd0", 4096, MemoryProperties(coherent=True), owner="b"
+        )
+        try:
+            Accessor(cluster, ssd.handle("b"), "cpu0")
+            checks.append(("coherent region on PCIe-storage path", "ALLOWED (bug)"))
+        except InterfaceError:
+            checks.append(("coherent region on PCIe-storage path", "rejected"))
+
+        # 3. persistent-typed region on volatile media.
+        from repro.memory.manager import PlacementError
+
+        try:
+            manager.allocate_on(
+                "dram0", 4096, MemoryProperties(persistent=True), owner="b"
+            )
+            checks.append(("persistent region on DRAM", "ALLOWED (bug)"))
+        except PlacementError:
+            checks.append(("persistent region on DRAM", "rejected"))
+        return checks
+
+    once(benchmark, experiment)
+    table = Table(["violation attempted", "outcome"],
+                  title="Table 2 follow-on: property enforcement")
+    for name, outcome in checks:
+        table.add_row(name, outcome)
+    report("table2_enforcement", table.render())
+    assert all(outcome == "rejected" for _n, outcome in checks)

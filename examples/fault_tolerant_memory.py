@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fault-tolerant far memory: replication vs. erasure coding (paper §3).
+
+Stores the same objects in a 3-way replicated store and a Carbink-style
+RS(4+2) erasure-coded store on a rack of eight far-memory nodes, then
+crashes a node and lets the recovery orchestrator repair both.  Shows
+the trade-off the paper describes: erasure coding halves the memory
+overhead, replication repairs with less traffic.
+
+Run:  python examples/fault_tolerant_memory.py
+"""
+
+import numpy as np
+
+from repro.ft import ErasureCodedStore, RecoveryOrchestrator, ReplicatedStore
+from repro.hardware import Cluster
+from repro.memory.manager import MemoryManager
+from repro.metrics import Table, format_bytes, format_ns
+
+KiB = 1024
+FARS = [f"far{i}" for i in range(8)]
+
+
+def run(cluster, gen):
+    def driver():
+        result = yield from gen
+        return result
+
+    return cluster.engine.run(until=cluster.engine.process(driver()))
+
+
+def build(kind: str):
+    cluster = Cluster.preset("far-memory-rack", n_nodes=8, seed=9)
+    manager = MemoryManager(cluster)
+    if kind == "replication":
+        store = ReplicatedStore(cluster, manager, FARS, home="dram0", copies=3)
+    else:
+        store = ErasureCodedStore(
+            cluster, manager, FARS, home="dram0", k=4, m=2, shard_size=16 * KiB,
+        )
+    orchestrator = RecoveryOrchestrator(cluster, [store],
+                                        detection_delay_ns=10_000.0)
+    return cluster, store, orchestrator
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    objects = {f"obj{i}": rng.integers(0, 256, 48 * KiB).astype(np.uint8)
+               for i in range(8)}
+
+    results = Table([
+        "scheme", "mem overhead", "write traffic", "repair traffic",
+        "repair time", "data intact",
+    ], title="Replication vs. erasure coding after one node crash")
+
+    for kind in ("replication", "erasure RS(4+2)"):
+        cluster, store, orchestrator = build(
+            "replication" if kind == "replication" else "erasure"
+        )
+        for name, data in objects.items():
+            run(cluster, store.put(name, data))
+        overhead = store.memory_overhead()
+        write_traffic = store.bytes_written
+
+        # Crash the node holding the first object's first shard/replica.
+        cluster.crash_node("memnode0")
+        cluster.engine.run()  # let detection + repair finish
+
+        intact = all(
+            np.array_equal(run(cluster, store.get(name)), data)
+            for name, data in objects.items()
+        )
+        results.add_row(
+            kind,
+            f"{overhead:.2f}x",
+            format_bytes(write_traffic),
+            format_bytes(store.repair_bytes),
+            format_ns(orchestrator.stats.mean_repair_time_ns),
+            "yes" if intact else "NO",
+        )
+
+    print(results)
+    print("\nerasure coding stores the same data with ~half the memory of "
+          "3-way replication;\nreplication repairs by copying only the lost "
+          "bytes, erasure coding must read k shards per rebuild.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Dataflows as configuration: load, plan, run.
+
+Because the programming model is declarative, a whole job — DAG, work
+specifications, property cards — is plain data.  This example loads an
+analytics query from `examples/configs/analytics_query.json`, asks the
+runtime to *explain its plan* (dry run: assignment, placements,
+predicted makespan — nothing allocated), then executes it and compares
+prediction with reality.
+
+Run:  python examples/job_from_config.py
+"""
+
+import pathlib
+
+from repro import Cluster, RuntimeSystem
+from repro.dataflow import job_from_json
+from repro.metrics import format_ns
+
+CONFIG = pathlib.Path(__file__).parent / "configs" / "analytics_query.json"
+
+
+def main() -> None:
+    text = CONFIG.read_text()
+    print(f"loaded {CONFIG.name} ({len(text)} bytes of declarative job)\n")
+
+    cluster = Cluster.preset("pooled-rack", seed=11)
+    rts = RuntimeSystem(cluster)
+
+    # Dry run: what would the runtime do, and why?
+    plan = rts.plan(job_from_json(text))
+    print(plan.render())
+    print(f"\ncritical path: {' -> '.join(plan.critical_path())}")
+
+    # Now for real (jobs are single-use; load a fresh copy).
+    stats = rts.run_job(job_from_json(text))
+    print(f"\nexecuted: makespan {format_ns(stats.makespan)} "
+          f"(predicted {format_ns(plan.predicted_makespan)}, "
+          f"ratio {stats.makespan / plan.predicted_makespan:.2f}x)")
+    print(f"assignment matched the plan: {stats.assignment == plan.assignment}")
+    print(f"zero-copy handovers: {stats.zero_copy_handover}, "
+          f"leaked regions: {len(rts.memory.live_regions())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""One-shot maintenance tool: insert missing one-line docstrings.
+
+Parses each target file with ``ast``, finds the named function/method
+without a docstring, and inserts the given one-liner as the first body
+statement (indentation taken from the existing first statement).  Used
+to close the gaps found by ``tests/test_api_hygiene.py``; kept in the
+repo because hygiene tools belong with the code they maintain.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: (relative file, qualified name within file) -> docstring text.
+DOCSTRINGS = {
+    # --- enums (class docstrings handled as classes) --------------------
+    ("repro/hardware/spec.py", "ComputeKind"):
+        "Compute device classes of the disaggregated pool.",
+    ("repro/memory/interfaces.py", "AccessMode"):
+        "How a region is accessed: synchronous ld/st or async batches.",
+    ("repro/memory/interfaces.py", "AccessPattern"):
+        "Spatial access behaviour: prefetchable stream vs. random points.",
+    ("repro/memory/ownership.py", "OwnershipMode"):
+        "Exclusive (one owner, relaxed consistency) or shared ownership.",
+    ("repro/memory/region.py", "RegionState"):
+        "Lifecycle of a region: active, migrating, freed, or lost.",
+    ("repro/memory/regions.py", "RegionType"):
+        "The predefined Memory Regions of the paper's Table 2 (+ edges).",
+    # --- sim ------------------------------------------------------------
+    ("repro/sim/engine.py", "Engine.event"):
+        "Create a fresh untriggered event bound to this engine.",
+    ("repro/sim/engine.py", "Engine.timeout"):
+        "Create an event that fires ``delay`` ns from now.",
+    ("repro/sim/engine.py", "Engine.process"):
+        "Start ``generator`` as a simulation process.",
+    ("repro/sim/engine.py", "Engine.all_of"):
+        "Composite event: fires when all child events have fired.",
+    ("repro/sim/engine.py", "Engine.any_of"):
+        "Composite event: fires when the first child event fires.",
+    ("repro/sim/events.py", "Event.add_callback"):
+        "Run ``callback(event)`` when this event is processed.",
+    ("repro/sim/events.py", "Event.remove_callback"):
+        "Deregister a pending callback (no-op if absent).",
+    ("repro/sim/flows.py", "FlowNetwork.restore_link"):
+        "Bring a failed link back up (new transfers may use it).",
+    ("repro/sim/resources.py", "Resource.request"):
+        "Request one slot; yield the returned event to acquire it.",
+    ("repro/sim/resources.py", "Store.put"):
+        "Insert ``item``; the returned event fires once it is stored.",
+    ("repro/sim/resources.py", "Store.get"):
+        "Take the oldest item; the returned event carries it.",
+    ("repro/sim/trace.py", "TraceLog.emit"):
+        "Append one trace record (dropped if its category is filtered).",
+    ("repro/sim/trace.py", "TraceLog.by_category"):
+        "All recorded events of one category.",
+    ("repro/sim/trace.py", "TraceLog.by_name"):
+        "All recorded events with one event name.",
+    ("repro/sim/trace.py", "TraceLog.clear"):
+        "Discard all recorded events.",
+    # --- hardware -------------------------------------------------------
+    ("repro/hardware/cluster.py", "Cluster.add_memory"):
+        "Register a memory device (optionally in a failure domain).",
+    ("repro/hardware/cluster.py", "Cluster.add_compute"):
+        "Register a compute device (optionally in a failure domain).",
+    ("repro/hardware/cluster.py", "Cluster.add_switch"):
+        "Register a fabric switch vertex in the topology.",
+    ("repro/hardware/cluster.py", "Cluster.memory_devices"):
+        "Memory devices, optionally filtered by kind and liveness.",
+    ("repro/hardware/cluster.py", "Cluster.compute_devices"):
+        "Compute devices, optionally including failed ones.",
+    ("repro/hardware/cluster.py", "Cluster.node_of"):
+        "The failure domain a device belongs to (None if unassigned).",
+    ("repro/hardware/cluster.py", "Cluster.crash_node"):
+        "Inject an unplanned crash of a whole failure domain now.",
+    ("repro/hardware/compute.py", "ComputeDevice.supports"):
+        "Whether this device can execute the given op class.",
+    ("repro/hardware/compute.py", "ComputeDevice.release_slot"):
+        "Return a held execution slot (pairs with acquire_slot).",
+    ("repro/hardware/compute.py", "ComputeDevice.fail"):
+        "Mark the device failed (no new tasks are scheduled onto it).",
+    ("repro/hardware/compute.py", "ComputeDevice.recover"):
+        "Clear the failure flag after a repair/restart.",
+    ("repro/hardware/spec.py", "ComputeDeviceSpec.supports"):
+        "Whether the spec lists a throughput for the given op class.",
+    ("repro/hardware/interconnect.py", "Topology.nodes"):
+        "Vertex names, optionally filtered by role.",
+    ("repro/hardware/interconnect.py", "Topology.links"):
+        "All live Link objects in the fabric.",
+    ("repro/hardware/interconnect.py", "Topology.link_between"):
+        "The link directly connecting two adjacent vertices.",
+    ("repro/hardware/interconnect.py", "Topology.route_kinds"):
+        "The link technologies along the live route from src to dst.",
+    # --- memory --------------------------------------------------------
+    ("repro/memory/allocator.py", "FreeListAllocator.live_allocations"):
+        "Snapshot of all currently live allocations.",
+    ("repro/memory/manager.py", "MemoryManager.live_regions"):
+        "All regions currently alive under this manager.",
+    ("repro/memory/manager.py", "MemoryManager.live_bytes"):
+        "Accounted live bytes, cluster-wide or for one device.",
+    ("repro/memory/manager.py", "MemoryManager.transfer_ownership"):
+        "Move exclusive ownership between tasks (Figure 4 handover).",
+    ("repro/memory/manager.py", "MemoryManager.share"):
+        "Widen a region's owner set (converts to shared mode).",
+    ("repro/memory/ownership.py", "OwnershipRecord.is_owner"):
+        "Whether ``actor`` currently owns this (unreleased) region.",
+    ("repro/memory/pointers.py", "HotnessTracker.forget"):
+        "Drop all hotness history for a region.",
+    ("repro/memory/properties.py", "MemoryProperties.describe"):
+        "Human-readable one-line rendering (parseable by the DSL).",
+    ("repro/memory/region.py", "MemoryRegion.check_alive"):
+        "Raise if the region has been freed or lost.",
+    ("repro/memory/region.py", "RegionHandle.validate"):
+        "Raise unless the handle's owner and epoch are still current.",
+    ("repro/memory/addressing.py", "VirtualAddressSpace.unmap"):
+        "Remove a region's window from this address space.",
+    ("repro/memory/addressing.py", "VirtualAddressSpace.region_at"):
+        "The region mapped at ``vaddr`` (raises on unmapped addresses).",
+    ("repro/memory/coherence.py", "CoherenceModel.for_cluster"):
+        "The (per-cluster singleton) coherence model for ``cluster``.",
+    ("repro/memory/coherence.py", "CoherenceModel.forget"):
+        "Drop all sharing state for a region (e.g. after free).",
+    ("repro/memory/coherence.py", "CoherenceModel.sharers_of"):
+        "The observers currently caching this region, sorted.",
+    ("repro/memory/tiering.py", "TieringPolicy.rtt"):
+        "Round-trip latency from the policy's observer to a device.",
+    ("repro/memory/tiering.py", "TieringPolicy.allocator_free"):
+        "Largest allocatable extent on a device (migration headroom).",
+    ("repro/memory/tiering.py", "TieringDaemon.stop"):
+        "Ask the background loop to exit at its next wakeup.",
+    # --- dataflow -------------------------------------------------------
+    ("repro/dataflow/graph.py", "Job.add_task"):
+        "Attach a task to this job (names must be unique).",
+    ("repro/dataflow/graph.py", "Job.sources"):
+        "Tasks with no upstream edges.",
+    ("repro/dataflow/graph.py", "Job.sinks"):
+        "Tasks with no downstream edges.",
+    ("repro/dataflow/graph.py", "Job.topological_order"):
+        "Tasks in a dependency-respecting order (raises on cycles).",
+    ("repro/dataflow/graph.py", "Job.edges"):
+        "All dataflow edges as (upstream task, downstream task) pairs.",
+    ("repro/dataflow/graph.py", "Task.upstream"):
+        "Direct predecessors of this task in the job DAG.",
+    ("repro/dataflow/graph.py", "Task.downstream"):
+        "Direct successors of this task in the job DAG.",
+    ("repro/dataflow/properties.py", "TaskProperties.describe"):
+        "The Figure 2c card as one line (parseable by the DSL).",
+    ("repro/dataflow/serialize.py", "job_to_json"):
+        "Encode a declarative job as a JSON string.",
+    ("repro/dataflow/serialize.py", "job_from_json"):
+        "Decode a job from its JSON encoding (validates the DAG).",
+    # --- runtime -------------------------------------------------------
+    ("repro/runtime/placement.py", "PlacementPolicy.choose_device"):
+        "Pick the backing device for a request (no allocation).",
+    ("repro/runtime/placement.py", "DeclarativePlacement.candidates"):
+        "Live devices whose offer satisfies the request for every observer.",
+    ("repro/runtime/placement.py", "DeclarativePlacement.choose_device"):
+        "The lowest-scoring satisfying candidate (raises if none).",
+    ("repro/runtime/placement.py", "EncryptingPlacement.candidates"):
+        "Satisfying devices, plus encryptable fallbacks for confidential data.",
+    ("repro/runtime/placement.py", "EncryptingPlacement.score"):
+        "Base score plus the crypto surcharge on non-isolated devices.",
+    ("repro/runtime/placement.py", "EncryptingPlacement.place"):
+        "Place the request, marking non-isolated confidential data encrypted.",
+    ("repro/runtime/placement.py", "NaivePlacement.choose_device"):
+        "A seeded-random device with room (topology-oblivious baseline).",
+    ("repro/runtime/placement.py", "StaticKindPlacement.choose_device"):
+        "The least-utilized device of the statically mapped kind.",
+    ("repro/runtime/scheduler.py", "Scheduler.assign"):
+        "Map every task of the job to a compute device.",
+    ("repro/runtime/scheduler.py", "HeftScheduler.assign"):
+        "HEFT list scheduling with handover-aware edge costs.",
+    ("repro/runtime/scheduler.py", "RoundRobinScheduler.assign"):
+        "Cycle tasks through feasible devices, ignoring costs.",
+    ("repro/runtime/scheduler.py", "RandomScheduler.assign"):
+        "Seeded-random feasible device per task (baseline).",
+    ("repro/runtime/calibration.py", "CalibratedCostModel.compute_time"):
+        "Raw compute estimate scaled by any learned correction.",
+    ("repro/runtime/calibration.py", "CalibratedCostModel.access_time"):
+        "Raw access estimate scaled by the learned contention factor.",
+    ("repro/runtime/calibration.py", "CalibratedCostModel.corrections"):
+        "A copy of the learned correction-factor table.",
+    ("repro/runtime/admission.py", "RackStats.mean_memory_utilization"):
+        "Time-weighted mean pool utilization over the sampled window.",
+    ("repro/runtime/planner.py", "JobPlan.critical_path"):
+        "The serial spine of the planned schedule, by estimated finish.",
+    ("repro/runtime/planner.py", "JobPlan.render"):
+        "The plan as an aligned text table.",
+    ("repro/runtime/rts.py", "TaskContext.log"):
+        "Emit a structured trace message attributed to this task.",
+    ("repro/runtime/rts.py", "TaskContext.sleep"):
+        "Generator: idle for ``ns`` simulated nanoseconds.",
+    # --- ft -------------------------------------------------------------
+    ("repro/ft/gf256.py", "GF256.divide"):
+        "Element-wise a / b in GF(256) (raises on division by zero).",
+    ("repro/ft/checkpoint.py", "CheckpointService.has_snapshot"):
+        "Whether a completed snapshot exists for the region id.",
+    ("repro/ft/checkpoint.py", "CheckpointService.stop"):
+        "Ask the background snapshot loop to exit at its next wakeup.",
+    ("repro/ft/checkpoint.py", "CheckpointService.unregister"):
+        "Stop protecting a region and free its durable reservation.",
+    ("repro/ft/erasure.py", "ErasureCodedStore.physical_bytes"):
+        "Bytes physically occupied by all spans (data + parity).",
+    ("repro/ft/erasure.py", "ErasureCodedStore.live_logical_bytes"):
+        "Bytes of live (non-deleted) stored objects.",
+    ("repro/ft/replication.py", "ReplicatedStore.delete"):
+        "Remove an object and free every replica.",
+    ("repro/ft/replication.py", "ReplicatedStore.physical_bytes"):
+        "Bytes occupied across all healthy replicas.",
+    ("repro/ft/replication.py", "ReplicatedStore.live_logical_bytes"):
+        "Bytes of stored objects (one logical copy each).",
+    ("repro/ft/replication.py", "ReplicatedStore.memory_overhead"):
+        "Physical bytes per logical byte (= replica count when healthy).",
+    ("repro/ft/striping.py", "StripedStore.delete"):
+        "Remove an object and free all of its pages.",
+    ("repro/ft/striping.py", "StripedStore.note_device_failures"):
+        "Mark pages on failed devices lost; returns how many.",
+    ("repro/ft/striping.py", "StripedStore.physical_bytes"):
+        "Bytes occupied by surviving pages (data + parity).",
+    ("repro/ft/striping.py", "StripedStore.live_logical_bytes"):
+        "Bytes of stored objects (one logical copy each).",
+    ("repro/ft/striping.py", "StripedStore.memory_overhead"):
+        "Physical bytes per logical byte ((w+1)/w with parity).",
+    ("repro/ft/recovery.py", "RecoveryOrchestrator.register"):
+        "Add another store to the repair set.",
+    # --- apps ------------------------------------------------------------
+    ("repro/apps/dbms.py", "MiniDB.create_table"):
+        "Register a structured-array table under a unique name.",
+    ("repro/apps/dbms.py", "MiniDB.scan"):
+        "The full contents of a registered table.",
+    ("repro/apps/dbms.py", "MiniDB.filter"):
+        "Rows where ``column <op> value`` holds.",
+    ("repro/apps/dbms_exec.py", "PhysicalQueryEngine.register_table"):
+        "Make a table scannable by compiled plans.",
+    ("repro/apps/hpc_exec.py", "JacobiSolver.solve"):
+        "Run the distributed relaxation; returns field + residuals + stats.",
+    ("repro/apps/stream_exec.py", "StreamStats.latencies"):
+        "Sorted end-to-end latencies of completed windows.",
+    ("repro/apps/stream_exec.py", "StreamStats.throughput_per_s"):
+        "Completed windows per second of simulated horizon.",
+    # --- metrics ---------------------------------------------------------
+    ("repro/metrics/energy.py", "EnergyMeter.reset"):
+        "Start a fresh measurement window at the current time.",
+    ("repro/metrics/profiler.py", "Profile.hottest_region"):
+        "The region with the largest total access time (None if none).",
+    ("repro/metrics/profiler.py", "Profile.render"):
+        "The four-level profile as aligned text tables.",
+    ("repro/metrics/profiler.py", "Profile.write_chrome_trace"):
+        "Dump the Chrome-trace JSON for chrome://tracing / Perfetto.",
+    ("repro/metrics/report.py", "Table.add_row"):
+        "Append one row (must match the column count).",
+    ("repro/metrics/report.py", "Table.render"):
+        "The table as aligned text.",
+    ("repro/metrics/utilization.py", "cluster_snapshot"):
+        "Point-in-time memory/compute utilization of a cluster.",
+}
+
+
+def apply(path: pathlib.Path, qualname: str, doc: str) -> bool:
+    source = path.read_text()
+    tree = ast.parse(source)
+    parts = qualname.split(".")
+
+    def find(body, names):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and node.name == names[0]:
+                if len(names) == 1:
+                    return node
+                return find(node.body, names[1:])
+        return None
+
+    node = find(tree.body, parts)
+    if node is None:
+        print(f"  !! not found: {path.name}:{qualname}")
+        return False
+    if ast.get_docstring(node):
+        return False
+    first = node.body[0]
+    lines = source.splitlines(keepends=True)
+    indent = " " * first.col_offset
+    escaped = doc.replace('"', '\\"')
+    lines.insert(first.lineno - 1, f'{indent}"""{escaped}"""\n')
+    path.write_text("".join(lines))
+    return True
+
+
+def main() -> int:
+    changed = 0
+    for (rel, qualname), doc in sorted(DOCSTRINGS.items()):
+        if apply(ROOT / rel, qualname, doc):
+            changed += 1
+    print(f"inserted {changed} docstrings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

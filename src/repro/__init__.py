@@ -1,0 +1,81 @@
+"""repro — a programming model and runtime for fully disaggregated systems.
+
+A faithful, executable reproduction of *Programming Fully Disaggregated
+Systems* (Anneser, Vogel, Gruber, Bandle, Giceva — HotOS '23): a
+declarative dataflow programming model with typed Memory Regions,
+explicit memory ownership, sync/async access interfaces, and a runtime
+system that maps it all onto a simulated rack of disaggregated compute
+and memory.
+
+Quickstart::
+
+    from repro import Cluster, RuntimeSystem, Job, Task, WorkSpec, RegionUsage
+
+    cluster = Cluster.preset("pooled-rack")      # Figure 1b
+    rts = RuntimeSystem(cluster)
+
+    job = Job("hello")
+    a = job.add_task(Task("produce", work=WorkSpec(ops=1e5,
+                                                   output=RegionUsage(1 << 20))))
+    b = job.add_task(Task("consume", work=WorkSpec(input_usage=RegionUsage(0))))
+    job.connect(a, b)
+    stats = rts.run_job(job)
+    print(stats.makespan, stats.zero_copy_handover)
+
+See ``examples/`` for complete applications and ``benchmarks/`` for the
+experiment harness (DESIGN.md maps each bench to the paper's artifacts).
+"""
+
+from repro.dataflow import (
+    Job,
+    RegionUsage,
+    Task,
+    TaskProperties,
+    ValidationError,
+    WorkSpec,
+    linear_job,
+    task,
+)
+from repro.hardware import Cluster
+from repro.hardware.spec import ComputeKind, MemoryKind, OpClass
+from repro.memory import (
+    AccessMode,
+    AccessPattern,
+    BandwidthClass,
+    LatencyClass,
+    MemoryProperties,
+    RegionType,
+)
+from repro.runtime import (
+    JobStats,
+    RuntimeSystem,
+    TaskContext,
+    baselines,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccessMode",
+    "AccessPattern",
+    "BandwidthClass",
+    "Cluster",
+    "ComputeKind",
+    "Job",
+    "JobStats",
+    "LatencyClass",
+    "MemoryKind",
+    "MemoryProperties",
+    "OpClass",
+    "RegionType",
+    "RegionUsage",
+    "RuntimeSystem",
+    "Task",
+    "TaskContext",
+    "TaskProperties",
+    "ValidationError",
+    "WorkSpec",
+    "baselines",
+    "linear_job",
+    "task",
+]

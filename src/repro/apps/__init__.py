@@ -1,0 +1,56 @@
+"""Application-class mappings onto the programming model (paper §2.4).
+
+Table 3 maps four application classes onto the predefined Memory
+Regions; this package implements a miniature but runnable instance of
+each:
+
+* :mod:`repro.apps.dbms` — a relational query pipeline (operator state
+  in Private Scratch, latches in Global State, a reusable hash index in
+  Global Scratch) plus a small numpy-backed executor used by examples;
+* :mod:`repro.apps.ml` — a Cachew-style input pipeline + training loop
+  (transformed-data cache in Global Scratch, worker state in Global
+  State, training state in Private Scratch);
+* :mod:`repro.apps.hpc` — an iterative stencil job (node-local working
+  memory, job metadata in Global State, results to Global Scratch);
+* :mod:`repro.apps.streaming` — the hospital CCTV job of Figure 2 with
+  the exact property cards of Figure 2c.
+"""
+
+from repro.apps.streaming import build_hospital_job
+from repro.apps.dbms import MiniDB, build_query_job
+from repro.apps.dbms_exec import (
+    Filter,
+    GroupCount,
+    HashJoin,
+    PhysicalQueryEngine,
+    Scan,
+)
+from repro.apps.ml import build_training_job
+from repro.apps.hpc import build_stencil_job
+from repro.apps.census import region_census
+from repro.apps.stream_exec import StreamExecutor, StreamStats, WindowRecord
+from repro.apps.ml_exec import LinearTrainer, TrainingResult, make_regression_data
+from repro.apps.hpc_exec import JacobiSolver, SolveResult, make_heat_problem
+
+__all__ = [
+    "Filter",
+    "GroupCount",
+    "HashJoin",
+    "JacobiSolver",
+    "LinearTrainer",
+    "MiniDB",
+    "PhysicalQueryEngine",
+    "Scan",
+    "SolveResult",
+    "StreamExecutor",
+    "StreamStats",
+    "TrainingResult",
+    "WindowRecord",
+    "build_hospital_job",
+    "build_query_job",
+    "build_stencil_job",
+    "build_training_job",
+    "make_heat_problem",
+    "make_regression_data",
+    "region_census",
+]

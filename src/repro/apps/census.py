@@ -1,0 +1,33 @@
+"""Region-usage census: which region types did a run actually allocate?
+
+Parses the trace emitted by the memory manager, so the Table 2/3
+benches can verify that each application class exercises the region mix
+the paper's tables describe.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.memory.regions import RegionType, lookup_region_type
+from repro.sim.trace import TraceLog
+
+
+def region_census(trace: TraceLog) -> typing.Dict[object, int]:
+    """Count allocations per region type in a trace.
+
+    Keys are :class:`RegionType` members for the predefined regions and
+    :class:`~repro.memory.regions.CustomRegionType` objects for
+    user-named ones.
+    """
+    census: typing.Dict[object, int] = {}
+    for event in trace.by_name("allocate"):
+        rtype = event.fields.get("rtype")
+        if not rtype:
+            continue
+        try:
+            region_type: object = lookup_region_type(str(rtype))
+        except KeyError:
+            region_type = str(rtype)
+        census[region_type] = census.get(region_type, 0) + 1
+    return census

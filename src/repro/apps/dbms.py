@@ -1,0 +1,182 @@
+"""Database systems on the programming model (Table 3, first row).
+
+Two halves:
+
+* :class:`MiniDB` — a tiny but real numpy-backed relational executor
+  (filter, hash join, group-count) used by the examples to produce
+  actual query results;
+* :func:`build_query_job` — the same pipeline expressed as a dataflow
+  job with the Table 3 region mapping: operator state (hash tables) in
+  **Private Scratch**, latches in **Global State**, and a re-usable
+  hash index passed through **Global Scratch** from the aggregation
+  operator to the join operator (the paper's own example).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.dataflow.graph import Job, Task
+from repro.dataflow.properties import TaskProperties
+from repro.dataflow.workspec import RegionUsage, WorkSpec
+from repro.hardware.spec import ComputeKind, OpClass
+from repro.memory.interfaces import AccessPattern
+from repro.memory.properties import LatencyClass
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+class MiniDB:
+    """A minimal relational executor over numpy structured arrays."""
+
+    def __init__(self):
+        self.tables: typing.Dict[str, np.ndarray] = {}
+
+    def create_table(self, name: str, table: np.ndarray) -> None:
+        """Register a structured-array table under a unique name."""
+        if name in self.tables:
+            raise KeyError(f"table {name!r} exists")
+        if table.dtype.names is None:
+            raise TypeError("tables must be numpy structured arrays")
+        self.tables[name] = table
+
+    def scan(self, name: str) -> np.ndarray:
+        """The full contents of a registered table."""
+        if name not in self.tables:
+            raise KeyError(f"no table {name!r}")
+        return self.tables[name]
+
+    @staticmethod
+    def filter(table: np.ndarray, column: str, op: str, value) -> np.ndarray:
+        """Rows where ``column <op> value`` holds."""
+        comparators = {
+            "==": np.equal, "!=": np.not_equal,
+            "<": np.less, "<=": np.less_equal,
+            ">": np.greater, ">=": np.greater_equal,
+        }
+        if op not in comparators:
+            raise ValueError(f"unsupported comparison {op!r}")
+        mask = comparators[op](table[column], value)
+        return table[mask]
+
+    @staticmethod
+    def hash_join(
+        left: np.ndarray, right: np.ndarray, on: str
+    ) -> typing.List[typing.Tuple[int, int]]:
+        """Equi-join returning (left_index, right_index) pairs.
+
+        Builds a hash table on the smaller side — the operator-state
+        pattern that Private Scratch exists for.
+        """
+        build, probe, swapped = (left, right, False)
+        if len(right) < len(left):
+            build, probe, swapped = right, left, True
+        index: typing.Dict[int, list] = {}
+        for i, key in enumerate(build[on]):
+            index.setdefault(int(key), []).append(i)
+        pairs = []
+        for j, key in enumerate(probe[on]):
+            for i in index.get(int(key), ()):
+                pairs.append((j, i) if swapped else (i, j))
+        return pairs
+
+    @staticmethod
+    def group_count(table: np.ndarray, column: str) -> typing.Dict[int, int]:
+        """GROUP BY column, COUNT(*) — the aggregation hash table."""
+        keys, counts = np.unique(table[column], return_counts=True)
+        return {int(k): int(c) for k, c in zip(keys, counts)}
+
+
+def build_query_job(
+    n_rows: int = 1_000_000,
+    row_bytes: int = 64,
+    selectivity: float = 0.2,
+    groups: int = 1024,
+) -> Job:
+    """An analytics query as a dataflow job with Table 3's region mix.
+
+    Pipeline: scan → filter → aggregate (builds + publishes a hash
+    index) → join probe (re-uses the index) → result.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in (0,1], got {selectivity}")
+    table_bytes = n_rows * row_bytes
+    filtered_bytes = max(row_bytes, int(table_bytes * selectivity))
+    hash_index_bytes = max(64 * KiB, groups * 64)
+
+    job = Job("analytics-query", global_state_size=64 * KiB)
+    cpu = TaskProperties(compute=ComputeKind.CPU, mem_latency=LatencyClass.LOW)
+
+    scan = job.add_task(Task(
+        "scan",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=0.5 * n_rows,
+            output=RegionUsage(table_bytes),
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU),
+    ))
+
+    filter_op = job.add_task(Task(
+        "filter",
+        work=WorkSpec(
+            op_class=OpClass.VECTOR, ops=1.0 * n_rows,
+            input_usage=RegionUsage(0),
+            output=RegionUsage(filtered_bytes),
+        ),
+        properties=cpu,
+    ))
+
+    aggregate = job.add_task(Task(
+        "aggregate",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=2.0 * n_rows * selectivity,
+            input_usage=RegionUsage(0),
+            # The aggregation hash table: random-access operator state.
+            scratch=RegionUsage(
+                hash_index_bytes, touches=3.0,
+                pattern=AccessPattern.RANDOM, access_size=64,
+            ),
+            state_usage=RegionUsage(
+                4 * KiB, pattern=AccessPattern.RANDOM,
+            ),  # latches
+            output=RegionUsage(max(64, groups * 16)),
+            # The reusable index goes to Global Scratch (paper's example).
+            scratch_puts={"hash-index": RegionUsage(hash_index_bytes)},
+        ),
+        properties=cpu,
+    ))
+
+    join = job.add_task(Task(
+        "join-probe",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=3.0 * n_rows * selectivity,
+            input_usage=RegionUsage(0),
+            scratch=RegionUsage(
+                max(64 * KiB, filtered_bytes // 8), touches=2.0,
+                pattern=AccessPattern.RANDOM,
+            ),
+            state_usage=RegionUsage(4 * KiB, pattern=AccessPattern.RANDOM),
+            output=RegionUsage(max(64, filtered_bytes // 4)),
+            scratch_gets=("hash-index",),
+        ),
+        properties=cpu,
+    ))
+
+    result = job.add_task(Task(
+        "materialize",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=0.2 * n_rows * selectivity,
+            input_usage=RegionUsage(0),
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU, persistent=False),
+    ))
+
+    job.connect(scan, filter_op)
+    job.connect(filter_op, aggregate)
+    job.connect(aggregate, join)
+    job.connect(join, result)
+    job.validate()
+    return job

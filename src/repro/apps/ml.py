@@ -1,0 +1,99 @@
+"""AI/ML training on the programming model (Table 3, second row).
+
+Models the Cachew pattern the paper describes (§2.4): the input
+pipeline transforms raw data and caches the result in **Global
+Scratch**; a dispatcher coordinates through **Global State**; training
+epochs run on accelerators with model/optimizer state in **Private
+Scratch**; the final weights are a persistent output.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import Job, Task
+from repro.dataflow.properties import TaskProperties
+from repro.dataflow.workspec import RegionUsage, WorkSpec
+from repro.hardware.spec import ComputeKind, OpClass
+from repro.memory.interfaces import AccessPattern
+from repro.memory.properties import LatencyClass
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+def build_training_job(
+    n_samples: int = 100_000,
+    sample_bytes: int = 1024,
+    model_bytes: int = 32 * MiB,
+    epochs: int = 3,
+    accelerator: ComputeKind = ComputeKind.GPU,
+) -> Job:
+    """An input pipeline + ``epochs`` training passes + a checkpoint."""
+    if epochs < 1:
+        raise ValueError(f"need at least one epoch, got {epochs}")
+    raw_bytes = n_samples * sample_bytes
+    transformed_bytes = raw_bytes // 2  # feature extraction shrinks data
+
+    job = Job("ml-training", global_state_size=256 * KiB)
+
+    ingest = job.add_task(Task(
+        "ingest",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=1.0 * n_samples,
+            output=RegionUsage(raw_bytes),
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU),
+    ))
+
+    transform = job.add_task(Task(
+        "transform",
+        work=WorkSpec(
+            op_class=OpClass.VECTOR, ops=20.0 * n_samples,
+            input_usage=RegionUsage(0),
+            scratch=RegionUsage(16 * MiB, touches=2.0),
+            # Cachew: the transformed dataset is cached for all epochs.
+            scratch_puts={"transformed-cache": RegionUsage(transformed_bytes)},
+            output=RegionUsage(4 * KiB),  # manifest/metadata only
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU,
+                                  mem_latency=LatencyClass.LOW),
+    ))
+
+    job.connect(ingest, transform)
+
+    previous = transform
+    for epoch in range(epochs):
+        train = job.add_task(Task(
+            f"train-epoch{epoch}",
+            work=WorkSpec(
+                op_class=OpClass.MATMUL,
+                ops=50.0 * n_samples,
+                input_usage=RegionUsage(0),
+                # Model + optimizer state, hammered randomly.
+                scratch=RegionUsage(
+                    model_bytes, touches=4.0,
+                    pattern=AccessPattern.RANDOM, access_size=256,
+                ),
+                # Dispatcher/worker coordination.
+                state_usage=RegionUsage(8 * KiB, pattern=AccessPattern.RANDOM),
+                scratch_gets=("transformed-cache",),
+                output=RegionUsage(model_bytes // 16),  # epoch deltas
+            ),
+            properties=TaskProperties(
+                compute=accelerator, mem_latency=LatencyClass.LOW,
+            ),
+        ))
+        job.connect(previous, train)
+        previous = train
+
+    checkpoint = job.add_task(Task(
+        "checkpoint",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=0.1 * model_bytes / 64,
+            input_usage=RegionUsage(0),
+            output=RegionUsage(model_bytes),  # the weights, durable
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU, persistent=True),
+    ))
+    job.connect(previous, checkpoint)
+    job.validate()
+    return job

@@ -1,0 +1,124 @@
+"""The hospital CCTV dataflow of Figure 2.
+
+Five tasks with the exact property cards of Figure 2c:
+
+====  ==================  =======  ============  ==========  ===========
+Task  Name                Compute  Confidential  Persistent  Mem latency
+====  ==================  =======  ============  ==========  ===========
+T1    Preprocessing       GPU      yes           no          low
+T2    Face Recognition    GPU      yes           no          low
+T3    Track Hours         CPU      yes           no          low
+T4    Compute Utilization CPU      no            no          (don't care)
+T5    Alert Caregivers    CPU      yes           yes         low
+====  ==================  =======  ============  ==========  ===========
+
+T2 additionally cross-references the employee/patient database, which
+lives in the job's Global State, and the stream's frames flow
+T1 → T2 → {T3, T4, T5}.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import Job, Task
+from repro.dataflow.properties import TaskProperties
+from repro.dataflow.workspec import RegionUsage, WorkSpec
+from repro.hardware.spec import ComputeKind, OpClass
+from repro.memory.interfaces import AccessPattern
+from repro.memory.properties import LatencyClass
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+def build_hospital_job(
+    n_frames: int = 64,
+    frame_bytes: int = 128 * KiB,
+    database_bytes: int = 8 * MiB,
+) -> Job:
+    """Build the Figure 2 job, scaled by stream length and frame size."""
+    if n_frames < 1 or frame_bytes < 1:
+        raise ValueError("need at least one frame of at least one byte")
+    stream_bytes = n_frames * frame_bytes
+    job = Job("hospital", global_state_size=database_bytes)
+
+    preprocessing = job.add_task(Task(
+        "preprocessing",
+        work=WorkSpec(
+            op_class=OpClass.VECTOR,
+            ops=50.0 * stream_bytes / 64,  # per-pixel filtering
+            scratch=RegionUsage(4 * frame_bytes, touches=2.0),
+            output=RegionUsage(stream_bytes // 2),  # downsampled stream
+        ),
+        properties=TaskProperties(
+            compute=ComputeKind.GPU, confidential=True,
+            mem_latency=LatencyClass.LOW, streaming=True,
+        ),
+    ))
+
+    face_recognition = job.add_task(Task(
+        "face_recognition",
+        work=WorkSpec(
+            op_class=OpClass.MATMUL,
+            ops=400.0 * stream_bytes / 64,  # CNN inference per frame
+            input_usage=RegionUsage(0, touches=1.0),
+            scratch=RegionUsage(16 * MiB, touches=1.5),  # model weights
+            state_usage=RegionUsage(
+                64 * KiB, pattern=AccessPattern.RANDOM, access_size=256,
+            ),  # employee/patient DB lookups
+            output=RegionUsage(n_frames * 256),  # tagged identities
+        ),
+        properties=TaskProperties(
+            compute=ComputeKind.GPU, confidential=True,
+            mem_latency=LatencyClass.LOW,
+        ),
+    ))
+
+    track_hours = job.add_task(Task(
+        "track_hours",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR,
+            ops=2000.0 * n_frames,
+            input_usage=RegionUsage(0),
+            scratch=RegionUsage(1 * MiB, touches=1.0,
+                                pattern=AccessPattern.RANDOM),
+            state_usage=RegionUsage(16 * KiB, pattern=AccessPattern.RANDOM),
+            output=RegionUsage(64 * KiB),  # updated timesheets
+        ),
+        properties=TaskProperties(
+            compute=ComputeKind.CPU, confidential=True,
+            mem_latency=LatencyClass.LOW,
+        ),
+    ))
+
+    compute_utilization = job.add_task(Task(
+        "compute_utilization",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR,
+            ops=500.0 * n_frames,
+            input_usage=RegionUsage(0),
+            output=RegionUsage(4 * KiB),  # public website payload
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU, confidential=False),
+    ))
+
+    alert_caregivers = job.add_task(Task(
+        "alert_caregivers",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR,
+            ops=1000.0 * n_frames,
+            input_usage=RegionUsage(0),
+            state_usage=RegionUsage(8 * KiB, pattern=AccessPattern.RANDOM),
+            output=RegionUsage(32 * KiB),  # missing-patient log (durable)
+        ),
+        properties=TaskProperties(
+            compute=ComputeKind.CPU, confidential=True, persistent=True,
+            mem_latency=LatencyClass.LOW,
+        ),
+    ))
+
+    job.connect(preprocessing, face_recognition)
+    job.connect(face_recognition, track_hours)
+    job.connect(face_recognition, compute_utilization)
+    job.connect(face_recognition, alert_caregivers)
+    job.validate()
+    return job

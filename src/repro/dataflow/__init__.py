@@ -1,0 +1,37 @@
+"""The declarative dataflow programming model (paper §2.1, Figure 2).
+
+Applications launch **jobs** consisting of **tasks** that form a DAG;
+tasks and jobs carry declarative **properties** (compute preference,
+confidentiality, persistence, memory latency) and a **work
+specification** describing compute cost and memory access behaviour —
+the *what*, never the *where*.  The runtime system
+(:mod:`repro.runtime`) decides placement.
+"""
+
+from repro.dataflow.properties import TaskProperties
+from repro.dataflow.workspec import RegionUsage, WorkSpec
+from repro.dataflow.graph import Job, Task, ValidationError
+from repro.dataflow.api import task, linear_job
+from repro.dataflow.serialize import (
+    SerializationError,
+    job_from_dict,
+    job_from_json,
+    job_to_dict,
+    job_to_json,
+)
+
+__all__ = [
+    "Job",
+    "RegionUsage",
+    "SerializationError",
+    "Task",
+    "TaskProperties",
+    "ValidationError",
+    "WorkSpec",
+    "job_from_dict",
+    "job_from_json",
+    "job_to_dict",
+    "job_to_json",
+    "linear_job",
+    "task",
+]

@@ -1,0 +1,111 @@
+"""Decorator/builder sugar for constructing dataflow jobs.
+
+The paper's declarative style, as Python::
+
+    job = Job("hospital")
+
+    @task(job, compute=ComputeKind.GPU, confidential=True,
+          mem_latency=LatencyClass.LOW,
+          work=WorkSpec(op_class=OpClass.VECTOR, ops=5e6,
+                        output=RegionUsage(EIGHT_MiB)))
+    def preprocess(ctx):
+        ...  # optional custom behaviour
+
+    @task(job, after=preprocess, ...)
+    def face_recognition(ctx):
+        ...
+
+``after`` wires the dataflow edges at declaration time.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataflow.graph import Job, Task
+from repro.dataflow.properties import TaskProperties
+from repro.dataflow.workspec import RegionUsage, WorkSpec
+from repro.hardware.spec import ComputeKind, OpClass
+from repro.memory.properties import LatencyClass
+
+TaskLike = typing.Union[Task, str]
+
+
+def task(
+    job: Job,
+    *,
+    name: typing.Optional[str] = None,
+    after: typing.Union[TaskLike, typing.Sequence[TaskLike], None] = None,
+    work: typing.Optional[WorkSpec] = None,
+    compute: typing.Optional[ComputeKind] = None,
+    confidential: bool = False,
+    persistent: bool = False,
+    mem_latency: typing.Optional[LatencyClass] = None,
+    streaming: bool = False,
+) -> typing.Callable:
+    """Decorator: register the function as a task of ``job``.
+
+    The decorated function becomes the task's custom behaviour (may be
+    ``None``-bodied; the WorkSpec default behaviour then applies).
+    Returns the :class:`~repro.dataflow.graph.Task`, so the decorated
+    name can be used directly in later ``after=`` references.
+    """
+    upstream: typing.List[TaskLike]
+    if after is None:
+        upstream = []
+    elif isinstance(after, (Task, str)):
+        upstream = [after]
+    else:
+        upstream = list(after)
+
+    properties = TaskProperties(
+        compute=compute,
+        confidential=confidential,
+        persistent=persistent,
+        mem_latency=mem_latency,
+        streaming=streaming,
+    )
+
+    def decorate(fn: typing.Callable) -> Task:
+        new_task = Task(
+            name=name or fn.__name__,
+            work=work,
+            properties=properties,
+            fn=fn if _has_body(fn) else None,
+        )
+        job.add_task(new_task)
+        for up in upstream:
+            job.connect(up, new_task)
+        return new_task
+
+    return decorate
+
+
+def _has_body(fn: typing.Callable) -> bool:
+    """Heuristic: treat functions whose body is just ``...``/``pass``/a
+    docstring as declaration-only (no custom behaviour)."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return False
+    # A trivial body compiles to <= 4 instructions (load const, return).
+    return len(code.co_code) > 8
+
+
+def linear_job(
+    name: str,
+    stages: typing.Sequence[typing.Tuple[str, WorkSpec, TaskProperties]],
+    global_state_size: int = 0,
+) -> Job:
+    """Build a simple pipeline job from (name, work, properties) stages."""
+    job = Job(name, global_state_size=global_state_size)
+    previous: typing.Optional[Task] = None
+    for stage_name, work, properties in stages:
+        current = job.add_task(Task(stage_name, work=work, properties=properties))
+        if previous is not None:
+            job.connect(previous, current)
+        previous = current
+    job.validate()
+    return job
+
+
+__all__ = ["task", "linear_job", "RegionUsage", "WorkSpec", "OpClass"]

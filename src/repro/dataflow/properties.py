@@ -1,0 +1,70 @@
+"""Declarative task/job properties (the paper's Figure 2c).
+
+Each task in the hospital example carries a property card::
+
+    comp. device: GPU
+    confidential: true
+    persistent:   false
+    mem. latency: low
+
+:class:`TaskProperties` is that card.  Properties constrain the runtime,
+they never name devices: ``compute=ComputeKind.GPU`` asks for *a* GPU,
+``mem_latency=LatencyClass.LOW`` asks for scratch memory that is fast
+*from wherever the task ends up running* (Figure 3 semantics).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware.spec import ComputeKind
+from repro.memory.properties import LatencyClass, MemoryProperties
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskProperties:
+    """The declarative property card attached to a task."""
+
+    #: Preferred compute device class; None lets the scheduler choose.
+    compute: typing.Optional[ComputeKind] = None
+    #: Data processed by this task is sensitive: its regions must be
+    #: placed on isolated (non-pooled or encryption-capable) devices and
+    #: must not be shared with other jobs.
+    confidential: bool = False
+    #: The task's *output* must survive crashes (placed on persistent media).
+    persistent: bool = False
+    #: Required latency class for the task's private scratch memory,
+    #: relative to the executing compute device.  None = don't care.
+    mem_latency: typing.Optional[LatencyClass] = None
+    #: Streamed tasks prefer smaller buffers and incremental handover.
+    streaming: bool = False
+
+    def scratch_properties(self) -> MemoryProperties:
+        """Memory properties for this task's private scratch."""
+        return MemoryProperties(
+            latency=self.mem_latency if self.mem_latency is not None else LatencyClass.MEDIUM,
+            sync=True,
+            confidential=self.confidential,
+        )
+
+    def output_properties(self) -> MemoryProperties:
+        """Memory properties for this task's output region."""
+        return MemoryProperties(
+            latency=LatencyClass.MEDIUM if not self.persistent else LatencyClass.ANY,
+            persistent=True if self.persistent else None,
+            confidential=self.confidential,
+        )
+
+    def describe(self) -> str:
+        """The Figure 2c card as one line (parseable by the DSL)."""
+        parts = []
+        if self.compute is not None:
+            parts.append(f"compute={self.compute.value}")
+        parts.append(f"confidential={str(self.confidential).lower()}")
+        parts.append(f"persistent={str(self.persistent).lower()}")
+        if self.mem_latency is not None:
+            parts.append(f"mem_latency={self.mem_latency.name.lower()}")
+        if self.streaming:
+            parts.append("streaming")
+        return " ".join(parts)

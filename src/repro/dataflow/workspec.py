@@ -1,0 +1,87 @@
+"""Task work specifications: what a task computes and how it touches memory.
+
+The simulator needs a behavioural model of each task.  A
+:class:`WorkSpec` declares
+
+* the compute cost (an :class:`~repro.hardware.spec.OpClass` and an op
+  count),
+* how the task touches its input (received from upstream), its private
+  scratch, its output, the job's global state, and named global-scratch
+  slots.
+
+Custom task functions (see :mod:`repro.runtime.rts`) can override the
+default behaviour entirely; the WorkSpec remains the declarative
+contract the optimizer plans from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware.spec import OpClass
+from repro.memory.interfaces import AccessPattern
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionUsage:
+    """How a task uses one memory region."""
+
+    #: Bytes to allocate (output/scratch) or to touch (input/state).
+    size: int
+    #: How many times the region's bytes are touched during execution
+    #: (2.0 = every byte touched twice).  Latency/bandwidth cost scales
+    #: with ``size * touches``.
+    touches: float = 1.0
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    access_size: int = 64
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"negative region size {self.size}")
+        if self.touches < 0:
+            raise ValueError(f"negative touch count {self.touches}")
+        if self.access_size <= 0:
+            raise ValueError(f"access_size must be positive, got {self.access_size}")
+
+    @property
+    def touched_bytes(self) -> int:
+        return int(self.size * self.touches)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkSpec:
+    """The behavioural contract of one task."""
+
+    op_class: OpClass = OpClass.SCALAR
+    ops: float = 0.0
+    #: How the input from upstream is read (size comes from the upstream
+    #: task's output; ``size`` here is ignored and may be 0).
+    input_usage: typing.Optional[RegionUsage] = None
+    #: Output region produced for downstream tasks.
+    output: typing.Optional[RegionUsage] = None
+    #: Private scratch (Table 2) used while executing.
+    scratch: typing.Optional[RegionUsage] = None
+    #: Bytes of the job's Global State touched (synchronization traffic).
+    state_usage: typing.Optional[RegionUsage] = None
+    #: Named Global Scratch slots this task publishes (allocates+writes).
+    scratch_puts: typing.Mapping[str, RegionUsage] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Named Global Scratch slots this task consumes (reads).
+    scratch_gets: typing.Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.ops < 0:
+            raise ValueError(f"negative op count {self.ops}")
+        # Normalize scratch_gets given as a list.
+        if not isinstance(self.scratch_gets, tuple):
+            object.__setattr__(self, "scratch_gets", tuple(self.scratch_gets))
+
+    @property
+    def output_size(self) -> int:
+        return self.output.size if self.output is not None else 0
+
+    @property
+    def scratch_size(self) -> int:
+        return self.scratch.size if self.scratch is not None else 0

@@ -1,0 +1,48 @@
+"""Fault tolerance for disaggregated memory (paper §3, Challenge 8).
+
+The paper lists the mechanisms a disaggregated runtime can use to
+survive the failures that are routine at datacenter scale:
+
+* **replication** (:mod:`repro.ft.replication`) — k copies of a region
+  on distinct failure domains; fast recovery, 2–3× memory overhead;
+* **striping** (:mod:`repro.ft.striping`) — pages of a region spread
+  over several memory nodes, optionally with XOR parity;
+* **erasure coding** (:mod:`repro.ft.erasure`) — Carbink-style spans of
+  k data shards + m Reed–Solomon parity shards on distinct nodes, with
+  compaction of dead space; ~(k+m)/k memory overhead at the price of
+  reconstruction bandwidth.  The Reed–Solomon codec
+  (:mod:`repro.ft.gf256`, :class:`repro.ft.erasure.ReedSolomon`) is a
+  real, byte-exact implementation validated by property tests.
+* **recovery orchestration** (:mod:`repro.ft.recovery`) — failure
+  detection wired to the cluster's fault injector, driving repair as
+  simulation processes and accounting repair traffic.
+"""
+
+from repro.ft.gf256 import GF256
+from repro.ft.erasure import (
+    DecodeError,
+    ErasureCodedStore,
+    ReedSolomon,
+    Span,
+)
+from repro.ft.replication import ReplicatedStore, ReplicaSet
+from repro.ft.striping import StripedStore, StripeSet
+from repro.ft.recovery import RecoveryOrchestrator, RecoveryStats
+from repro.ft.checkpoint import CheckpointError, CheckpointService, Snapshot
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointService",
+    "DecodeError",
+    "ErasureCodedStore",
+    "GF256",
+    "RecoveryOrchestrator",
+    "RecoveryStats",
+    "ReedSolomon",
+    "ReplicaSet",
+    "ReplicatedStore",
+    "Snapshot",
+    "Span",
+    "StripeSet",
+    "StripedStore",
+]

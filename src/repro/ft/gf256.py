@@ -1,0 +1,116 @@
+"""Arithmetic in GF(2^8), vectorized with numpy.
+
+The field is built over the AES/Reed–Solomon-standard primitive
+polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d).  Multiplication uses
+exp/log tables; all element-wise operations accept numpy arrays so the
+erasure codec streams at array speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_PRIMITIVE_POLY = 0x11D
+
+
+def _build_tables():
+    exp = np.zeros(512, dtype=np.int32)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIMITIVE_POLY
+    exp[255:510] = exp[0:255]  # wraparound so exp[a+b] works without mod
+    return exp, log
+
+
+class GF256:
+    """Element-wise GF(2^8) arithmetic on ints or uint8 numpy arrays."""
+
+    EXP, LOG = _build_tables()
+
+    @classmethod
+    def add(cls, a, b):
+        """Addition = XOR in characteristic 2."""
+        return np.bitwise_xor(a, b)
+
+    subtract = add  # identical in GF(2^8)
+
+    @classmethod
+    def multiply(cls, a, b):
+        """Element-wise product (broadcasting like numpy)."""
+        a_arr = np.asarray(a, dtype=np.int32)
+        b_arr = np.asarray(b, dtype=np.int32)
+        result = cls.EXP[(cls.LOG[a_arr] + cls.LOG[b_arr])]
+        result = np.where((a_arr == 0) | (b_arr == 0), 0, result)
+        if np.isscalar(a) and np.isscalar(b):
+            return int(result)
+        return result.astype(np.uint8)
+
+    @classmethod
+    def inverse(cls, a):
+        """Multiplicative inverse; raises on zero."""
+        a_arr = np.asarray(a, dtype=np.int32)
+        if np.any(a_arr == 0):
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        result = cls.EXP[255 - cls.LOG[a_arr]]
+        if np.isscalar(a):
+            return int(result)
+        return result.astype(np.uint8)
+
+    @classmethod
+    def divide(cls, a, b):
+        """Element-wise a / b in GF(256) (raises on division by zero)."""
+        return cls.multiply(a, cls.inverse(b))
+
+    @classmethod
+    def power(cls, a: int, n: int) -> int:
+        """a**n for scalar a."""
+        if a == 0:
+            return 0 if n != 0 else 1
+        return int(cls.EXP[(cls.LOG[a] * n) % 255])
+
+    # -- matrix operations (small k x k systems for decode) ---------------
+
+    @classmethod
+    def mat_mul(cls, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product over GF(256)."""
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"shape mismatch {a.shape} x {b.shape}")
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+        for i in range(a.shape[0]):
+            acc = np.zeros(b.shape[1], dtype=np.uint8)
+            for j in range(a.shape[1]):
+                acc ^= cls.multiply(int(a[i, j]), b[j, :])
+            out[i, :] = acc
+        return out
+
+    @classmethod
+    def mat_invert(cls, matrix: np.ndarray) -> np.ndarray:
+        """Gauss–Jordan inversion over GF(256); raises on singularity."""
+        m = np.asarray(matrix, dtype=np.uint8).copy()
+        n = m.shape[0]
+        if m.shape != (n, n):
+            raise ValueError(f"matrix must be square, got {m.shape}")
+        aug = np.concatenate([m, np.eye(n, dtype=np.uint8)], axis=1)
+        for col in range(n):
+            pivot = None
+            for row in range(col, n):
+                if aug[row, col] != 0:
+                    pivot = row
+                    break
+            if pivot is None:
+                raise np.linalg.LinAlgError("singular matrix over GF(256)")
+            if pivot != col:
+                aug[[col, pivot]] = aug[[pivot, col]]
+            aug[col, :] = cls.divide(aug[col, :], int(aug[col, col]))
+            for row in range(n):
+                if row != col and aug[row, col] != 0:
+                    factor = int(aug[row, col])
+                    aug[row, :] ^= cls.multiply(factor, aug[col, :])
+        return aug[:, n:]

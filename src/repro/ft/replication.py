@@ -1,0 +1,220 @@
+"""Replication-based fault tolerance for memory regions.
+
+The straightforward alternative the paper cites ([12, 27, 53]): keep
+``copies`` full replicas of every object on devices in distinct failure
+domains.  Reads go to the replica nearest to the reader; writes fan out
+to all replicas; a node crash triggers re-replication from a survivor.
+Memory overhead is ``copies``×, repair reads only the object size —
+the exact trade-off bench C4 compares against erasure coding.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.properties import MemoryProperties
+from repro.memory.region import MemoryRegion, RegionState
+
+
+class DataLoss(Exception):
+    """All replicas of an object were lost."""
+
+
+class ReplicaSet:
+    """One object's replicas."""
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        #: device name -> region (replicas currently believed healthy)
+        self.replicas: typing.Dict[str, MemoryRegion] = {}
+        self.payload: typing.Optional[np.ndarray] = None
+
+    @property
+    def healthy_devices(self) -> typing.List[str]:
+        return [
+            d for d, r in self.replicas.items() if r.state is RegionState.ACTIVE
+        ]
+
+
+class ReplicatedStore:
+    """An object store that keeps ``copies`` replicas per object."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        manager: MemoryManager,
+        devices: typing.Sequence[str],
+        home: str,
+        copies: int = 2,
+        owner: str = "repl-store",
+    ):
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        domains = {cluster.node_of(d) or d for d in devices}
+        if len(domains) < copies:
+            raise ValueError(
+                f"need devices in >= {copies} failure domains, have {len(domains)}"
+            )
+        self.cluster = cluster
+        self.manager = manager
+        self.devices = list(devices)
+        self.home = home
+        self.copies = copies
+        self.owner = owner
+        self.objects: typing.Dict[str, ReplicaSet] = {}
+        self._next_device = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.repair_bytes = 0
+
+    def _pick_devices(
+        self, n: int, size: int, exclude: typing.Iterable[str] = ()
+    ) -> typing.List[str]:
+        excluded_domains = {self.cluster.node_of(d) for d in exclude}
+        picked: typing.List[str] = []
+        domains: set = set(excluded_domains)
+        attempts = 0
+        while len(picked) < n and attempts < 2 * len(self.devices):
+            name = self.devices[self._next_device % len(self.devices)]
+            self._next_device += 1
+            attempts += 1
+            device = self.cluster.memory[name]
+            domain = self.cluster.node_of(name) or name
+            if device.failed or domain in domains:
+                continue
+            if self.manager.allocators[name].largest_free_extent < size:
+                continue
+            picked.append(name)
+            domains.add(domain)
+        if len(picked) < n:
+            raise PlacementError(
+                f"cannot find {n} healthy devices in distinct failure domains"
+            )
+        return picked
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, name: str, data: np.ndarray):
+        """Simulation generator: store ``data`` with full replication."""
+        if name in self.objects:
+            raise KeyError(f"object {name!r} already stored")
+        payload = np.asarray(data, dtype=np.uint8)
+        replica_set = ReplicaSet(name, payload.nbytes)
+        replica_set.payload = payload.copy()
+        devices = self._pick_devices(self.copies, payload.nbytes)
+        transfers = []
+        for device_name in devices:
+            region = self.manager.allocate_on(
+                device_name, payload.nbytes, MemoryProperties(),
+                owner=self.owner, name=f"{name}@{device_name}",
+            )
+            replica_set.replicas[device_name] = region
+            transfers.append(
+                self.cluster.transfer(self.home, device_name, payload.nbytes)
+            )
+            self.bytes_written += payload.nbytes
+        self.objects[name] = replica_set
+        yield self.cluster.engine.all_of(transfers)
+        return replica_set
+
+    def get(self, name: str):
+        """Simulation generator: read the object from the nearest replica."""
+        replica_set = self._lookup(name)
+        healthy = replica_set.healthy_devices
+        if not healthy:
+            raise DataLoss(f"all replicas of {name!r} lost")
+        nearest = min(
+            healthy,
+            key=lambda d: self.cluster.topology.path_latency(self.home, d),
+        )
+        self.bytes_read += replica_set.size
+        yield self.cluster.transfer(nearest, self.home, replica_set.size)
+        return replica_set.payload.copy()
+
+    def delete(self, name: str) -> None:
+        """Remove an object and free every replica."""
+        replica_set = self.objects.pop(name, None)
+        if replica_set is None:
+            raise KeyError(f"no object {name!r}")
+        for region in replica_set.replicas.values():
+            if region.state is RegionState.ACTIVE:
+                self.manager.free(region)
+
+    # -- failure handling -----------------------------------------------------
+
+    def note_device_failures(self) -> int:
+        """Drop replicas whose backing is gone; returns #replicas lost."""
+        lost = 0
+        for replica_set in self.objects.values():
+            for device_name in list(replica_set.replicas):
+                region = replica_set.replicas[device_name]
+                if self.cluster.memory[device_name].failed or region.state in (
+                    RegionState.LOST, RegionState.FREED,
+                ):
+                    del replica_set.replicas[device_name]
+                    lost += 1
+        return lost
+
+    def recover(self):
+        """Simulation generator: restore full replication everywhere.
+
+        Copies from a surviving replica (survivor → home → new device),
+        so repair cost is proportional to the under-replicated bytes.
+        Returns the number of replicas re-created.
+        """
+        rebuilt = 0
+        for replica_set in self.objects.values():
+            healthy = replica_set.healthy_devices
+            if not healthy:
+                continue  # unrecoverable; surfaced on get() as DataLoss
+            missing = self.copies - len(healthy)
+            if missing <= 0:
+                continue
+            source = healthy[0]
+            yield self.cluster.transfer(source, self.home, replica_set.size)
+            self.repair_bytes += replica_set.size
+            targets = self._pick_devices(
+                missing, replica_set.size, exclude=healthy
+            )
+            writes = []
+            for device_name in targets:
+                region = self.manager.allocate_on(
+                    device_name, replica_set.size, MemoryProperties(),
+                    owner=self.owner, name=f"{replica_set.name}@{device_name}",
+                )
+                replica_set.replicas[device_name] = region
+                writes.append(
+                    self.cluster.transfer(self.home, device_name, replica_set.size)
+                )
+                self.repair_bytes += replica_set.size
+                rebuilt += 1
+            yield self.cluster.engine.all_of(writes)
+        return rebuilt
+
+    # -- metrics --------------------------------------------------------
+
+    def physical_bytes(self) -> int:
+        """Bytes occupied across all healthy replicas."""
+        return sum(
+            len(rs.healthy_devices) * rs.size for rs in self.objects.values()
+        )
+
+    def live_logical_bytes(self) -> int:
+        """Bytes of stored objects (one logical copy each)."""
+        return sum(rs.size for rs in self.objects.values())
+
+    def memory_overhead(self) -> float:
+        """Physical bytes per logical byte (= replica count when healthy)."""
+        live = self.live_logical_bytes()
+        return self.physical_bytes() / live if live else float("inf")
+
+    def _lookup(self, name: str) -> ReplicaSet:
+        replica_set = self.objects.get(name)
+        if replica_set is None:
+            raise KeyError(f"no object {name!r}")
+        return replica_set

@@ -1,0 +1,279 @@
+"""Page striping across memory nodes (paper §3 cites [36]).
+
+A :class:`StripedStore` splits each object into fixed-size pages laid
+out round-robin across N devices, optionally with one XOR parity page
+per stripe row (RAID-5 style, tolerates a single device loss per row).
+Striping buys *aggregate bandwidth* — reads and writes fan out over all
+devices in parallel — which is exactly the property the striping bench
+measures against a single-device layout.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.properties import MemoryProperties
+from repro.memory.region import MemoryRegion, RegionState
+
+
+class DataLoss(Exception):
+    """A stripe row lost more pages than parity can repair."""
+
+
+class StripeSet:
+    """One striped object: pages + optional parity across devices."""
+
+    def __init__(self, name: str, size: int, page_size: int, parity: bool):
+        self.name = name
+        self.size = size
+        self.page_size = page_size
+        self.parity = parity
+        #: page index -> (device name, region); parity pages appended after
+        #: the data pages, one per full stripe row.
+        self.pages: typing.List[typing.Tuple[str, MemoryRegion]] = []
+        self.payload: typing.Optional[np.ndarray] = None
+        #: indices of pages currently lost
+        self.lost: set = set()
+
+    @property
+    def n_data_pages(self) -> int:
+        return (self.size + self.page_size - 1) // self.page_size
+
+
+class StripedStore:
+    """Objects striped page-wise over a fixed device group."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        manager: MemoryManager,
+        devices: typing.Sequence[str],
+        home: str,
+        page_size: int = 64 * 1024,
+        parity: bool = False,
+        owner: str = "stripe-store",
+    ):
+        if len(devices) < 2:
+            raise ValueError("striping needs at least 2 devices")
+        if parity and len(devices) < 3:
+            raise ValueError("parity striping needs at least 3 devices")
+        self.cluster = cluster
+        self.manager = manager
+        self.devices = list(devices)
+        self.home = home
+        self.page_size = page_size
+        self.parity = parity
+        self.owner = owner
+        self.objects: typing.Dict[str, StripeSet] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.repair_bytes = 0
+
+    @property
+    def stripe_width(self) -> int:
+        """Data pages per stripe row (one device reserved for parity)."""
+        return len(self.devices) - 1 if self.parity else len(self.devices)
+
+    def put(self, name: str, data: np.ndarray):
+        """Simulation generator: stripe ``data`` across the device group."""
+        if name in self.objects:
+            raise KeyError(f"object {name!r} already stored")
+        payload = np.asarray(data, dtype=np.uint8)
+        stripe = StripeSet(name, payload.nbytes, self.page_size, self.parity)
+        stripe.payload = payload.copy()
+
+        n_pages = stripe.n_data_pages
+        transfers = []
+        for page in range(n_pages):
+            # Rotate parity like RAID-5 so no device is a hot spot.
+            row, col = divmod(page, self.stripe_width)
+            device_name = self.devices[(col + row) % len(self.devices)]
+            region = self._allocate(device_name, name, page)
+            stripe.pages.append((device_name, region))
+            transfers.append(
+                self.cluster.transfer(self.home, device_name, self.page_size)
+            )
+            self.bytes_written += self.page_size
+        if self.parity:
+            n_rows = (n_pages + self.stripe_width - 1) // self.stripe_width
+            for row in range(n_rows):
+                device_name = self.devices[(self.stripe_width + row) % len(self.devices)]
+                region = self._allocate(device_name, name, f"p{row}")
+                stripe.pages.append((device_name, region))
+                transfers.append(
+                    self.cluster.transfer(self.home, device_name, self.page_size)
+                )
+                self.bytes_written += self.page_size
+        self.objects[name] = stripe
+        yield self.cluster.engine.all_of(transfers)
+        return stripe
+
+    def get(self, name: str):
+        """Simulation generator: read all data pages in parallel."""
+        stripe = self._lookup(name)
+        lost_data = {i for i in stripe.lost if i < stripe.n_data_pages}
+        if lost_data:
+            if not self.parity:
+                raise DataLoss(f"{name!r}: lost pages and no parity")
+            yield from self._degraded_read(stripe, lost_data)
+        else:
+            transfers = [
+                self.cluster.transfer(device, self.home, self.page_size)
+                for i, (device, _r) in enumerate(stripe.pages[: stripe.n_data_pages])
+            ]
+            self.bytes_read += self.page_size * stripe.n_data_pages
+            yield self.cluster.engine.all_of(transfers)
+        return stripe.payload.copy()
+
+    def delete(self, name: str) -> None:
+        """Remove an object and free all of its pages."""
+        stripe = self.objects.pop(name, None)
+        if stripe is None:
+            raise KeyError(f"no object {name!r}")
+        for _device, region in stripe.pages:
+            if region.state is RegionState.ACTIVE:
+                self.manager.free(region)
+
+    # -- failure handling ----------------------------------------------------
+
+    def note_device_failures(self) -> int:
+        """Mark pages on failed devices lost; returns how many."""
+        lost = 0
+        for stripe in self.objects.values():
+            for i, (device_name, region) in enumerate(stripe.pages):
+                if i in stripe.lost:
+                    continue
+                if self.cluster.memory[device_name].failed or region.state in (
+                    RegionState.LOST, RegionState.FREED,
+                ):
+                    stripe.lost.add(i)
+                    lost += 1
+        return lost
+
+    def recover(self):
+        """Simulation generator: rebuild lost pages from row parity."""
+        if not self.parity:
+            return 0
+        rebuilt = 0
+        for stripe in self.objects.values():
+            if not stripe.lost:
+                continue
+            rows: typing.Dict[int, list] = {}
+            for i in sorted(stripe.lost):
+                if i < stripe.n_data_pages:
+                    rows.setdefault(i // self.stripe_width, []).append(i)
+                else:
+                    rows.setdefault(i - stripe.n_data_pages, []).append(i)
+            for row, lost_pages in rows.items():
+                if len(lost_pages) > 1:
+                    raise DataLoss(
+                        f"{stripe.name!r}: row {row} lost {len(lost_pages)} pages"
+                    )
+                # Read the surviving pages of the row, xor, write replacement.
+                survivors = self._row_pages(stripe, row)
+                survivors = [i for i in survivors if i not in stripe.lost]
+                transfers = [
+                    self.cluster.transfer(stripe.pages[i][0], self.home, self.page_size)
+                    for i in survivors
+                ]
+                self.repair_bytes += self.page_size * len(survivors)
+                yield self.cluster.engine.all_of(transfers)
+
+                lost_index = lost_pages[0]
+                used = {stripe.pages[i][0] for i in survivors}
+                candidates = [
+                    d for d in self.devices
+                    if d not in used and not self.cluster.memory[d].failed
+                    and self.manager.allocators[d].largest_free_extent >= self.page_size
+                ]
+                if not candidates:
+                    # Degraded placement: double up on a row member rather
+                    # than leaving the page unprotected.
+                    candidates = [
+                        d for d in self.devices
+                        if not self.cluster.memory[d].failed
+                        and self.manager.allocators[d].largest_free_extent
+                        >= self.page_size
+                    ]
+                if not candidates:
+                    raise PlacementError("no healthy device for rebuilt page")
+                target = candidates[0]
+                region = self._allocate(target, stripe.name, f"r{lost_index}")
+                old = stripe.pages[lost_index][1]
+                if old.state is RegionState.ACTIVE:
+                    self.manager.free(old)
+                stripe.pages[lost_index] = (target, region)
+                stripe.lost.discard(lost_index)
+                yield self.cluster.transfer(self.home, target, self.page_size)
+                self.repair_bytes += self.page_size
+                rebuilt += 1
+        return rebuilt
+
+    # -- metrics ---------------------------------------------------------
+
+    def physical_bytes(self) -> int:
+        """Bytes occupied by surviving pages (data + parity)."""
+        return sum(
+            (len(s.pages) - len(s.lost)) * self.page_size
+            for s in self.objects.values()
+        )
+
+    def live_logical_bytes(self) -> int:
+        """Bytes of stored objects (one logical copy each)."""
+        return sum(s.size for s in self.objects.values())
+
+    def memory_overhead(self) -> float:
+        """Physical bytes per logical byte ((w+1)/w with parity)."""
+        live = self.live_logical_bytes()
+        return self.physical_bytes() / live if live else float("inf")
+
+    # -- internals -------------------------------------------------------
+
+    def _degraded_read(self, stripe: StripeSet, lost_data: set):
+        for page in sorted(lost_data):
+            row = page // self.stripe_width
+            survivors = [
+                i for i in self._row_pages(stripe, row) if i not in stripe.lost
+            ]
+            transfers = [
+                self.cluster.transfer(stripe.pages[i][0], self.home, self.page_size)
+                for i in survivors
+            ]
+            self.bytes_read += self.page_size * len(survivors)
+            yield self.cluster.engine.all_of(transfers)
+        intact = [
+            i for i in range(stripe.n_data_pages)
+            if i not in lost_data
+        ]
+        transfers = [
+            self.cluster.transfer(stripe.pages[i][0], self.home, self.page_size)
+            for i in intact
+        ]
+        self.bytes_read += self.page_size * len(intact)
+        if transfers:
+            yield self.cluster.engine.all_of(transfers)
+
+    def _row_pages(self, stripe: StripeSet, row: int) -> typing.List[int]:
+        """All page indices (data + parity) belonging to a stripe row."""
+        start = row * self.stripe_width
+        end = min(start + self.stripe_width, stripe.n_data_pages)
+        pages = list(range(start, end))
+        if self.parity:
+            pages.append(stripe.n_data_pages + row)
+        return pages
+
+    def _allocate(self, device_name: str, obj: str, page) -> MemoryRegion:
+        return self.manager.allocate_on(
+            device_name, self.page_size, MemoryProperties(),
+            owner=self.owner, name=f"{obj}/{page}@{device_name}",
+        )
+
+    def _lookup(self, name: str) -> StripeSet:
+        stripe = self.objects.get(name)
+        if stripe is None:
+            raise KeyError(f"no object {name!r}")
+        return stripe

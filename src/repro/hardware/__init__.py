@@ -1,0 +1,44 @@
+"""Simulated disaggregated hardware substrate.
+
+This package models the hardware landscape of the paper's Table 1 and
+Figure 1: heterogeneous memory devices (cache, HBM, DRAM, GDDR, PMem,
+CXL-DRAM, NIC-attached far memory, SSD, HDD), heterogeneous compute
+devices (CPU, GPU, TPU, FPGA, DPU), and the interconnect fabric joining
+them (DDR bus, PCIe/CXL, NIC, SATA).  A :class:`~repro.hardware.cluster.Cluster`
+bundles devices + topology + the simulation engine, and
+:mod:`repro.hardware.presets` provides the two canonical architectures of
+Figure 1 — the compute-centric design (1a) and the memory-centric pooled
+design (1b) — plus smaller fixtures used in tests and benchmarks.
+"""
+
+from repro.hardware.spec import (
+    Attachment,
+    ComputeDeviceSpec,
+    ComputeKind,
+    LinkKind,
+    MemoryDeviceSpec,
+    MemoryKind,
+    OpClass,
+)
+from repro.hardware.devices import MemoryDevice
+from repro.hardware.compute import ComputeDevice
+from repro.hardware.interconnect import Topology, NoRouteError
+from repro.hardware.cluster import Cluster
+from repro.hardware import calibration, presets
+
+__all__ = [
+    "Attachment",
+    "Cluster",
+    "ComputeDevice",
+    "ComputeDeviceSpec",
+    "ComputeKind",
+    "LinkKind",
+    "MemoryDevice",
+    "MemoryDeviceSpec",
+    "MemoryKind",
+    "NoRouteError",
+    "OpClass",
+    "Topology",
+    "calibration",
+    "presets",
+]

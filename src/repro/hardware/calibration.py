@@ -1,0 +1,239 @@
+"""Calibrated device parameters reproducing the paper's Table 1.
+
+The paper characterizes devices qualitatively (``++``/``+``/``o``/``-``/
+``--``).  We pin concrete numbers consistent with public measurements of
+the corresponding real hardware (Sapphire Rapids-era parts, CXL 1.1
+expanders, Optane PMem, datacenter NVMe/RDMA), chosen so that the
+*orderings* of Table 1 hold by construction and remain visible after the
+interconnect path costs are added:
+
+=============  =========  ==========  ============  ==========
+device         bandwidth  latency     granularity   persistent
+=============  =========  ==========  ============  ==========
+Cache          ++ 1000    ++ 2 ns     1 B           no
+HBM            ++ 400     +  120 ns   64 B          no
+DRAM           +  100     +  90 ns    64 B          no
+GDDR           ++ 500     +  180 ns   64 B          no
+PMem           o  8       o  320 ns   256 B         yes
+CXL-DRAM       o  40      o  150 ns   64 B          configurable
+Disagg. Mem.   o  12      -  1.2 us   256 B         configurable
+SSD            -  3       -  20 us    4 KiB         yes
+HDD            -- 0.2     -- 4 ms     4 KiB         yes
+=============  =========  ==========  ============  ==========
+
+Fabric links (added on top when routing):
+DDR bus ~ 1 ns, on-board ~ 1 ns, CXL hop ~ 70 ns, PCIe hop ~ 400 ns,
+NIC/RDMA hop ~ 1.5 us, SATA ~ 10 us.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.spec import (
+    Attachment,
+    ComputeDeviceSpec,
+    ComputeKind,
+    GiB,
+    KiB,
+    LinkKind,
+    LinkSpec,
+    MemoryDeviceSpec,
+    MemoryKind,
+    MiB,
+    MS,
+    OpClass,
+    US,
+)
+
+# --------------------------------------------------------------------------
+# Memory device templates.  ``make_*`` functions stamp named instances so a
+# cluster can hold several devices of the same kind.
+# --------------------------------------------------------------------------
+
+
+def make_cache(name: str, capacity: int = 64 * MiB) -> MemoryDeviceSpec:
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.CACHE, capacity=capacity,
+        latency=2.0, bandwidth=1000.0, granularity=1,
+        attachment=Attachment.ON_CHIP, supports_sync=True,
+        persistent=False, coherent=True, cost_per_gib=500.0,
+    )
+
+
+def make_hbm(name: str, capacity: int = 16 * GiB) -> MemoryDeviceSpec:
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.HBM, capacity=capacity,
+        latency=120.0, bandwidth=400.0, granularity=64,
+        attachment=Attachment.CPU, supports_sync=True,
+        persistent=False, coherent=True, cost_per_gib=30.0,
+    )
+
+
+def make_dram(name: str, capacity: int = 128 * GiB) -> MemoryDeviceSpec:
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.DRAM, capacity=capacity,
+        latency=90.0, bandwidth=100.0, granularity=64,
+        attachment=Attachment.CPU, supports_sync=True,
+        persistent=False, coherent=True, cost_per_gib=8.0,
+    )
+
+
+def make_gddr(name: str, capacity: int = 24 * GiB) -> MemoryDeviceSpec:
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.GDDR, capacity=capacity,
+        latency=180.0, bandwidth=500.0, granularity=64,
+        attachment=Attachment.ACCELERATOR, supports_sync=True,
+        persistent=False, coherent=False, cost_per_gib=20.0,
+    )
+
+
+def make_pmem(name: str, capacity: int = 512 * GiB) -> MemoryDeviceSpec:
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.PMEM, capacity=capacity,
+        latency=320.0, bandwidth=8.0, granularity=256,
+        attachment=Attachment.CPU, supports_sync=True,
+        persistent=True, coherent=True, write_penalty=3.0, cost_per_gib=4.0,
+    )
+
+
+def make_cxl_dram(
+    name: str, capacity: int = 256 * GiB, persistent: bool = False
+) -> MemoryDeviceSpec:
+    """CXL memory expander.  Table 1 marks sync and persistence '✓/✗':
+    the device is load/store capable, persistence depends on the module."""
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.CXL_DRAM, capacity=capacity,
+        latency=150.0, bandwidth=40.0, granularity=64,
+        attachment=Attachment.PCIE, supports_sync=True,
+        persistent=persistent, coherent=True, cost_per_gib=7.0,
+    )
+
+
+def make_far_memory(
+    name: str, capacity: int = 1024 * GiB, persistent: bool = False
+) -> MemoryDeviceSpec:
+    """NIC-attached disaggregated memory; no sync load/store (Table 1)."""
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.FAR_MEMORY, capacity=capacity,
+        latency=1.2 * US, bandwidth=12.0, granularity=256,
+        attachment=Attachment.NIC, supports_sync=False,
+        persistent=persistent, coherent=False, cost_per_gib=5.0,
+    )
+
+
+def make_ssd(name: str, capacity: int = 4096 * GiB) -> MemoryDeviceSpec:
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.SSD, capacity=capacity,
+        latency=20.0 * US, bandwidth=3.0, granularity=4 * KiB,
+        attachment=Attachment.PCIE, supports_sync=False,
+        persistent=True, coherent=False, byte_addressable=False,
+        write_penalty=2.0, cost_per_gib=0.3,
+    )
+
+
+def make_hdd(name: str, capacity: int = 16384 * GiB) -> MemoryDeviceSpec:
+    return MemoryDeviceSpec(
+        name=name, kind=MemoryKind.HDD, capacity=capacity,
+        latency=4.0 * MS, bandwidth=0.2, granularity=4 * KiB,
+        attachment=Attachment.SATA, supports_sync=False,
+        persistent=True, coherent=False, byte_addressable=False,
+        cost_per_gib=0.05,
+    )
+
+
+MEMORY_FACTORIES = {
+    MemoryKind.CACHE: make_cache,
+    MemoryKind.HBM: make_hbm,
+    MemoryKind.DRAM: make_dram,
+    MemoryKind.GDDR: make_gddr,
+    MemoryKind.PMEM: make_pmem,
+    MemoryKind.CXL_DRAM: make_cxl_dram,
+    MemoryKind.FAR_MEMORY: make_far_memory,
+    MemoryKind.SSD: make_ssd,
+    MemoryKind.HDD: make_hdd,
+}
+
+
+# --------------------------------------------------------------------------
+# Compute device templates (ops/ns per op class).
+# --------------------------------------------------------------------------
+
+
+def make_cpu(name: str, slots: int = 32) -> ComputeDeviceSpec:
+    return ComputeDeviceSpec(
+        name=name, kind=ComputeKind.CPU, slots=slots,
+        throughput={
+            OpClass.SCALAR: 8.0,
+            OpClass.VECTOR: 64.0,
+            OpClass.MATMUL: 128.0,
+            OpClass.CRYPTO: 16.0,
+            OpClass.COMPRESS: 8.0,
+        },
+    )
+
+
+def make_gpu(name: str, local_memory: str, slots: int = 8) -> ComputeDeviceSpec:
+    return ComputeDeviceSpec(
+        name=name, kind=ComputeKind.GPU, slots=slots,
+        throughput={
+            OpClass.SCALAR: 2.0,
+            OpClass.VECTOR: 2000.0,
+            OpClass.MATMUL: 8000.0,
+            OpClass.CRYPTO: 200.0,
+            OpClass.COMPRESS: 100.0,
+        },
+        local_memory=local_memory,
+    )
+
+
+def make_tpu(name: str, local_memory: str, slots: int = 4) -> ComputeDeviceSpec:
+    return ComputeDeviceSpec(
+        name=name, kind=ComputeKind.TPU, slots=slots,
+        throughput={
+            OpClass.VECTOR: 1000.0,
+            OpClass.MATMUL: 20000.0,
+        },
+        local_memory=local_memory,
+    )
+
+
+def make_fpga(name: str, slots: int = 4) -> ComputeDeviceSpec:
+    return ComputeDeviceSpec(
+        name=name, kind=ComputeKind.FPGA, slots=slots,
+        throughput={
+            OpClass.SCALAR: 1.0,
+            OpClass.VECTOR: 200.0,
+            OpClass.CRYPTO: 2000.0,
+            OpClass.COMPRESS: 1000.0,
+        },
+    )
+
+
+def make_dpu(name: str, slots: int = 8) -> ComputeDeviceSpec:
+    return ComputeDeviceSpec(
+        name=name, kind=ComputeKind.DPU, slots=slots,
+        throughput={
+            OpClass.SCALAR: 2.0,
+            OpClass.VECTOR: 50.0,
+            OpClass.CRYPTO: 500.0,
+            OpClass.COMPRESS: 400.0,
+        },
+    )
+
+
+# --------------------------------------------------------------------------
+# Fabric link templates.
+# --------------------------------------------------------------------------
+
+
+def make_link(name: str, kind: LinkKind) -> LinkSpec:
+    """Stamp a link of the given technology with calibrated parameters."""
+    params = {
+        LinkKind.DDR: (150.0, 1.0),
+        LinkKind.ONBOARD: (600.0, 1.0),
+        LinkKind.CXL: (50.0, 70.0),
+        LinkKind.PCIE: (30.0, 400.0),
+        LinkKind.NIC: (25.0, 1.5 * US),
+        LinkKind.SATA: (0.6, 10.0 * US),
+    }
+    bandwidth, latency = params[kind]
+    return LinkSpec(name=name, kind=kind, bandwidth=bandwidth, latency=latency)

@@ -1,0 +1,230 @@
+"""The Cluster: devices + fabric + simulation engine in one handle.
+
+A :class:`Cluster` is the substrate everything above runs on.  It owns
+the discrete-event :class:`~repro.sim.engine.Engine`, the flow network
+that moves bytes, the topology, and the device inventories, and it
+groups devices into *nodes* so that fault injection can take out a whole
+failure domain at once (paper §3, Challenge 8).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hardware import calibration
+from repro.hardware.compute import ComputeDevice
+from repro.hardware.devices import MemoryDevice
+from repro.hardware.interconnect import Topology
+from repro.hardware.spec import (
+    ComputeDeviceSpec,
+    LinkKind,
+    LinkSpec,
+    MemoryDeviceSpec,
+    MemoryKind,
+)
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.faults import FaultEvent, FaultInjector, FaultKind
+from repro.sim.flows import FlowNetwork, Link
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceLog
+
+
+class Cluster:
+    """A simulated rack of disaggregated compute and memory."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace_categories: typing.Optional[typing.Iterable[str]] = None,
+    ):
+        self.engine = Engine()
+        self.streams = RandomStreams(seed)
+        self.trace = TraceLog(enabled=trace_categories)
+        self.flownet = FlowNetwork(self.engine)
+        self.topology = Topology()
+        self.memory: typing.Dict[str, MemoryDevice] = {}
+        self.compute: typing.Dict[str, ComputeDevice] = {}
+        #: node name -> set of device names in that failure domain
+        self.nodes: typing.Dict[str, set] = {}
+        self.faults = FaultInjector(self.engine, self.streams, self.trace)
+        self.faults.on(FaultKind.NODE_CRASH, self._on_node_crash)
+        self.faults.on(FaultKind.NODE_RESTART, self._on_node_restart)
+        self.faults.on(FaultKind.LINK_DOWN, self._on_link_down)
+        self.faults.on(FaultKind.LINK_UP, self._on_link_up)
+
+    # -- construction ------------------------------------------------------
+
+    def add_memory(
+        self, spec: MemoryDeviceSpec, node: typing.Optional[str] = None
+    ) -> MemoryDevice:
+        """Register a memory device (optionally in a failure domain)."""
+        if spec.name in self.memory or spec.name in self.compute:
+            raise ValueError(f"duplicate device name {spec.name!r}")
+        device = MemoryDevice(spec)
+        self.memory[spec.name] = device
+        self.topology.add_node(spec.name, role="memory")
+        self._register_node_member(node, spec.name)
+        return device
+
+    def add_compute(
+        self, spec: ComputeDeviceSpec, node: typing.Optional[str] = None
+    ) -> ComputeDevice:
+        """Register a compute device (optionally in a failure domain)."""
+        if spec.name in self.memory or spec.name in self.compute:
+            raise ValueError(f"duplicate device name {spec.name!r}")
+        device = ComputeDevice(spec, self.engine)
+        self.compute[spec.name] = device
+        self.topology.add_node(spec.name, role="compute")
+        self._register_node_member(node, spec.name)
+        return device
+
+    def add_switch(self, name: str, node: typing.Optional[str] = None) -> None:
+        """Register a fabric switch vertex in the topology."""
+        self.topology.add_node(name, role="switch")
+        self._register_node_member(node, name)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        kind: LinkKind,
+        spec: typing.Optional[LinkSpec] = None,
+    ) -> Link:
+        """Connect two topology nodes with a calibrated link of ``kind``
+        (or an explicit ``spec`` overriding the calibration)."""
+        if spec is None:
+            spec = calibration.make_link(f"{a}--{b}", kind)
+        return self.topology.connect(a, b, spec)
+
+    def _register_node_member(self, node: typing.Optional[str], name: str) -> None:
+        if node is not None:
+            self.nodes.setdefault(node, set()).add(name)
+
+    # -- device lookups ------------------------------------------------------
+
+    def device(self, name: str):
+        """Either kind of device by name."""
+        if name in self.memory:
+            return self.memory[name]
+        if name in self.compute:
+            return self.compute[name]
+        raise KeyError(f"no device named {name!r}")
+
+    def memory_devices(
+        self, kind: typing.Optional[MemoryKind] = None, alive_only: bool = True
+    ) -> typing.List[MemoryDevice]:
+        """Memory devices, optionally filtered by kind and liveness."""
+        devices = list(self.memory.values())
+        if kind is not None:
+            devices = [d for d in devices if d.kind == kind]
+        if alive_only:
+            devices = [d for d in devices if not d.failed]
+        return devices
+
+    def compute_devices(self, alive_only: bool = True) -> typing.List[ComputeDevice]:
+        """Compute devices, optionally including failed ones."""
+        devices = list(self.compute.values())
+        if alive_only:
+            devices = [d for d in devices if not d.failed]
+        return devices
+
+    def node_of(self, device_name: str) -> typing.Optional[str]:
+        """The failure domain a device belongs to (None if unassigned)."""
+        for node, members in self.nodes.items():
+            if device_name in members:
+                return node
+        return None
+
+    # -- data movement ---------------------------------------------------
+
+    def access_route(self, endpoint: str, memory_name: str) -> typing.List[Link]:
+        """Route for an access from ``endpoint`` (compute or memory device)
+        to ``memory_name``, including the target device's port link."""
+        device = self.memory[memory_name]
+        route = list(self.topology.route(endpoint, memory_name))
+        route.append(device.port)
+        return route
+
+    def transfer(self, src_memory: str, dst_memory: str, nbytes: float) -> Event:
+        """Move ``nbytes`` from one memory device to another through the
+        fabric, contending with all other traffic.  Both device ports are
+        on the route, so both media bandwidths throttle the copy."""
+        src = self.memory[src_memory]
+        dst = self.memory[dst_memory]
+        if src_memory == dst_memory:
+            # Device-internal copy: in and out of the same media.
+            route = [src.port]
+            nbytes = 2 * nbytes
+        else:
+            route = [src.port] + list(self.topology.route(src_memory, dst_memory))
+            route.append(dst.port)
+        self.trace.emit(
+            self.engine.now, "transfer", "start",
+            src=src_memory, dst=dst_memory, nbytes=nbytes,
+        )
+        return self.flownet.transfer(route, nbytes)
+
+    # -- fault handling ----------------------------------------------------
+
+    def crash_node(self, node: str) -> None:
+        """Inject an unplanned crash of a whole failure domain now."""
+        self.faults.inject_now(FaultKind.NODE_CRASH, node)
+
+    def _on_node_crash(self, fault: FaultEvent) -> None:
+        members = self.nodes.get(fault.target, set())
+        for name in members:
+            if name in self.memory:
+                device = self.memory[name]
+                device.fail()
+                self.flownet.fail_link(device.port)
+            elif name in self.compute:
+                self.compute[name].fail()
+        # Take down all fabric links touching the node's devices.
+        for u, v, data in self.topology.graph.edges(data=True):
+            if u in members or v in members:
+                self.flownet.fail_link(data["link"])
+        self.topology.invalidate_routes()
+
+    def _on_node_restart(self, fault: FaultEvent) -> None:
+        members = self.nodes.get(fault.target, set())
+        for name in members:
+            if name in self.memory:
+                device = self.memory[name]
+                released = device.used if not device.spec.persistent else 0
+                device.recover()
+                if released:
+                    device.occupancy.record(self.engine.now, device.used)
+            elif name in self.compute:
+                self.compute[name].recover()
+        for u, v, data in self.topology.graph.edges(data=True):
+            if u in members or v in members:
+                self.flownet.restore_link(data["link"])
+        self.topology.invalidate_routes()
+
+    def _on_link_down(self, fault: FaultEvent) -> None:
+        for link in self.topology.links():
+            if link.name == fault.target:
+                self.flownet.fail_link(link)
+        self.topology.invalidate_routes()
+
+    def _on_link_up(self, fault: FaultEvent) -> None:
+        for link in self.topology.links():
+            if link.name == fault.target:
+                self.flownet.restore_link(link)
+        self.topology.invalidate_routes()
+
+    # -- presets ---------------------------------------------------------
+
+    @classmethod
+    def preset(cls, name: str, **kwargs) -> "Cluster":
+        """Build a canonical cluster; see :mod:`repro.hardware.presets`."""
+        from repro.hardware import presets
+
+        return presets.build(name, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster {len(self.compute)} compute, {len(self.memory)} memory, "
+            f"{len(self.nodes)} nodes, t={self.engine.now:.0f}ns>"
+        )

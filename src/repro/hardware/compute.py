@@ -1,0 +1,107 @@
+"""Live compute-device objects.
+
+A :class:`ComputeDevice` pairs a
+:class:`~repro.hardware.spec.ComputeDeviceSpec` with simulation state: a
+slot pool limiting concurrent tasks, failure state, and busy-time
+accounting used for the utilization metrics the paper's Figure 1
+economics argument relies on.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hardware.spec import ComputeDeviceSpec, ComputeKind, OpClass
+from repro.sim.engine import Engine
+from repro.sim.resources import Request, Resource
+from repro.sim.trace import MetricRecorder
+
+
+class ComputeDevice:
+    """A compute device with a bounded number of execution slots."""
+
+    def __init__(self, spec: ComputeDeviceSpec, engine: Engine):
+        self.spec = spec
+        self.engine = engine
+        self.failed = False
+        self._slots = Resource(engine, capacity=spec.slots)
+        self.busy_slots = MetricRecorder()
+        self.tasks_completed = 0
+        self.busy_time = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> ComputeKind:
+        return self.spec.kind
+
+    @property
+    def slots(self) -> int:
+        return self.spec.slots
+
+    @property
+    def slots_in_use(self) -> int:
+        return self._slots.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return self._slots.queue_length
+
+    def supports(self, op: OpClass) -> bool:
+        """Whether this device can execute the given op class."""
+        return self.spec.supports(op)
+
+    def compute_time(self, op: OpClass, ops: float) -> float:
+        """Pure compute time (ns) for ``ops`` operations of class ``op``."""
+        if ops < 0:
+            raise ValueError(f"negative op count: {ops}")
+        return ops / self.spec.ops_per_ns(op)
+
+    def acquire_slot(self) -> Request:
+        """Request one execution slot (yieldable event, context manager)."""
+        request = self._slots.request()
+        request.add_callback(lambda _e: self.busy_slots.adjust(self.engine.now, +1))
+        return request
+
+    def release_slot(self, request: Request) -> None:
+        """Return a held execution slot (pairs with acquire_slot)."""
+        self._slots.release(request)
+        self.busy_slots.adjust(self.engine.now, -1)
+
+    def execute(self, op: OpClass, ops: float):
+        """Generator: occupy one slot for the compute time of ``ops``.
+
+        Yields from inside a simulation process::
+
+            yield from device.execute(OpClass.VECTOR, 1e6)
+        """
+        request = self.acquire_slot()
+        yield request
+        started = self.engine.now
+        try:
+            yield self.engine.timeout(self.compute_time(op, ops))
+            self.tasks_completed += 1
+        finally:
+            self.busy_time += self.engine.now - started
+            self.release_slot(request)
+
+    def utilization(self, until: typing.Optional[float] = None) -> float:
+        """Time-weighted mean fraction of busy slots."""
+        mean_busy = self.busy_slots.time_weighted_mean(until)
+        return mean_busy / self.spec.slots
+
+    def fail(self) -> None:
+        """Mark the device failed (no new tasks are scheduled onto it)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Clear the failure flag after a repair/restart."""
+        self.failed = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<ComputeDevice {self.name} ({self.kind.value}) "
+            f"{self.slots_in_use}/{self.slots} slots{' FAILED' if self.failed else ''}>"
+        )

@@ -1,0 +1,240 @@
+"""Canonical cluster configurations.
+
+Four presets are provided:
+
+``table1-host``
+    One CPU with every Table 1 device attached the way the table's
+    'Attached' column says.  Used by the Table 1 reproduction bench.
+
+``compute-centric``
+    Figure 1a: two conventional servers, each over-provisioned with its
+    own DRAM/PMem, plus accelerator cards with on-board memory, joined
+    by a datacenter network.  Memory is stranded per node.
+
+``pooled-rack``
+    Figure 1b: a memory-centric rack — compute devices on a CXL switch
+    in front of a shared pool of DRAM/CXL-DRAM/PMem, with NIC-attached
+    far memory and storage behind it.  This is the architecture the
+    paper's runtime system targets.
+
+``two-socket-numa``
+    A two-socket NUMA box (local vs. remote DRAM across a UPI-style
+    coherent link) for the §1 'NUMA can cost 3x' claim.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hardware import calibration as cal
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import GiB, LinkKind, LinkSpec
+
+
+def build(name: str, **kwargs) -> Cluster:
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+    trace_categories = kwargs.pop("trace_categories", None)
+    cluster = factory(**kwargs)
+    if trace_categories is not None:
+        cluster.trace.enabled = set(trace_categories)
+    return cluster
+
+
+def table1_host(seed: int = 0) -> Cluster:
+    """Single host exposing one device of every Table 1 kind."""
+    cluster = Cluster(seed=seed)
+    cluster.add_compute(cal.make_cpu("cpu0"), node="host")
+
+    cluster.add_memory(cal.make_cache("cache0"), node="host")
+    cluster.connect("cpu0", "cache0", LinkKind.ONBOARD,
+                    LinkSpec("cpu0--cache0", LinkKind.ONBOARD, 2000.0, 0.0))
+
+    for maker, dev in ((cal.make_hbm, "hbm0"), (cal.make_dram, "dram0"),
+                       (cal.make_pmem, "pmem0")):
+        cluster.add_memory(maker(dev), node="host")
+        cluster.connect("cpu0", dev, LinkKind.DDR)
+
+    cluster.add_memory(cal.make_cxl_dram("cxl0"), node="host")
+    cluster.connect("cpu0", "cxl0", LinkKind.CXL)
+
+    cluster.add_memory(cal.make_far_memory("far0"), node="memnode")
+    cluster.connect("cpu0", "far0", LinkKind.NIC)
+
+    cluster.add_memory(cal.make_ssd("ssd0"), node="host")
+    cluster.connect("cpu0", "ssd0", LinkKind.PCIE)
+
+    cluster.add_memory(cal.make_hdd("hdd0"), node="host")
+    cluster.connect("cpu0", "hdd0", LinkKind.SATA)
+    return cluster
+
+
+def compute_centric(seed: int = 0, dram_per_node: int = 128 * GiB) -> Cluster:
+    """Figure 1a: per-server memory, accelerators as PCIe peripherals."""
+    cluster = Cluster(seed=seed)
+
+    for i in (1, 2):
+        node = f"server{i}"
+        cpu = f"cpu{i}"
+        cluster.add_compute(cal.make_cpu(cpu), node=node)
+        cluster.add_memory(cal.make_dram(f"dram{i}", capacity=dram_per_node), node=node)
+        cluster.connect(cpu, f"dram{i}", LinkKind.DDR)
+        cluster.add_memory(cal.make_pmem(f"pmem{i}"), node=node)
+        cluster.connect(cpu, f"pmem{i}", LinkKind.DDR)
+
+        gpu = f"gpu{i}"
+        gddr = f"gddr{i}"
+        cluster.add_memory(cal.make_gddr(gddr), node=node)
+        cluster.add_compute(cal.make_gpu(gpu, local_memory=gddr), node=node)
+        cluster.connect(gpu, gddr, LinkKind.ONBOARD)
+        cluster.connect(cpu, gpu, LinkKind.PCIE)
+
+    # Accelerator cards on server1.
+    cluster.add_memory(cal.make_hbm("hbm_tpu", capacity=32 * GiB), node="server1")
+    cluster.add_compute(cal.make_tpu("tpu1", local_memory="hbm_tpu"), node="server1")
+    cluster.connect("tpu1", "hbm_tpu", LinkKind.ONBOARD)
+    cluster.connect("cpu1", "tpu1", LinkKind.PCIE)
+    cluster.add_compute(cal.make_fpga("fpga1"), node="server1")
+    cluster.connect("cpu1", "fpga1", LinkKind.PCIE)
+
+    # Storage on server2, network between servers.
+    cluster.add_memory(cal.make_ssd("ssd2"), node="server2")
+    cluster.connect("cpu2", "ssd2", LinkKind.PCIE)
+    cluster.connect("cpu1", "cpu2", LinkKind.NIC)
+    return cluster
+
+
+def pooled_rack(
+    seed: int = 0,
+    dram_pool_devices: int = 2,
+    dram_pool_capacity: int = 128 * GiB,
+) -> Cluster:
+    """Figure 1b: memory-centric rack with a CXL-switched shared pool."""
+    cluster = Cluster(seed=seed)
+    cluster.add_switch("cxl-switch", node="fabric")
+
+    # Compute pool (Fig. 1b bottom): CPUs, GPUs, TPU, FPGA.
+    for i in (1, 2):
+        cpu = f"cpu{i}"
+        cluster.add_compute(cal.make_cpu(cpu), node=f"blade-cpu{i}")
+        # Each CPU keeps a small local DRAM (boot/OS) but the pool is shared.
+        local = f"dram-local{i}"
+        cluster.add_memory(cal.make_dram(local, capacity=16 * GiB), node=f"blade-cpu{i}")
+        cluster.connect(cpu, local, LinkKind.DDR)
+        cluster.connect(cpu, "cxl-switch", LinkKind.CXL)
+
+    for i in (1, 2):
+        gpu, gddr = f"gpu{i}", f"gddr{i}"
+        cluster.add_memory(cal.make_gddr(gddr), node=f"blade-gpu{i}")
+        cluster.add_compute(cal.make_gpu(gpu, local_memory=gddr), node=f"blade-gpu{i}")
+        cluster.connect(gpu, gddr, LinkKind.ONBOARD)
+        cluster.connect(gpu, "cxl-switch", LinkKind.CXL)
+
+    cluster.add_memory(cal.make_hbm("hbm_tpu", capacity=32 * GiB), node="blade-tpu")
+    cluster.add_compute(cal.make_tpu("tpu1", local_memory="hbm_tpu"), node="blade-tpu")
+    cluster.connect("tpu1", "hbm_tpu", LinkKind.ONBOARD)
+    cluster.connect("tpu1", "cxl-switch", LinkKind.CXL)
+
+    cluster.add_compute(cal.make_fpga("fpga1"), node="blade-fpga")
+    cluster.connect("fpga1", "cxl-switch", LinkKind.CXL)
+
+    # Memory pool (Fig. 1b top): shared DRAM, CXL-DRAM, PMem behind the switch.
+    for i in range(dram_pool_devices):
+        dev = f"dram-pool{i}"
+        cluster.add_memory(cal.make_dram(dev, capacity=dram_pool_capacity),
+                           node="mem-shelf")
+        cluster.connect(dev, "cxl-switch", LinkKind.CXL)
+    cluster.add_memory(cal.make_cxl_dram("cxl-exp0"), node="mem-shelf")
+    cluster.connect("cxl-exp0", "cxl-switch", LinkKind.CXL)
+    cluster.add_memory(cal.make_pmem("pmem-pool0"), node="mem-shelf")
+    cluster.connect("pmem-pool0", "cxl-switch", LinkKind.CXL)
+
+    # Far memory + storage behind the datacenter network.
+    cluster.add_switch("tor", node="fabric")
+    cluster.connect("cxl-switch", "tor", LinkKind.NIC)
+    cluster.add_memory(cal.make_far_memory("far0"), node="memnode0")
+    cluster.connect("far0", "tor", LinkKind.NIC)
+    cluster.add_memory(cal.make_ssd("ssd0"), node="stornode0")
+    cluster.connect("ssd0", "tor", LinkKind.NIC)
+    cluster.add_memory(cal.make_hdd("hdd0"), node="stornode0")
+    cluster.connect("hdd0", "tor", LinkKind.SATA)
+    return cluster
+
+
+def two_socket_numa(seed: int = 0) -> Cluster:
+    """Two NUMA sockets with local DRAM and a coherent inter-socket link."""
+    cluster = Cluster(seed=seed)
+    upi = LinkSpec("upi", LinkKind.CXL, bandwidth=60.0, latency=60.0)
+    for i in (0, 1):
+        cluster.add_compute(cal.make_cpu(f"cpu{i}"), node=f"socket{i}")
+        cluster.add_memory(cal.make_dram(f"dram{i}"), node=f"socket{i}")
+        cluster.connect(f"cpu{i}", f"dram{i}", LinkKind.DDR)
+    cluster.topology.connect("cpu0", "cpu1", upi)
+    return cluster
+
+
+def far_memory_rack(
+    seed: int = 0, n_nodes: int = 8, node_capacity: int = 64 * GiB
+) -> Cluster:
+    """A compute host plus ``n_nodes`` far-memory nodes behind a ToR switch
+    — the Carbink-style substrate for the fault-tolerance experiments."""
+    cluster = Cluster(seed=seed)
+    cluster.add_compute(cal.make_cpu("cpu0"), node="host")
+    cluster.add_memory(cal.make_dram("dram0"), node="host")
+    cluster.connect("cpu0", "dram0", LinkKind.DDR)
+    cluster.add_switch("tor", node="fabric")
+    cluster.connect("cpu0", "tor", LinkKind.NIC)
+    for i in range(n_nodes):
+        name = f"far{i}"
+        cluster.add_memory(
+            cal.make_far_memory(name, capacity=node_capacity), node=f"memnode{i}"
+        )
+        cluster.connect(name, "tor", LinkKind.NIC)
+    return cluster
+
+
+def dual_plane_rack(seed: int = 0) -> Cluster:
+    """A pooled rack with two independent CXL planes.
+
+    Every compute device and every pool device connects to *both*
+    switches, so any single switch (or link) failure leaves all routes
+    intact — the fixture for the fault-aware-routing tests.
+    """
+    cluster = Cluster(seed=seed)
+    for plane in ("plane-a", "plane-b"):
+        cluster.add_switch(plane, node=plane)
+    for i in (1, 2):
+        cpu = f"cpu{i}"
+        cluster.add_compute(cal.make_cpu(cpu), node=f"blade{i}")
+        local = f"dram-local{i}"
+        cluster.add_memory(cal.make_dram(local, capacity=16 * GiB),
+                           node=f"blade{i}")
+        cluster.connect(cpu, local, LinkKind.DDR)
+        cluster.connect(cpu, "plane-a", LinkKind.CXL)
+        cluster.connect(cpu, "plane-b", LinkKind.CXL,
+                        LinkSpec(f"{cpu}--plane-b", LinkKind.CXL, 50.0, 75.0))
+    for i in range(2):
+        dev = f"dram-pool{i}"
+        cluster.add_memory(cal.make_dram(dev), node="mem-shelf")
+        cluster.connect(dev, "plane-a", LinkKind.CXL)
+        cluster.connect(dev, "plane-b", LinkKind.CXL,
+                        LinkSpec(f"{dev}--plane-b", LinkKind.CXL, 50.0, 75.0))
+    return cluster
+
+
+_PRESETS: typing.Dict[str, typing.Callable[..., Cluster]] = {
+    "dual-plane-rack": dual_plane_rack,
+    "far-memory-rack": far_memory_rack,
+    "table1-host": table1_host,
+    "compute-centric": compute_centric,
+    "pooled-rack": pooled_rack,
+    "two-socket-numa": two_socket_numa,
+}
+
+
+def available() -> typing.List[str]:
+    return sorted(_PRESETS)

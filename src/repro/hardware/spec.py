@@ -1,0 +1,165 @@
+"""Hardware specification dataclasses.
+
+Specs are immutable descriptions; live state (allocations, failures,
+queues) lives on the device objects in :mod:`repro.hardware.devices` and
+:mod:`repro.hardware.compute`.
+
+Unit conventions (uniform across the code base):
+
+* time: nanoseconds
+* bandwidth: bytes/ns (numerically equal to GB/s with GB = 1e9)
+* capacity/size: bytes
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+US = 1_000.0  # microsecond in ns
+MS = 1_000_000.0  # millisecond in ns
+
+
+class MemoryKind(enum.Enum):
+    """Memory technology classes — the rows of the paper's Table 1."""
+
+    CACHE = "cache"
+    HBM = "hbm"
+    DRAM = "dram"
+    GDDR = "gddr"
+    PMEM = "pmem"
+    CXL_DRAM = "cxl_dram"
+    FAR_MEMORY = "far_memory"  # 'Disagg. Mem.' in Table 1
+    SSD = "ssd"
+    HDD = "hdd"
+
+
+class Attachment(enum.Enum):
+    """How a memory device is physically attached (Table 1 'Attached')."""
+
+    ON_CHIP = "on_chip"  # cache
+    CPU = "cpu"  # DDR bus / on-package (HBM, DRAM, PMem)
+    ACCELERATOR = "accelerator"  # on-board accelerator memory (GDDR)
+    PCIE = "pcie"  # PCIe / CXL expansion
+    NIC = "nic"  # network-attached (far memory)
+    SATA = "sata"  # spinning rust
+
+
+class ComputeKind(enum.Enum):
+    """Compute device classes of the disaggregated pool."""
+    CPU = "cpu"
+    GPU = "gpu"
+    TPU = "tpu"
+    FPGA = "fpga"
+    DPU = "dpu"
+
+
+class OpClass(enum.Enum):
+    """Coarse operation classes used by the compute-throughput model."""
+
+    SCALAR = "scalar"  # branchy pointer-chasing work
+    VECTOR = "vector"  # data-parallel streaming math
+    MATMUL = "matmul"  # dense linear algebra
+    CRYPTO = "crypto"  # encryption / hashing
+    COMPRESS = "compress"  # (de)compression
+
+
+class LinkKind(enum.Enum):
+    """Fabric link technologies."""
+
+    DDR = "ddr"  # CPU memory bus
+    ONBOARD = "onboard"  # accelerator <-> its on-board memory
+    PCIE = "pcie"
+    CXL = "cxl"
+    NIC = "nic"  # RDMA-capable datacenter network
+    SATA = "sata"
+
+
+#: Link kinds over which ordinary cache-coherent load/store is possible.
+COHERENT_LINK_KINDS = frozenset({LinkKind.DDR, LinkKind.ONBOARD, LinkKind.CXL})
+
+#: Link kinds a load/store path may traverse at all (NIC/SATA need messages).
+ADDRESSABLE_LINK_KINDS = frozenset(
+    {LinkKind.DDR, LinkKind.ONBOARD, LinkKind.CXL, LinkKind.PCIE}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryDeviceSpec:
+    """Immutable description of one memory device (a Table 1 row)."""
+
+    name: str
+    kind: MemoryKind
+    capacity: int  # bytes
+    latency: float  # media access latency, ns
+    bandwidth: float  # bytes/ns
+    granularity: int  # smallest efficient access, bytes
+    attachment: Attachment
+    supports_sync: bool  # can be used with a synchronous ld/st interface
+    persistent: bool
+    coherent: bool  # participates in the host coherence domain
+    byte_addressable: bool = True
+    #: Multiplier on latency for writes (PMem writes are slower, etc.).
+    write_penalty: float = 1.0
+    #: Relative $/GiB provisioning cost (used by the Fig. 1 economics bench).
+    cost_per_gib: float = 1.0
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: invalid latency/bandwidth")
+        if self.granularity <= 0:
+            raise ValueError(f"{self.name}: granularity must be positive")
+        if self.write_penalty < 1.0:
+            raise ValueError(f"{self.name}: write_penalty must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeDeviceSpec:
+    """Immutable description of one compute device."""
+
+    name: str
+    kind: ComputeKind
+    slots: int  # concurrently executing tasks (cores / SM groups)
+    throughput: typing.Mapping[OpClass, float]  # ops/ns per op class
+    #: Name of the memory device that is this device's local/on-board tier
+    #: (e.g. a GPU's GDDR).  Empty string when there is none.
+    local_memory: str = ""
+
+    def __post_init__(self):
+        if self.slots < 1:
+            raise ValueError(f"{self.name}: slots must be >= 1")
+        for op, rate in self.throughput.items():
+            if rate <= 0:
+                raise ValueError(f"{self.name}: non-positive throughput for {op}")
+
+    def ops_per_ns(self, op: OpClass) -> float:
+        """Throughput for ``op``; devices cannot run unsupported classes."""
+        if op not in self.throughput:
+            raise KeyError(f"{self.name} ({self.kind.value}) cannot execute {op.value}")
+        return self.throughput[op]
+
+    def supports(self, op: OpClass) -> bool:
+        """Whether the spec lists a throughput for the given op class."""
+        return op in self.throughput
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """Immutable description of a fabric link."""
+
+    name: str
+    kind: LinkKind
+    bandwidth: float  # bytes/ns
+    latency: float  # ns
+
+    def __post_init__(self):
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise ValueError(f"{self.name}: invalid bandwidth/latency")

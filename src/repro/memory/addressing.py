@@ -1,0 +1,176 @@
+"""Memory-centric OS layer: job address spaces over the pool.
+
+Paper challenges 4–5: *"the core responsibility of the operating system
+is mapping RTS-requested memory into the address space of our proposed
+tasks"*, in a memory-centric (not processor-centric) design where
+ownership is globally managed by the RTS.
+
+This module is that thin OS layer:
+
+* every job gets a :class:`VirtualAddressSpace` — a flat, page-granular
+  virtual range private to the job;
+* when the RTS allocates a region, it can :meth:`~VirtualAddressSpace.map`
+  it, receiving a stable virtual base address; tasks address memory by
+  virtual address from then on;
+* the page table translates ``vaddr → (device, physical offset)`` and
+  is **updated transparently on migration** — the tiering daemon moves a
+  region and every virtual address keeps working (pointer swizzling at
+  the mapping layer);
+* protection: a job can only translate through its own address space,
+  and regions of *confidential* tasks may not be mapped into another
+  job's space.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.memory.region import MemoryRegion, RegionState
+
+
+class AddressError(Exception):
+    """Bad virtual address, unmapped page, or protection violation."""
+
+
+class PageTableEntry(typing.NamedTuple):
+    region_id: int
+    device_name: str
+    physical_offset: int  # offset of this page's backing on the device
+    writable: bool
+
+
+class Mapping:
+    """One region's window in a virtual address space."""
+
+    __slots__ = ("region", "vbase", "n_pages", "writable")
+
+    def __init__(self, region: MemoryRegion, vbase: int, n_pages: int, writable: bool):
+        self.region = region
+        self.vbase = vbase
+        self.n_pages = n_pages
+        self.writable = writable
+
+    @property
+    def vend(self) -> int:
+        return self.vbase  # overwritten below; kept for clarity
+
+    def __repr__(self) -> str:
+        return f"<Mapping {self.region.name} @ {self.vbase:#x} ({self.n_pages} pages)>"
+
+
+class VirtualAddressSpace:
+    """A page-granular virtual address space for one job."""
+
+    #: Virtual layout starts here (catches null-ish pointers).
+    BASE = 0x1000_0000
+
+    def __init__(self, job_name: str, page_size: int = 4096):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page size must be a power of two, got {page_size}")
+        self.job_name = job_name
+        self.page_size = page_size
+        self._next_vaddr = self.BASE
+        #: region id -> Mapping
+        self._mappings: typing.Dict[int, Mapping] = {}
+        #: virtual page number -> Mapping (the "page table" directory)
+        self._pages: typing.Dict[int, Mapping] = {}
+        self.translations = 0
+        self.faults = 0
+
+    # -- map/unmap ---------------------------------------------------------
+
+    def map(self, region: MemoryRegion, writable: bool = True) -> int:
+        """Map a region; returns its virtual base address.
+
+        Confidential regions may only be mapped into the address space
+        of the job that owns them (protection check).
+        """
+        region.check_alive()
+        if region.id in self._mappings:
+            raise AddressError(f"{region.name} is already mapped")
+        if region.properties.confidential:
+            owner_jobs = {
+                str(owner).split("/")[0].replace("job:", "").split("#")[0]
+                for owner in region.ownership.owners
+            }
+            if self.job_name not in owner_jobs:
+                raise AddressError(
+                    f"confidential region {region.name} may not be mapped "
+                    f"into job {self.job_name!r}'s address space"
+                )
+        n_pages = max(1, -(-region.size // self.page_size))
+        vbase = self._next_vaddr
+        self._next_vaddr += n_pages * self.page_size
+        mapping = Mapping(region, vbase, n_pages, writable)
+        self._mappings[region.id] = mapping
+        first_page = vbase // self.page_size
+        for page in range(first_page, first_page + n_pages):
+            self._pages[page] = mapping
+        return vbase
+
+    def unmap(self, region: MemoryRegion) -> None:
+        """Remove a region's window from this address space."""
+        mapping = self._mappings.pop(region.id, None)
+        if mapping is None:
+            raise AddressError(f"{region.name} is not mapped")
+        first_page = mapping.vbase // self.page_size
+        for page in range(first_page, first_page + mapping.n_pages):
+            del self._pages[page]
+
+    # -- translation ---------------------------------------------------------
+
+    def translate(self, vaddr: int, for_write: bool = False) -> PageTableEntry:
+        """vaddr → (region, device, physical offset).
+
+        Raises :class:`AddressError` on unmapped pages, freed/lost
+        regions (the fault path), and write-protection violations.
+        """
+        self.translations += 1
+        mapping = self._pages.get(vaddr // self.page_size)
+        if mapping is None:
+            self.faults += 1
+            raise AddressError(f"unmapped address {vaddr:#x}")
+        region = mapping.region
+        offset_in_region = vaddr - mapping.vbase
+        if offset_in_region >= region.size:
+            self.faults += 1
+            raise AddressError(
+                f"{vaddr:#x} is inside {region.name}'s guard padding"
+            )
+        if region.state in (RegionState.FREED, RegionState.LOST):
+            self.faults += 1
+            raise AddressError(f"{region.name} backing is gone ({region.state.value})")
+        if for_write and not mapping.writable:
+            self.faults += 1
+            raise AddressError(f"write to read-only mapping of {region.name}")
+        # Physical location is read *through the region*, so migrations
+        # retarget every mapped address with zero page-table edits.
+        return PageTableEntry(
+            region_id=region.id,
+            device_name=region.device.name,
+            physical_offset=region.allocation.offset + offset_in_region,
+            writable=mapping.writable,
+        )
+
+    def region_at(self, vaddr: int) -> MemoryRegion:
+        """The region mapped at ``vaddr`` (raises on unmapped addresses)."""
+        mapping = self._pages.get(vaddr // self.page_size)
+        if mapping is None:
+            raise AddressError(f"unmapped address {vaddr:#x}")
+        return mapping.region
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def mapped_regions(self) -> typing.List[MemoryRegion]:
+        return [m.region for m in self._mappings.values()]
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(m.region.size for m in self._mappings.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<VirtualAddressSpace job={self.job_name!r} "
+            f"{len(self._mappings)} mappings, next={self._next_vaddr:#x}>"
+        )

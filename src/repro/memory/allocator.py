@@ -1,0 +1,162 @@
+"""Offset-level allocation on a single memory device.
+
+A classic address-ordered first-fit free-list allocator with eager
+coalescing.  It is deliberately simple and heavily invariant-checked:
+the hypothesis property tests in ``tests/memory/test_allocator.py`` run
+arbitrary alloc/free interleavings against it.
+
+Allocation granularity is rounded up to the device's access granularity
+so capacity accounting matches the bytes the media actually dedicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from itertools import count
+
+
+class AllocationError(Exception):
+    """No contiguous range large enough is available."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Allocation:
+    """A live allocated range ``[offset, offset + size)``."""
+
+    id: int
+    offset: int
+    size: int  # rounded (accounted) size in bytes
+    requested: int  # size the caller asked for
+
+
+class FreeListAllocator:
+    """Address-ordered first-fit allocator with coalescing free list."""
+
+    _ids = count()
+
+    def __init__(self, capacity: int, granularity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        self.capacity = capacity
+        self.granularity = granularity
+        #: sorted list of (offset, size) free extents
+        self._free: typing.List[typing.Tuple[int, int]] = [(0, capacity)]
+        self._live: typing.Dict[int, Allocation] = {}
+        self.allocated_bytes = 0
+        self.peak_bytes = 0
+        self.alloc_count = 0
+        self.free_count = 0
+        self.failed_allocs = 0
+
+    def _round(self, size: int) -> int:
+        g = self.granularity
+        return ((size + g - 1) // g) * g
+
+    def allocate(self, size: int) -> Allocation:
+        """First-fit allocate ``size`` bytes (rounded to granularity)."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        rounded = self._round(size)
+        for index, (offset, extent) in enumerate(self._free):
+            if extent >= rounded:
+                if extent == rounded:
+                    del self._free[index]
+                else:
+                    self._free[index] = (offset + rounded, extent - rounded)
+                allocation = Allocation(
+                    id=next(FreeListAllocator._ids),
+                    offset=offset, size=rounded, requested=size,
+                )
+                self._live[allocation.id] = allocation
+                self.allocated_bytes += rounded
+                self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+                self.alloc_count += 1
+                return allocation
+        self.failed_allocs += 1
+        raise AllocationError(
+            f"no extent of {rounded} B available "
+            f"(free={self.free_bytes} B in {len(self._free)} extents)"
+        )
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation to the free list, coalescing neighbours."""
+        live = self._live.pop(allocation.id, None)
+        if live is None:
+            raise ValueError(f"allocation {allocation.id} is not live (double free?)")
+        self.allocated_bytes -= live.size
+        self.free_count += 1
+        self._insert_free(live.offset, live.size)
+
+    def _insert_free(self, offset: int, size: int) -> None:
+        # Binary-search insertion point in the address-ordered list.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (offset, size))
+        # Coalesce with successor, then predecessor.
+        if lo + 1 < len(self._free):
+            noff, nsize = self._free[lo + 1]
+            if offset + size == noff:
+                self._free[lo] = (offset, size + nsize)
+                del self._free[lo + 1]
+        if lo > 0:
+            poff, psize = self._free[lo - 1]
+            coff, csize = self._free[lo]
+            if poff + psize == coff:
+                self._free[lo - 1] = (poff, psize + csize)
+                del self._free[lo]
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.allocated_bytes
+
+    @property
+    def largest_free_extent(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - largest_free/total_free; 0 when free space is contiguous."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_extent / free
+
+    def live_allocations(self) -> typing.List[Allocation]:
+        """Snapshot of all currently live allocations."""
+        return list(self._live.values())
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal bookkeeping is inconsistent.
+
+        Used by the property tests; cheap enough to call after every op.
+        """
+        spans = sorted(
+            [(a.offset, a.size, "live") for a in self._live.values()]
+            + [(off, size, "free") for off, size in self._free]
+        )
+        cursor = 0
+        for offset, size, _kind in spans:
+            assert offset == cursor, f"gap/overlap at {offset} (expected {cursor})"
+            assert size > 0, "zero-size span"
+            cursor = offset + size
+        assert cursor == self.capacity, f"spans cover {cursor}, capacity {self.capacity}"
+        assert self.allocated_bytes == sum(a.size for a in self._live.values())
+        # Free list must be coalesced: no adjacent free extents.
+        for (o1, s1), (o2, _s2) in zip(self._free, self._free[1:]):
+            assert o1 + s1 < o2, f"uncoalesced free extents at {o1}+{s1} and {o2}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<FreeListAllocator {self.allocated_bytes}/{self.capacity} B live, "
+            f"{len(self._free)} free extents>"
+        )

@@ -1,0 +1,149 @@
+"""A tiny declarative surface syntax for properties.
+
+The paper's vision is *declarative*: developers state requirements in
+configuration-like cards (Figure 2c).  This module gives the library
+that textual surface, so properties can live in config files, CLI
+arguments, or notebooks:
+
+>>> parse_properties("latency<=low, bandwidth>=medium, sync, confidential")
+MemoryProperties(latency=<LatencyClass.LOW: 0>, ...)
+
+>>> parse_task_card("compute=gpu confidential=true persistent=false "
+...                 "mem_latency=low")
+TaskProperties(compute=<ComputeKind.GPU: 'gpu'>, ...)
+
+Both parsers round-trip with the corresponding ``describe()`` methods.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hardware.spec import ComputeKind
+from repro.memory.properties import BandwidthClass, LatencyClass, MemoryProperties
+
+if typing.TYPE_CHECKING:  # pragma: no cover - layering: dataflow sits above
+    from repro.dataflow.properties import TaskProperties
+
+
+class PropertySyntaxError(ValueError):
+    """The property string does not parse."""
+
+
+_FLAG_FIELDS = {"persistent": "persistent", "coherent": "coherent",
+                "sync": "sync", "confidential": "confidential"}
+_LATENCY_KEYS = ("latency", "lat")
+_BANDWIDTH_KEYS = ("bandwidth", "bw")
+
+
+def parse_properties(text: str) -> MemoryProperties:
+    """Parse a comma/space-separated property request string.
+
+    Tokens: ``latency<=low|medium|high|any``, ``bandwidth>=high|medium|
+    low|any``, and the flags ``persistent``/``coherent``/``sync``/
+    ``confidential`` (presence = required).
+    """
+    values: typing.Dict[str, object] = {}
+    for raw in _tokens(text):
+        token = raw.strip().lower()
+        if not token:
+            continue
+        if "<=" in token:
+            key, _, value = token.partition("<=")
+            if key.strip() not in _LATENCY_KEYS:
+                raise PropertySyntaxError(
+                    f"only latency supports '<=', got {raw!r}"
+                )
+            values["latency"] = _parse_enum(LatencyClass, value)
+        elif ">=" in token:
+            key, _, value = token.partition(">=")
+            if key.strip() not in _BANDWIDTH_KEYS:
+                raise PropertySyntaxError(
+                    f"only bandwidth supports '>=', got {raw!r}"
+                )
+            values["bandwidth"] = _parse_enum(BandwidthClass, value)
+        elif "=" in token:
+            key, _, value = token.partition("=")
+            key = key.strip()
+            if key not in _FLAG_FIELDS:
+                raise PropertySyntaxError(f"unknown property {key!r}")
+            values[_FLAG_FIELDS[key]] = _parse_bool(value)
+        elif token in _FLAG_FIELDS:
+            values[_FLAG_FIELDS[token]] = True
+        else:
+            raise PropertySyntaxError(f"unknown property token {raw!r}")
+    return MemoryProperties(**values)
+
+
+def parse_task_card(text: str) -> "TaskProperties":
+    """Parse a Figure 2c task property card.
+
+    Fields: ``compute=cpu|gpu|tpu|fpga|dpu``, ``confidential=true|false``,
+    ``persistent=true|false``, ``mem_latency=low|medium|high|any``,
+    ``streaming`` (flag).
+    """
+    # Imported here: the dataflow layer sits above the memory layer, and
+    # importing it at module scope would be circular.
+    from repro.dataflow.properties import TaskProperties
+
+    values: typing.Dict[str, object] = {}
+    for raw in _tokens(text):
+        token = raw.strip().lower()
+        if not token:
+            continue
+        if token == "streaming":
+            values["streaming"] = True
+            continue
+        if "=" not in token:
+            raise PropertySyntaxError(f"task cards use key=value, got {raw!r}")
+        key, _, value = token.partition("=")
+        key, value = key.strip(), value.strip()
+        if key in ("compute", "comp. device", "comp.device"):
+            values["compute"] = _parse_enum(ComputeKind, value)
+        elif key == "confidential":
+            values["confidential"] = _parse_bool(value)
+        elif key == "persistent":
+            values["persistent"] = _parse_bool(value)
+        elif key in ("mem_latency", "mem. latency", "mem.latency"):
+            if value in ("-", "any", "none"):
+                values["mem_latency"] = None
+            else:
+                values["mem_latency"] = _parse_enum(LatencyClass, value)
+        elif key == "streaming":
+            values["streaming"] = _parse_bool(value)
+        else:
+            raise PropertySyntaxError(f"unknown card field {key!r}")
+    return TaskProperties(**values)
+
+
+def _tokens(text: str) -> typing.List[str]:
+    if text is None:
+        raise PropertySyntaxError("property string may not be None")
+    # Commas are the primary separator; bare spaces also split tokens as
+    # long as they are not part of a key like 'mem. latency'.
+    normalized = text.replace("mem. latency", "mem_latency")
+    normalized = normalized.replace("comp. device", "compute")
+    pieces: typing.List[str] = []
+    for chunk in normalized.split(","):
+        pieces.extend(chunk.split())
+    return pieces
+
+
+def _parse_enum(enum_cls, value: str):
+    name = value.strip().upper()
+    try:
+        return enum_cls[name]
+    except KeyError:
+        options = ", ".join(m.name.lower() for m in enum_cls)
+        raise PropertySyntaxError(
+            f"{value!r} is not one of: {options}"
+        ) from None
+
+
+def _parse_bool(value: str) -> bool:
+    value = value.strip().lower()
+    if value in ("true", "yes", "1"):
+        return True
+    if value in ("false", "no", "0"):
+        return False
+    raise PropertySyntaxError(f"expected a boolean, got {value!r}")

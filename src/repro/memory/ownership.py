@@ -1,0 +1,140 @@
+"""Memory ownership: exclusive / shared, with move-style transfer.
+
+Implements the paper's ownership concept (§2.2(2), Figure 4):
+
+* every chunk of allocated memory is **exclusively owned** by one task
+  (relaxed consistency possible) or **shared** among concurrent tasks
+  (stricter requirements on the backing region), and
+* exclusive ownership can be **transferred** to the next task in the
+  dataflow — "the out becomes the new in" — like C++ move semantics:
+  after a transfer the previous owner's handles are invalid and using
+  them raises :class:`UseAfterTransferError`.
+
+Owners are opaque hashable tokens (task ids, job ids, or the string
+names the tests use).  Deallocation hooks fire when the last owner
+drops, which is how the runtime frees regions (paper §2.3, RTS duty 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+
+class OwnershipError(Exception):
+    """Base class for ownership-protocol violations."""
+
+
+class NotOwnerError(OwnershipError):
+    """An actor operated on memory it does not own."""
+
+
+class UseAfterTransferError(OwnershipError):
+    """A stale handle (from before a transfer, or after release) was used."""
+
+
+class OwnershipMode(enum.Enum):
+    """Exclusive (one owner, relaxed consistency) or shared ownership."""
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+
+
+class OwnershipRecord:
+    """Tracks who owns one memory region and mediates transitions.
+
+    State machine::
+
+        EXCLUSIVE --transfer--> EXCLUSIVE (new owner, epoch+1)
+        EXCLUSIVE --share-----> SHARED
+        SHARED    --drop------> SHARED (fewer owners)
+        any       --last drop-> released (on_release hooks fire)
+    """
+
+    def __init__(self, owner: typing.Hashable):
+        if owner is None:
+            raise ValueError("initial owner may not be None")
+        self.mode = OwnershipMode.EXCLUSIVE
+        self.owners: set = {owner}
+        #: Epoch increments on every transfer; handles carry the epoch at
+        #: which they were issued and become stale when it moves on.
+        self.epoch = 0
+        self.released = False
+        self.transfer_count = 0
+        self.on_release: typing.List[typing.Callable[[], None]] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def is_owner(self, actor: typing.Hashable) -> bool:
+        """Whether ``actor`` currently owns this (unreleased) region."""
+        return not self.released and actor in self.owners
+
+    def check_access(self, actor: typing.Hashable, epoch: typing.Optional[int] = None) -> None:
+        """Validate an access by ``actor`` (optionally via an epoch-stamped
+        handle).  Raises on violation, returns None on success."""
+        if self.released:
+            raise UseAfterTransferError("region has been released")
+        if epoch is not None and epoch != self.epoch:
+            raise UseAfterTransferError(
+                f"stale handle (epoch {epoch}, current {self.epoch}): "
+                "ownership was transferred"
+            )
+        if actor not in self.owners:
+            raise NotOwnerError(f"{actor!r} does not own this region")
+
+    # -- transitions ---------------------------------------------------------
+
+    def transfer(self, from_owner: typing.Hashable, to_owner: typing.Hashable) -> int:
+        """Move exclusive ownership; returns the new epoch.
+
+        Only valid in EXCLUSIVE mode — shared memory cannot be moved out
+        from under concurrent owners.
+        """
+        if self.released:
+            raise UseAfterTransferError("cannot transfer a released region")
+        if self.mode is not OwnershipMode.EXCLUSIVE:
+            raise OwnershipError("cannot transfer shared ownership; drop owners instead")
+        if from_owner not in self.owners:
+            raise NotOwnerError(f"{from_owner!r} is not the owner")
+        if to_owner is None:
+            raise ValueError("cannot transfer to None")
+        self.owners = {to_owner}
+        self.epoch += 1
+        self.transfer_count += 1
+        return self.epoch
+
+    def share(
+        self, actor: typing.Hashable, new_owners: typing.Iterable[typing.Hashable]
+    ) -> None:
+        """Convert to shared mode, adding ``new_owners`` alongside current
+        owners.  Only an existing owner may widen the owner set."""
+        if self.released:
+            raise UseAfterTransferError("cannot share a released region")
+        if actor not in self.owners:
+            raise NotOwnerError(f"{actor!r} is not an owner")
+        additions = set(new_owners)
+        if None in additions:
+            raise ValueError("cannot share with None")
+        self.mode = OwnershipMode.SHARED
+        self.owners |= additions
+
+    def drop(self, owner: typing.Hashable) -> bool:
+        """Remove one owner; returns True if that released the region."""
+        if self.released:
+            raise UseAfterTransferError("region already released")
+        if owner not in self.owners:
+            raise NotOwnerError(f"{owner!r} is not an owner")
+        self.owners.remove(owner)
+        if not self.owners:
+            self.released = True
+            for hook in self.on_release:
+                hook()
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        if self.released:
+            return "<OwnershipRecord released>"
+        return (
+            f"<OwnershipRecord {self.mode.value} owners={sorted(map(repr, self.owners))} "
+            f"epoch={self.epoch}>"
+        )

@@ -1,0 +1,130 @@
+"""Remotable pointers and hotness tracking.
+
+The paper (§3, Challenges 1–3) points at pointer tagging and pointer
+swizzling — LeanStore, AIFM, TPP, Carbink — as the mechanism for
+tracking hot objects and referencing memory that may be local or
+remote.  We reproduce both ideas at region granularity:
+
+* :class:`RemotePointer` is a fat pointer ``(region, offset)`` that can
+  be *swizzled*: when the target region currently lives on a device the
+  observer can load/store directly, it dereferences in "direct" mode;
+  otherwise it is "remote" and dereferencing goes through the async
+  interface.  Each dereference bumps the tag's access counter.
+* :class:`HotnessTracker` maintains exponentially-decayed access
+  frequencies per region, which the tiering daemon
+  (:mod:`repro.memory.tiering`) uses for promotion/demotion decisions.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.hardware.cluster import Cluster
+from repro.memory.region import MemoryRegion
+
+
+class HotnessTracker:
+    """Exponentially-decayed per-region access statistics.
+
+    ``half_life_ns`` controls how fast history fades; hotness is
+    measured in (decayed) bytes touched.
+    """
+
+    def __init__(self, half_life_ns: float = 1_000_000.0):
+        if half_life_ns <= 0:
+            raise ValueError("half life must be positive")
+        self.decay = math.log(2.0) / half_life_ns
+        self._score: typing.Dict[int, float] = {}
+        self._last: typing.Dict[int, float] = {}
+        self.total_records = 0
+
+    def record(self, region_id: int, nbytes: float, time: float) -> None:
+        """Record an access of ``nbytes`` at simulated ``time``."""
+        if nbytes < 0:
+            raise ValueError("negative access size")
+        previous = self._score.get(region_id, 0.0)
+        last_time = self._last.get(region_id, time)
+        elapsed = max(0.0, time - last_time)
+        self._score[region_id] = previous * math.exp(-self.decay * elapsed) + nbytes
+        self._last[region_id] = time
+        self.total_records += 1
+
+    def hotness(self, region_id: int, time: float) -> float:
+        """Decayed score of a region as of ``time`` (0 if never seen)."""
+        if region_id not in self._score:
+            return 0.0
+        elapsed = max(0.0, time - self._last[region_id])
+        return self._score[region_id] * math.exp(-self.decay * elapsed)
+
+    def ranked(self, time: float) -> typing.List[typing.Tuple[int, float]]:
+        """All tracked regions, hottest first."""
+        pairs = [(rid, self.hotness(rid, time)) for rid in self._score]
+        pairs.sort(key=lambda p: (-p[1], p[0]))
+        return pairs
+
+    def forget(self, region_id: int) -> None:
+        """Drop all hotness history for a region."""
+        self._score.pop(region_id, None)
+        self._last.pop(region_id, None)
+
+
+class RemotePointer:
+    """A swizzlable fat pointer into a region.
+
+    The ``mode`` property answers "would a dereference by ``observer``
+    be a direct load or a remote fetch *right now*", which changes as
+    the tiering daemon migrates the region — exactly the
+    local-vs-remote pointer distinction of AIFM/Carbink.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        region: MemoryRegion,
+        offset: int = 0,
+        tracker: typing.Optional[HotnessTracker] = None,
+    ):
+        if offset < 0 or offset >= region.size:
+            raise ValueError(
+                f"offset {offset} outside region of {region.size} B"
+            )
+        self.cluster = cluster
+        self.region = region
+        self.offset = offset
+        self.tracker = tracker
+        self.dereferences = 0
+
+    def mode(self, observer: str) -> str:
+        """'direct' when the observer can load/store the backing device."""
+        if self.cluster.topology.addressable(observer, self.region.device.name):
+            return "direct"
+        return "remote"
+
+    def dereference(self, observer: str, nbytes: int = 64):
+        """Generator: touch ``nbytes`` at the pointer via the right mode.
+
+        Records the access in the hotness tracker.  Returns the access
+        duration in ns.
+        """
+        from repro.memory.interfaces import AccessMode, Accessor, AccessPattern
+
+        self.region.check_alive()
+        owner = next(iter(self.region.ownership.owners))
+        handle = self.region.handle(owner)
+        accessor = Accessor(self.cluster, handle, observer)
+        mode = AccessMode.SYNC if self.mode(observer) == "direct" else AccessMode.ASYNC
+        self.dereferences += 1
+        if self.tracker is not None:
+            self.tracker.record(self.region.id, nbytes, self.cluster.engine.now)
+        duration = yield from accessor.read(
+            min(nbytes, self.region.size), pattern=AccessPattern.RANDOM, mode=mode,
+            access_size=min(nbytes, self.region.size),
+        )
+        return duration
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemotePointer {self.region.name}+{self.offset} "
+            f"on {self.region.device.name}>"
+        )

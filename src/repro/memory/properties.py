@@ -1,0 +1,162 @@
+"""The property algebra: declarative memory requirements.
+
+The paper's key move (§2.1–2.2) is that applications request memory by
+**properties** instead of by device: "low latency from my compute
+device, persistent, coherent".  This module defines
+
+* the requirement vocabulary (:class:`MemoryProperties`) used in
+  requests,
+* the offer vocabulary (:class:`OfferedProperties`) describing what a
+  concrete device provides *as seen from a given compute device* — the
+  same physical device offers different classes to different observers,
+  which is exactly Figure 3's point — and
+* the matching relation :meth:`OfferedProperties.satisfies`.
+
+Class thresholds are defined on end-to-end round-trip latency and
+bottleneck bandwidth so that "low latency" means the same thing no
+matter which device/fabric combination provides it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+
+class LatencyClass(enum.IntEnum):
+    """Required *maximum* access latency, coarsened into classes.
+
+    Lower enum value = stricter requirement.  An offer of class X
+    satisfies any request of class >= X.
+    """
+
+    LOW = 0  # DRAM-like: rtt <= 500 ns
+    MEDIUM = 1  # CXL/NUMA-like: rtt <= 5 us
+    HIGH = 2  # far memory / fast storage: rtt <= 100 us
+    ANY = 3  # whatever, including disk
+
+    @staticmethod
+    def classify(rtt_ns: float) -> "LatencyClass":
+        if rtt_ns <= 500.0:
+            return LatencyClass.LOW
+        if rtt_ns <= 5_000.0:
+            return LatencyClass.MEDIUM
+        if rtt_ns <= 100_000.0:
+            return LatencyClass.HIGH
+        return LatencyClass.ANY
+
+
+class BandwidthClass(enum.IntEnum):
+    """Required *minimum* bandwidth, coarsened into classes.
+
+    Lower enum value = stricter requirement (more bandwidth).
+    """
+
+    HIGH = 0  # >= 100 B/ns (HBM/GDDR/DRAM)
+    MEDIUM = 1  # >= 10 B/ns (CXL, NIC fabrics)
+    LOW = 2  # >= 1 B/ns (PMem, SSD)
+    ANY = 3  # anything > 0
+
+    @staticmethod
+    def classify(bytes_per_ns: float) -> "BandwidthClass":
+        if bytes_per_ns >= 100.0:
+            return BandwidthClass.HIGH
+        if bytes_per_ns >= 10.0:
+            return BandwidthClass.MEDIUM
+        if bytes_per_ns >= 1.0:
+            return BandwidthClass.LOW
+        return BandwidthClass.ANY
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryProperties:
+    """A declarative memory request (what the application needs).
+
+    ``None`` for the tri-state fields means "don't care".  This is the
+    property set the paper attaches to tasks and dataflows (Figure 2c)
+    and to memory regions (Table 2).
+    """
+
+    latency: LatencyClass = LatencyClass.ANY
+    bandwidth: BandwidthClass = BandwidthClass.ANY
+    persistent: typing.Optional[bool] = None
+    coherent: typing.Optional[bool] = None
+    sync: typing.Optional[bool] = None  # needs a synchronous ld/st interface
+    confidential: bool = False
+
+    def merged_with(self, other: "MemoryProperties") -> "MemoryProperties":
+        """Combine two requirement sets, keeping the stricter of each.
+
+        Raises :class:`ValueError` on contradictions (e.g. one side
+        demands persistent=True, the other persistent=False).
+        """
+
+        def strict_tristate(name: str, a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            if a != b:
+                raise ValueError(f"contradictory requirement for {name}: {a} vs {b}")
+            return a
+
+        return MemoryProperties(
+            latency=min(self.latency, other.latency),
+            bandwidth=min(self.bandwidth, other.bandwidth),
+            persistent=strict_tristate("persistent", self.persistent, other.persistent),
+            coherent=strict_tristate("coherent", self.coherent, other.coherent),
+            sync=strict_tristate("sync", self.sync, other.sync),
+            confidential=self.confidential or other.confidential,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering (parseable by the DSL)."""
+        parts = [f"lat<={self.latency.name}", f"bw>={self.bandwidth.name}"]
+        for name in ("persistent", "coherent", "sync"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        if self.confidential:
+            parts.append("confidential")
+        return " ".join(parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class OfferedProperties:
+    """What one device offers as observed from one compute device.
+
+    Built by the runtime's placement layer from the device spec plus the
+    fabric path (latency, bottleneck bandwidth, addressability,
+    coherence of the path).  Matching a request against an offer is a
+    pure function so the optimizer can evaluate thousands of candidates
+    cheaply.
+    """
+
+    latency: LatencyClass
+    bandwidth: BandwidthClass
+    persistent: bool
+    coherent: bool  # device AND entire path are cache-coherent
+    sync: bool  # device supports sync ld/st AND path is addressable
+    isolated: bool  # acceptable for confidential data
+    rtt_ns: float  # raw numbers kept for cost ranking
+    bytes_per_ns: float
+
+    def satisfies(self, request: MemoryProperties) -> bool:
+        """Does this offer meet every requirement of ``request``?"""
+        if self.latency > request.latency:
+            return False
+        if self.bandwidth > request.bandwidth:
+            return False
+        if request.persistent is not None and self.persistent != request.persistent:
+            # Note: persistent=False means "must NOT be persistent" is too
+            # strict a reading; a persistent device can hold volatile data.
+            if request.persistent and not self.persistent:
+                return False
+        if request.coherent is not None and request.coherent and not self.coherent:
+            return False
+        if request.sync is not None and request.sync and not self.sync:
+            return False
+        if request.confidential and not self.isolated:
+            return False
+        return True

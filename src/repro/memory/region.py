@@ -1,0 +1,128 @@
+"""Memory Regions: logical, typed views onto physical memory.
+
+A :class:`MemoryRegion` is the paper's central object (§2.2(1)):
+*declared and identified by its properties, not by its location*.  The
+region remembers the request (properties + size), the physical backing
+the runtime chose (a device + an offset-level allocation), and its
+ownership record.  Tasks never hold regions directly — they hold
+:class:`RegionHandle` objects stamped with the ownership epoch, so a
+handle kept across an ownership transfer is *stale* and every use fails
+loudly (move semantics, Figure 4).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from itertools import count
+
+from repro.hardware.devices import MemoryDevice
+from repro.memory.allocator import Allocation
+from repro.memory.ownership import OwnershipRecord, UseAfterTransferError
+from repro.memory.properties import MemoryProperties
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.regions import RegionType
+
+
+class RegionState(enum.Enum):
+    """Lifecycle of a region: active, migrating, freed, or lost."""
+    ACTIVE = "active"
+    MIGRATING = "migrating"  # being moved between devices
+    FREED = "freed"  # deallocated (normal end of life)
+    LOST = "lost"  # backing device failed with no redundancy
+
+
+class MemoryRegion:
+    """One logical memory region and its current physical backing."""
+
+    _ids = count()
+
+    def __init__(
+        self,
+        size: int,
+        properties: MemoryProperties,
+        device: MemoryDevice,
+        allocation: Allocation,
+        owner: typing.Hashable,
+        name: str = "",
+        region_type: typing.Optional["RegionType"] = None,
+        created_at: float = 0.0,
+    ):
+        self.id = next(MemoryRegion._ids)
+        self.name = name or f"region-{self.id}"
+        self.size = size
+        self.properties = properties
+        self.device = device
+        self.allocation = allocation
+        self.region_type = region_type
+        self.ownership = OwnershipRecord(owner)
+        self.state = RegionState.ACTIVE
+        self.created_at = created_at
+        self.freed_at: typing.Optional[float] = None
+        self.migrations = 0
+        #: Confidential data placed on non-isolated (shared/pooled) media
+        #: is encrypted at rest; accesses then pay crypto cycles on the
+        #: observing compute device (see repro.memory.interfaces).
+        self.encrypted = False
+        #: Cumulative bytes written through access interfaces — the
+        #: dirty-tracking signal the checkpoint service watches.
+        self.bytes_written = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (RegionState.ACTIVE, RegionState.MIGRATING)
+
+    def handle(self, actor: typing.Hashable) -> "RegionHandle":
+        """Issue an epoch-stamped handle for ``actor`` (must be an owner)."""
+        self.ownership.check_access(actor)
+        return RegionHandle(self, actor, self.ownership.epoch)
+
+    def check_alive(self) -> None:
+        """Raise if the region has been freed or lost."""
+        if self.state is RegionState.FREED:
+            raise UseAfterTransferError(f"{self.name} has been freed")
+        if self.state is RegionState.LOST:
+            raise RegionLostError(f"{self.name} was lost to a device failure")
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryRegion {self.name} {self.size}B on {self.device.name} "
+            f"{self.state.value}>"
+        )
+
+
+class RegionLostError(Exception):
+    """The backing device failed and the region had no redundancy."""
+
+
+class RegionHandle:
+    """A task's capability to one region at one ownership epoch.
+
+    Handles are cheap value objects; :meth:`validate` is called by every
+    access interface operation, so using a handle after the region was
+    transferred, freed, or lost raises immediately.
+    """
+
+    __slots__ = ("region", "actor", "epoch")
+
+    def __init__(self, region: MemoryRegion, actor: typing.Hashable, epoch: int):
+        self.region = region
+        self.actor = actor
+        self.epoch = epoch
+
+    def validate(self) -> None:
+        """Raise unless the handle's owner and epoch are still current."""
+        self.region.check_alive()
+        self.region.ownership.check_access(self.actor, epoch=self.epoch)
+
+    @property
+    def valid(self) -> bool:
+        try:
+            self.validate()
+        except Exception:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<RegionHandle {self.region.name} actor={self.actor!r} epoch={self.epoch}>"

@@ -1,0 +1,148 @@
+"""Predefined Memory Regions — the paper's Table 2.
+
+The programming model pre-defines region types that bundle the property
+sets dataflow systems keep asking for:
+
+=================  ==============================  =======================
+Region             Properties (Table 2)            Purpose
+=================  ==============================  =======================
+Private Scratch    noncoherent ok, sync, low lat   thread-local data
+Global State       coherent, sync                  syncing tasks
+Global Scratch     coherent ok, async, roomy       data exchange
+Input / Output     transferable, medium lat        dataflow edges (Fig. 4)
+=================  ==============================  =======================
+
+``INPUT``/``OUTPUT`` are not in Table 2 but are the regions Figure 4
+builds the ownership-transfer story on, so the model predefines them
+too.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.memory.properties import BandwidthClass, LatencyClass, MemoryProperties
+
+
+class RegionType(enum.Enum):
+    """The predefined Memory Regions of the paper's Table 2 (+ edges)."""
+    PRIVATE_SCRATCH = "private_scratch"
+    GLOBAL_STATE = "global_state"
+    GLOBAL_SCRATCH = "global_scratch"
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+_DEFAULTS = {
+    # Thread-local: never shared, so coherence may be relaxed; it is hot
+    # working memory, so it must be fast and synchronously addressable.
+    RegionType.PRIVATE_SCRATCH: MemoryProperties(
+        latency=LatencyClass.LOW,
+        bandwidth=BandwidthClass.MEDIUM,
+        coherent=None,
+        sync=True,
+    ),
+    # Application-global synchronization state: strict coherence and
+    # strong ordering; expected slow (accessible from everywhere), so
+    # latency requirements are relaxed.
+    RegionType.GLOBAL_STATE: MemoryProperties(
+        latency=LatencyClass.MEDIUM,
+        bandwidth=BandwidthClass.ANY,
+        coherent=True,
+        sync=True,
+    ),
+    # Cross-task data exchange for unconnected tasks; asynchronous
+    # interface expected (threads should not block on far loads), so it
+    # can live far away; capacity over speed.
+    RegionType.GLOBAL_SCRATCH: MemoryProperties(
+        latency=LatencyClass.HIGH,
+        bandwidth=BandwidthClass.LOW,
+        coherent=None,
+        sync=None,
+    ),
+    # Dataflow edges: the output of one task that becomes the input of
+    # the next.  Needs to be reachable by both sides; medium latency.
+    RegionType.INPUT: MemoryProperties(
+        latency=LatencyClass.MEDIUM,
+        bandwidth=BandwidthClass.MEDIUM,
+        sync=None,
+    ),
+    RegionType.OUTPUT: MemoryProperties(
+        latency=LatencyClass.MEDIUM,
+        bandwidth=BandwidthClass.MEDIUM,
+        sync=None,
+    ),
+}
+
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class CustomRegionType:
+    """A user-named Memory Region type (quacks like :class:`RegionType`)."""
+
+    value: str
+
+    @property
+    def name(self) -> str:  # enum-compatible spelling
+        return self.value.upper().replace("-", "_")
+
+
+#: User-defined named regions: name -> (type object, properties).
+_CUSTOM: typing.Dict[str, typing.Tuple[CustomRegionType, MemoryProperties]] = {}
+
+
+def define_region_type(
+    name: str, properties: MemoryProperties
+) -> CustomRegionType:
+    """Name a property bundle, as the paper prescribes (§2.2(1)):
+    *"We group properties that are often used together and name the
+    resulting Memory Region."*
+
+    The returned type object can be passed anywhere a predefined
+    :class:`RegionType` goes — placement requests, task contexts, the
+    census.  Re-defining an existing name with identical properties is
+    idempotent; with different properties it raises.
+    """
+    if not name:
+        raise ValueError("region type name may not be empty")
+    normalized = name.strip().lower()
+    if any(normalized == rt.value for rt in RegionType):
+        raise ValueError(f"{name!r} shadows a predefined region type")
+    existing = _CUSTOM.get(normalized)
+    if existing is not None:
+        if existing[1] != properties:
+            raise ValueError(
+                f"region type {name!r} already defined with different "
+                "properties"
+            )
+        return existing[0]
+    region_type = CustomRegionType(normalized)
+    _CUSTOM[normalized] = (region_type, properties)
+    return region_type
+
+
+def lookup_region_type(
+    name: str,
+) -> typing.Union[RegionType, CustomRegionType]:
+    """Resolve a region-type name: predefined first, then user-defined."""
+    normalized = name.strip().lower()
+    for region_type in RegionType:
+        if region_type.value == normalized:
+            return region_type
+    if normalized in _CUSTOM:
+        return _CUSTOM[normalized][0]
+    raise KeyError(f"no region type named {name!r}")
+
+
+def region_properties(
+    region_type: typing.Union[RegionType, CustomRegionType, str],
+) -> MemoryProperties:
+    """The property set for a predefined or user-named region type."""
+    if isinstance(region_type, str):
+        region_type = lookup_region_type(region_type)
+    if isinstance(region_type, CustomRegionType):
+        return _CUSTOM[region_type.value][1]
+    return _DEFAULTS[region_type]

@@ -1,0 +1,36 @@
+"""Utilization accounting, provisioning economics, and report tables."""
+
+from repro.metrics.utilization import (
+    ClusterSnapshot,
+    cluster_snapshot,
+    stranded_bytes,
+)
+from repro.metrics.costs import (
+    pooling_savings,
+    provisioned_memory_cost,
+    required_provisioning,
+)
+from repro.metrics.report import Table, format_bytes, format_ns
+from repro.metrics.profiler import PhaseRecord, Profile
+from repro.metrics.energy import (
+    EnergyBreakdown,
+    EnergyMeter,
+    provisioned_memory_power,
+)
+
+__all__ = [
+    "ClusterSnapshot",
+    "EnergyBreakdown",
+    "EnergyMeter",
+    "PhaseRecord",
+    "Profile",
+    "Table",
+    "cluster_snapshot",
+    "format_bytes",
+    "format_ns",
+    "pooling_savings",
+    "provisioned_memory_cost",
+    "provisioned_memory_power",
+    "required_provisioning",
+    "stranded_bytes",
+]

@@ -1,0 +1,83 @@
+"""Provisioning economics: the Figure 1 argument, quantified.
+
+The intro's numbers — memory is 40–50% of server cost, utilization sits
+at 50–65% — mean static per-node provisioning pays for peaks that never
+coincide.  Given per-node demand *time series*:
+
+* static provisioning must cover the **sum of per-node peaks**, while
+* a pooled design (Figure 1b) must cover only the **peak of the summed
+  demand** (plus a safety headroom).
+
+:func:`pooling_savings` computes both and the resulting cost reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+
+
+def provisioned_memory_cost(cluster: Cluster) -> float:
+    """Capital cost of all provisioned memory (relative $, per Table 1
+    calibration's cost_per_gib)."""
+    total = 0.0
+    for device in cluster.memory.values():
+        gib = device.capacity / (1024 ** 3)
+        total += gib * device.spec.cost_per_gib
+    return total
+
+
+@dataclasses.dataclass(frozen=True)
+class ProvisioningComparison:
+    static_bytes: int  # sum of per-node peaks
+    pooled_bytes: int  # peak of summed demand
+    headroom: float
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.static_bytes == 0:
+            return 0.0
+        return 1.0 - self.pooled_bytes / self.static_bytes
+
+
+def required_provisioning(
+    demand_series: typing.Mapping[str, np.ndarray], headroom: float = 0.0
+) -> ProvisioningComparison:
+    """Compare static vs pooled provisioning for per-node demand series.
+
+    ``demand_series[node]`` is a 1-D array of bytes demanded over time
+    (all series aligned on the same time steps).
+    """
+    if not demand_series:
+        raise ValueError("no demand series given")
+    if headroom < 0:
+        raise ValueError("headroom must be >= 0")
+    lengths = {len(s) for s in demand_series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"demand series lengths differ: {sorted(lengths)}")
+    scale = 1.0 + headroom
+    static = sum(int(np.max(s)) for s in demand_series.values())
+    pooled = int(np.max(np.sum(list(demand_series.values()), axis=0)))
+    return ProvisioningComparison(
+        static_bytes=int(static * scale),
+        pooled_bytes=int(pooled * scale),
+        headroom=headroom,
+    )
+
+
+def pooling_savings(
+    demand_series: typing.Mapping[str, np.ndarray],
+    cost_per_byte: float = 1.0,
+    headroom: float = 0.0,
+) -> typing.Tuple[float, float, float]:
+    """(static cost, pooled cost, savings fraction) for the demand set."""
+    comparison = required_provisioning(demand_series, headroom)
+    return (
+        comparison.static_bytes * cost_per_byte,
+        comparison.pooled_bytes * cost_per_byte,
+        comparison.savings_fraction,
+    )

@@ -1,0 +1,72 @@
+"""Plain-text tables for the benchmark harness.
+
+Every bench prints the rows/series the paper's artifact would contain;
+this module keeps that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_ns(ns: float) -> str:
+    """Human-readable duration from nanoseconds."""
+    if ns != ns:  # NaN
+        return "n/a"
+    if ns == float("inf"):
+        return "inf"
+    for unit, factor in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if abs(ns) >= factor:
+            return f"{ns / factor:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable size from bytes."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024.0
+    return f"{value:.2f}TiB"  # pragma: no cover - loop always returns
+
+
+class Table:
+    """A minimal aligned-text table."""
+
+    def __init__(self, columns: typing.Sequence[str], title: str = ""):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: typing.List[typing.List[str]] = []
+
+    def add_row(self, *values) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([str(v) for v in values])
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,67 @@
+"""Cluster utilization metrics.
+
+The paper's economic motivation quotes 50–65% average memory
+utilization and memory at 40–50% of server cost — i.e. a lot of DRAM is
+*stranded*: provisioned on one node while another node is out of
+memory.  These helpers compute the quantities the Figure 1 bench
+reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware.cluster import Cluster
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSnapshot:
+    """Point-in-time utilization of a cluster."""
+
+    time: float
+    memory_used: int
+    memory_capacity: int
+    per_device_utilization: typing.Mapping[str, float]
+    compute_utilization: typing.Mapping[str, float]
+
+    @property
+    def memory_utilization(self) -> float:
+        if self.memory_capacity == 0:
+            return 0.0
+        return self.memory_used / self.memory_capacity
+
+
+def cluster_snapshot(cluster: Cluster) -> ClusterSnapshot:
+    """Point-in-time memory/compute utilization of a cluster."""
+    used = sum(d.used for d in cluster.memory.values())
+    capacity = sum(d.capacity for d in cluster.memory.values())
+    now = cluster.engine.now
+    return ClusterSnapshot(
+        time=now,
+        memory_used=used,
+        memory_capacity=capacity,
+        per_device_utilization={
+            name: d.utilization for name, d in cluster.memory.items()
+        },
+        compute_utilization={
+            name: (d.utilization(until=now) if now > 0 else 0.0)
+            for name, d in cluster.compute.items()
+        },
+    )
+
+
+def stranded_bytes(
+    demands: typing.Mapping[str, int], capacities: typing.Mapping[str, int]
+) -> int:
+    """Bytes of demand unservable locally despite free capacity elsewhere.
+
+    ``demands[node]`` is what each node needs right now;
+    ``capacities[node]`` what it was provisioned with.  Under static
+    per-node provisioning a node cannot borrow a neighbour's free DRAM,
+    so ``min(total_free, total_shortfall)`` bytes are *stranded*: demand
+    that a pooled design (Figure 1b) would have served.
+    """
+    free = sum(max(0, capacities[n] - demands.get(n, 0)) for n in capacities)
+    shortfall = sum(max(0, demands[n] - capacities.get(n, 0)) for n in demands)
+    return min(free, shortfall)

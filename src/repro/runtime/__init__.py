@@ -1,0 +1,80 @@
+"""The runtime system (RTS) — the paper's core contribution (§2.3).
+
+The RTS is responsible for
+
+1. determining at runtime which physical memory device best fits each
+   task's declared requirements (:mod:`repro.runtime.placement`, driven
+   by :mod:`repro.runtime.costmodel`),
+2. allocating the Memory Regions tasks request,
+3. de-allocating regions after the last owning task finishes
+   (ownership bookkeeping in :mod:`repro.memory`), and
+4. resource-aware task scheduling (:mod:`repro.runtime.scheduler`).
+
+Data moves between tasks by **ownership transfer** whenever the
+downstream compute device can address the region, and by physical copy
+only when it cannot (:mod:`repro.runtime.transfer` — Figure 4).
+:class:`~repro.runtime.rts.RuntimeSystem` is the public facade.
+"""
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.placement import (
+    DeclarativePlacement,
+    EncryptingPlacement,
+    NaivePlacement,
+    PlacementPolicy,
+    PlacementRequest,
+    StaticKindPlacement,
+)
+from repro.runtime.scheduler import (
+    HeftScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SchedulingError,
+)
+from repro.runtime.transfer import HandoverManager, HandoverStats
+from repro.runtime.rts import JobStats, RuntimeSystem, TaskContext
+from repro.runtime.resilience import (
+    JobAbandoned,
+    ResilienceStats,
+    ResilientRuntime,
+    prune_with_checkpoints,
+)
+from repro.runtime.admission import AdmittedJob, RackDriver, RackStats
+from repro.runtime.calibration import CalibratedCostModel, ObservationStats
+from repro.runtime.planner import JobPlan, PlannedRegion, TaskPlan, plan_job
+from repro.runtime import baselines
+
+__all__ = [
+    "AdmittedJob",
+    "CalibratedCostModel",
+    "CostModel",
+    "DeclarativePlacement",
+    "EncryptingPlacement",
+    "HandoverManager",
+    "HandoverStats",
+    "HeftScheduler",
+    "JobAbandoned",
+    "JobPlan",
+    "JobStats",
+    "NaivePlacement",
+    "ObservationStats",
+    "PlacementPolicy",
+    "PlacementRequest",
+    "PlannedRegion",
+    "RackDriver",
+    "RackStats",
+    "RandomScheduler",
+    "ResilienceStats",
+    "ResilientRuntime",
+    "RoundRobinScheduler",
+    "RuntimeSystem",
+    "Scheduler",
+    "SchedulingError",
+    "StaticKindPlacement",
+    "TaskContext",
+    "TaskPlan",
+    "baselines",
+    "plan_job",
+    "prune_with_checkpoints",
+]

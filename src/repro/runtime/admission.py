@@ -1,0 +1,170 @@
+"""Multi-tenant rack driving: arrivals, admission, utilization.
+
+The paper's RTS must serve "thousands of jobs in parallel" (§2.1) and
+"optimize for concurrently running jobs" (§3).  :class:`RackDriver`
+turns the runtime into that shared service: jobs arrive on a trace
+(see :mod:`repro.workloads.arrivals`), an admission gate bounds
+concurrency and keeps memory headroom, queued jobs start in arrival
+order, and the driver samples cluster utilization while running — the
+quantities the Figure 1 economics argument is about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.runtime.rts import JobStats, RuntimeSystem
+from repro.sim.trace import MetricRecorder
+
+
+@dataclasses.dataclass
+class AdmittedJob:
+    name: str
+    arrived_at: float
+    admitted_at: float = 0.0
+    stats: typing.Optional[JobStats] = None
+
+    @property
+    def queue_wait(self) -> float:
+        return self.admitted_at - self.arrived_at
+
+    @property
+    def completed(self) -> bool:
+        return self.stats is not None and self.stats.ok
+
+
+@dataclasses.dataclass
+class RackStats:
+    jobs: typing.List[AdmittedJob] = dataclasses.field(default_factory=list)
+    memory_utilization: typing.Optional[MetricRecorder] = None
+    peak_concurrency: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for j in self.jobs if j.completed)
+
+    @property
+    def mean_queue_wait(self) -> float:
+        done = [j for j in self.jobs if j.stats is not None]
+        if not done:
+            return 0.0
+        return sum(j.queue_wait for j in done) / len(done)
+
+    @property
+    def mean_makespan(self) -> float:
+        done = [j for j in self.jobs if j.stats is not None]
+        if not done:
+            return 0.0
+        return sum(j.stats.makespan for j in done) / len(done)
+
+    def mean_memory_utilization(self, until: float) -> float:
+        """Time-weighted mean pool utilization over the sampled window."""
+        if self.memory_utilization is None:
+            return 0.0
+        return self.memory_utilization.time_weighted_mean(until)
+
+
+class RackDriver:
+    """Runs a job-arrival trace through one runtime with admission."""
+
+    def __init__(
+        self,
+        rts: RuntimeSystem,
+        max_concurrent: int = 8,
+        memory_headroom: float = 0.05,
+        sample_interval_ns: float = 100_000.0,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if not 0.0 <= memory_headroom < 1.0:
+            raise ValueError("memory_headroom must be in [0, 1)")
+        self.rts = rts
+        self.max_concurrent = max_concurrent
+        self.memory_headroom = memory_headroom
+        self.sample_interval_ns = sample_interval_ns
+        self._running = 0
+        self._queue: typing.List[typing.Tuple[AdmittedJob, typing.Callable]] = []
+        self.stats = RackStats(memory_utilization=MetricRecorder())
+        self._sampling = True
+
+    # -- admission gate ------------------------------------------------------
+
+    def _gate_open(self) -> bool:
+        if self._running >= self.max_concurrent:
+            return False
+        capacity = sum(d.capacity for d in self.rts.cluster.memory.values())
+        used = sum(d.used for d in self.rts.cluster.memory.values())
+        return used <= capacity * (1.0 - self.memory_headroom)
+
+    def _pump(self) -> None:
+        """Admit queued jobs while the gate is open (arrival order)."""
+        engine = self.rts.cluster.engine
+        while self._queue and self._gate_open():
+            admitted, factory = self._queue.pop(0)
+            admitted.admitted_at = engine.now
+            self._running += 1
+            self.stats.peak_concurrency = max(
+                self.stats.peak_concurrency, self._running
+            )
+            execution = self.rts.submit(factory())
+            execution.done.add_callback(
+                lambda event, job=admitted: self._on_done(job, event)
+            )
+
+    def _on_done(self, admitted: AdmittedJob, event) -> None:
+        self._running -= 1
+        if event._ok:
+            admitted.stats = event._value
+        else:
+            event.defuse()
+        self._pump()
+
+    # -- trace execution ---------------------------------------------------
+
+    def run_trace(
+        self,
+        arrivals: typing.Sequence[typing.Tuple[float, str, typing.Callable]],
+    ) -> RackStats:
+        """Run ``(time, name, job_factory)`` arrivals to completion.
+
+        Returns the rack statistics; the simulation clock ends when the
+        last admitted job finishes.
+        """
+        engine = self.rts.cluster.engine
+        ordered = sorted(arrivals, key=lambda a: a[0])
+
+        def arrival_process():
+            for time, name, factory in ordered:
+                if time > engine.now:
+                    yield engine.timeout(time - engine.now)
+                admitted = AdmittedJob(name=name, arrived_at=engine.now)
+                self.stats.jobs.append(admitted)
+                self._queue.append((admitted, factory))
+                self._pump()
+
+        def sampler():
+            capacity = sum(d.capacity for d in self.rts.cluster.memory.values())
+            while self._sampling:
+                used = sum(d.used for d in self.rts.cluster.memory.values())
+                self.stats.memory_utilization.record(
+                    engine.now, used / capacity if capacity else 0.0
+                )
+                yield engine.timeout(self.sample_interval_ns)
+
+        engine.process(arrival_process(), name="rack-arrivals")
+        sampler_proc = engine.process(sampler(), name="rack-sampler")
+        # Run until only the sampler keeps the queue alive.
+        while True:
+            engine.run(until=engine.now + self.sample_interval_ns)
+            drained = (
+                not self._queue
+                and self._running == 0
+                and len(self.stats.jobs) == len(ordered)
+            )
+            if drained:
+                break
+        self._sampling = False
+        sampler_proc.kill()
+        engine.run()
+        return self.stats

@@ -1,0 +1,118 @@
+"""Baseline runtime configurations the paper argues against.
+
+The paper's premise: "Traditionally, a developer has to explicitly
+place data on a memory device and specify which accelerator performs
+the computation" (§1).  These factories build RuntimeSystem instances
+embodying that tradition, so every benchmark can compare
+
+* ``declarative(cluster)`` — the paper's model (property-driven
+  placement + cost-model scheduling + ownership handover),
+* ``naive(cluster)`` — a developer with no topology knowledge: random
+  feasible placement, random feasible scheduling,
+* ``static(cluster, kind_map)`` — the classic explicit model: a fixed
+  region-type→device-kind map and a fixed or round-robin task mapping,
+* ``local_only(cluster, dram_name)`` — the process-centric model: all
+  data in one node's DRAM regardless of who computes.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.devices import MemoryDevice
+from repro.hardware.spec import MemoryKind
+from repro.memory.manager import PlacementError
+from repro.memory.region import MemoryRegion
+from repro.runtime.placement import (
+    DeclarativePlacement,
+    NaivePlacement,
+    PlacementPolicy,
+    PlacementRequest,
+    StaticKindPlacement,
+)
+from repro.runtime.rts import RuntimeSystem
+from repro.runtime.scheduler import (
+    HeftScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+
+def declarative(cluster: Cluster) -> RuntimeSystem:
+    """The paper's runtime: declarative placement + HEFT scheduling."""
+    return RuntimeSystem(cluster)
+
+
+def naive(cluster: Cluster) -> RuntimeSystem:
+    """Topology-oblivious baseline: random placement, random scheduling."""
+    rts = RuntimeSystem(cluster, scheduler=RandomScheduler())
+    rts.placement = NaivePlacement(cluster, rts.memory, rts.costmodel)
+    rts.handover.placement = rts.placement
+    return rts
+
+
+def static(
+    cluster: Cluster,
+    kind_map: typing.Optional[dict] = None,
+    scheduler: typing.Optional[Scheduler] = None,
+) -> RuntimeSystem:
+    """Traditional explicit model: fixed kind map, cost-blind scheduler."""
+    rts = RuntimeSystem(
+        cluster, scheduler=scheduler if scheduler is not None else RoundRobinScheduler()
+    )
+    rts.placement = StaticKindPlacement(
+        cluster, rts.memory, rts.costmodel, kind_map=kind_map
+    )
+    rts.handover.placement = rts.placement
+    return rts
+
+
+class PinnedPlacement(PlacementPolicy):
+    """Everything on one named device — the process-centric extreme."""
+
+    def __init__(self, cluster, manager, costmodel, device_name: str):
+        super().__init__(cluster, manager, costmodel)
+        if device_name not in cluster.memory:
+            raise ValueError(f"unknown memory device {device_name!r}")
+        self.device_name = device_name
+
+    def choose_device(self, request: PlacementRequest) -> MemoryDevice:
+        device = self.cluster.memory[self.device_name]
+        if device.failed:
+            raise PlacementError(f"{self.device_name} has failed")
+        if request.properties.persistent and not device.spec.persistent:
+            # The pinned developer keeps persistent data on the first
+            # persistent device they can find.
+            for fallback in self._alive_devices():
+                if fallback.spec.persistent and self._has_room(fallback, request.size):
+                    return fallback
+            raise PlacementError("no persistent device available")
+        if not self._has_room(device, request.size):
+            raise PlacementError(f"{self.device_name} is full")
+        return device
+
+
+def local_only(cluster: Cluster, device_name: str) -> RuntimeSystem:
+    """Process-centric baseline: all regions pinned to one device."""
+    rts = RuntimeSystem(cluster, scheduler=HeftScheduler())
+    rts.placement = PinnedPlacement(
+        cluster, rts.memory, rts.costmodel, device_name
+    )
+    rts.handover.placement = rts.placement
+    return rts
+
+
+REGISTRY: typing.Dict[str, typing.Callable[..., RuntimeSystem]] = {
+    "declarative": declarative,
+    "naive": naive,
+    "static": static,
+}
+
+
+def dram_kind_map() -> dict:
+    """The 'everything in DRAM' explicit map (the classic default)."""
+    from repro.memory.regions import RegionType
+
+    return {rt: MemoryKind.DRAM for rt in RegionType}

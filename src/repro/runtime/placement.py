@@ -1,0 +1,260 @@
+"""Placement: matching declared properties to physical devices.
+
+This is where "Memory Regions are declared and identified by their
+properties, not by their location" (§2.2) becomes an algorithm:
+
+1. filter the live devices to those whose *offer* — as seen from every
+   compute device that will touch the region (Figure 3) — satisfies the
+   request, and which have room;
+2. rank the survivors by estimated access cost for the declared usage
+   and break ties toward cheaper media, keeping fast tiers free;
+3. allocate on the winner.
+
+Two deliberately bad policies (:class:`NaivePlacement`,
+:class:`StaticKindPlacement`) reproduce the baselines the paper argues
+against: location-oblivious first-fit and the traditional explicit
+"everything goes on device kind X" style.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.dataflow.workspec import RegionUsage
+from repro.hardware.devices import MemoryDevice
+from repro.hardware.spec import MemoryKind
+from repro.memory.interfaces import AccessPattern
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.properties import MemoryProperties
+from repro.memory.region import MemoryRegion
+from repro.memory.regions import RegionType
+from repro.runtime.costmodel import CostModel
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementRequest:
+    """One region allocation request as seen by the placement policy."""
+
+    size: int
+    properties: MemoryProperties
+    owner: typing.Hashable
+    #: Compute devices that will access the region; the offer must
+    #: satisfy the request from every one of them.
+    observers: typing.Tuple[str, ...]
+    name: str = ""
+    region_type: typing.Optional[RegionType] = None
+    #: Declared usage; lets the policy rank by expected access cost.
+    usage: typing.Optional[RegionUsage] = None
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive, got {self.size}")
+        if not self.observers:
+            raise ValueError("a placement request needs at least one observer")
+
+
+class PlacementPolicy:
+    """Interface: choose a device for a request, then allocate on it."""
+
+    def __init__(self, cluster, manager: MemoryManager, costmodel: CostModel):
+        self.cluster = cluster
+        self.manager = manager
+        self.costmodel = costmodel
+        self.placements = 0
+        self.rejections = 0
+
+    def choose_device(self, request: PlacementRequest) -> MemoryDevice:
+        """Pick the backing device for a request (no allocation)."""
+        raise NotImplementedError
+
+    def place(self, request: PlacementRequest) -> MemoryRegion:
+        """Choose a device and allocate the region there."""
+        device = self.choose_device(request)
+        region = self.manager.allocate_on(
+            device.name, request.size, request.properties, request.owner,
+            name=request.name, region_type=request.region_type,
+        )
+        self.placements += 1
+        self.cluster.trace.emit(
+            self.cluster.engine.now, "placement", "place",
+            region=region.name, device=device.name,
+            properties=request.properties.describe(),
+        )
+        return region
+
+    def _has_room(self, device: MemoryDevice, size: int) -> bool:
+        return self.manager.allocators[device.name].largest_free_extent >= size
+
+    def _alive_devices(self) -> typing.List[MemoryDevice]:
+        return self.cluster.memory_devices()
+
+
+class DeclarativePlacement(PlacementPolicy):
+    """The paper's policy: cheapest device satisfying all declared
+    properties from the view of every observer."""
+
+    def candidates(self, request: PlacementRequest) -> typing.List[MemoryDevice]:
+        """Live devices whose offer satisfies the request for every observer."""
+        survivors = []
+        for device in self._alive_devices():
+            if not self._has_room(device, request.size):
+                continue
+            offers = [self.costmodel.offered(o, device) for o in request.observers]
+            if all(offer.satisfies(request.properties) for offer in offers):
+                survivors.append(device)
+        return survivors
+
+    def score(self, request: PlacementRequest, device: MemoryDevice) -> float:
+        """Lower is better: expected access cost + a capacity-pressure
+        term that keeps scarce fast tiers free for demanding requests."""
+        usage = request.usage or RegionUsage(
+            size=request.size, touches=1.0, pattern=AccessPattern.SEQUENTIAL
+        )
+        cost = max(
+            self.costmodel.access_time(observer, device, usage)
+            for observer in request.observers
+        )
+        pressure = device.utilization  # 0..1
+        media_price = device.spec.cost_per_gib
+        return cost * (1.0 + 0.25 * pressure) + 1e-3 * media_price
+
+    def choose_device(self, request: PlacementRequest) -> MemoryDevice:
+        """The lowest-scoring satisfying candidate (raises if none)."""
+        survivors = self.candidates(request)
+        if not survivors:
+            self.rejections += 1
+            raise PlacementError(
+                f"no device satisfies {request.properties.describe()} "
+                f"for observers {list(request.observers)} "
+                f"(size {request.size} B)"
+            )
+        return min(survivors, key=lambda d: self.score(request, d))
+
+
+class EncryptingPlacement(DeclarativePlacement):
+    """Declarative placement that may trade isolation for encryption.
+
+    When a *confidential* request has no isolated candidate (or only
+    expensive ones), this policy also considers non-isolated devices,
+    pricing in the crypto cycles every access will pay on the
+    requesting observer.  Chosen non-isolated placements are marked
+    ``encrypted`` so the access interfaces charge the crypto cost.
+
+    This operationalizes the paper's point that built-in encryption
+    accelerators (Sapphire Rapids, FPGAs, DPUs) change placement
+    economics for sensitive data.
+    """
+
+    def candidates(self, request: PlacementRequest):
+        """Satisfying devices, plus encryptable fallbacks for confidential data."""
+        from dataclasses import replace as dc_replace
+
+        survivors = super().candidates(request)
+        if not request.properties.confidential:
+            return survivors
+        relaxed = dc_replace(request.properties, confidential=False)
+        extra = []
+        seen = {device.name for device in survivors}
+        for device in self._alive_devices():
+            if device.name in seen or not self._has_room(device, request.size):
+                continue
+            offers = [self.costmodel.offered(o, device) for o in request.observers]
+            if all(offer.satisfies(relaxed) for offer in offers):
+                extra.append(device)
+        return survivors + extra
+
+    def score(self, request: PlacementRequest, device) -> float:
+        """Base score plus the crypto surcharge on non-isolated devices."""
+        from repro.memory.interfaces import encryption_time
+
+        base = super().score(request, device)
+        if not request.properties.confidential:
+            return base
+        offers = [self.costmodel.offered(o, device) for o in request.observers]
+        if all(offer.isolated for offer in offers):
+            return base
+        usage = request.usage
+        touched = usage.touched_bytes if usage is not None else request.size
+        crypto = max(
+            encryption_time(self.cluster, observer, touched)
+            for observer in request.observers
+        )
+        return base + crypto
+
+    def place(self, request: PlacementRequest) -> MemoryRegion:
+        """Place the request, marking non-isolated confidential data encrypted."""
+        region = super().place(request)
+        if request.properties.confidential:
+            offers = [
+                self.costmodel.offered(o, region.device)
+                for o in request.observers
+            ]
+            if not all(offer.isolated for offer in offers):
+                region.encrypted = True
+                self.cluster.trace.emit(
+                    self.cluster.engine.now, "placement", "encrypted",
+                    region=region.name, device=region.device.name,
+                )
+        return region
+
+
+class NaivePlacement(PlacementPolicy):
+    """Baseline: seeded-random device with room; only hard physical
+    constraints (persistence) respected.  Models a developer placing data
+    with no knowledge of the topology."""
+
+    def __init__(self, cluster, manager, costmodel, stream: str = "naive-placement"):
+        super().__init__(cluster, manager, costmodel)
+        self._rng = cluster.streams.stream(stream)
+
+    def choose_device(self, request: PlacementRequest) -> MemoryDevice:
+        """A seeded-random device with room (topology-oblivious baseline)."""
+        candidates = [
+            device for device in self._alive_devices()
+            if self._has_room(device, request.size)
+            and (not request.properties.persistent or device.spec.persistent)
+            and device.spec.byte_addressable
+        ]
+        if not candidates:
+            self.rejections += 1
+            raise PlacementError(f"no device has {request.size} B free")
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+
+class StaticKindPlacement(PlacementPolicy):
+    """Baseline: the traditional explicit model — a fixed mapping from
+    region type to device *kind*, chosen once by the developer."""
+
+    DEFAULT_MAP = {
+        RegionType.PRIVATE_SCRATCH: MemoryKind.DRAM,
+        RegionType.GLOBAL_STATE: MemoryKind.DRAM,
+        RegionType.GLOBAL_SCRATCH: MemoryKind.DRAM,
+        RegionType.INPUT: MemoryKind.DRAM,
+        RegionType.OUTPUT: MemoryKind.DRAM,
+    }
+
+    def __init__(self, cluster, manager, costmodel, kind_map=None):
+        super().__init__(cluster, manager, costmodel)
+        self.kind_map = dict(kind_map or self.DEFAULT_MAP)
+
+    def choose_device(self, request: PlacementRequest) -> MemoryDevice:
+        """The least-utilized device of the statically mapped kind."""
+        kind = self.kind_map.get(request.region_type, MemoryKind.DRAM)
+        candidates = [
+            device for device in self._alive_devices()
+            if device.kind == kind and self._has_room(device, request.size)
+            and (not request.properties.persistent or device.spec.persistent)
+        ]
+        if not candidates:
+            # The explicit programmer's fallback: anything with room.
+            candidates = [
+                device for device in self._alive_devices()
+                if self._has_room(device, request.size)
+                and (not request.properties.persistent or device.spec.persistent)
+            ]
+        if not candidates:
+            self.rejections += 1
+            raise PlacementError(f"no device has {request.size} B free")
+        # Deterministic: fill the least-utilized matching device.
+        return min(candidates, key=lambda d: (d.utilization, d.name))

@@ -1,0 +1,172 @@
+"""Dry-run planning: what *would* the runtime do with this job?
+
+Declarative systems owe their users an explanation (the paper's
+Challenge 8: the runtime "hides performance-relevant details").  The
+planner answers without executing anything: given a job, it reports the
+scheduler's assignment, the device every region would land on, and a
+critical-path makespan estimate — no allocations, no simulation time,
+no side effects.
+
+Estimates come from the same cost model the scheduler uses, so the plan
+is exactly the optimizer's view; the simulator remains the ground truth
+(contention makes real runs slower).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.dataflow.graph import Job, Task
+from repro.memory.regions import RegionType, region_properties
+from repro.runtime.costmodel import OWNERSHIP_TRANSFER_NS
+from repro.runtime.placement import PlacementRequest
+from repro.metrics.report import Table, format_bytes, format_ns
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.rts import RuntimeSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedRegion:
+    role: str
+    size: int
+    device: str
+    properties: str
+
+
+@dataclasses.dataclass
+class TaskPlan:
+    name: str
+    device: str
+    est_start: float
+    est_finish: float
+    regions: typing.List[PlannedRegion]
+
+    @property
+    def est_duration(self) -> float:
+        return self.est_finish - self.est_start
+
+
+@dataclasses.dataclass
+class JobPlan:
+    job_name: str
+    assignment: typing.Dict[str, str]
+    tasks: typing.Dict[str, TaskPlan]
+    predicted_makespan: float
+
+    def critical_path(self) -> typing.List[str]:
+        """The serial spine of the planned schedule, by estimated finish."""
+        ordered = sorted(self.tasks.values(), key=lambda t: t.est_finish)
+        spine, horizon = [], -1.0
+        for plan in ordered:
+            if plan.est_start >= horizon - 1e-9:
+                spine.append(plan.name)
+                horizon = plan.est_finish
+        return spine
+
+    def render(self) -> str:
+        """The plan as an aligned text table."""
+        table = Table(
+            ["task", "device", "est start", "est duration", "regions"],
+            title=f"Plan for job {self.job_name!r} "
+                  f"(predicted makespan {format_ns(self.predicted_makespan)})",
+        )
+        for plan in sorted(self.tasks.values(), key=lambda t: t.est_start):
+            regions = "; ".join(
+                f"{r.role}->{r.device} ({format_bytes(r.size)})"
+                for r in plan.regions
+            )
+            table.add_row(plan.name, plan.device, format_ns(plan.est_start),
+                          format_ns(plan.est_duration), regions or "-")
+        return table.render()
+
+
+def plan_job(rts: "RuntimeSystem", job: Job) -> JobPlan:
+    """Produce the runtime's plan for ``job`` without running it."""
+    job.validate()
+    assignment = rts.scheduler.assign(job, rts.cluster, rts.costmodel)
+
+    region_plans: typing.Dict[str, typing.List[PlannedRegion]] = {}
+    device_for: typing.Dict[typing.Tuple[str, str], str] = {}
+
+    def preview(task: Task, role: str, region_type, size, observers, usage):
+        if size <= 0:
+            return
+        properties = _properties_for(task, region_type)
+        request = PlacementRequest(
+            size=size, properties=properties, owner="plan",
+            observers=tuple(dict.fromkeys(observers)),
+            region_type=region_type, usage=usage,
+        )
+        # choose_device inspects; it never allocates.
+        device = rts.placement.choose_device(request)
+        region_plans.setdefault(task.name, []).append(PlannedRegion(
+            role=role, size=size, device=device.name,
+            properties=properties.describe(),
+        ))
+        device_for[(task.name, role)] = device.name
+
+    for task in job.topological_order():
+        compute = assignment[task.name]
+        if task.work.scratch is not None:
+            preview(task, "scratch", RegionType.PRIVATE_SCRATCH,
+                    task.work.scratch.size, [compute], task.work.scratch)
+        if task.work.output is not None:
+            downstream = [assignment[d.name] for d in task.downstream()]
+            preview(task, "output", RegionType.OUTPUT,
+                    task.work.output.size, [compute] + downstream,
+                    task.work.output)
+
+    # Critical-path estimate over the DAG with the planned devices.
+    finish: typing.Dict[str, float] = {}
+    plans: typing.Dict[str, TaskPlan] = {}
+    for task in job.topological_order():
+        compute = assignment[task.name]
+        start = 0.0
+        for upstream in task.upstream():
+            comm = OWNERSHIP_TRANSFER_NS if upstream.work.output else 0.0
+            start = max(start, finish[upstream.name] + comm)
+
+        def memory_for(role: str, task=task, compute=compute):
+            key = (task.name, "scratch" if role in ("scratch", "state") else role)
+            name = device_for.get(key)
+            if name is None:
+                return rts.costmodel.best_scratch_device(compute)
+            return rts.cluster.memory[name]
+
+        input_bytes = sum(u.work.output_size for u in task.upstream())
+        duration = rts.costmodel.task_time_estimate(
+            task, compute, memory_for, input_bytes=input_bytes
+        )
+        finish[task.name] = start + duration
+        plans[task.name] = TaskPlan(
+            name=task.name, device=compute,
+            est_start=start, est_finish=start + duration,
+            regions=region_plans.get(task.name, []),
+        )
+
+    return JobPlan(
+        job_name=job.name,
+        assignment=assignment,
+        tasks=plans,
+        predicted_makespan=max(finish.values()) if finish else 0.0,
+    )
+
+
+def _properties_for(task: Task, region_type):
+    import dataclasses as dc
+
+    if region_type is RegionType.PRIVATE_SCRATCH:
+        base = region_properties(RegionType.PRIVATE_SCRATCH)
+        card = task.properties
+        return dc.replace(
+            base,
+            latency=card.mem_latency if card.mem_latency is not None
+            else base.latency,
+            confidential=card.confidential,
+        )
+    properties = task.properties.output_properties()
+    if not task.properties.persistent:
+        properties = properties.merged_with(region_properties(RegionType.OUTPUT))
+    return properties

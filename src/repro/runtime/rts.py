@@ -1,0 +1,664 @@
+"""The Runtime System facade: submit jobs, run them, collect metrics.
+
+:class:`RuntimeSystem` wires together the memory manager, cost model,
+placement policy, scheduler, and handover manager, and executes
+dataflow jobs on the simulated cluster:
+
+* the scheduler maps tasks to compute devices *before* execution
+  (deployment decision, §3 challenge 2);
+* every region a task requests is placed by the declarative placement
+  policy from the viewpoint of the devices that will touch it
+  (Figure 3), with output regions placed for *both* the producer and
+  the consumers so that handover can be zero-copy (Figure 4);
+* when the last owner of a region drops, it is freed (RTS duty 3);
+* tasks run as simulation processes; their behaviour is either the
+  default derived from the :class:`~repro.dataflow.workspec.WorkSpec`
+  or a user generator function receiving a :class:`TaskContext`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.dataflow.graph import Job, Task
+from repro.dataflow.workspec import RegionUsage
+from repro.hardware.cluster import Cluster
+from repro.hardware.spec import OpClass
+from repro.memory.interfaces import AccessMode, AccessPattern, Accessor
+from repro.memory.manager import MemoryManager
+from repro.memory.properties import MemoryProperties
+from repro.memory.region import MemoryRegion, RegionHandle
+from repro.memory.regions import RegionType, region_properties
+from repro.runtime.costmodel import CostModel
+from repro.runtime.placement import (
+    DeclarativePlacement,
+    PlacementPolicy,
+    PlacementRequest,
+)
+from repro.runtime.scheduler import HeftScheduler, Scheduler
+from repro.runtime.transfer import HandoverManager
+from repro.sim.events import Event
+
+
+class TaskFailure(Exception):
+    """A task's execution failed; carries the original cause."""
+
+
+@dataclasses.dataclass
+class TaskStats:
+    name: str
+    device: str = ""
+    ready_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def queue_delay(self) -> float:
+        return self.started_at - self.ready_at
+
+
+@dataclasses.dataclass
+class JobStats:
+    job_name: str
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    assignment: typing.Dict[str, str] = dataclasses.field(default_factory=dict)
+    tasks: typing.Dict[str, TaskStats] = dataclasses.field(default_factory=dict)
+    zero_copy_handover: int = 0
+    copy_handover: int = 0
+    bytes_copied: float = 0.0
+    regions_allocated: int = 0
+    error: typing.Optional[BaseException] = None
+
+    @property
+    def makespan(self) -> float:
+        return self.finished_at - self.submitted_at
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class TaskContext:
+    """What a running task sees: its regions and simulation verbs.
+
+    All memory-touching methods are generators and must be used with
+    ``yield from`` inside the task function.
+    """
+
+    def __init__(self, execution: "_JobExecution", task: Task, device_name: str):
+        self._execution = execution
+        self._rts = execution.rts
+        self.task = task
+        self.compute = device_name
+        self.inputs: typing.List[RegionHandle] = []
+        self._scratch: typing.Optional[MemoryRegion] = None
+        self._output: typing.Optional[MemoryRegion] = None
+        self._extra_regions: typing.List[MemoryRegion] = []
+
+    # -- identity / time ------------------------------------------------------
+
+    @property
+    def owner(self) -> str:
+        return self.task.qualified_name
+
+    @property
+    def now(self) -> float:
+        return self._rts.cluster.engine.now
+
+    def log(self, message: str, **fields) -> None:
+        """Emit a structured trace message attributed to this task."""
+        self._rts.cluster.trace.emit(self.now, "task", message,
+                                     task=self.owner, **fields)
+
+    # -- regions ----------------------------------------------------------
+
+    def input(self) -> RegionHandle:
+        """The (single) input handle; raises if there is none."""
+        if not self.inputs:
+            raise TaskFailure(f"{self.owner} has no input region")
+        return self.inputs[0]
+
+    def _scratch_properties(self) -> MemoryProperties:
+        """Table 2 Private Scratch defaults, tightened by the task card."""
+        base = region_properties(RegionType.PRIVATE_SCRATCH)
+        card = self.task.properties
+        return dataclasses.replace(
+            base,
+            latency=card.mem_latency if card.mem_latency is not None else base.latency,
+            confidential=card.confidential,
+        )
+
+    def private_scratch(self, size: typing.Optional[int] = None) -> RegionHandle:
+        """Allocate (once) and return this task's Private Scratch."""
+        if self._scratch is None:
+            if size is None:
+                size = self.task.work.scratch_size
+            if size <= 0:
+                raise TaskFailure(f"{self.owner}: no scratch size declared or given")
+            props = self._scratch_properties()
+            region = self._rts.placement.place(PlacementRequest(
+                size=size, properties=props, owner=self.owner,
+                observers=(self.compute,),
+                name=f"{self.owner}#scratch",
+                region_type=RegionType.PRIVATE_SCRATCH,
+                usage=self.task.work.scratch,
+            ))
+            self._scratch = region
+        return self._scratch.handle(self.owner)
+
+    def output(self, size: typing.Optional[int] = None) -> RegionHandle:
+        """Allocate (once) and return this task's output region.
+
+        Placed for this device *and* all downstream consumers' devices,
+        which is what makes zero-copy handover possible.
+        """
+        if self._output is None:
+            if size is None:
+                size = self.task.work.output_size
+            if size <= 0:
+                raise TaskFailure(f"{self.owner}: no output size declared or given")
+            observers = [self.compute] + [
+                self._execution.assignment[d.name] for d in self.task.downstream()
+            ]
+            props = self.task.properties.output_properties()
+            if not self.task.properties.persistent:
+                # Persistent media are slow by nature (Table 1); the
+                # durability requirement overrides the speed defaults.
+                props = props.merged_with(region_properties(RegionType.OUTPUT))
+            region = self._rts.placement.place(PlacementRequest(
+                size=size, properties=props, owner=self.owner,
+                observers=tuple(dict.fromkeys(observers)),
+                name=f"{self.owner}#out",
+                region_type=RegionType.OUTPUT,
+                usage=self.task.work.output,
+            ))
+            self._output = region
+        return self._output.handle(self.owner)
+
+    def request(
+        self,
+        region_type,
+        size: int,
+        name: typing.Optional[str] = None,
+    ) -> RegionHandle:
+        """Allocate a region of any named type, owned by this task.
+
+        ``region_type`` may be a predefined
+        :class:`~repro.memory.regions.RegionType`, a type returned by
+        :func:`~repro.memory.regions.define_region_type`, or its name as
+        a string.  The region is task-owned and freed automatically when
+        the task finishes (like Private Scratch).
+        """
+        from repro.memory.regions import lookup_region_type
+
+        if isinstance(region_type, str):
+            region_type = lookup_region_type(region_type)
+        props = region_properties(region_type)
+        if self.task.properties.confidential and not props.confidential:
+            props = dataclasses.replace(props, confidential=True)
+        region = self._rts.placement.place(PlacementRequest(
+            size=size, properties=props, owner=self.owner,
+            observers=(self.compute,),
+            name=name or f"{self.owner}#{region_type.value}",
+            region_type=region_type,
+        ))
+        self._extra_regions.append(region)
+        return region.handle(self.owner)
+
+    def global_state(self) -> RegionHandle:
+        """Handle to the job's Global State region (Table 2)."""
+        region = self._execution.global_state
+        if region is None:
+            raise TaskFailure(
+                f"job {self.task.job.name!r} declared no global state"
+            )
+        return region.handle(self._execution.job_owner)
+
+    def publish(self, slot: str, size: typing.Optional[int] = None) -> RegionHandle:
+        """Allocate a Global Scratch slot and make it visible to consumers."""
+        return self._execution.publish_slot(self, slot, size)
+
+    def consume(self, slot: str):
+        """Generator: wait until ``slot`` is published, return its handle."""
+        handle = yield from self._execution.consume_slot(self, slot)
+        return handle
+
+    # -- verbs ------------------------------------------------------------
+
+    def read(
+        self,
+        handle: RegionHandle,
+        nbytes: typing.Optional[int] = None,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        access_size: int = 64,
+        mode: typing.Optional[AccessMode] = None,
+    ):
+        """Generator: read through the region's access interface."""
+        duration = yield from self._touch(
+            handle, nbytes, pattern, access_size, mode, is_write=False
+        )
+        return duration
+
+    def write(
+        self,
+        handle: RegionHandle,
+        nbytes: typing.Optional[int] = None,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        access_size: int = 64,
+        mode: typing.Optional[AccessMode] = None,
+    ):
+        """Generator: write through the region's access interface."""
+        duration = yield from self._touch(
+            handle, nbytes, pattern, access_size, mode, is_write=True
+        )
+        return duration
+
+    def _touch(self, handle, nbytes, pattern, access_size, mode, is_write):
+        accessor = Accessor(self._rts.cluster, handle, self.compute)
+        region_size = handle.region.size
+        remaining = region_size if nbytes is None else nbytes
+        requested = remaining
+        total = 0.0
+        # Larger-than-region touches wrap around (multiple passes).
+        while remaining > 0:
+            chunk = min(remaining, region_size)
+            op = accessor.write if is_write else accessor.read
+            duration = yield from op(
+                chunk, pattern=pattern, mode=mode, access_size=access_size
+            )
+            total += duration
+            remaining -= chunk
+        region = handle.region
+        self._rts.cluster.trace.emit(
+            self.now, "profile", "memory_phase",
+            task=self.owner, device=self.compute,
+            region=region.name, backing=region.device.name,
+            rtype=region.region_type.value if region.region_type else "",
+            op="write" if is_write else "read",
+            nbytes=requested, duration=total,
+            pattern=pattern.value, access_size=access_size,
+        )
+        return total
+
+    def read_async(
+        self,
+        handle: RegionHandle,
+        nbytes: typing.Optional[int] = None,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        access_size: int = 64,
+    ):
+        """Start a background read; returns an event to ``yield`` later.
+
+        This is the paper's §2.2(3) interleaving: kick off the fetch,
+        keep computing, then wait for the event when the data is needed::
+
+            pending = ctx.read_async(ctx.input())
+            yield from ctx.compute_ops(1e6)   # overlaps with the fetch
+            yield pending
+        """
+        generator = self._touch(
+            handle, nbytes, pattern, access_size, AccessMode.ASYNC,
+            is_write=False,
+        )
+        return self._rts.cluster.engine.process(
+            generator, name=f"{self.owner}#prefetch"
+        )
+
+    def write_async(
+        self,
+        handle: RegionHandle,
+        nbytes: typing.Optional[int] = None,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        access_size: int = 64,
+    ):
+        """Start a background write; returns an event to ``yield`` later."""
+        generator = self._touch(
+            handle, nbytes, pattern, access_size, AccessMode.ASYNC,
+            is_write=True,
+        )
+        return self._rts.cluster.engine.process(
+            generator, name=f"{self.owner}#writeback"
+        )
+
+    def compute_ops(self, ops: float, op_class: typing.Optional[OpClass] = None):
+        """Generator: burn ``ops`` operations on this task's device."""
+        if op_class is None:
+            op_class = self.task.work.op_class
+        device = self._rts.cluster.compute[self.compute]
+        duration = device.compute_time(op_class, ops)
+        yield self._rts.cluster.engine.timeout(duration)
+        self._rts.cluster.trace.emit(
+            self.now, "profile", "compute_phase",
+            task=self.owner, device=self.compute,
+            op=op_class.value, ops=ops, duration=duration,
+        )
+        return duration
+
+    def sleep(self, ns: float):
+        """Generator: idle for ``ns`` simulated nanoseconds."""
+        yield self._rts.cluster.engine.timeout(ns)
+
+
+class _JobExecution:
+    """One running job: mailboxes, per-task processes, completion event."""
+
+    def __init__(self, rts: "RuntimeSystem", job: Job):
+        job.validate()
+        self.rts = rts
+        self.job = job
+        self.job_owner = f"job:{job.name}#{job.id}"
+        self.stats = JobStats(job_name=job.name, submitted_at=rts.cluster.engine.now)
+        self.assignment = rts.scheduler.assign(job, rts.cluster, rts.costmodel)
+        self.stats.assignment = dict(self.assignment)
+
+        engine = rts.cluster.engine
+        self.done: Event = engine.event()
+        self._task_done: typing.Dict[str, Event] = {
+            name: engine.event() for name in job.tasks
+        }
+        #: task -> list of input region handles delivered by upstreams
+        self._inboxes: typing.Dict[str, typing.List[RegionHandle]] = {
+            name: [] for name in job.tasks
+        }
+        self._expected_inputs: typing.Dict[str, int] = {}
+        #: global scratch slots: name -> (event, region)
+        self._slots: typing.Dict[str, typing.List] = {
+            slot: [engine.event(), None] for slot in job.global_scratch_slots()
+        }
+        self.global_state: typing.Optional[MemoryRegion] = None
+        self._handover_base = (
+            rts.handover.stats.zero_copy,
+            rts.handover.stats.copies,
+            rts.handover.stats.bytes_copied,
+        )
+        self._regions_base = rts.placement.placements
+        self._start()
+
+    # -- startup -----------------------------------------------------------
+
+    def _start(self) -> None:
+        if self.job.global_state_size > 0:
+            observers = tuple(dict.fromkeys(self.assignment.values()))
+            self.global_state = self.rts.placement.place(PlacementRequest(
+                size=self.job.global_state_size,
+                properties=region_properties(RegionType.GLOBAL_STATE),
+                owner=self.job_owner,
+                observers=observers,
+                name=f"{self.job.name}#state",
+                region_type=RegionType.GLOBAL_STATE,
+            ))
+        engine = self.rts.cluster.engine
+        for task in self.job.tasks.values():
+            upstream_with_output = [
+                u for u in task.upstream() if u.work.output is not None
+            ]
+            self._expected_inputs[task.name] = len(upstream_with_output)
+            engine.process(self._run_task(task), name=task.qualified_name)
+        engine.process(self._finalize(), name=f"{self.job.name}#finalize")
+
+    # -- global scratch slots -------------------------------------------------
+
+    def publish_slot(
+        self, ctx: TaskContext, slot: str, size: typing.Optional[int]
+    ) -> RegionHandle:
+        if slot not in self._slots:
+            raise TaskFailure(f"slot {slot!r} was not declared by any task")
+        event, existing = self._slots[slot]
+        if existing is not None:
+            raise TaskFailure(f"slot {slot!r} already published")
+        if size is None:
+            size = self.job.global_scratch_slots()[slot]
+        region = self.rts.placement.place(PlacementRequest(
+            size=size,
+            properties=region_properties(RegionType.GLOBAL_SCRATCH),
+            owner=self.job_owner,
+            observers=tuple(dict.fromkeys(self.assignment.values())),
+            name=f"{self.job.name}#{slot}",
+            region_type=RegionType.GLOBAL_SCRATCH,
+            usage=ctx.task.work.scratch_puts.get(slot),
+        ))
+        self._slots[slot][1] = region
+        event.succeed(region)
+        return region.handle(self.job_owner)
+
+    def consume_slot(self, ctx: TaskContext, slot: str):
+        if slot not in self._slots:
+            raise TaskFailure(f"unknown global scratch slot {slot!r}")
+        event, region = self._slots[slot]
+        if region is None:
+            region = yield event
+        return region.handle(self.job_owner)
+
+    # -- task execution ------------------------------------------------------
+
+    def _run_task(self, task: Task):
+        engine = self.rts.cluster.engine
+        stats = TaskStats(name=task.name, device=self.assignment[task.name])
+        self.stats.tasks[task.name] = stats
+        try:
+            # 1. Wait for every upstream task (data and control edges).
+            upstream_events = [self._task_done[u.name] for u in task.upstream()]
+            if upstream_events:
+                yield engine.all_of(upstream_events)
+            stats.ready_at = engine.now
+
+            # 2. Occupy an execution slot on the assigned device.
+            device = self.rts.cluster.compute[self.assignment[task.name]]
+            slot_request = device.acquire_slot()
+            yield slot_request
+            stats.started_at = engine.now
+            ctx = TaskContext(self, task, device.name)
+            ctx.inputs = list(self._inboxes[task.name])
+            try:
+                behaviour = task.fn if task.fn is not None else _default_behaviour
+                yield from behaviour(ctx)
+                device.tasks_completed += 1
+            finally:
+                device.busy_time += engine.now - stats.started_at
+                device.release_slot(slot_request)
+            stats.finished_at = engine.now
+
+            # 3. Epilogue: hand outputs over, drop owned regions.
+            yield from self._epilogue(task, ctx)
+            self._task_done[task.name].succeed(stats)
+        except BaseException as exc:  # noqa: BLE001 - report any task failure
+            stats.finished_at = engine.now
+            if not self._task_done[task.name].triggered:
+                self._task_done[task.name].fail(TaskFailure(
+                    f"task {task.qualified_name} failed: {exc!r}"
+                ))
+                self._task_done[task.name].defuse()
+            if not self.done.triggered:
+                self.stats.error = exc
+                self.done.fail(exc)
+                self.done.defuse()
+            return
+
+    def _epilogue(self, task: Task, ctx: TaskContext):
+        # Drop scratch and any ad-hoc task-owned regions.
+        if ctx._scratch is not None:
+            self.rts.memory.drop_owner(ctx._scratch, ctx.owner)
+        for region in ctx._extra_regions:
+            if region.alive and region.ownership.is_owner(ctx.owner):
+                self.rts.memory.drop_owner(region, ctx.owner)
+        # Drop our claim on inputs (frees them once all consumers did).
+        for handle in ctx.inputs:
+            if handle.region.alive and handle.region.ownership.is_owner(ctx.owner):
+                self.rts.memory.drop_owner(handle.region, ctx.owner)
+
+        output = ctx._output
+        downstream = task.downstream()
+        if output is not None and downstream:
+            receivers = [
+                (d.qualified_name, self.assignment[d.name]) for d in downstream
+            ]
+            if len(receivers) == 1:
+                owner, compute = receivers[0]
+                region = yield from self.rts.handover.hand_over(
+                    output, ctx.owner, owner, compute
+                )
+                delivered = {owner: region}
+            else:
+                delivered = yield from self.rts.handover.share_out(
+                    output, ctx.owner, receivers
+                )
+            for d in downstream:
+                region = delivered[d.qualified_name]
+                self._inboxes[d.name].append(region.handle(d.qualified_name))
+        elif output is not None:
+            # Sink output: belongs to the job until the job completes.
+            self.rts.memory.transfer_ownership(output, ctx.owner, self.job_owner)
+
+    def abort(self) -> None:
+        """Release every region still owned by this job or its tasks.
+
+        Called by resilience layers after a failed run so a retry starts
+        from a clean pool (the RTS's normal last-owner-drop path never
+        fires for tasks that crashed before consuming their inputs).
+        """
+        owners = {t.qualified_name for t in self.job.tasks.values()}
+        owners.add(self.job_owner)
+        for region in list(self.rts.memory.live_regions()):
+            for owner in owners & region.ownership.owners:
+                if region.alive and not region.ownership.released:
+                    region.ownership.drop(owner)
+
+    def _finalize(self):
+        engine = self.rts.cluster.engine
+        try:
+            yield engine.all_of(list(self._task_done.values()))
+        except BaseException:
+            return  # failure already recorded on self.done
+        # Free job-owned regions: global state, slots, sink outputs.
+        for region in list(self.rts.memory.live_regions()):
+            if region.ownership.is_owner(self.job_owner):
+                self.rts.memory.drop_owner(region, self.job_owner)
+        self.stats.finished_at = engine.now
+        zc, cp, bc = self._handover_base
+        self.stats.zero_copy_handover = self.rts.handover.stats.zero_copy - zc
+        self.stats.copy_handover = self.rts.handover.stats.copies - cp
+        self.stats.bytes_copied = self.rts.handover.stats.bytes_copied - bc
+        self.stats.regions_allocated = self.rts.placement.placements - self._regions_base
+        if not self.done.triggered:
+            self.done.succeed(self.stats)
+
+
+def _default_behaviour(ctx: TaskContext):
+    """The behaviour synthesized from a task's WorkSpec.
+
+    Phases (sequential, mirroring the cost model): read inputs, read
+    consumed global-scratch slots, touch private scratch, compute, touch
+    global state, write output, publish global-scratch slots.
+    """
+    work = ctx.task.work
+
+    if work.input_usage is not None:
+        for handle in ctx.inputs:
+            yield from ctx.read(
+                handle,
+                nbytes=int(handle.region.size * work.input_usage.touches),
+                pattern=work.input_usage.pattern,
+                access_size=work.input_usage.access_size,
+            )
+
+    for slot in work.scratch_gets:
+        handle = yield from ctx.consume(slot)
+        yield from ctx.read(handle)
+
+    if work.scratch is not None and work.scratch.size > 0:
+        scratch = ctx.private_scratch()
+        touched = work.scratch.touched_bytes
+        yield from ctx.write(
+            scratch, nbytes=touched // 2,
+            pattern=work.scratch.pattern, access_size=work.scratch.access_size,
+        )
+        yield from ctx.read(
+            scratch, nbytes=touched - touched // 2,
+            pattern=work.scratch.pattern, access_size=work.scratch.access_size,
+        )
+
+    if work.ops > 0:
+        yield from ctx.compute_ops(work.ops)
+
+    if work.state_usage is not None and work.state_usage.touched_bytes > 0:
+        state = ctx.global_state()
+        yield from ctx.write(
+            state, nbytes=work.state_usage.touched_bytes,
+            pattern=work.state_usage.pattern,
+            access_size=work.state_usage.access_size,
+        )
+
+    if work.output is not None and work.output.size > 0:
+        out = ctx.output()
+        yield from ctx.write(
+            out, pattern=work.output.pattern, access_size=work.output.access_size
+        )
+
+    for slot, usage in work.scratch_puts.items():
+        handle = ctx.publish(slot, usage.size)
+        yield from ctx.write(
+            handle, nbytes=usage.size, pattern=usage.pattern,
+            access_size=usage.access_size,
+        )
+
+
+class RuntimeSystem:
+    """Public facade: a runtime system bound to one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: typing.Optional[Scheduler] = None,
+        placement: typing.Optional[PlacementPolicy] = None,
+        memory: typing.Optional[MemoryManager] = None,
+    ):
+        self.cluster = cluster
+        self.memory = memory if memory is not None else MemoryManager(cluster)
+        self.costmodel = CostModel(cluster)
+        self.placement = (
+            placement
+            if placement is not None
+            else DeclarativePlacement(cluster, self.memory, self.costmodel)
+        )
+        self.scheduler = scheduler if scheduler is not None else HeftScheduler()
+        self.handover = HandoverManager(
+            cluster, self.memory, self.costmodel, self.placement
+        )
+        self.executions: typing.List[_JobExecution] = []
+
+    def submit(self, job: Job) -> _JobExecution:
+        """Validate, schedule, and start a job; returns its execution."""
+        execution = _JobExecution(self, job)
+        self.executions.append(execution)
+        return execution
+
+    def plan(self, job: Job):
+        """Dry-run: the assignment, placements, and makespan the runtime
+        *would* produce for ``job`` — no allocation, no execution.  See
+        :mod:`repro.runtime.planner`."""
+        from repro.runtime.planner import plan_job
+
+        return plan_job(self, job)
+
+    def run(self, until: typing.Optional[float] = None) -> None:
+        """Advance the simulation (until a time, or until idle)."""
+        self.cluster.engine.run(until=until)
+
+    def run_job(self, job: Job) -> JobStats:
+        """Submit one job and run the simulation to its completion."""
+        execution = self.submit(job)
+        return self.cluster.engine.run(until=execution.done)
+
+    def run_jobs(self, jobs: typing.Sequence[Job]) -> typing.List[JobStats]:
+        """Submit several jobs at once (they contend) and run them all."""
+        executions = [self.submit(job) for job in jobs]
+        self.cluster.engine.run(until=self.cluster.engine.all_of(
+            [e.done for e in executions]
+        ))
+        return [e.stats for e in executions]

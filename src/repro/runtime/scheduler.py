@@ -1,0 +1,278 @@
+"""Resource-aware task scheduling (RTS duty 4, paper §2.3).
+
+The default :class:`HeftScheduler` is a HEFT-style list scheduler with
+the paper's twist: the communication cost of an edge drops to the
+(constant, tiny) ownership-transfer cost whenever the downstream device
+can directly address the region the upstream task's output will land on
+— i.e. the zero-copy handover of Figure 4 is visible to the optimizer,
+not just to the data plane.
+
+:class:`RoundRobinScheduler` and :class:`RandomScheduler` are the
+ablation baselines (bench C6).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataflow.graph import Job, Task
+from repro.hardware.cluster import Cluster
+from repro.hardware.compute import ComputeDevice
+from repro.runtime.costmodel import OWNERSHIP_TRANSFER_NS, CostModel
+
+
+class SchedulingError(Exception):
+    """No feasible assignment exists."""
+
+
+Assignment = typing.Dict[str, str]  # task name -> compute device name
+
+
+class Scheduler:
+    """Interface: map every task of a job to a compute device."""
+
+    def assign(self, job: Job, cluster: Cluster, costmodel: CostModel) -> Assignment:
+        """Map every task of the job to a compute device."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def candidates(
+        task: Task,
+        cluster: Cluster,
+        allowed: typing.Optional[typing.Set[str]] = None,
+    ) -> typing.List[ComputeDevice]:
+        """Compute devices that may run ``task`` (kind + op-class filter,
+        optionally restricted to a coherence domain)."""
+        devices = cluster.compute_devices()
+        if allowed is not None:
+            devices = [d for d in devices if d.name in allowed]
+        if task.properties.compute is not None:
+            devices = [d for d in devices if d.kind == task.properties.compute]
+        if task.work.ops > 0:
+            devices = [d for d in devices if d.supports(task.work.op_class)]
+        if not devices:
+            raise SchedulingError(
+                f"no compute device can run task {task.qualified_name!r} "
+                f"(kind={task.properties.compute}, op={task.work.op_class}"
+                + (", constrained to the job's Global State coherence domain"
+                   if allowed is not None else "")
+                + ")"
+            )
+        return devices
+
+    @staticmethod
+    def state_domain(
+        job: Job, cluster: Cluster, costmodel: CostModel
+    ) -> typing.Optional[typing.Set[str]]:
+        """The compute devices a job with Global State may use.
+
+        Table 2 requires the Global State region to be coherent and
+        synchronously addressable by *every* task.  On architectures
+        without a shared coherence domain (Figure 1a) that constrains
+        scheduling: we pick the memory device whose coherent+sync
+        reach covers the most compute devices and restrict the job to
+        that set.  Returns None when the job declares no global state.
+        """
+        if job.global_state_size <= 0:
+            return None
+        best: typing.Set[str] = set()
+        for memory in cluster.memory_devices():
+            members = {
+                compute.name
+                for compute in cluster.compute_devices()
+                if (offer := costmodel.offered(compute.name, memory)).coherent
+                and offer.sync
+            }
+            if len(members) > len(best):
+                best = members
+        if not best:
+            raise SchedulingError(
+                f"job {job.name!r} declares Global State but no memory "
+                "device is coherently addressable from any compute device"
+            )
+        return best
+
+
+class HeftScheduler(Scheduler):
+    """Heterogeneous-Earliest-Finish-Time list scheduling."""
+
+    def assign(self, job: Job, cluster: Cluster, costmodel: CostModel) -> Assignment:
+        """HEFT list scheduling with handover-aware edge costs."""
+        job.validate()
+        tasks = job.topological_order()
+        allowed = self.state_domain(job, cluster, costmodel)
+        candidates = {
+            t.name: self.candidates(t, cluster, allowed) for t in tasks
+        }
+        exec_time = {
+            t.name: {
+                d.name: self._exec_estimate(t, d.name, costmodel)
+                for d in candidates[t.name]
+            }
+            for t in tasks
+        }
+
+        rank = self._upward_ranks(job, cluster, costmodel, exec_time)
+        order = sorted(tasks, key=lambda t: -rank[t.name])
+
+        assignment: Assignment = {}
+        finish: typing.Dict[str, float] = {}
+        # Per-device list of slot-available times (length = slot count).
+        device_slots = {
+            d.name: [0.0] * d.slots for d in cluster.compute_devices()
+        }
+
+        for task in order:
+            best_device, best_eft, best_start = None, float("inf"), 0.0
+            for device in candidates[task.name]:
+                ready = 0.0
+                for pred in task.upstream():
+                    if pred.name not in assignment:
+                        continue  # pred ranks lower; conservative zero
+                    comm = self._edge_cost(
+                        pred, assignment[pred.name], device.name, cluster, costmodel
+                    )
+                    ready = max(ready, finish[pred.name] + comm)
+                slots = device_slots[device.name]
+                slot_index = min(range(len(slots)), key=lambda i: slots[i])
+                start = max(ready, slots[slot_index])
+                eft = start + exec_time[task.name][device.name]
+                if eft < best_eft:
+                    best_device, best_eft, best_start = device, eft, start
+            if best_device is None or best_eft == float("inf"):
+                raise SchedulingError(f"task {task.qualified_name!r} is unschedulable")
+            assignment[task.name] = best_device.name
+            finish[task.name] = best_eft
+            slots = device_slots[best_device.name]
+            slot_index = min(range(len(slots)), key=lambda i: slots[i])
+            slots[slot_index] = best_eft
+        return assignment
+
+    # -- estimates ----------------------------------------------------------
+
+    @staticmethod
+    def _exec_estimate(task: Task, device_name: str, costmodel: CostModel) -> float:
+        scratch_device = costmodel.best_scratch_device(device_name)
+
+        def memory_for(role: str):
+            return scratch_device
+
+        input_bytes = sum(u.work.output_size for u in task.upstream())
+        return costmodel.task_time_estimate(
+            task, device_name, memory_for, input_bytes=input_bytes
+        )
+
+    def _upward_ranks(
+        self,
+        job: Job,
+        cluster: Cluster,
+        costmodel: CostModel,
+        exec_time: typing.Dict[str, typing.Dict[str, float]],
+    ) -> typing.Dict[str, float]:
+        mean_exec = {
+            name: sum(v for v in times.values() if v < float("inf"))
+            / max(1, sum(1 for v in times.values() if v < float("inf")))
+            for name, times in exec_time.items()
+        }
+        rank: typing.Dict[str, float] = {}
+        for task in reversed(job.topological_order()):
+            downstream_cost = 0.0
+            for succ in task.downstream():
+                comm = self._mean_edge_cost(task, cluster, costmodel)
+                downstream_cost = max(downstream_cost, comm + rank[succ.name])
+            rank[task.name] = mean_exec[task.name] + downstream_cost
+        return rank
+
+    @staticmethod
+    def _mean_edge_cost(task: Task, cluster: Cluster, costmodel: CostModel) -> float:
+        nbytes = task.work.output_size
+        if nbytes == 0:
+            return 0.0
+        # Rough fleet-average bandwidth for the ranking phase only.
+        bandwidths = [d.spec.bandwidth for d in cluster.memory_devices()]
+        mean_bw = sum(bandwidths) / max(1, len(bandwidths))
+        return nbytes / max(mean_bw, 1e-9)
+
+    @staticmethod
+    def _edge_cost(
+        pred: Task,
+        pred_device: str,
+        device: str,
+        cluster: Cluster,
+        costmodel: CostModel,
+    ) -> float:
+        """Edge cost under the ownership model: a metadata update when a
+        shared-addressable placement exists, a physical copy otherwise."""
+        nbytes = pred.work.output_size
+        if nbytes == 0:
+            return 0.0
+        if pred_device == device:
+            return OWNERSHIP_TRANSFER_NS
+        topo = cluster.topology
+        for mem in cluster.memory_devices():
+            if topo.addressable(pred_device, mem.name) and topo.addressable(
+                device, mem.name
+            ):
+                return OWNERSHIP_TRANSFER_NS
+        src = costmodel.best_scratch_device(pred_device)
+        dst = costmodel.best_scratch_device(device)
+        if src is None or dst is None:
+            return float("inf")
+        return costmodel.transfer_time(src, dst, nbytes)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Baseline: cycle through feasible devices, ignoring all costs."""
+
+    def __init__(self):
+        self._cursor = 0
+
+    def assign(self, job: Job, cluster: Cluster, costmodel: CostModel) -> Assignment:
+        """Cycle tasks through feasible devices, ignoring costs."""
+        job.validate()
+        allowed = self.state_domain(job, cluster, costmodel)
+        assignment: Assignment = {}
+        for task in job.topological_order():
+            devices = self.candidates(task, cluster, allowed)
+            assignment[task.name] = devices[self._cursor % len(devices)].name
+            self._cursor += 1
+        return assignment
+
+
+class RandomScheduler(Scheduler):
+    """Baseline: seeded-random feasible device per task."""
+
+    def __init__(self, stream_name: str = "random-scheduler"):
+        self.stream_name = stream_name
+
+    def assign(self, job: Job, cluster: Cluster, costmodel: CostModel) -> Assignment:
+        """Seeded-random feasible device per task (baseline)."""
+        job.validate()
+        allowed = self.state_domain(job, cluster, costmodel)
+        rng = cluster.streams.stream(self.stream_name)
+        assignment: Assignment = {}
+        for task in job.topological_order():
+            devices = self.candidates(task, cluster, allowed)
+            assignment[task.name] = devices[int(rng.integers(0, len(devices)))].name
+        return assignment
+
+
+class FixedScheduler(Scheduler):
+    """Explicit developer-chosen mapping (the traditional model)."""
+
+    def __init__(self, mapping: Assignment):
+        self.mapping = dict(mapping)
+
+    def assign(self, job: Job, cluster: Cluster, costmodel: CostModel) -> Assignment:
+        job.validate()
+        missing = [t for t in job.tasks if t not in self.mapping]
+        if missing:
+            raise SchedulingError(f"fixed mapping lacks tasks: {missing}")
+        for task_name, device_name in self.mapping.items():
+            if task_name not in job.tasks:
+                continue
+            if device_name not in [d.name for d in cluster.compute_devices()]:
+                raise SchedulingError(f"unknown/failed device {device_name!r}")
+        return {t: self.mapping[t] for t in job.tasks}

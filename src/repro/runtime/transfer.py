@@ -1,0 +1,167 @@
+"""Dataflow handover: ownership transfer vs. physical copy (Figure 4).
+
+When a task finishes, its output region must reach the downstream
+task(s).  The paper's rule: *"the output memory of the preceding task
+can directly become the input memory of the next task if it is
+addressable by the compute devices of both tasks"* — then handover is
+just an ownership-transfer (a metadata update), and physical data
+movement happens only when it is unavoidable.
+
+:class:`HandoverManager` implements that decision and keeps the stats
+(zero-copy vs. copy, bytes moved) the Figure 4 bench reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware.cluster import Cluster
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.region import MemoryRegion
+from repro.memory.regions import RegionType
+from repro.runtime.costmodel import OWNERSHIP_TRANSFER_NS, CostModel
+from repro.runtime.placement import PlacementPolicy, PlacementRequest
+
+
+@dataclasses.dataclass
+class HandoverStats:
+    zero_copy: int = 0
+    copies: int = 0
+    bytes_copied: float = 0.0
+    transfer_time_ns: float = 0.0
+
+    @property
+    def zero_copy_ratio(self) -> float:
+        total = self.zero_copy + self.copies
+        return self.zero_copy / total if total else 0.0
+
+
+class HandoverManager:
+    """Moves an output region to the next task, minimizing data movement."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        manager: MemoryManager,
+        costmodel: CostModel,
+        placement: PlacementPolicy,
+    ):
+        self.cluster = cluster
+        self.manager = manager
+        self.costmodel = costmodel
+        self.placement = placement
+        self.stats = HandoverStats()
+
+    def can_hand_over(self, region: MemoryRegion, to_compute: str) -> bool:
+        """Can ``to_compute`` use the region where it lies right now?"""
+        offer = self.costmodel.offered(to_compute, region.device)
+        # The receiving task reads its input through whatever interface
+        # is available; the only hard requirements are the region's own
+        # declared properties and reachability.
+        if offer.bytes_per_ns == 0.0:
+            return False
+        return offer.satisfies(region.properties)
+
+    def hand_over(
+        self,
+        region: MemoryRegion,
+        from_owner: typing.Hashable,
+        to_owner: typing.Hashable,
+        to_compute: str,
+    ):
+        """Simulation generator: deliver ``region`` to ``to_owner``.
+
+        Returns the region the receiver should use: the same region
+        (ownership transferred, zero copy) or a fresh copy placed near
+        the receiver (the original is dropped by ``from_owner``).
+        """
+        started = self.cluster.engine.now
+        if self.can_hand_over(region, to_compute):
+            self.manager.transfer_ownership(region, from_owner, to_owner)
+            yield self.cluster.engine.timeout(OWNERSHIP_TRANSFER_NS)
+            self.stats.zero_copy += 1
+            self.stats.transfer_time_ns += self.cluster.engine.now - started
+            self.cluster.trace.emit(
+                self.cluster.engine.now, "handover", "zero_copy",
+                region=region.name, to=str(to_owner),
+            )
+            return region
+
+        replica = yield from self._copy_near(region, to_owner, to_compute)
+        self.manager.drop_owner(region, from_owner)  # frees the original
+        self.stats.copies += 1
+        self.stats.bytes_copied += region.size
+        self.stats.transfer_time_ns += self.cluster.engine.now - started
+        self.cluster.trace.emit(
+            self.cluster.engine.now, "handover", "copy",
+            region=region.name, to=str(to_owner), dst=replica.device.name,
+        )
+        return replica
+
+    def share_out(
+        self,
+        region: MemoryRegion,
+        from_owner: typing.Hashable,
+        receivers: typing.Sequence[typing.Tuple[typing.Hashable, str]],
+    ):
+        """Simulation generator: deliver one region to several receivers.
+
+        Receivers that can address the region share its ownership; the
+        rest get private copies.  ``from_owner`` drops out afterwards, so
+        the region is freed once the last sharing receiver drops it.
+        Returns ``{receiver_owner: region}``.
+        """
+        sharers = [
+            (owner, compute) for owner, compute in receivers
+            if self.can_hand_over(region, compute)
+        ]
+        copiers = [
+            (owner, compute) for owner, compute in receivers
+            if not self.can_hand_over(region, compute)
+        ]
+        result: typing.Dict[typing.Hashable, MemoryRegion] = {}
+
+        for owner, compute in copiers:
+            replica = yield from self._copy_near(region, owner, compute)
+            result[owner] = replica
+            self.stats.copies += 1
+            self.stats.bytes_copied += region.size
+
+        if sharers:
+            self.manager.share(region, from_owner, [owner for owner, _ in sharers])
+            yield self.cluster.engine.timeout(OWNERSHIP_TRANSFER_NS)
+            for owner, _compute in sharers:
+                result[owner] = region
+            self.stats.zero_copy += len(sharers)
+        self.manager.drop_owner(region, from_owner)
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _copy_near(
+        self, region: MemoryRegion, to_owner: typing.Hashable, to_compute: str
+    ):
+        """Allocate a replica the receiver can use and stream the bytes."""
+        request = PlacementRequest(
+            size=region.size,
+            properties=region.properties,
+            owner=to_owner,
+            observers=(to_compute,),
+            name=f"{region.name}@{to_compute}",
+            region_type=RegionType.INPUT,
+        )
+        try:
+            replica = self.placement.place(request)
+        except PlacementError:
+            # Last resort: relax latency/bandwidth, keep hard properties.
+            relaxed = dataclasses.replace(
+                request,
+                properties=dataclasses.replace(
+                    region.properties, latency=region.properties.latency.__class__.ANY,
+                    bandwidth=region.properties.bandwidth.__class__.ANY,
+                ),
+            )
+            replica = self.placement.place(relaxed)
+        yield self.cluster.transfer(region.device.name, replica.device.name, region.size)
+        return replica

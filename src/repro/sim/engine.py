@@ -1,0 +1,124 @@
+"""The discrete-event simulation engine.
+
+The engine owns the simulated clock (nanoseconds, ``float``) and an event
+queue ordered by ``(time, priority, sequence)``.  ``sequence`` makes the
+ordering of simultaneous events deterministic: two runs with the same
+seed produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from itertools import count
+
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+#: Priority for urgent events (interrupts) — processed before normal ones.
+URGENT = -1
+#: Default priority.
+NORMAL = 0
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Engine.step` when no events remain."""
+
+
+class Engine:
+    """Discrete-event simulation engine with a nanosecond clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: list = []
+        self._seq = count()
+        self._active_process: typing.Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> typing.Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue ``event`` to be processed ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event, advancing the clock."""
+        if not self._queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heapq.heappop(self._queue)
+        event._process()
+
+    def run(self, until: typing.Optional[typing.Union[float, Event]] = None):
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a time in
+        nanoseconds, or an :class:`Event` (run until it is processed and
+        return its value, re-raising its exception on failure).
+        """
+        stop_event: typing.Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} lies in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise RuntimeError(
+                    "run(until=event) finished but the event never triggered"
+                )
+            if not stop_event.ok:
+                raise stop_event.value  # type: ignore[misc]
+            return stop_event.value
+        if until is not None and self._now < stop_time and not self._queue:
+            # Queue drained before the requested horizon; land exactly on it.
+            self._now = stop_time
+        return None
+
+    # -- factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name: str = "") -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event: fires when all child events have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event: fires when the first child event fires."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return f"<Engine now={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,116 @@
+"""Fault injection for the simulated fabric.
+
+The paper's Challenge 8 lists the failures that a disaggregated runtime
+must survive: network errors, corrupted memory, planned and unplanned
+node faults.  :class:`FaultInjector` schedules such events against a
+running simulation, either from an explicit script (deterministic tests)
+or from seeded stochastic processes (soak benchmarks).
+
+Components register handlers per :class:`FaultKind`; the injector is
+deliberately ignorant of what a "node" is so it can be reused at any
+layer (links, memory devices, compute devices, whole nodes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.sim.engine import Engine
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceLog
+
+
+class FaultKind(enum.Enum):
+    """The failure classes the paper enumerates (§3, Challenge 8)."""
+
+    NODE_CRASH = "node_crash"  # unplanned node loss
+    NODE_RESTART = "node_restart"  # planned maintenance / kernel update
+    LINK_DOWN = "link_down"  # network error
+    LINK_UP = "link_up"  # network repair
+    MEMORY_CORRUPTION = "memory_corruption"  # bit flips / corrupted region
+    POWER_OUTAGE = "power_outage"  # volatile contents lost
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """A fault occurrence delivered to handlers."""
+
+    time: float
+    kind: FaultKind
+    target: str
+    detail: typing.Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+
+class FaultInjector:
+    """Schedules faults and dispatches them to registered handlers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        streams: typing.Optional[RandomStreams] = None,
+        trace: typing.Optional[TraceLog] = None,
+    ):
+        self.engine = engine
+        self.streams = streams or RandomStreams(0)
+        self.trace = trace
+        self._handlers: dict = {}  # FaultKind -> list[callable]
+        self.history: list = []
+
+    def on(self, kind: FaultKind, handler: typing.Callable[[FaultEvent], None]) -> None:
+        """Register ``handler`` to be called for every fault of ``kind``."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def inject_at(
+        self, time: float, kind: FaultKind, target: str, **detail
+    ) -> None:
+        """Schedule a single fault at absolute simulated ``time``."""
+        if time < self.engine.now:
+            raise ValueError(f"cannot inject fault in the past ({time} < {self.engine.now})")
+        event = self.engine.event()
+        event.add_callback(lambda _e: self._fire(kind, target, detail))
+        event.succeed(None, delay=time - self.engine.now)
+
+    def inject_now(self, kind: FaultKind, target: str, **detail) -> FaultEvent:
+        """Deliver a fault synchronously at the current time."""
+        return self._fire(kind, target, detail)
+
+    def schedule_poisson(
+        self,
+        kind: FaultKind,
+        targets: typing.Sequence[str],
+        rate_per_ns: float,
+        horizon: float,
+        stream: str = "faults",
+    ) -> int:
+        """Schedule memoryless faults over ``targets`` until ``horizon``.
+
+        Returns the number of scheduled faults.  Targets are drawn
+        uniformly; inter-arrival times are exponential with the given
+        rate.  Deterministic for a fixed root seed.
+        """
+        if rate_per_ns <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_ns}")
+        if not targets:
+            raise ValueError("no targets to inject faults into")
+        rng = self.streams.stream(stream)
+        t = self.engine.now
+        n = 0
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_ns))
+            if t >= horizon:
+                break
+            target = targets[int(rng.integers(0, len(targets)))]
+            self.inject_at(t, kind, target)
+            n += 1
+        return n
+
+    def _fire(self, kind: FaultKind, target: str, detail: dict) -> FaultEvent:
+        fault = FaultEvent(self.engine.now, kind, target, dict(detail))
+        self.history.append(fault)
+        if self.trace is not None:
+            self.trace.emit(self.engine.now, "fault", kind.value, target=target, **detail)
+        for handler in self._handlers.get(kind, []):
+            handler(fault)
+        return fault

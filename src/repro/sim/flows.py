@@ -1,0 +1,262 @@
+"""Max–min fair flow-level network model.
+
+Data movement across the disaggregated fabric is modeled at *flow* level:
+a transfer is a flow over a route (a sequence of :class:`Link` objects),
+and all concurrent flows share link bandwidth according to **max–min
+fairness** (progressive water-filling).  Whenever a flow starts or
+finishes, rates are re-solved and in-flight completion times updated.
+This captures the contention effects that make data placement matter,
+at a tiny fraction of the cost of packet-level simulation (a design
+choice recorded in DESIGN.md §5).
+
+Units: time in nanoseconds, bandwidth in bytes/ns (1 byte/ns = 1 GB/s
+with GB = 1e9 bytes).
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+from itertools import count
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+#: Residual bytes below this are treated as completed (float safety).
+_EPSILON_BYTES = 1e-6
+
+
+class LinkDown(Exception):
+    """A transfer failed because a link on its route went down."""
+
+    def __init__(self, link: "Link"):
+        super().__init__(f"link {link.name} is down")
+        self.link = link
+
+
+class Link:
+    """A bidirectional network/bus link with capacity and propagation latency."""
+
+    _ids = count()
+
+    def __init__(self, name: str, bandwidth: float, latency: float):
+        if bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"link latency must be non-negative, got {latency}")
+        self.id = next(Link._ids)
+        self.name = name
+        self.bandwidth = float(bandwidth)  # bytes / ns
+        self.latency = float(latency)  # ns
+        self.up = True
+        #: Cumulative bytes that finished crossing this link.
+        self.bytes_carried = 0.0
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {self.bandwidth:.3f}B/ns {self.latency:.0f}ns {state}>"
+
+
+class _Flow:
+    _ids = count()
+
+    def __init__(self, route: typing.Sequence[Link], nbytes: float, event: Event):
+        self.id = next(_Flow._ids)
+        self.route = tuple(route)
+        self.total_bytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.event = event
+        self.started_at: float = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Flow #{self.id} {self.remaining:.0f}/{self.total_bytes:.0f}B @{self.rate:.3f}B/ns>"
+
+
+class FlowNetwork:
+    """Shared-bandwidth transfer scheduler on top of an :class:`Engine`."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._flows: dict = {}  # id -> _Flow
+        self._last_update = engine.now
+        self._timer_gen = 0
+        self.completed_transfers = 0
+
+    # -- public API ------------------------------------------------------
+
+    def transfer(
+        self,
+        route: typing.Sequence[Link],
+        nbytes: float,
+        extra_latency: float = 0.0,
+    ) -> Event:
+        """Start a transfer of ``nbytes`` over ``route``.
+
+        Returns an event that succeeds (with the transfer duration) when
+        the last byte arrives, or fails with :class:`LinkDown` if a link
+        on the route fails mid-flight.  Propagation latency (sum of link
+        latencies plus ``extra_latency``) is paid before streaming starts.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer negative bytes: {nbytes}")
+        done = Event(self.engine)
+        for link in route:
+            if not link.up:
+                done.fail(LinkDown(link))
+                done.defuse()  # waiters still see the failure when they yield
+                return done
+        latency = sum(link.latency for link in route) + extra_latency
+        if nbytes == 0 or not route:
+            done.succeed(latency, delay=latency)
+            return done
+
+        start_time = self.engine.now
+
+        def _start(_event: Event) -> None:
+            flow = _Flow(route, nbytes, done)
+            flow.started_at = start_time
+            for link in route:
+                if not link.up:
+                    if not done.triggered:
+                        done.fail(LinkDown(link))
+                        done.defuse()
+                    return
+            self._advance()
+            self._flows[flow.id] = flow
+            self._rebalance()
+
+        if latency > 0:
+            starter = Event(self.engine)
+            starter._ok = True
+            starter._value = None
+            starter.add_callback(_start)
+            self.engine.schedule(starter, delay=latency)
+        else:
+            _start(done)
+        return done
+
+    def fail_link(self, link: Link) -> list:
+        """Mark ``link`` down, failing every in-flight flow crossing it.
+
+        Returns the list of failed flow events (already failed).
+        """
+        link.up = False
+        self._advance()
+        failed = []
+        for flow in list(self._flows.values()):
+            if link in flow.route:
+                del self._flows[flow.id]
+                if not flow.event.triggered:
+                    flow.event.fail(LinkDown(link))
+                failed.append(flow.event)
+        self._rebalance()
+        return failed
+
+    def restore_link(self, link: Link) -> None:
+        """Bring a failed link back up (new transfers may use it)."""
+        link.up = True
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def link_load(self, link: Link) -> float:
+        """Current aggregate rate (bytes/ns) crossing ``link``."""
+        return sum(f.rate for f in self._flows.values() if link in f.route)
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Progress all in-flight flows to the current time at their rates."""
+        now = self.engine.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0:
+            return
+        finished = []
+        for flow in self._flows.values():
+            moved = flow.rate * dt
+            flow.remaining -= moved
+            for link in flow.route:
+                link.bytes_carried += moved
+            if flow.remaining <= _EPSILON_BYTES:
+                finished.append(flow)
+        for flow in finished:
+            del self._flows[flow.id]
+            self.completed_transfers += 1
+            if not flow.event.triggered:
+                flow.event.succeed(now - flow.started_at)
+
+    def _rebalance(self) -> None:
+        """Re-solve max–min fair rates and arm the next completion timer."""
+        self._timer_gen += 1
+        if not self._flows:
+            return
+        self._solve_rates()
+        self._arm_timer()
+
+    def _solve_rates(self) -> None:
+        """Progressive water-filling over the current flow set."""
+        flows = list(self._flows.values())
+        links: dict = {}
+        for flow in flows:
+            for link in flow.route:
+                links.setdefault(link.id, (link, []))[1].append(flow)
+
+        remaining_cap = {lid: pair[0].bandwidth for lid, pair in links.items()}
+        unfrozen: dict = {lid: set(f.id for f in pair[1]) for lid, pair in links.items()}
+        frozen_rate: dict = {}
+
+        flow_by_id = {f.id: f for f in flows}
+        while any(unfrozen.values()):
+            # Fair share offered by each link that still has unfrozen flows.
+            bottleneck_id = None
+            bottleneck_share = float("inf")
+            for lid, flow_ids in unfrozen.items():
+                if not flow_ids:
+                    continue
+                share = remaining_cap[lid] / len(flow_ids)
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck_id = lid
+            if bottleneck_id is None:
+                break
+            # Freeze every unfrozen flow on the bottleneck at that share.
+            for fid in list(unfrozen[bottleneck_id]):
+                frozen_rate[fid] = bottleneck_share
+                flow = flow_by_id[fid]
+                for link in flow.route:
+                    lid = link.id
+                    unfrozen[lid].discard(fid)
+                    remaining_cap[lid] -= bottleneck_share
+                    if remaining_cap[lid] < 0:
+                        remaining_cap[lid] = 0.0
+
+        for flow in flows:
+            flow.rate = frozen_rate.get(flow.id, 0.0)
+
+    def _arm_timer(self) -> None:
+        next_dt = float("inf")
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                next_dt = min(next_dt, flow.remaining / flow.rate)
+        if next_dt == float("inf"):
+            return
+        # A delay below one ULP of the current clock would re-fire at the
+        # *same* float timestamp forever (zero elapsed time -> zero
+        # progress).  Clamp up so the clock always advances; the extra
+        # sub-ulp wait is physically meaningless.
+        ulp = math.ulp(self.engine.now) if self.engine.now > 0 else 0.0
+        generation = self._timer_gen
+        timer = Event(self.engine)
+        timer._ok = True
+        timer._value = None
+        timer.add_callback(lambda _e: self._on_timer(generation))
+        self.engine.schedule(timer, delay=max(next_dt, ulp, 0.0))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_gen:
+            return  # superseded by a later rebalance
+        self._advance()
+        self._rebalance()

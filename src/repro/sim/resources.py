@@ -1,0 +1,139 @@
+"""Shared-resource primitives: counted resources and item stores.
+
+These model things that simulation processes contend for, e.g. execution
+slots on a compute device or bounded staging buffers.  Requests are served
+strictly FIFO, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending acquisition of one unit of a :class:`Resource`.
+
+    Use as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...  # holding one slot
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.engine)
+        self.resource = resource
+        resource._enqueue(self)
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, engine: Engine, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._holders: set = set()
+        self._waiting: deque = deque()
+
+    @property
+    def in_use(self) -> int:
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Request one slot; yield the returned event to acquire it."""
+        return Request(self)
+
+    def _enqueue(self, request: Request) -> None:
+        if len(self._holders) < self.capacity and not self._waiting:
+            self._holders.add(request)
+            request.succeed(request)
+        else:
+            self._waiting.append(request)
+
+    def release(self, request: Request) -> None:
+        """Release a held or queued request (idempotent)."""
+        if request in self._holders:
+            self._holders.remove(request)
+            self._grant_next()
+        elif request in self._waiting:
+            self._waiting.remove(request)
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._holders) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of items.
+
+    ``put`` blocks when the store is full (bounded case); ``get`` blocks
+    when it is empty.  This is the building block for message queues
+    between dataflow tasks.
+    """
+
+    def __init__(self, engine: Engine, capacity: typing.Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item) -> Event:
+        """Insert ``item``; the returned event fires once it is stored."""
+        event = Event(self.engine)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif not self.is_full:
+            self.items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; the returned event carries it."""
+        event = Event(self.engine)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            putter.succeed(None)

@@ -1,0 +1,30 @@
+"""Workload generators: access patterns, skew, arrivals, synthetic data."""
+
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.patterns import (
+    AccessEvent,
+    mixed_trace,
+    sequential_trace,
+    uniform_trace,
+    zipfian_trace,
+)
+from repro.workloads.arrivals import bursty_arrivals, poisson_arrivals
+from repro.workloads.datagen import (
+    synthetic_frames,
+    synthetic_table,
+    synthetic_tensor,
+)
+
+__all__ = [
+    "AccessEvent",
+    "ZipfSampler",
+    "bursty_arrivals",
+    "mixed_trace",
+    "poisson_arrivals",
+    "sequential_trace",
+    "synthetic_frames",
+    "synthetic_table",
+    "synthetic_tensor",
+    "uniform_trace",
+    "zipfian_trace",
+]

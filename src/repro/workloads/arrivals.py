@@ -1,0 +1,48 @@
+"""Job arrival processes for multi-job experiments."""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, rate_per_ns: float, horizon_ns: float
+) -> typing.List[float]:
+    """Memoryless arrival times in [0, horizon)."""
+    if rate_per_ns <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_ns}")
+    if horizon_ns < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon_ns}")
+    times = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_ns))
+        if t >= horizon_ns:
+            return times
+        times.append(t)
+
+
+def bursty_arrivals(
+    rng: np.random.Generator,
+    rate_per_ns: float,
+    horizon_ns: float,
+    burst_length_ns: float,
+    idle_length_ns: float,
+) -> typing.List[float]:
+    """On/off arrivals: Poisson at ``rate`` during bursts, silent between."""
+    if burst_length_ns <= 0 or idle_length_ns < 0:
+        raise ValueError("burst length must be positive, idle length >= 0")
+    times = []
+    window_start = 0.0
+    while window_start < horizon_ns:
+        window_end = min(window_start + burst_length_ns, horizon_ns)
+        t = window_start
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_ns))
+            if t >= window_end:
+                break
+            times.append(t)
+        window_start = window_end + idle_length_ns
+    return times

@@ -1,0 +1,49 @@
+"""Synthetic data generators for the example applications.
+
+The paper's hardware we simulate; its *data* we synthesize: relational
+tables for the DBMS mapping, tensors for ML, and CCTV-style frame
+streams for the hospital job of Figure 2.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+
+def synthetic_table(
+    rng: np.random.Generator,
+    n_rows: int,
+    n_int_cols: int = 4,
+    key_cardinality: typing.Optional[int] = None,
+) -> np.ndarray:
+    """A relational table as a structured array with an id + int columns."""
+    if n_rows < 0 or n_int_cols < 1:
+        raise ValueError("need n_rows >= 0 and n_int_cols >= 1")
+    dtype = [("id", np.int64)] + [(f"c{i}", np.int64) for i in range(n_int_cols)]
+    table = np.zeros(n_rows, dtype=dtype)
+    table["id"] = np.arange(n_rows)
+    cardinality = key_cardinality or max(1, n_rows // 10)
+    for i in range(n_int_cols):
+        table[f"c{i}"] = rng.integers(0, cardinality, n_rows)
+    return table
+
+
+def synthetic_tensor(
+    rng: np.random.Generator, shape: typing.Tuple[int, ...]
+) -> np.ndarray:
+    """A float32 tensor of training data."""
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+def synthetic_frames(
+    rng: np.random.Generator,
+    n_frames: int,
+    height: int = 72,
+    width: int = 128,
+) -> np.ndarray:
+    """A CCTV-style frame stream: (n, h, w) uint8 grayscale."""
+    if n_frames < 0:
+        raise ValueError("n_frames must be >= 0")
+    return rng.integers(0, 256, (n_frames, height, width)).astype(np.uint8)

@@ -1,0 +1,117 @@
+"""Synthetic access traces over a set of regions/objects.
+
+A trace is a list of :class:`AccessEvent` records ordered by time.
+These drive the tiering and interface benchmarks, where the *shape* of
+the access stream (skew, locality, read/write mix) is the experimental
+variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessEvent:
+    time: float
+    key: int  # object / region index
+    nbytes: int
+    is_write: bool
+
+
+def uniform_trace(
+    rng: np.random.Generator,
+    n_events: int,
+    n_keys: int,
+    nbytes: int = 64,
+    write_fraction: float = 0.0,
+    interarrival_ns: float = 100.0,
+) -> typing.List[AccessEvent]:
+    """Uniformly-random accesses at a constant mean rate."""
+    _check(n_events, n_keys, write_fraction)
+    keys = rng.integers(0, n_keys, n_events)
+    times = np.cumsum(rng.exponential(interarrival_ns, n_events))
+    writes = rng.random(n_events) < write_fraction
+    return [
+        AccessEvent(float(t), int(k), nbytes, bool(w))
+        for t, k, w in zip(times, keys, writes)
+    ]
+
+
+def zipfian_trace(
+    rng: np.random.Generator,
+    n_events: int,
+    n_keys: int,
+    skew: float = 0.99,
+    nbytes: int = 64,
+    write_fraction: float = 0.0,
+    interarrival_ns: float = 100.0,
+) -> typing.List[AccessEvent]:
+    """Skewed accesses: a few keys absorb most of the traffic."""
+    _check(n_events, n_keys, write_fraction)
+    sampler = ZipfSampler(n_keys, skew)
+    keys = sampler.sample(rng, n_events)
+    times = np.cumsum(rng.exponential(interarrival_ns, n_events))
+    writes = rng.random(n_events) < write_fraction
+    return [
+        AccessEvent(float(t), int(k), nbytes, bool(w))
+        for t, k, w in zip(times, keys, writes)
+    ]
+
+
+def sequential_trace(
+    n_events: int,
+    n_keys: int,
+    nbytes: int = 64,
+    interarrival_ns: float = 100.0,
+) -> typing.List[AccessEvent]:
+    """A scan: keys visited in order, wrapping around."""
+    _check(n_events, n_keys, 0.0)
+    return [
+        AccessEvent(float(i * interarrival_ns), i % n_keys, nbytes, False)
+        for i in range(n_events)
+    ]
+
+
+def mixed_trace(
+    rng: np.random.Generator,
+    n_events: int,
+    n_keys: int,
+    scan_fraction: float = 0.3,
+    skew: float = 0.99,
+    nbytes: int = 64,
+    write_fraction: float = 0.2,
+    interarrival_ns: float = 100.0,
+) -> typing.List[AccessEvent]:
+    """A blend of scans and skewed point accesses (OLxP-style)."""
+    _check(n_events, n_keys, write_fraction)
+    if not 0.0 <= scan_fraction <= 1.0:
+        raise ValueError(f"scan_fraction must be in [0,1], got {scan_fraction}")
+    sampler = ZipfSampler(n_keys, skew)
+    times = np.cumsum(rng.exponential(interarrival_ns, n_events))
+    events = []
+    cursor = 0
+    for t in times:
+        if rng.random() < scan_fraction:
+            key = cursor % n_keys
+            cursor += 1
+            is_write = False
+        else:
+            key = int(sampler.sample(rng, 1)[0])
+            is_write = bool(rng.random() < write_fraction)
+        events.append(AccessEvent(float(t), key, nbytes, is_write))
+    return events
+
+
+def _check(n_events: int, n_keys: int, write_fraction: float) -> None:
+    if n_events < 0:
+        raise ValueError(f"n_events must be >= 0, got {n_events}")
+    if n_keys < 1:
+        raise ValueError(f"n_keys must be >= 1, got {n_keys}")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError(f"write_fraction must be in [0,1], got {write_fraction}")

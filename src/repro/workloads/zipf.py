@@ -1,0 +1,43 @@
+"""Zipfian sampling over a finite key universe.
+
+Used by the tiering benchmarks: hot/cold skew is what makes
+hotness-driven migration pay off.  The sampler precomputes the CDF so
+draws are O(log n) binary searches, fully deterministic per RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Draw ranks in [0, n) with probability proportional to 1/(rank+1)^s."""
+
+    def __init__(self, n: int, skew: float = 0.99):
+        if n < 1:
+            raise ValueError(f"universe size must be >= 1, got {n}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.n = n
+        self.skew = skew
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), skew)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` ranks (0 is the hottest)."""
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u).astype(np.int64)
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of ``rank``."""
+        if rank < 0 or rank >= self.n:
+            raise IndexError(f"rank {rank} outside [0, {self.n})")
+        low = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - low)
+
+    def hot_set_coverage(self, k: int) -> float:
+        """Fraction of accesses hitting the k hottest keys."""
+        if k <= 0:
+            return 0.0
+        return float(self._cdf[min(k, self.n) - 1])

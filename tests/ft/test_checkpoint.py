@@ -1,0 +1,143 @@
+"""Tests for incremental region checkpointing."""
+
+import pytest
+
+from repro.ft.checkpoint import CheckpointError, CheckpointService
+from repro.hardware import Cluster
+from repro.memory.interfaces import Accessor
+from repro.memory.manager import MemoryManager
+from repro.memory.properties import MemoryProperties
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("table1-host")
+    mm = MemoryManager(cluster)
+    service = CheckpointService(cluster, mm, store_device="pmem0",
+                                interval_ns=100_000.0)
+    return cluster, mm, service
+
+
+def run(cluster, gen):
+    def driver():
+        result = yield from gen
+        return result
+
+    return cluster.engine.run(until=cluster.engine.process(driver()))
+
+
+def dirty(cluster, region, nbytes):
+    owner = next(iter(region.ownership.owners))
+    accessor = Accessor(cluster, region.handle(owner), "cpu0")
+    run(cluster, accessor.write(nbytes))
+
+
+class TestCheckpointService:
+    def test_store_must_be_persistent(self):
+        cluster = Cluster.preset("table1-host")
+        mm = MemoryManager(cluster)
+        with pytest.raises(CheckpointError):
+            CheckpointService(cluster, mm, store_device="dram0")
+        with pytest.raises(CheckpointError):
+            CheckpointService(cluster, mm, store_device="ghost")
+        with pytest.raises(ValueError):
+            CheckpointService(cluster, mm, store_device="pmem0",
+                              interval_ns=0.0)
+
+    def test_register_reserves_durable_space(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 1 * MiB, MemoryProperties(), owner="t")
+        service.register(region)
+        assert cluster.memory["pmem0"].used >= 1 * MiB
+
+    def test_first_snapshot_ships_whole_region(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 1 * MiB, MemoryProperties(), owner="t")
+        service.register(region)
+        shipped = run(cluster, service.snapshot_once(region))
+        assert shipped == 1 * MiB
+        assert service.snapshots_taken == 1
+
+    def test_clean_region_skipped(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 1 * MiB, MemoryProperties(), owner="t")
+        service.register(region)
+        run(cluster, service.snapshot_once(region))
+        shipped = run(cluster, service.snapshot_once(region))
+        assert shipped == 0.0
+        assert service.snapshots_skipped_clean == 1
+
+    def test_incremental_snapshot_ships_only_delta(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 1 * MiB, MemoryProperties(), owner="t")
+        service.register(region)
+        run(cluster, service.snapshot_once(region))
+        dirty(cluster, region, 64 * KiB)
+        shipped = run(cluster, service.snapshot_once(region))
+        assert shipped == pytest.approx(64 * KiB)
+
+    def test_delta_capped_at_region_size(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 64 * KiB, MemoryProperties(), owner="t")
+        service.register(region)
+        run(cluster, service.snapshot_once(region))
+        for _pass in range(4):
+            dirty(cluster, region, 64 * KiB)  # 4x overwrite
+        shipped = run(cluster, service.snapshot_once(region))
+        assert shipped == pytest.approx(64 * KiB)
+
+    def test_background_loop_tracks_dirtiness(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 256 * KiB, MemoryProperties(), owner="t")
+        service.register(region)
+        cluster.engine.process(service.run())
+
+        def workload():
+            for _round in range(4):
+                owner = next(iter(region.ownership.owners))
+                accessor = Accessor(cluster, region.handle(owner), "cpu0")
+                yield from accessor.write(32 * KiB)
+                yield cluster.engine.timeout(150_000.0)
+
+        cluster.engine.run(until=cluster.engine.process(workload()))
+        cluster.engine.run(until=cluster.engine.now + 200_000.0)
+        service.stop()
+        cluster.engine.run()
+        assert service.snapshots_taken >= 3
+        assert service.bytes_persisted >= 256 * KiB  # full + deltas
+
+    def test_restore_after_loss(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 512 * KiB, MemoryProperties(), owner="t")
+        service.register(region)
+        run(cluster, service.snapshot_once(region))
+
+        from repro.sim.faults import FaultKind
+
+        cluster.faults.inject_now(FaultKind.MEMORY_CORRUPTION, region.name)
+        assert not region.alive
+
+        restored = run(cluster, service.restore(region.id, "dram0", "t2"))
+        assert restored.alive
+        assert restored.size == 512 * KiB
+        assert restored.ownership.is_owner("t2")
+        # The replacement is protected under the same snapshot slot.
+        assert service.has_snapshot(restored.id)
+
+    def test_restore_without_snapshot_fails(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", KiB, MemoryProperties(), owner="t")
+        service.register(region)  # registered but never snapshotted
+        with pytest.raises(CheckpointError):
+            run(cluster, service.restore(region.id, "dram0", "t2"))
+
+    def test_unregister_frees_store_space(self, env):
+        cluster, mm, service = env
+        region = mm.allocate_on("dram0", 1 * MiB, MemoryProperties(), owner="t")
+        service.register(region)
+        before = cluster.memory["pmem0"].used
+        service.unregister(region)
+        assert cluster.memory["pmem0"].used < before

@@ -1,0 +1,316 @@
+"""Integration tests for the fault-tolerant stores + recovery orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.ft.erasure import DataLoss as ECDataLoss
+from repro.ft.erasure import ErasureCodedStore
+from repro.ft.recovery import RecoveryOrchestrator
+from repro.ft.replication import DataLoss as ReplDataLoss
+from repro.ft.replication import ReplicatedStore
+from repro.ft.striping import StripedStore
+from repro.hardware import Cluster
+from repro.memory.manager import MemoryManager
+
+KiB = 1024
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("far-memory-rack", n_nodes=8)
+    return cluster, MemoryManager(cluster)
+
+
+def run(cluster, gen):
+    def driver():
+        result = yield from gen
+        return result
+
+    return cluster.engine.run(until=cluster.engine.process(driver()))
+
+
+def payload(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, n).astype(np.uint8)
+
+
+FARS = [f"far{i}" for i in range(8)]
+
+
+class TestErasureCodedStore:
+    def make(self, cluster, mm, **kw):
+        kw.setdefault("k", 4)
+        kw.setdefault("m", 2)
+        kw.setdefault("shard_size", 4 * KiB)
+        return ErasureCodedStore(cluster, mm, FARS, home="dram0", **kw)
+
+    def test_put_get_roundtrip(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        data = payload(10 * KiB)
+        run(cluster, store.put("obj", data))
+        got = run(cluster, store.get("obj"))
+        assert np.array_equal(got, data)
+        assert cluster.engine.now > 0
+
+    def test_shards_on_distinct_failure_domains(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        span = run(cluster, store.put("obj", payload(KiB)))
+        domains = {cluster.node_of(d) for d in span.devices}
+        assert len(domains) == 6  # k + m
+
+    def test_degraded_read_after_crash(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        data = payload(12 * KiB, seed=3)
+        span = run(cluster, store.put("obj", data))
+        cluster.crash_node(cluster.node_of(span.devices[0]))
+        store.note_device_failures()
+        assert span.lost_shards == [0]
+        got = run(cluster, store.get("obj"))
+        assert np.array_equal(got, data)
+
+    def test_recover_rebuilds_on_new_domains(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        data = payload(8 * KiB, seed=4)
+        span = run(cluster, store.put("obj", data))
+        victim = cluster.node_of(span.devices[1])
+        cluster.crash_node(victim)
+        store.note_device_failures()
+        rebuilt = run(cluster, store.recover())
+        assert rebuilt == 1
+        assert span.lost_shards == []
+        assert victim not in {cluster.node_of(d) for d in span.devices}
+        assert np.array_equal(run(cluster, store.get("obj")), data)
+        assert store.repair_bytes > 0
+
+    def test_two_crashes_still_recoverable_with_m2(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        data = payload(8 * KiB, seed=5)
+        span = run(cluster, store.put("obj", data))
+        for d in span.devices[:2]:
+            cluster.crash_node(cluster.node_of(d))
+        store.note_device_failures()
+        run(cluster, store.recover())
+        assert np.array_equal(run(cluster, store.get("obj")), data)
+
+    def test_three_crashes_exceed_m_and_lose_data(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        span = run(cluster, store.put("obj", payload(8 * KiB)))
+        for d in span.devices[:3]:
+            cluster.crash_node(cluster.node_of(d))
+        store.note_device_failures()
+        with pytest.raises(ECDataLoss):
+            run(cluster, store.get("obj"))
+
+    def test_memory_overhead_near_codec_rate(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        # Fill one span exactly: k * shard_size bytes of live data.
+        run(cluster, store.put("obj", payload(16 * KiB, seed=6)))
+        assert store.memory_overhead() == pytest.approx(1.5)
+
+    def test_delete_and_compaction_reclaim_space(self, env):
+        """Carbink-style compaction: live remnants of two mostly-dead
+        spans get repacked into one fresh span."""
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        for i in range(8):  # two full spans (4 x 4 KiB each)
+            run(cluster, store.put(f"o{i}", payload(4 * KiB, seed=i)))
+        assert len(store.spans) == 2
+        physical_before = store.physical_bytes()
+        for i in (1, 2, 3, 5, 6, 7):  # keep one live object per span
+            store.delete(f"o{i}")
+        moved = run(cluster, store.compact(dead_threshold=0.5))
+        assert moved == 2
+        assert store.compactions == 2
+        assert len(store.spans) == 1
+        assert store.physical_bytes() < physical_before
+        for i in (0, 4):
+            data = run(cluster, store.get(f"o{i}"))
+            assert np.array_equal(data, payload(4 * KiB, seed=i))
+
+    def test_multiple_objects_pack_into_one_span(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        for i in range(4):
+            run(cluster, store.put(f"o{i}", payload(2 * KiB, seed=i)))
+        assert len(store.spans) == 1
+        for i in range(4):
+            assert np.array_equal(
+                run(cluster, store.get(f"o{i}")), payload(2 * KiB, seed=i)
+            )
+
+    def test_oversized_object_rejected(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        with pytest.raises(ValueError):
+            run(cluster, store.put("big", payload(64 * KiB)))
+
+    def test_duplicate_name_rejected(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        run(cluster, store.put("x", payload(KiB)))
+        with pytest.raises(KeyError):
+            run(cluster, store.put("x", payload(KiB)))
+
+    def test_too_few_failure_domains_rejected(self, env):
+        cluster, mm = env
+        with pytest.raises(ValueError):
+            ErasureCodedStore(cluster, mm, FARS[:3], home="dram0", k=4, m=2)
+
+
+class TestReplicatedStore:
+    def make(self, cluster, mm, copies=2):
+        return ReplicatedStore(cluster, mm, FARS, home="dram0", copies=copies)
+
+    def test_put_get_roundtrip(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        data = payload(8 * KiB, seed=9)
+        run(cluster, store.put("obj", data))
+        assert np.array_equal(run(cluster, store.get("obj")), data)
+
+    def test_replicas_on_distinct_domains(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm, copies=3)
+        rs = run(cluster, store.put("obj", payload(KiB)))
+        assert len({cluster.node_of(d) for d in rs.replicas}) == 3
+
+    def test_overhead_equals_copies(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm, copies=3)
+        run(cluster, store.put("obj", payload(8 * KiB)))
+        assert store.memory_overhead() == pytest.approx(3.0)
+
+    def test_crash_then_recover_restores_replication(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        data = payload(8 * KiB, seed=11)
+        rs = run(cluster, store.put("obj", data))
+        victim = list(rs.replicas)[0]
+        cluster.crash_node(cluster.node_of(victim))
+        assert store.note_device_failures() == 1
+        rebuilt = run(cluster, store.recover())
+        assert rebuilt == 1
+        assert len(rs.healthy_devices) == 2
+        assert np.array_equal(run(cluster, store.get("obj")), data)
+
+    def test_all_replicas_lost_is_data_loss(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        rs = run(cluster, store.put("obj", payload(KiB)))
+        for device in list(rs.replicas):
+            cluster.crash_node(cluster.node_of(device))
+        store.note_device_failures()
+        with pytest.raises(ReplDataLoss):
+            run(cluster, store.get("obj"))
+
+    def test_delete_frees_regions(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        run(cluster, store.put("obj", payload(KiB)))
+        store.delete("obj")
+        assert mm.live_regions() == []
+
+    def test_invalid_copies_rejected(self, env):
+        cluster, mm = env
+        with pytest.raises(ValueError):
+            self.make(cluster, mm, copies=0)
+
+
+class TestStripedStore:
+    def make(self, cluster, mm, parity=True):
+        return StripedStore(
+            cluster, mm, FARS[:5], home="dram0",
+            page_size=4 * KiB, parity=parity,
+        )
+
+    def test_put_get_roundtrip(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm)
+        data = payload(30 * KiB, seed=20)
+        run(cluster, store.put("obj", data))
+        assert np.array_equal(run(cluster, store.get("obj")), data)
+
+    def test_striped_read_faster_than_single_device(self, env):
+        """The point of striping: aggregate bandwidth across nodes."""
+        cluster, mm = env
+        store = self.make(cluster, mm, parity=False)
+        data = payload(256 * KiB, seed=21)
+        run(cluster, store.put("obj", data))
+        t0 = cluster.engine.now
+        run(cluster, store.get("obj"))
+        striped_time = cluster.engine.now - t0
+
+        t0 = cluster.engine.now
+        run(cluster, _null_gen(cluster.transfer("far0", "dram0", 256 * KiB)))
+        single_time = cluster.engine.now - t0
+        assert striped_time < single_time
+
+    def test_parity_recovers_single_device_loss(self, env):
+        cluster, mm = env
+        store = self.make(cluster, mm, parity=True)
+        data = payload(16 * KiB, seed=22)
+        stripe = run(cluster, store.put("obj", data))
+        victim_device = stripe.pages[0][0]
+        cluster.crash_node(cluster.node_of(victim_device))
+        store.note_device_failures()
+        rebuilt = run(cluster, store.recover())
+        assert rebuilt >= 1
+        assert not stripe.lost
+        assert np.array_equal(run(cluster, store.get("obj")), data)
+
+    def test_no_parity_loss_is_fatal(self, env):
+        from repro.ft.striping import DataLoss as StripeDataLoss
+
+        cluster, mm = env
+        store = self.make(cluster, mm, parity=False)
+        stripe = run(cluster, store.put("obj", payload(16 * KiB)))
+        cluster.crash_node(cluster.node_of(stripe.pages[0][0]))
+        store.note_device_failures()
+        with pytest.raises(StripeDataLoss):
+            run(cluster, store.get("obj"))
+
+    def test_validation(self, env):
+        cluster, mm = env
+        with pytest.raises(ValueError):
+            StripedStore(cluster, mm, FARS[:1], home="dram0")
+        with pytest.raises(ValueError):
+            StripedStore(cluster, mm, FARS[:2], home="dram0", parity=True)
+
+
+class TestRecoveryOrchestrator:
+    def test_crash_triggers_automatic_repair(self, env):
+        cluster, mm = env
+        store = ErasureCodedStore(
+            cluster, mm, FARS, home="dram0", k=4, m=2, shard_size=4 * KiB
+        )
+        orchestrator = RecoveryOrchestrator(cluster, [store], detection_delay_ns=5000.0)
+        data = payload(12 * KiB, seed=30)
+        span = run(cluster, store.put("obj", data))
+
+        def crash_later():
+            yield cluster.engine.timeout(1000.0)
+            cluster.crash_node(cluster.node_of(span.devices[0]))
+
+        cluster.engine.process(crash_later())
+        cluster.engine.run()
+        assert orchestrator.stats.crashes_seen == 1
+        assert orchestrator.stats.repairs_completed == 1
+        assert orchestrator.stats.shards_rebuilt == 1
+        assert orchestrator.stats.mean_repair_time_ns > 0
+        assert span.lost_shards == []
+
+    def test_detection_delay_validated(self, env):
+        cluster, mm = env
+        with pytest.raises(ValueError):
+            RecoveryOrchestrator(cluster, [], detection_delay_ns=-1.0)
+
+
+def _null_gen(event):
+    result = yield event
+    return result

@@ -1,0 +1,183 @@
+"""Tests for interconnect topology, routing, and cluster presets."""
+
+import pytest
+
+from repro.hardware import Cluster, NoRouteError, Topology
+from repro.hardware import calibration as cal
+from repro.hardware.spec import LinkKind, LinkSpec, MemoryKind
+from repro.sim.flows import LinkDown
+
+
+def linkspec(name, kind=LinkKind.CXL, bw=10.0, lat=100.0):
+    return LinkSpec(name, kind, bw, lat)
+
+
+class TestTopology:
+    def test_route_prefers_low_latency(self):
+        topo = Topology()
+        for n in ("a", "b", "mid"):
+            topo.add_node(n)
+        topo.connect("a", "b", linkspec("slow", lat=1000.0))
+        topo.connect("a", "mid", linkspec("h1", lat=10.0))
+        topo.connect("mid", "b", linkspec("h2", lat=10.0))
+        route = topo.route("a", "b")
+        assert [l.name for l in route] == ["h1", "h2"]
+        assert topo.path_latency("a", "b") == pytest.approx(20.0)
+
+    def test_route_to_self_is_empty(self):
+        topo = Topology()
+        topo.add_node("a")
+        assert topo.route("a", "a") == []
+        assert topo.path_bandwidth("a", "a") == float("inf")
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(NoRouteError):
+            topo.route("a", "b")
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ValueError):
+            topo.add_node("a")
+
+    def test_duplicate_edge_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.connect("a", "b", linkspec("l"))
+        with pytest.raises(ValueError):
+            topo.connect("a", "b", linkspec("l2"))
+
+    def test_path_bandwidth_is_bottleneck(self):
+        topo = Topology()
+        for n in ("a", "m", "b"):
+            topo.add_node(n)
+        topo.connect("a", "m", linkspec("fat", bw=100.0))
+        topo.connect("m", "b", linkspec("thin", bw=5.0))
+        assert topo.path_bandwidth("a", "b") == pytest.approx(5.0)
+
+    def test_addressable_and_coherent_classification(self):
+        topo = Topology()
+        for n in ("cpu", "dram", "cxl", "far", "ssd"):
+            topo.add_node(n)
+        topo.connect("cpu", "dram", linkspec("ddr", kind=LinkKind.DDR))
+        topo.connect("cpu", "cxl", linkspec("cxl", kind=LinkKind.CXL))
+        topo.connect("cpu", "far", linkspec("nic", kind=LinkKind.NIC))
+        topo.connect("cpu", "ssd", linkspec("pcie", kind=LinkKind.PCIE))
+        assert topo.addressable("cpu", "dram") and topo.coherent("cpu", "dram")
+        assert topo.addressable("cpu", "cxl") and topo.coherent("cpu", "cxl")
+        assert not topo.addressable("cpu", "far")
+        assert topo.addressable("cpu", "ssd") and not topo.coherent("cpu", "ssd")
+        # Unknown node: addressable is False, not an exception.
+        assert not topo.addressable("cpu", "ghost")
+
+
+class TestClusterPresets:
+    @pytest.mark.parametrize(
+        "preset", ["table1-host", "compute-centric", "pooled-rack", "two-socket-numa"]
+    )
+    def test_presets_build_and_route(self, preset):
+        cluster = Cluster.preset(preset)
+        assert cluster.compute and cluster.memory
+        # Every compute device can reach every memory device somehow.
+        for cname in cluster.compute:
+            for mname in cluster.memory:
+                assert cluster.topology.route(cname, mname)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            Cluster.preset("nope")
+
+    def test_table1_host_attachment_semantics(self):
+        cluster = Cluster.preset("table1-host")
+        topo = cluster.topology
+        assert topo.coherent("cpu0", "dram0")
+        assert topo.coherent("cpu0", "cxl0")
+        assert not topo.addressable("cpu0", "far0")  # NIC: messages only
+        assert not topo.addressable("cpu0", "hdd0")  # SATA
+        assert topo.addressable("cpu0", "ssd0")
+
+    def test_pooled_rack_gpu_sees_pool_coherently(self):
+        cluster = Cluster.preset("pooled-rack")
+        assert cluster.topology.coherent("gpu1", "dram-pool0")
+        assert cluster.topology.coherent("cpu1", "gddr1")
+
+    def test_access_latency_from_cpu_reproduces_table1_ordering(self):
+        """End-to-end (fabric + media) latency from the CPU follows Table 1."""
+        cluster = Cluster.preset("table1-host")
+
+        def rtt(mem):
+            dev = cluster.memory[mem]
+            return cluster.topology.path_latency("cpu0", mem) + dev.spec.latency
+
+        order = ["cache0", "dram0", "cxl0", "far0", "ssd0", "hdd0"]
+        latencies = [rtt(m) for m in order]
+        assert latencies == sorted(latencies)
+
+
+class TestClusterTransfers:
+    def test_transfer_moves_bytes_through_both_ports(self):
+        cluster = Cluster.preset("table1-host")
+        done = cluster.transfer("dram0", "cxl0", 1024.0)
+        cluster.engine.run(until=done)
+        assert cluster.memory["dram0"].port.bytes_carried == pytest.approx(1024.0)
+        assert cluster.memory["cxl0"].port.bytes_carried == pytest.approx(1024.0)
+
+    def test_same_device_copy_costs_double(self):
+        cluster = Cluster.preset("table1-host")
+        done = cluster.transfer("dram0", "dram0", 1000.0)
+        cluster.engine.run(until=done)
+        assert cluster.memory["dram0"].port.bytes_carried == pytest.approx(2000.0)
+
+    def test_transfer_slower_to_far_memory(self):
+        c1 = Cluster.preset("table1-host")
+        d1 = c1.transfer("dram0", "cxl0", 1 * 1024 * 1024)
+        c1.engine.run(until=d1)
+        t_cxl = c1.engine.now
+
+        c2 = Cluster.preset("table1-host")
+        d2 = c2.transfer("dram0", "far0", 1 * 1024 * 1024)
+        c2.engine.run(until=d2)
+        t_far = c2.engine.now
+        assert t_far > t_cxl
+
+    def test_node_crash_fails_devices_and_transfers(self):
+        cluster = Cluster.preset("table1-host")
+        done = cluster.transfer("dram0", "far0", 100 * 1024 * 1024)
+
+        def crash():
+            yield cluster.engine.timeout(1000.0)
+            cluster.crash_node("memnode")
+
+        cluster.engine.process(crash())
+        with pytest.raises(LinkDown):
+            cluster.engine.run(until=done)
+        assert cluster.memory["far0"].failed
+
+    def test_node_restart_restores_devices(self):
+        cluster = Cluster.preset("table1-host")
+        cluster.crash_node("memnode")
+        assert cluster.memory["far0"].failed
+        from repro.sim.faults import FaultKind
+
+        cluster.faults.inject_now(FaultKind.NODE_RESTART, "memnode")
+        assert not cluster.memory["far0"].failed
+        done = cluster.transfer("dram0", "far0", 64.0)
+        cluster.engine.run(until=done)
+
+    def test_duplicate_device_name_rejected(self):
+        cluster = Cluster(seed=0)
+        cluster.add_memory(cal.make_dram("x"))
+        with pytest.raises(ValueError):
+            cluster.add_compute(cal.make_cpu("x"))
+
+    def test_memory_devices_filtering(self):
+        cluster = Cluster.preset("table1-host")
+        drams = cluster.memory_devices(kind=MemoryKind.DRAM)
+        assert [d.name for d in drams] == ["dram0"]
+        cluster.memory["dram0"].fail()
+        assert cluster.memory_devices(kind=MemoryKind.DRAM) == []
+        assert cluster.memory_devices(kind=MemoryKind.DRAM, alive_only=False)

@@ -1,0 +1,113 @@
+"""Property-based tests for the access-cost model.
+
+The cost model is the contract between the optimizer and the simulator;
+these pin its monotonicity and dominance relations for arbitrary
+devices and request shapes.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import calibration as cal
+from repro.hardware.devices import MemoryDevice
+from repro.memory.interfaces import (
+    AccessMode,
+    AccessPattern,
+    access_plan,
+)
+
+DEVICE_MAKERS = [
+    cal.make_dram, cal.make_hbm, cal.make_pmem, cal.make_cxl_dram,
+    cal.make_far_memory, cal.make_gddr,
+]
+
+
+@st.composite
+def access_cases(draw):
+    maker = draw(st.sampled_from(DEVICE_MAKERS))
+    device = MemoryDevice(maker("dev"))
+    return (
+        device,
+        draw(st.floats(0.0, 5_000.0)),  # path latency
+        draw(st.integers(1, 1 << 24)),  # nbytes
+        draw(st.sampled_from([16, 64, 256, 4096])),  # access size
+    )
+
+
+class TestAccessPlanProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(case=access_cases(), pattern=st.sampled_from(list(AccessPattern)),
+           mode=st.sampled_from(list(AccessMode)))
+    def test_more_bytes_never_cheaper(self, case, pattern, mode):
+        device, latency, nbytes, access_size = case
+        small = access_plan(device, latency, nbytes, pattern, mode, access_size)
+        large = access_plan(device, latency, 2 * nbytes, pattern, mode, access_size)
+        assert large.latency_ns >= small.latency_ns
+        assert large.wire_bytes >= small.wire_bytes
+        assert large.n_ops >= small.n_ops
+
+    @settings(max_examples=200, deadline=None)
+    @given(case=access_cases(), mode=st.sampled_from(list(AccessMode)))
+    def test_random_never_cheaper_than_sequential(self, case, mode):
+        device, latency, nbytes, access_size = case
+        seq = access_plan(device, latency, nbytes,
+                          AccessPattern.SEQUENTIAL, mode, access_size)
+        rand = access_plan(device, latency, nbytes,
+                           AccessPattern.RANDOM, mode, access_size)
+        assert rand.latency_ns >= seq.latency_ns - 1e-9
+        assert rand.wire_bytes >= seq.wire_bytes - 1e-9
+
+    @settings(max_examples=200, deadline=None)
+    @given(case=access_cases())
+    def test_sync_random_never_cheaper_than_async_beyond_near_memory(self, case):
+        """Once the round trip exceeds the async software overhead,
+        explicit async always wins on random streams."""
+        from repro.memory.interfaces import (
+            ASYNC_OP_OVERHEAD_NS,
+            PER_OP_OVERHEAD_NS,
+            SYNC_MLP,
+        )
+
+        device, latency, nbytes, access_size = case
+        rtt = 2 * latency + device.spec.latency + PER_OP_OVERHEAD_NS
+        assume(rtt / SYNC_MLP > ASYNC_OP_OVERHEAD_NS)
+        assume(nbytes >= 32 * access_size)  # amortize the async prologue
+        sync = access_plan(device, latency, nbytes,
+                           AccessPattern.RANDOM, AccessMode.SYNC, access_size)
+        async_ = access_plan(device, latency, nbytes,
+                             AccessPattern.RANDOM, AccessMode.ASYNC, access_size)
+        assert async_.latency_ns <= sync.latency_ns
+
+    @settings(max_examples=200, deadline=None)
+    @given(case=access_cases(), pattern=st.sampled_from(list(AccessPattern)))
+    def test_wire_bytes_at_least_payload_and_granularity(self, case, pattern):
+        device, latency, nbytes, access_size = case
+        plan = access_plan(device, latency, nbytes, pattern,
+                           AccessMode.ASYNC, access_size)
+        assert plan.wire_bytes >= min(nbytes, plan.n_ops * access_size) - 1e-9
+        if pattern is AccessPattern.RANDOM:
+            assert plan.wire_bytes >= plan.n_ops * min(
+                access_size, device.spec.granularity)
+
+    @settings(max_examples=100, deadline=None)
+    @given(case=access_cases())
+    def test_writes_never_cheaper_than_reads(self, case):
+        device, latency, nbytes, access_size = case
+        read = access_plan(device, latency, nbytes, AccessPattern.RANDOM,
+                           AccessMode.SYNC, access_size, is_write=False)
+        write = access_plan(device, latency, nbytes, AccessPattern.RANDOM,
+                            AccessMode.SYNC, access_size, is_write=True)
+        assert write.latency_ns >= read.latency_ns
+
+    @settings(max_examples=100, deadline=None)
+    @given(case=access_cases(), bandwidth=st.floats(0.1, 1000.0))
+    def test_lower_bound_dominated_by_components(self, case, bandwidth):
+        device, latency, nbytes, access_size = case
+        plan = access_plan(device, latency, nbytes,
+                           AccessPattern.SEQUENTIAL, AccessMode.SYNC,
+                           access_size)
+        bound = plan.lower_bound_ns(bandwidth)
+        assert bound >= plan.latency_ns - 1e-9
+        assert bound >= plan.wire_bytes / bandwidth - 1e-9
+        assert plan.lower_bound_ns(0.0) == float("inf")

@@ -1,0 +1,150 @@
+"""Tests for the memory-centric OS layer (virtual address spaces)."""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.memory import AddressError, VirtualAddressSpace
+from repro.memory.manager import MemoryManager
+from repro.memory.properties import MemoryProperties
+
+KiB = 1024
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("table1-host")
+    return cluster, MemoryManager(cluster)
+
+
+def test_page_size_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        VirtualAddressSpace("j", page_size=3000)
+    VirtualAddressSpace("j", page_size=4096)
+
+
+class TestMapping:
+    def test_map_returns_page_aligned_growing_addresses(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        a = mm.allocate_on("dram0", 10 * KiB, MemoryProperties(), owner="t")
+        b = mm.allocate_on("dram0", 4 * KiB, MemoryProperties(), owner="t")
+        va = vas.map(a)
+        vb = vas.map(b)
+        assert va % vas.page_size == 0
+        assert vb >= va + 12 * KiB  # 10 KiB rounds to 3 pages
+        assert vas.mapped_bytes == 14 * KiB
+
+    def test_double_map_rejected(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("dram0", KiB, MemoryProperties(), owner="t")
+        vas.map(region)
+        with pytest.raises(AddressError):
+            vas.map(region)
+
+    def test_unmap_then_translate_faults(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("dram0", KiB, MemoryProperties(), owner="t")
+        vaddr = vas.map(region)
+        vas.unmap(region)
+        with pytest.raises(AddressError):
+            vas.translate(vaddr)
+        with pytest.raises(AddressError):
+            vas.unmap(region)
+
+    def test_unmapped_address_faults_and_counts(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        with pytest.raises(AddressError):
+            vas.translate(0xDEAD)
+        assert vas.faults == 1
+
+
+class TestTranslation:
+    def test_translate_to_physical(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("dram0", 8 * KiB, MemoryProperties(), owner="t")
+        vaddr = vas.map(region)
+        entry = vas.translate(vaddr + 100)
+        assert entry.device_name == "dram0"
+        assert entry.physical_offset == region.allocation.offset + 100
+        assert vas.region_at(vaddr) is region
+
+    def test_guard_padding_faults(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("dram0", 100, MemoryProperties(), owner="t")
+        vaddr = vas.map(region)  # one 4 KiB page for 100 bytes
+        vas.translate(vaddr + 99)
+        with pytest.raises(AddressError):
+            vas.translate(vaddr + 100)  # inside the page, past the region
+
+    def test_write_protection(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("dram0", KiB, MemoryProperties(), owner="t")
+        vaddr = vas.map(region, writable=False)
+        vas.translate(vaddr, for_write=False)
+        with pytest.raises(AddressError):
+            vas.translate(vaddr, for_write=True)
+
+    def test_translation_follows_migration(self, env):
+        """The paper's pointer-swizzling effect: after the runtime moves
+        a region, existing virtual addresses transparently resolve to
+        the new device."""
+        cluster, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("dram0", 64 * KiB, MemoryProperties(), owner="t")
+        vaddr = vas.map(region)
+        assert vas.translate(vaddr).device_name == "dram0"
+
+        def driver():
+            yield from mm.migrate(region, "cxl0")
+
+        cluster.engine.run(until=cluster.engine.process(driver()))
+        entry = vas.translate(vaddr)
+        assert entry.device_name == "cxl0"
+        assert entry.physical_offset == region.allocation.offset
+
+    def test_freed_region_translation_faults(self, env):
+        _, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("dram0", KiB, MemoryProperties(), owner="t")
+        vaddr = vas.map(region)
+        mm.free(region)
+        with pytest.raises(AddressError, match="backing is gone"):
+            vas.translate(vaddr)
+
+    def test_lost_region_translation_faults(self, env):
+        cluster, mm = env
+        vas = VirtualAddressSpace("job")
+        region = mm.allocate_on("far0", KiB, MemoryProperties(), owner="t")
+        vaddr = vas.map(region)
+        cluster.crash_node("memnode")
+        with pytest.raises(AddressError):
+            vas.translate(vaddr)
+
+
+class TestProtection:
+    def test_confidential_region_only_maps_into_owner_job(self, env):
+        _, mm = env
+        region = mm.allocate_on(
+            "dram0", KiB, MemoryProperties(confidential=True),
+            owner="hospital/track_hours",
+        )
+        own = VirtualAddressSpace("hospital")
+        own.map(region)
+
+        other = VirtualAddressSpace("analytics")
+        with pytest.raises(AddressError, match="confidential"):
+            other.map(region)
+
+    def test_non_confidential_region_shareable_across_jobs(self, env):
+        _, mm = env
+        region = mm.allocate_on(
+            "dram0", KiB, MemoryProperties(), owner="jobA/task"
+        )
+        VirtualAddressSpace("jobA").map(region)
+        VirtualAddressSpace("jobB").map(region)  # fine: not confidential

@@ -1,0 +1,167 @@
+"""Unit + property tests for the first-fit free-list allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.allocator import AllocationError, FreeListAllocator
+
+
+class TestBasics:
+    def test_allocate_and_free_roundtrip(self):
+        alloc = FreeListAllocator(capacity=1024)
+        a = alloc.allocate(100)
+        assert a.offset == 0
+        assert alloc.allocated_bytes == 100
+        alloc.free(a)
+        assert alloc.allocated_bytes == 0
+        assert alloc.free_bytes == 1024
+
+    def test_first_fit_reuses_earliest_hole(self):
+        alloc = FreeListAllocator(capacity=1024)
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        alloc.allocate(100)
+        alloc.free(a)
+        alloc.free(b)  # coalesces into [0, 200)
+        d = alloc.allocate(150)
+        assert d.offset == 0
+
+    def test_granularity_rounding(self):
+        alloc = FreeListAllocator(capacity=1024, granularity=64)
+        a = alloc.allocate(1)
+        assert a.size == 64
+        assert a.requested == 1
+        assert alloc.allocated_bytes == 64
+
+    def test_exhaustion_raises_without_state_damage(self):
+        alloc = FreeListAllocator(capacity=256)
+        alloc.allocate(200)
+        with pytest.raises(AllocationError):
+            alloc.allocate(100)
+        assert alloc.failed_allocs == 1
+        alloc.check_invariants()
+
+    def test_fragmentation_blocks_large_alloc(self):
+        alloc = FreeListAllocator(capacity=300)
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        alloc.allocate(100)
+        alloc.free(a)
+        # free = 100 at offset 0... free b too but keep c: free = [0,200)
+        alloc.free(b)
+        big = alloc.allocate(200)
+        assert big.offset == 0
+
+    def test_fragmentation_metric(self):
+        alloc = FreeListAllocator(capacity=300)
+        a = alloc.allocate(100)
+        alloc.allocate(100)  # keep middle
+        c = alloc.allocate(100)
+        alloc.free(a)
+        alloc.free(c)
+        # Two 100-byte holes -> largest/total = 0.5.
+        assert alloc.fragmentation == pytest.approx(0.5)
+
+    def test_double_free_rejected(self):
+        alloc = FreeListAllocator(capacity=128)
+        a = alloc.allocate(64)
+        alloc.free(a)
+        with pytest.raises(ValueError):
+            alloc.free(a)
+
+    def test_zero_or_negative_alloc_rejected(self):
+        alloc = FreeListAllocator(capacity=128)
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+        with pytest.raises(ValueError):
+            alloc.allocate(-5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(capacity=0)
+        with pytest.raises(ValueError):
+            FreeListAllocator(capacity=100, granularity=0)
+
+    def test_peak_tracking(self):
+        alloc = FreeListAllocator(capacity=1000)
+        a = alloc.allocate(600)
+        alloc.free(a)
+        alloc.allocate(100)
+        assert alloc.peak_bytes == 600
+
+    def test_full_capacity_alloc(self):
+        alloc = FreeListAllocator(capacity=512)
+        a = alloc.allocate(512)
+        assert a.offset == 0
+        assert alloc.free_bytes == 0
+        assert alloc.fragmentation == 0.0
+        alloc.free(a)
+        assert alloc.largest_free_extent == 512
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocs (positive sizes) and frees (index)."""
+    n = draw(st.integers(1, 60))
+    return [
+        (draw(st.sampled_from(["alloc", "free"])), draw(st.integers(1, 400)))
+        for _ in range(n)
+    ]
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(script=alloc_free_script(), granularity=st.sampled_from([1, 8, 64, 256]))
+    def test_invariants_hold_under_arbitrary_interleavings(self, script, granularity):
+        """Spans always partition [0, capacity); accounting always agrees."""
+        alloc = FreeListAllocator(capacity=4096, granularity=granularity)
+        live = []
+        for op, value in script:
+            if op == "alloc":
+                try:
+                    live.append(alloc.allocate(value))
+                except AllocationError:
+                    pass
+            elif live:
+                alloc.free(live.pop(value % len(live)))
+            alloc.check_invariants()
+        for allocation in live:
+            alloc.free(allocation)
+            alloc.check_invariants()
+        assert alloc.allocated_bytes == 0
+        assert alloc.largest_free_extent == 4096
+
+    @settings(max_examples=100, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 300), min_size=1, max_size=30))
+    def test_allocations_never_overlap(self, sizes):
+        alloc = FreeListAllocator(capacity=8192)
+        spans = []
+        for size in sizes:
+            try:
+                a = alloc.allocate(size)
+            except AllocationError:
+                continue
+            spans.append((a.offset, a.offset + a.size))
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 500), min_size=1, max_size=20),
+        granularity=st.sampled_from([1, 64]),
+    )
+    def test_free_all_restores_pristine_state(self, sizes, granularity):
+        alloc = FreeListAllocator(capacity=16384, granularity=granularity)
+        allocations = []
+        for size in sizes:
+            try:
+                allocations.append(alloc.allocate(size))
+            except AllocationError:
+                break
+        for allocation in allocations:
+            alloc.free(allocation)
+        assert alloc.free_bytes == 16384
+        assert alloc.fragmentation == 0.0
+        assert len(alloc._free) == 1

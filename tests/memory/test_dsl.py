@@ -1,0 +1,134 @@
+"""Tests for the declarative property-string syntax."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.properties import TaskProperties
+from repro.hardware.spec import ComputeKind
+from repro.memory.dsl import PropertySyntaxError, parse_properties, parse_task_card
+from repro.memory.properties import BandwidthClass, LatencyClass, MemoryProperties
+
+
+class TestParseProperties:
+    def test_full_request(self):
+        props = parse_properties(
+            "latency<=low, bandwidth>=medium, persistent, coherent, "
+            "sync, confidential"
+        )
+        assert props == MemoryProperties(
+            latency=LatencyClass.LOW, bandwidth=BandwidthClass.MEDIUM,
+            persistent=True, coherent=True, sync=True, confidential=True,
+        )
+
+    def test_short_keys(self):
+        props = parse_properties("lat<=medium, bw>=high")
+        assert props.latency is LatencyClass.MEDIUM
+        assert props.bandwidth is BandwidthClass.HIGH
+
+    def test_empty_string_is_dont_care(self):
+        assert parse_properties("") == MemoryProperties()
+
+    def test_explicit_flag_values(self):
+        props = parse_properties("persistent=true sync=false")
+        assert props.persistent is True
+        assert props.sync is False
+
+    def test_space_separated(self):
+        props = parse_properties("latency<=low sync confidential")
+        assert props.latency is LatencyClass.LOW
+        assert props.sync and props.confidential
+
+    def test_errors(self):
+        with pytest.raises(PropertySyntaxError):
+            parse_properties("latency>=low")  # wrong comparator
+        with pytest.raises(PropertySyntaxError):
+            parse_properties("bandwidth<=high")
+        with pytest.raises(PropertySyntaxError):
+            parse_properties("latency<=warp")
+        with pytest.raises(PropertySyntaxError):
+            parse_properties("wizardry")
+        with pytest.raises(PropertySyntaxError):
+            parse_properties("persistent=maybe")
+        with pytest.raises(PropertySyntaxError):
+            parse_properties(None)
+
+
+class TestParseTaskCard:
+    def test_figure2c_card(self):
+        card = parse_task_card(
+            "compute=gpu confidential=true persistent=false mem_latency=low"
+        )
+        assert card == TaskProperties(
+            compute=ComputeKind.GPU, confidential=True,
+            persistent=False, mem_latency=LatencyClass.LOW,
+        )
+
+    def test_paper_verbatim_spelling(self):
+        card = parse_task_card(
+            "comp. device=cpu, confidential=true, persistent=true, "
+            "mem. latency=low"
+        )
+        assert card.compute is ComputeKind.CPU
+        assert card.persistent
+        assert card.mem_latency is LatencyClass.LOW
+
+    def test_dont_care_latency_dash(self):
+        card = parse_task_card("compute=cpu confidential=false mem_latency=-")
+        assert card.mem_latency is None
+
+    def test_streaming_flag(self):
+        assert parse_task_card("streaming").streaming
+        assert parse_task_card("streaming=true").streaming
+
+    def test_errors(self):
+        with pytest.raises(PropertySyntaxError):
+            parse_task_card("compute=abacus")
+        with pytest.raises(PropertySyntaxError):
+            parse_task_card("bare_token_without_value")
+        with pytest.raises(PropertySyntaxError):
+            parse_task_card("colour=blue")
+
+
+class TestRoundTrip:
+    latency = st.sampled_from(list(LatencyClass))
+    bandwidth = st.sampled_from(list(BandwidthClass))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        latency=latency, bandwidth=bandwidth,
+        persistent=st.sampled_from([None, True]),
+        coherent=st.sampled_from([None, True]),
+        sync=st.sampled_from([None, True]),
+        confidential=st.booleans(),
+    )
+    def test_describe_parse_roundtrip(
+        self, latency, bandwidth, persistent, coherent, sync, confidential
+    ):
+        """Everything describe() can say, parse_properties() can read."""
+        original = MemoryProperties(
+            latency=latency, bandwidth=bandwidth, persistent=persistent,
+            coherent=coherent, sync=sync, confidential=confidential,
+        )
+        text = original.describe()
+        parsed = parse_properties(text)
+        assert parsed == original
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        compute=st.sampled_from([None] + list(ComputeKind)),
+        confidential=st.booleans(),
+        persistent=st.booleans(),
+        mem_latency=st.sampled_from([None, LatencyClass.LOW, LatencyClass.HIGH]),
+        streaming=st.booleans(),
+    )
+    def test_task_card_roundtrip(
+        self, compute, confidential, persistent, mem_latency, streaming
+    ):
+        original = TaskProperties(
+            compute=compute, confidential=confidential,
+            persistent=persistent, mem_latency=mem_latency,
+            streaming=streaming,
+        )
+        parsed = parse_task_card(original.describe())
+        assert parsed == original

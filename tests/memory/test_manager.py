@@ -1,0 +1,209 @@
+"""Tests for the memory manager (allocation, lifetime, migration, faults)."""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.properties import MemoryProperties
+from repro.memory.region import RegionState
+from repro.memory.regions import RegionType
+from repro.sim.faults import FaultKind
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("table1-host")
+    return cluster, MemoryManager(cluster)
+
+
+class TestAllocation:
+    def test_allocate_reserves_device_capacity(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("dram0", 4096, MemoryProperties(), owner="t1")
+        assert region.device.name == "dram0"
+        assert cluster.memory["dram0"].used == 4096
+        assert mm.live_bytes("dram0") == 4096
+
+    def test_allocation_respects_granularity(self, env):
+        cluster, mm = env
+        mm.allocate_on("pmem0", 100, MemoryProperties(), owner="t1")  # 256 B gran
+        assert cluster.memory["pmem0"].used == 256
+
+    def test_persistent_request_on_volatile_device_rejected(self, env):
+        _, mm = env
+        with pytest.raises(PlacementError):
+            mm.allocate_on("dram0", 64, MemoryProperties(persistent=True), owner="t1")
+
+    def test_persistent_request_on_pmem_succeeds(self, env):
+        _, mm = env
+        region = mm.allocate_on(
+            "pmem0", 64, MemoryProperties(persistent=True), owner="t1"
+        )
+        assert region.device.spec.persistent
+
+    def test_unknown_device_rejected(self, env):
+        _, mm = env
+        with pytest.raises(PlacementError):
+            mm.allocate_on("nope", 64, MemoryProperties(), owner="t1")
+
+    def test_failed_device_rejected(self, env):
+        cluster, mm = env
+        cluster.memory["dram0"].fail()
+        with pytest.raises(PlacementError):
+            mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1")
+
+    def test_capacity_exhaustion_raises_placement_error(self, env):
+        cluster, mm = env
+        capacity = cluster.memory["cache0"].capacity
+        mm.allocate_on("cache0", capacity, MemoryProperties(), owner="t1")
+        with pytest.raises(PlacementError):
+            mm.allocate_on("cache0", 1, MemoryProperties(), owner="t1")
+
+
+class TestLifetime:
+    def test_last_owner_drop_frees_region(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("dram0", 4096, MemoryProperties(), owner="t1")
+        mm.drop_owner(region, "t1")
+        assert region.state is RegionState.FREED
+        assert cluster.memory["dram0"].used == 0
+        assert mm.live_regions() == []
+        assert mm.freed_regions == 1
+
+    def test_shared_region_frees_only_after_all_drop(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("dram0", 4096, MemoryProperties(), owner="t1")
+        mm.share(region, "t1", ["t2", "t3"])
+        mm.drop_owner(region, "t1")
+        mm.drop_owner(region, "t2")
+        assert region.state is RegionState.ACTIVE
+        mm.drop_owner(region, "t3")
+        assert region.state is RegionState.FREED
+
+    def test_explicit_free_is_idempotent(self, env):
+        _, mm = env
+        region = mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1")
+        mm.free(region)
+        mm.free(region)
+        assert mm.freed_regions == 1
+
+    def test_transfer_ownership_keeps_region_alive(self, env):
+        _, mm = env
+        region = mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1")
+        mm.transfer_ownership(region, "t1", "t2")
+        assert region.state is RegionState.ACTIVE
+        mm.drop_owner(region, "t2")
+        assert region.state is RegionState.FREED
+
+    def test_no_leaks_across_many_jobs(self, env):
+        cluster, mm = env
+        for i in range(500):
+            region = mm.allocate_on("dram0", 8192, MemoryProperties(), owner=f"t{i}")
+            mm.transfer_ownership(region, f"t{i}", f"t{i}+1")
+            mm.drop_owner(region, f"t{i}+1")
+        assert cluster.memory["dram0"].used == 0
+        assert not mm.live_regions()
+        assert mm.allocators["dram0"].fragmentation == 0.0
+
+
+class TestMigration:
+    def test_migrate_moves_backing_and_accounting(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("dram0", 1_000_000, MemoryProperties(), owner="t1")
+
+        def driver():
+            yield from mm.migrate(region, "cxl0")
+
+        cluster.engine.run(until=cluster.engine.process(driver()))
+        assert region.device.name == "cxl0"
+        assert region.migrations == 1
+        assert cluster.memory["dram0"].used == 0
+        assert cluster.memory["cxl0"].used >= 1_000_000
+        assert cluster.engine.now > 0  # the copy took simulated time
+
+    def test_migrate_to_same_device_is_noop(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1")
+
+        def driver():
+            yield from mm.migrate(region, "dram0")
+
+        cluster.engine.run(until=cluster.engine.process(driver()))
+        assert cluster.engine.now == 0.0
+        assert region.migrations == 0
+
+    def test_migrate_persistent_region_to_volatile_rejected(self, env):
+        cluster, mm = env
+        region = mm.allocate_on(
+            "pmem0", 64, MemoryProperties(persistent=True), owner="t1"
+        )
+
+        def driver():
+            with pytest.raises(PlacementError):
+                yield from mm.migrate(region, "dram0")
+            return True
+
+        assert cluster.engine.run(until=cluster.engine.process(driver()))
+
+    def test_handles_survive_migration(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("dram0", 4096, MemoryProperties(), owner="t1")
+        handle = region.handle("t1")
+
+        def driver():
+            yield from mm.migrate(region, "cxl0")
+
+        cluster.engine.run(until=cluster.engine.process(driver()))
+        handle.validate()  # migration is transparent to owners
+
+
+class TestFaults:
+    def test_node_crash_loses_volatile_regions(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("far0", 4096, MemoryProperties(), owner="t1")
+        cluster.crash_node("memnode")
+        assert region.state is RegionState.LOST
+        assert mm.lost_regions == 1
+
+    def test_node_crash_spares_persistent_regions(self, env):
+        cluster, mm = env
+        region = mm.allocate_on(
+            "pmem0", 64, MemoryProperties(persistent=True), owner="t1"
+        )
+        cluster.crash_node("host")
+        assert region.state is RegionState.ACTIVE
+
+    def test_power_outage_loses_all_volatile(self, env):
+        cluster, mm = env
+        volatile = mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1")
+        durable = mm.allocate_on(
+            "pmem0", 64, MemoryProperties(persistent=True), owner="t1"
+        )
+        cluster.faults.inject_now(FaultKind.POWER_OUTAGE, "rack")
+        assert volatile.state is RegionState.LOST
+        assert durable.state is RegionState.ACTIVE
+
+    def test_targeted_corruption(self, env):
+        cluster, mm = env
+        a = mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1", name="victim")
+        b = mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1", name="other")
+        cluster.faults.inject_now(FaultKind.MEMORY_CORRUPTION, "victim")
+        assert a.state is RegionState.LOST
+        assert b.state is RegionState.ACTIVE
+
+    def test_lost_region_rejects_handles(self, env):
+        cluster, mm = env
+        region = mm.allocate_on("dram0", 64, MemoryProperties(), owner="t1")
+        handle = region.handle("t1")
+        cluster.faults.inject_now(FaultKind.POWER_OUTAGE, "rack")
+        assert not handle.valid
+
+
+class TestRegionTypes:
+    def test_region_type_recorded(self, env):
+        _, mm = env
+        region = mm.allocate_on(
+            "dram0", 64, MemoryProperties(), owner="t1",
+            region_type=RegionType.PRIVATE_SCRATCH,
+        )
+        assert region.region_type is RegionType.PRIVATE_SCRATCH

@@ -1,0 +1,166 @@
+"""Unit + property tests for the ownership state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.ownership import (
+    NotOwnerError,
+    OwnershipError,
+    OwnershipMode,
+    OwnershipRecord,
+    UseAfterTransferError,
+)
+
+
+class TestExclusive:
+    def test_initial_owner_is_exclusive(self):
+        rec = OwnershipRecord("t1")
+        assert rec.mode is OwnershipMode.EXCLUSIVE
+        assert rec.is_owner("t1")
+        assert not rec.is_owner("t2")
+
+    def test_transfer_moves_ownership_and_bumps_epoch(self):
+        rec = OwnershipRecord("t1")
+        epoch = rec.transfer("t1", "t2")
+        assert epoch == 1
+        assert rec.is_owner("t2")
+        assert not rec.is_owner("t1")
+        assert rec.transfer_count == 1
+
+    def test_transfer_by_non_owner_rejected(self):
+        rec = OwnershipRecord("t1")
+        with pytest.raises(NotOwnerError):
+            rec.transfer("t2", "t3")
+
+    def test_stale_epoch_access_fails(self):
+        rec = OwnershipRecord("t1")
+        rec.check_access("t1", epoch=0)
+        rec.transfer("t1", "t2")
+        with pytest.raises(UseAfterTransferError):
+            rec.check_access("t1", epoch=0)
+        rec.check_access("t2", epoch=1)
+
+    def test_transfer_chain(self):
+        rec = OwnershipRecord("t1")
+        for i, (src, dst) in enumerate([("t1", "t2"), ("t2", "t3"), ("t3", "t4")]):
+            assert rec.transfer(src, dst) == i + 1
+        assert rec.owners == {"t4"}
+
+    def test_transfer_to_none_rejected(self):
+        rec = OwnershipRecord("t1")
+        with pytest.raises(ValueError):
+            rec.transfer("t1", None)
+
+
+class TestShared:
+    def test_share_widens_owner_set(self):
+        rec = OwnershipRecord("t1")
+        rec.share("t1", ["t2", "t3"])
+        assert rec.mode is OwnershipMode.SHARED
+        assert rec.owners == {"t1", "t2", "t3"}
+
+    def test_shared_cannot_transfer(self):
+        rec = OwnershipRecord("t1")
+        rec.share("t1", ["t2"])
+        with pytest.raises(OwnershipError):
+            rec.transfer("t1", "t3")
+
+    def test_only_owner_may_share(self):
+        rec = OwnershipRecord("t1")
+        with pytest.raises(NotOwnerError):
+            rec.share("stranger", ["t2"])
+
+    def test_drop_until_release(self):
+        rec = OwnershipRecord("t1")
+        released = []
+        rec.on_release.append(lambda: released.append(True))
+        rec.share("t1", ["t2"])
+        assert rec.drop("t1") is False
+        assert not released
+        assert rec.drop("t2") is True
+        assert released == [True]
+        assert rec.released
+
+    def test_drop_non_owner_rejected(self):
+        rec = OwnershipRecord("t1")
+        with pytest.raises(NotOwnerError):
+            rec.drop("t2")
+
+    def test_released_record_rejects_everything(self):
+        rec = OwnershipRecord("t1")
+        rec.drop("t1")
+        with pytest.raises(UseAfterTransferError):
+            rec.check_access("t1")
+        with pytest.raises(UseAfterTransferError):
+            rec.transfer("t1", "t2")
+        with pytest.raises(UseAfterTransferError):
+            rec.share("t1", ["t2"])
+        with pytest.raises(UseAfterTransferError):
+            rec.drop("t1")
+
+
+ACTORS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def ownership_script(draw):
+    n = draw(st.integers(1, 40))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["transfer", "share", "drop", "access"]))
+        ops.append((kind, draw(st.sampled_from(ACTORS)), draw(st.sampled_from(ACTORS))))
+    return ops
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(script=ownership_script())
+    def test_state_machine_invariants(self, script):
+        """Model-checked: the owner set is never empty while unreleased,
+        exclusive mode always has exactly one owner, and release fires
+        exactly once."""
+        rec = OwnershipRecord("a")
+        release_count = []
+        rec.on_release.append(lambda: release_count.append(1))
+
+        for kind, x, y in script:
+            try:
+                if kind == "transfer":
+                    rec.transfer(x, y)
+                elif kind == "share":
+                    rec.share(x, [y])
+                elif kind == "drop":
+                    rec.drop(x)
+                else:
+                    rec.check_access(x)
+            except OwnershipError:
+                pass  # rejected ops must leave state consistent
+            except ValueError:
+                pass
+
+            if rec.released:
+                assert not rec.owners
+                assert len(release_count) == 1
+            else:
+                assert rec.owners, "live record with empty owner set"
+                if rec.mode is OwnershipMode.EXCLUSIVE:
+                    assert len(rec.owners) == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        transfers=st.lists(st.sampled_from(ACTORS), min_size=1, max_size=20),
+    )
+    def test_epoch_counts_successful_transfers_exactly(self, transfers):
+        rec = OwnershipRecord("a")
+        successes = 0
+        current = "a"
+        for target in transfers:
+            try:
+                rec.transfer(current, target)
+                successes += 1
+                current = target
+            except (OwnershipError, ValueError):
+                pass
+        assert rec.epoch == successes
+        assert rec.owners == {current}

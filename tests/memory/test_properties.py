@@ -1,0 +1,163 @@
+"""Tests for the declarative property algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.properties import (
+    BandwidthClass,
+    LatencyClass,
+    MemoryProperties,
+    OfferedProperties,
+)
+
+
+def offer(
+    latency=LatencyClass.LOW,
+    bandwidth=BandwidthClass.HIGH,
+    persistent=False,
+    coherent=True,
+    sync=True,
+    isolated=True,
+):
+    return OfferedProperties(
+        latency=latency, bandwidth=bandwidth, persistent=persistent,
+        coherent=coherent, sync=sync, isolated=isolated,
+        rtt_ns=100.0, bytes_per_ns=100.0,
+    )
+
+
+class TestClassification:
+    def test_latency_classes(self):
+        assert LatencyClass.classify(90.0) is LatencyClass.LOW
+        assert LatencyClass.classify(500.0) is LatencyClass.LOW
+        assert LatencyClass.classify(501.0) is LatencyClass.MEDIUM
+        assert LatencyClass.classify(5_000.0) is LatencyClass.MEDIUM
+        assert LatencyClass.classify(50_000.0) is LatencyClass.HIGH
+        assert LatencyClass.classify(5e6) is LatencyClass.ANY
+
+    def test_bandwidth_classes(self):
+        assert BandwidthClass.classify(400.0) is BandwidthClass.HIGH
+        assert BandwidthClass.classify(40.0) is BandwidthClass.MEDIUM
+        assert BandwidthClass.classify(4.0) is BandwidthClass.LOW
+        assert BandwidthClass.classify(0.2) is BandwidthClass.ANY
+
+
+class TestMatching:
+    def test_exact_match_satisfies(self):
+        request = MemoryProperties(latency=LatencyClass.LOW, sync=True, coherent=True)
+        assert offer().satisfies(request)
+
+    def test_slower_offer_fails_strict_latency(self):
+        request = MemoryProperties(latency=LatencyClass.LOW)
+        assert not offer(latency=LatencyClass.MEDIUM).satisfies(request)
+
+    def test_faster_offer_satisfies_lax_request(self):
+        request = MemoryProperties(latency=LatencyClass.HIGH)
+        assert offer(latency=LatencyClass.LOW).satisfies(request)
+
+    def test_persistence_required(self):
+        request = MemoryProperties(persistent=True)
+        assert not offer(persistent=False).satisfies(request)
+        assert offer(persistent=True).satisfies(request)
+
+    def test_persistent_device_may_hold_volatile_data(self):
+        request = MemoryProperties(persistent=None)
+        assert offer(persistent=True).satisfies(request)
+
+    def test_coherence_required(self):
+        request = MemoryProperties(coherent=True)
+        assert not offer(coherent=False).satisfies(request)
+
+    def test_sync_required(self):
+        request = MemoryProperties(sync=True)
+        assert not offer(sync=False).satisfies(request)
+
+    def test_confidential_needs_isolation(self):
+        request = MemoryProperties(confidential=True)
+        assert not offer(isolated=False).satisfies(request)
+        assert offer(isolated=True).satisfies(request)
+
+    def test_dont_care_matches_everything(self):
+        request = MemoryProperties()
+        assert offer(
+            latency=LatencyClass.ANY, bandwidth=BandwidthClass.ANY,
+            persistent=False, coherent=False, sync=False, isolated=False,
+        ).satisfies(request)
+
+
+class TestMerging:
+    def test_merge_keeps_stricter_classes(self):
+        a = MemoryProperties(latency=LatencyClass.LOW, bandwidth=BandwidthClass.ANY)
+        b = MemoryProperties(latency=LatencyClass.HIGH, bandwidth=BandwidthClass.HIGH)
+        merged = a.merged_with(b)
+        assert merged.latency is LatencyClass.LOW
+        assert merged.bandwidth is BandwidthClass.HIGH
+
+    def test_merge_fills_dont_cares(self):
+        a = MemoryProperties(persistent=True)
+        b = MemoryProperties(sync=True)
+        merged = a.merged_with(b)
+        assert merged.persistent is True
+        assert merged.sync is True
+
+    def test_merge_contradiction_raises(self):
+        a = MemoryProperties(persistent=True)
+        b = MemoryProperties(persistent=False)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_merge_confidentiality_is_sticky(self):
+        a = MemoryProperties(confidential=True)
+        b = MemoryProperties()
+        assert a.merged_with(b).confidential
+        assert b.merged_with(a).confidential
+
+    def test_describe_mentions_set_fields(self):
+        text = MemoryProperties(
+            latency=LatencyClass.LOW, persistent=True, confidential=True
+        ).describe()
+        assert "LOW" in text and "persistent=True" in text and "confidential" in text
+
+
+latency_strategy = st.sampled_from(list(LatencyClass))
+bandwidth_strategy = st.sampled_from(list(BandwidthClass))
+tristate = st.sampled_from([None, True, False])
+
+
+@st.composite
+def request_strategy(draw):
+    return MemoryProperties(
+        latency=draw(latency_strategy),
+        bandwidth=draw(bandwidth_strategy),
+        persistent=draw(tristate),
+        coherent=draw(tristate),
+        sync=draw(tristate),
+        confidential=draw(st.booleans()),
+    )
+
+
+class TestMergeProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(a=request_strategy(), b=request_strategy())
+    def test_merge_is_commutative_and_satisfaction_narrows(self, a, b):
+        """merged requirements are satisfied only by offers satisfying both."""
+        try:
+            merged_ab = a.merged_with(b)
+            merged_ba = b.merged_with(a)
+        except ValueError:
+            return  # contradictions raise symmetrically
+        assert merged_ab == merged_ba
+
+        sample_offer = offer(
+            latency=LatencyClass.MEDIUM, bandwidth=BandwidthClass.MEDIUM,
+            persistent=True, coherent=True, sync=True, isolated=True,
+        )
+        if sample_offer.satisfies(merged_ab):
+            assert sample_offer.satisfies(a)
+            assert sample_offer.satisfies(b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=request_strategy())
+    def test_merge_with_self_is_identity(self, a):
+        assert a.merged_with(a) == a

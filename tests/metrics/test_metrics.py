@@ -1,0 +1,116 @@
+"""Tests for utilization accounting, economics, and report tables."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Cluster
+from repro.metrics import (
+    Table,
+    cluster_snapshot,
+    format_bytes,
+    format_ns,
+    pooling_savings,
+    provisioned_memory_cost,
+    required_provisioning,
+    stranded_bytes,
+)
+
+
+class TestSnapshots:
+    def test_snapshot_reflects_usage(self):
+        cluster = Cluster.preset("table1-host")
+        cluster.memory["dram0"].reserve(1024)
+        snap = cluster_snapshot(cluster)
+        assert snap.memory_used == 1024
+        assert 0.0 < snap.per_device_utilization["dram0"] < 1.0
+        assert snap.memory_utilization < 0.01
+
+    def test_empty_cluster(self):
+        snap = cluster_snapshot(Cluster(seed=0))
+        assert snap.memory_utilization == 0.0
+
+
+class TestStranding:
+    def test_no_shortfall_no_stranding(self):
+        assert stranded_bytes({"a": 50}, {"a": 100, "b": 100}) == 0
+
+    def test_shortfall_covered_by_remote_free(self):
+        # a needs 150 of its 100; b has 80 free: 50 bytes stranded demand.
+        assert stranded_bytes({"a": 150, "b": 20}, {"a": 100, "b": 100}) == 50
+
+    def test_shortfall_exceeds_free(self):
+        assert stranded_bytes({"a": 300}, {"a": 100, "b": 50}) == 50
+
+
+class TestProvisioning:
+    def test_anticorrelated_peaks_save_memory(self):
+        """The Figure 1 effect: peaks that never coincide pool well."""
+        t = np.arange(100)
+        a = 100.0 + 80.0 * (t < 50)  # busy first half
+        b = 100.0 + 80.0 * (t >= 50)  # busy second half
+        comparison = required_provisioning({"a": a, "b": b})
+        assert comparison.static_bytes == 360
+        assert comparison.pooled_bytes == 280
+        assert comparison.savings_fraction == pytest.approx(1 - 280 / 360)
+
+    def test_correlated_peaks_save_nothing(self):
+        t = np.ones(10) * 100.0
+        comparison = required_provisioning({"a": t, "b": t})
+        assert comparison.savings_fraction == pytest.approx(0.0)
+
+    def test_headroom_scales_both(self):
+        series = {"a": np.array([100.0]), "b": np.array([100.0])}
+        comparison = required_provisioning(series, headroom=0.5)
+        assert comparison.static_bytes == 300
+        assert comparison.pooled_bytes == 300
+
+    def test_pooling_savings_wrapper(self):
+        series = {"a": np.array([10.0, 0.0]), "b": np.array([0.0, 10.0])}
+        static, pooled, savings = pooling_savings(series, cost_per_byte=2.0)
+        assert static == 40.0
+        assert pooled == 20.0
+        assert savings == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_provisioning({})
+        with pytest.raises(ValueError):
+            required_provisioning(
+                {"a": np.array([1.0]), "b": np.array([1.0, 2.0])}
+            )
+        with pytest.raises(ValueError):
+            required_provisioning({"a": np.array([1.0])}, headroom=-0.1)
+
+    def test_cluster_memory_cost_positive(self):
+        cost = provisioned_memory_cost(Cluster.preset("compute-centric"))
+        assert cost > 0
+
+
+class TestReport:
+    def test_format_ns(self):
+        assert format_ns(50.0) == "50ns"
+        assert format_ns(5_000.0) == "5.00us"
+        assert format_ns(5_000_000.0) == "5.00ms"
+        assert format_ns(5e9) == "5.00s"
+        assert format_ns(float("inf")) == "inf"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.00KiB"
+        assert format_bytes(3 * 1024**3) == "3.00GiB"
+
+    def test_table_renders_aligned(self):
+        table = Table(["name", "value"], title="T")
+        table.add_row("a", 1)
+        table.add_row("longer-name", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError):
+            Table([])
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)

@@ -1,0 +1,142 @@
+"""Tests for the cost model (offers, access times, transfer estimates)."""
+
+import pytest
+
+from repro.dataflow import RegionUsage, Task, WorkSpec
+from repro.hardware import Cluster
+from repro.hardware.spec import OpClass
+from repro.memory.interfaces import AccessPattern
+from repro.memory.properties import BandwidthClass, LatencyClass
+from repro.runtime import CostModel
+
+
+@pytest.fixture
+def pooled():
+    cluster = Cluster.preset("pooled-rack")
+    return cluster, CostModel(cluster)
+
+
+@pytest.fixture
+def host():
+    cluster = Cluster.preset("table1-host")
+    return cluster, CostModel(cluster)
+
+
+class TestOffers:
+    def test_figure3_offers_depend_on_observer(self, pooled):
+        """The same physical device offers different classes to different
+        compute devices — the core of Figure 3."""
+        cluster, cm = pooled
+        gddr = cluster.memory["gddr1"]
+        from_gpu = cm.offered("gpu1", gddr)
+        from_cpu = cm.offered("cpu1", gddr)
+        assert from_gpu.rtt_ns < from_cpu.rtt_ns
+        assert from_gpu.latency is LatencyClass.LOW
+
+    def test_far_memory_offers_no_sync(self, host):
+        cluster, cm = host
+        offer = cm.offered("cpu0", cluster.memory["far0"])
+        assert not offer.sync
+        assert not offer.coherent
+        assert not offer.isolated  # NIC-attached: not for confidential data
+
+    def test_dram_offer_from_cpu(self, host):
+        cluster, cm = host
+        offer = cm.offered("cpu0", cluster.memory["dram0"])
+        assert offer.sync and offer.coherent and offer.isolated
+        assert offer.latency is LatencyClass.LOW
+        assert offer.bandwidth is BandwidthClass.HIGH
+
+    def test_offer_cache_and_invalidate(self, host):
+        cluster, cm = host
+        first = cm.offered("cpu0", cluster.memory["dram0"])
+        assert cm.offered("cpu0", cluster.memory["dram0"]) is first
+        cm.invalidate()
+        assert cm.offered("cpu0", cluster.memory["dram0"]) is not first
+
+    def test_unreachable_device_offer_is_infinite(self):
+        cluster = Cluster(seed=0)
+        from repro.hardware import calibration as cal
+
+        cluster.add_compute(cal.make_cpu("cpu0"))
+        cluster.add_memory(cal.make_dram("island"))
+        cm = CostModel(cluster)
+        offer = cm.offered("cpu0", cluster.memory["island"])
+        assert offer.rtt_ns == float("inf")
+        assert offer.bytes_per_ns == 0.0
+
+
+class TestAccessTimes:
+    def test_near_beats_far(self, host):
+        cluster, cm = host
+        usage = RegionUsage(1024 * 1024)
+        t_dram = cm.access_time("cpu0", cluster.memory["dram0"], usage)
+        t_cxl = cm.access_time("cpu0", cluster.memory["cxl0"], usage)
+        t_far = cm.access_time("cpu0", cluster.memory["far0"], usage)
+        assert t_dram < t_cxl < t_far
+
+    def test_random_costs_more_than_sequential(self, host):
+        cluster, cm = host
+        seq = RegionUsage(64 * 1024, pattern=AccessPattern.SEQUENTIAL)
+        rand = RegionUsage(64 * 1024, pattern=AccessPattern.RANDOM)
+        dram = cluster.memory["dram0"]
+        assert cm.access_time("cpu0", dram, rand) > cm.access_time("cpu0", dram, seq)
+
+    def test_zero_usage_is_free(self, host):
+        cluster, cm = host
+        assert cm.access_time("cpu0", cluster.memory["dram0"], RegionUsage(0)) == 0.0
+
+    def test_transfer_time_scales_and_respects_topology(self, host):
+        cluster, cm = host
+        near = cm.transfer_time(cluster.memory["dram0"], cluster.memory["cxl0"], 1 << 20)
+        far = cm.transfer_time(cluster.memory["dram0"], cluster.memory["far0"], 1 << 20)
+        assert far > near
+        small = cm.transfer_time(cluster.memory["dram0"], cluster.memory["cxl0"], 1 << 10)
+        assert small < near
+
+    def test_same_device_transfer_double_cost(self, host):
+        cluster, cm = host
+        dram = cluster.memory["dram0"]
+        t = cm.transfer_time(dram, dram, 1000)
+        assert t == pytest.approx(2 * 1000 / dram.spec.bandwidth)
+
+
+class TestTaskEstimates:
+    def test_compute_time_prefers_matching_device(self, pooled):
+        cluster, cm = pooled
+        task = Task("t", work=WorkSpec(op_class=OpClass.MATMUL, ops=1e6))
+        assert cm.compute_time(task, "gpu1") < cm.compute_time(task, "cpu1")
+
+    def test_unsupported_op_is_infinite(self, pooled):
+        cluster, cm = pooled
+        task = Task("t", work=WorkSpec(op_class=OpClass.SCALAR, ops=1e6))
+        assert cm.compute_time(task, "tpu1") == float("inf")
+
+    def test_task_estimate_includes_memory_phases(self, pooled):
+        cluster, cm = pooled
+        light = Task("light", work=WorkSpec(op_class=OpClass.SCALAR, ops=1e4))
+        heavy = Task(
+            "heavy",
+            work=WorkSpec(
+                op_class=OpClass.SCALAR, ops=1e4,
+                scratch=RegionUsage(16 * 1024 * 1024, touches=4.0),
+            ),
+        )
+        scratch = cm.best_scratch_device("cpu1")
+        t_light = cm.task_time_estimate(light, "cpu1", lambda role: scratch)
+        t_heavy = cm.task_time_estimate(heavy, "cpu1", lambda role: scratch)
+        assert t_heavy > t_light
+
+    def test_best_scratch_device_is_sync_addressable(self, pooled):
+        cluster, cm = pooled
+        best = cm.best_scratch_device("gpu1")
+        assert best is not None
+        offer = cm.offered("gpu1", best)
+        assert offer.sync
+        # For a GPU the on-board GDDR should win (Figure 3).
+        assert best.name == "gddr1"
+
+    def test_best_scratch_for_cpu_is_local(self, pooled):
+        cluster, cm = pooled
+        best = cm.best_scratch_device("cpu1")
+        assert best.name in ("dram-local1", "dram-local2")

@@ -1,0 +1,143 @@
+"""Tests for encrypted placement of confidential data on shared media."""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.hardware.spec import Attachment
+from repro.memory.interfaces import Accessor, encryption_time
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.properties import LatencyClass, MemoryProperties
+from repro.runtime import CostModel, DeclarativePlacement, PlacementRequest
+from repro.runtime.placement import EncryptingPlacement
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("table1-host")
+    mm = MemoryManager(cluster)
+    cm = CostModel(cluster)
+    return cluster, mm, cm
+
+
+def run(cluster, gen):
+    def driver():
+        result = yield from gen
+        return result
+
+    return cluster.engine.run(until=cluster.engine.process(driver()))
+
+
+def confidential_request(size=1 * MiB, observers=("cpu0",), **kw):
+    from repro.memory.properties import BandwidthClass
+
+    # bandwidth>=MEDIUM keeps storage (SSD/HDD) out of the running, so
+    # under memory pressure the only fallback is NIC-attached far memory.
+    return PlacementRequest(
+        size=size,
+        properties=MemoryProperties(confidential=True,
+                                    bandwidth=BandwidthClass.MEDIUM),
+        owner="t1", observers=observers, **kw,
+    )
+
+
+class TestEncryptionTime:
+    def test_cpu_uses_crypto_units(self, env):
+        cluster, _mm, _cm = env
+        # CPU crypto throughput is 16 ops/ns (= bytes/ns here).
+        assert encryption_time(cluster, "cpu0", 16 * KiB) == pytest.approx(KiB)
+
+    def test_unknown_observer_falls_back_to_software(self, env):
+        cluster, _mm, _cm = env
+        assert encryption_time(cluster, "dram0", 1024) == pytest.approx(1024.0)
+
+    def test_zero_bytes_free(self, env):
+        cluster, _mm, _cm = env
+        assert encryption_time(cluster, "cpu0", 0) == 0.0
+
+
+class TestEncryptingPlacement:
+    def test_prefers_isolated_when_available(self, env):
+        cluster, mm, cm = env
+        policy = EncryptingPlacement(cluster, mm, cm)
+        region = policy.place(confidential_request())
+        assert region.device.spec.attachment is not Attachment.NIC
+        assert not region.encrypted
+
+    def test_spills_to_encrypted_far_memory_under_pressure(self, env):
+        """Fill every isolated byte-addressable tier; a confidential
+        request must land on far memory, encrypted — where the strict
+        policy simply fails."""
+        cluster, mm, cm = env
+        # Occupy all isolated sync tiers.
+        for name in ("cache0", "hbm0", "dram0", "pmem0", "cxl0"):
+            device = cluster.memory[name]
+            mm.allocate_on(name, device.capacity, MemoryProperties(), owner="hog")
+
+        strict = DeclarativePlacement(cluster, mm, cm)
+        with pytest.raises(PlacementError):
+            strict.place(confidential_request())
+
+        encrypting = EncryptingPlacement(cluster, mm, cm)
+        region = encrypting.place(confidential_request())
+        assert region.device.name == "far0"
+        assert region.encrypted
+
+    def test_non_confidential_requests_unchanged(self, env):
+        cluster, mm, cm = env
+        policy = EncryptingPlacement(cluster, mm, cm)
+        region = policy.place(PlacementRequest(
+            size=1 * MiB, properties=MemoryProperties(),
+            owner="t1", observers=("cpu0",),
+        ))
+        assert not region.encrypted
+
+    def test_encrypted_access_pays_crypto_cycles(self, env):
+        cluster, mm, cm = env
+        for name in ("cache0", "hbm0", "dram0", "pmem0", "cxl0"):
+            device = cluster.memory[name]
+            mm.allocate_on(name, device.capacity, MemoryProperties(), owner="hog")
+        policy = EncryptingPlacement(cluster, mm, cm)
+        encrypted = policy.place(confidential_request(size=4 * MiB))
+
+        plain = mm.allocate_on("far0", 4 * MiB, MemoryProperties(), owner="p")
+
+        from repro.memory.interfaces import AccessPattern
+
+        acc_encrypted = Accessor(cluster, encrypted.handle("t1"), "cpu0")
+        acc_plain = Accessor(cluster, plain.handle("p"), "cpu0")
+
+        # Random access: latency-bound, so the crypto term is visible.
+        # (On bandwidth-bound streams the decryption pipelines with the
+        # transfer — an encrypted stream costs nothing extra as long as
+        # the crypto units outrun the network.)
+        def read_all(accessor):
+            return accessor.read(pattern=AccessPattern.RANDOM,
+                                 access_size=4096)
+
+        t0 = cluster.engine.now
+        run(cluster, read_all(acc_plain))
+        plain_time = cluster.engine.now - t0
+        t0 = cluster.engine.now
+        run(cluster, read_all(acc_encrypted))
+        encrypted_time = cluster.engine.now - t0
+
+        expected_overhead = encryption_time(cluster, "cpu0", 4 * MiB)
+        assert encrypted_time > plain_time
+        # Part of the crypto time still overlaps with the wire transfer,
+        # so the visible overhead is a large fraction of, but not more
+        # than, the full crypto cost.
+        observed = encrypted_time - plain_time
+        assert 0.5 * expected_overhead <= observed <= 1.05 * expected_overhead
+
+    def test_scoring_still_prefers_isolated_over_encrypted(self, env):
+        """With both options open, the crypto surcharge keeps confidential
+        data on isolated media."""
+        cluster, mm, cm = env
+        policy = EncryptingPlacement(cluster, mm, cm)
+        # far0 would be 'free' without the crypto surcharge for big data.
+        region = policy.place(confidential_request(size=64 * MiB))
+        assert not region.encrypted

@@ -1,0 +1,197 @@
+"""Tests for placement policies (declarative, naive, static)."""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.hardware.spec import MemoryKind
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.properties import LatencyClass, MemoryProperties
+from repro.memory.regions import RegionType, region_properties
+from repro.runtime import CostModel, DeclarativePlacement, NaivePlacement, PlacementRequest
+from repro.runtime.placement import StaticKindPlacement
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("pooled-rack")
+    mm = MemoryManager(cluster)
+    cm = CostModel(cluster)
+    return cluster, mm, cm
+
+
+def request(size=1 * MiB, properties=None, observers=("cpu1",), **kwargs):
+    return PlacementRequest(
+        size=size,
+        properties=properties if properties is not None else MemoryProperties(),
+        owner="t1",
+        observers=observers,
+        **kwargs,
+    )
+
+
+class TestDeclarative:
+    def test_low_latency_scratch_lands_local(self, env):
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        region = policy.place(request(
+            properties=MemoryProperties(latency=LatencyClass.LOW, sync=True),
+            observers=("cpu1",),
+        ))
+        offer = cm.offered("cpu1", region.device)
+        assert offer.latency is LatencyClass.LOW
+
+    def test_figure3_same_request_different_device_per_observer(self, env):
+        """Figure 3: the identical logical request maps to DRAM for a CPU
+        task and to GDDR for a GPU task."""
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        props = MemoryProperties(latency=LatencyClass.LOW, sync=True)
+        for_cpu = policy.place(request(properties=props, observers=("cpu1",)))
+        for_gpu = policy.place(request(properties=props, observers=("gpu1",)))
+        assert for_cpu.device.kind is MemoryKind.DRAM
+        assert for_gpu.device.kind is MemoryKind.GDDR
+
+    def test_persistent_request_lands_on_persistent_device(self, env):
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        region = policy.place(request(
+            properties=MemoryProperties(persistent=True), observers=("cpu1",)
+        ))
+        assert region.device.spec.persistent
+
+    def test_confidential_avoids_nic_attached_pool(self, env):
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        props = MemoryProperties(confidential=True, latency=LatencyClass.ANY)
+        region = policy.place(request(properties=props))
+        from repro.hardware.spec import Attachment
+
+        assert region.device.spec.attachment is not Attachment.NIC
+
+    def test_multi_observer_must_satisfy_all(self, env):
+        """A region shared by a CPU task and a GPU task must be coherent
+        from both — on the pooled rack that is the CXL pool, not GDDR."""
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        region = policy.place(request(
+            properties=region_properties(RegionType.GLOBAL_STATE),
+            observers=("cpu1", "gpu2"),
+        ))
+        for observer in ("cpu1", "gpu2"):
+            assert cm.offered(observer, region.device).satisfies(
+                region_properties(RegionType.GLOBAL_STATE)
+            )
+
+    def test_unsatisfiable_raises(self, env):
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        impossible = MemoryProperties(
+            latency=LatencyClass.LOW, persistent=True, confidential=True, sync=True
+        )
+        with pytest.raises(PlacementError):
+            policy.place(request(properties=impossible, observers=("cpu1",)))
+        assert policy.rejections == 1
+
+    def test_capacity_pressure_spills_to_next_tier(self, env):
+        """When the favourite device fills up, later requests must go
+        somewhere else instead of failing."""
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        props = MemoryProperties(latency=LatencyClass.LOW, sync=True)
+        local = cluster.memory["dram-local1"]
+        filler = policy.place(request(
+            size=local.capacity - 1 * MiB, properties=props, observers=("cpu1",)
+        ))
+        assert filler.device.name == "dram-local1"
+        spill = policy.place(request(size=8 * MiB, properties=props, observers=("cpu1",)))
+        assert spill.device.name != "dram-local1"
+
+    def test_score_prefers_cheap_media_on_tie(self, env):
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        relaxed = request(properties=MemoryProperties())
+        candidates = policy.candidates(relaxed)
+        assert len(candidates) > 3  # plenty of devices qualify
+        chosen = policy.choose_device(relaxed)
+        assert chosen in candidates
+
+    def test_failed_device_excluded(self, env):
+        cluster, mm, cm = env
+        policy = DeclarativePlacement(cluster, mm, cm)
+        cluster.memory["dram-local1"].fail()
+        props = MemoryProperties(latency=LatencyClass.LOW, sync=True)
+        region = policy.place(request(properties=props, observers=("cpu1",)))
+        assert region.device.name != "dram-local1"
+
+
+class TestNaive:
+    def test_naive_is_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            cluster = Cluster.preset("pooled-rack", seed=7)
+            mm, cm = MemoryManager(cluster), CostModel(cluster)
+            policy = NaivePlacement(cluster, mm, cm)
+            results.append(
+                [policy.place(request()).device.name for _ in range(10)]
+            )
+        assert results[0] == results[1]
+
+    def test_naive_respects_persistence(self, env):
+        cluster, mm, cm = env
+        policy = NaivePlacement(cluster, mm, cm)
+        for _ in range(10):
+            region = policy.place(request(
+                properties=MemoryProperties(persistent=True)
+            ))
+            assert region.device.spec.persistent
+
+    def test_naive_spreads_over_many_devices(self, env):
+        cluster, mm, cm = env
+        policy = NaivePlacement(cluster, mm, cm)
+        devices = {policy.place(request(size=64 * KiB)).device.name for _ in range(40)}
+        assert len(devices) >= 3
+
+
+class TestStatic:
+    def test_static_uses_kind_map(self, env):
+        cluster, mm, cm = env
+        policy = StaticKindPlacement(cluster, mm, cm)
+        region = policy.place(request(region_type=RegionType.PRIVATE_SCRATCH))
+        assert region.device.kind is MemoryKind.DRAM
+
+    def test_static_custom_map(self, env):
+        cluster, mm, cm = env
+        policy = StaticKindPlacement(
+            cluster, mm, cm,
+            kind_map={RegionType.PRIVATE_SCRATCH: MemoryKind.PMEM},
+        )
+        region = policy.place(request(region_type=RegionType.PRIVATE_SCRATCH))
+        assert region.device.kind is MemoryKind.PMEM
+
+    def test_static_falls_back_when_kind_full(self, env):
+        cluster, mm, cm = env
+        policy = StaticKindPlacement(
+            cluster, mm, cm,
+            kind_map={RegionType.PRIVATE_SCRATCH: MemoryKind.HBM},
+        )
+        hbm = cluster.memory["hbm_tpu"]
+        policy.place(request(size=hbm.capacity, region_type=RegionType.PRIVATE_SCRATCH))
+        spill = policy.place(request(size=1 * MiB, region_type=RegionType.PRIVATE_SCRATCH))
+        assert spill.device.kind is not MemoryKind.HBM
+
+
+class TestRequestValidation:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRequest(
+                size=0, properties=MemoryProperties(), owner="t", observers=("cpu1",)
+            )
+
+    def test_no_observers_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRequest(
+                size=1, properties=MemoryProperties(), owner="t", observers=()
+            )

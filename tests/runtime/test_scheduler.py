@@ -1,0 +1,202 @@
+"""Tests for the HEFT scheduler and its baselines."""
+
+import pytest
+
+from repro.dataflow import Job, Task, TaskProperties, WorkSpec, RegionUsage
+from repro.hardware import Cluster
+from repro.hardware.spec import ComputeKind, OpClass
+from repro.runtime import (
+    CostModel,
+    HeftScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SchedulingError,
+)
+from repro.runtime.scheduler import FixedScheduler
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("pooled-rack")
+    return cluster, CostModel(cluster)
+
+
+def diamond_job():
+    job = Job("diamond")
+    a = job.add_task(Task("a", work=WorkSpec(ops=1e5, output=RegionUsage(1 * MiB))))
+    b = job.add_task(Task("b", work=WorkSpec(
+        op_class=OpClass.MATMUL, ops=1e7,
+        input_usage=RegionUsage(0), output=RegionUsage(1 * MiB))))
+    c = job.add_task(Task("c", work=WorkSpec(
+        op_class=OpClass.VECTOR, ops=1e6,
+        input_usage=RegionUsage(0), output=RegionUsage(1 * MiB))))
+    d = job.add_task(Task("d", work=WorkSpec(ops=1e4, input_usage=RegionUsage(0))))
+    job.connect(a, b)
+    job.connect(a, c)
+    job.connect(b, d)
+    job.connect(c, d)
+    return job
+
+
+class TestHeft:
+    def test_assigns_every_task(self, env):
+        cluster, cm = env
+        assignment = HeftScheduler().assign(diamond_job(), cluster, cm)
+        assert set(assignment) == {"a", "b", "c", "d"}
+        valid = set(cluster.compute)
+        assert all(dev in valid for dev in assignment.values())
+
+    def test_matmul_heavy_task_goes_to_accelerator(self, env):
+        cluster, cm = env
+        assignment = HeftScheduler().assign(diamond_job(), cluster, cm)
+        assert cluster.compute[assignment["b"]].kind in (
+            ComputeKind.GPU, ComputeKind.TPU
+        )
+
+    def test_compute_kind_constraint_respected(self, env):
+        cluster, cm = env
+        job = Job("pinned")
+        job.add_task(Task(
+            "t", work=WorkSpec(op_class=OpClass.VECTOR, ops=1e6),
+            properties=TaskProperties(compute=ComputeKind.FPGA),
+        ))
+        assignment = HeftScheduler().assign(job, cluster, cm)
+        assert cluster.compute[assignment["t"]].kind is ComputeKind.FPGA
+
+    def test_impossible_kind_raises(self, env):
+        cluster, cm = env
+        job = Job("impossible")
+        job.add_task(Task(
+            "t", work=WorkSpec(op_class=OpClass.SCALAR, ops=1e6),
+            properties=TaskProperties(compute=ComputeKind.TPU),  # TPU: no scalar
+        ))
+        with pytest.raises(SchedulingError):
+            HeftScheduler().assign(job, cluster, cm)
+
+    def test_parallel_tasks_spread_when_slots_contended(self, env):
+        """With a single-slot device, HEFT must spill siblings elsewhere."""
+        cluster = Cluster(seed=0)
+        from repro.hardware import calibration as cal
+        from repro.hardware.spec import LinkKind
+
+        cluster.add_compute(cal.make_cpu("cpu-a", slots=1), node="n")
+        cluster.add_compute(cal.make_cpu("cpu-b", slots=1), node="n")
+        cluster.add_memory(cal.make_dram("dram"), node="n")
+        cluster.connect("cpu-a", "dram", LinkKind.DDR)
+        cluster.connect("cpu-b", "dram", LinkKind.DDR)
+        cluster.connect("cpu-a", "cpu-b", LinkKind.CXL)
+        cm = CostModel(cluster)
+
+        job = Job("fanout")
+        src = job.add_task(Task("src", work=WorkSpec(ops=1e3, output=RegionUsage(1024))))
+        for i in range(4):
+            sink = job.add_task(Task(
+                f"w{i}", work=WorkSpec(ops=1e7, input_usage=RegionUsage(0))
+            ))
+            job.connect(src, sink)
+        assignment = HeftScheduler().assign(job, cluster, cm)
+        used = {assignment[f"w{i}"] for i in range(4)}
+        assert used == {"cpu-a", "cpu-b"}
+
+    def test_deterministic(self, env):
+        cluster, cm = env
+        a1 = HeftScheduler().assign(diamond_job(), cluster, cm)
+        a2 = HeftScheduler().assign(diamond_job(), cluster, cm)
+        assert a1 == a2
+
+
+class TestStateDomain:
+    """Jobs with Global State must schedule inside one coherence domain."""
+
+    def make_state_job(self, compute=None):
+        job = Job("stateful", global_state_size=64 * 1024)
+        from repro.dataflow import TaskProperties
+
+        for i in range(3):
+            job.add_task(Task(
+                f"t{i}", work=WorkSpec(ops=1e4),
+                properties=TaskProperties(compute=compute),
+            ))
+        return job
+
+    def test_pooled_rack_domain_spans_everything(self, env):
+        cluster, cm = env
+        from repro.runtime.scheduler import Scheduler
+
+        domain = Scheduler.state_domain(self.make_state_job(), cluster, cm)
+        assert domain == set(cluster.compute)
+
+    def test_compute_centric_restricts_to_one_coherent_island(self):
+        """Figure 1a: CPUs and PCIe accelerators share no coherent memory,
+        so a stateful job must stay on one island."""
+        cluster = Cluster.preset("compute-centric")
+        cm = CostModel(cluster)
+        assignment = HeftScheduler().assign(self.make_state_job(), cluster, cm)
+        used = {assignment[t] for t in assignment}
+        # All tasks on one CPU (the only devices coherent with some DRAM).
+        assert len(used) == 1
+        assert cluster.compute[next(iter(used))].kind is ComputeKind.CPU
+
+    def test_gpu_task_with_state_infeasible_on_figure1a(self):
+        """A GPU-pinned task in a stateful job cannot run on Fig. 1a —
+        and the error says why."""
+        cluster = Cluster.preset("compute-centric")
+        cm = CostModel(cluster)
+        job = self.make_state_job(compute=ComputeKind.GPU)
+        with pytest.raises(SchedulingError, match="coherence domain"):
+            HeftScheduler().assign(job, cluster, cm)
+
+    def test_same_job_without_state_is_fine_on_figure1a(self):
+        cluster = Cluster.preset("compute-centric")
+        cm = CostModel(cluster)
+        job = Job("stateless")
+        from repro.dataflow import TaskProperties
+
+        job.add_task(Task("t", work=WorkSpec(op_class=OpClass.MATMUL, ops=1e5),
+                          properties=TaskProperties(compute=ComputeKind.GPU)))
+        assignment = HeftScheduler().assign(job, cluster, cm)
+        assert cluster.compute[assignment["t"]].kind is ComputeKind.GPU
+
+
+class TestBaselines:
+    def test_round_robin_cycles(self, env):
+        cluster, cm = env
+        job = Job("rr")
+        for i in range(6):
+            job.add_task(Task(f"t{i}", work=WorkSpec(op_class=OpClass.VECTOR, ops=1e4)))
+        assignment = RoundRobinScheduler().assign(job, cluster, cm)
+        assert len(set(assignment.values())) > 1
+
+    def test_random_is_seed_deterministic(self):
+        picks = []
+        for _ in range(2):
+            cluster = Cluster.preset("pooled-rack", seed=3)
+            cm = CostModel(cluster)
+            job = Job("rand")
+            for i in range(6):
+                job.add_task(Task(f"t{i}", work=WorkSpec(ops=1e4)))
+            picks.append(RandomScheduler().assign(job, cluster, cm))
+        assert picks[0] == picks[1]
+
+    def test_fixed_mapping(self, env):
+        cluster, cm = env
+        job = Job("fixed")
+        job.add_task(Task("t0", work=WorkSpec(ops=1e4)))
+        assignment = FixedScheduler({"t0": "cpu2"}).assign(job, cluster, cm)
+        assert assignment == {"t0": "cpu2"}
+
+    def test_fixed_missing_task_raises(self, env):
+        cluster, cm = env
+        job = Job("fixed2")
+        job.add_task(Task("t0", work=WorkSpec(ops=1e4)))
+        with pytest.raises(SchedulingError):
+            FixedScheduler({}).assign(job, cluster, cm)
+
+    def test_fixed_unknown_device_raises(self, env):
+        cluster, cm = env
+        job = Job("fixed3")
+        job.add_task(Task("t0", work=WorkSpec(ops=1e4)))
+        with pytest.raises(SchedulingError):
+            FixedScheduler({"t0": "ghost"}).assign(job, cluster, cm)

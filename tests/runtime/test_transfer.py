@@ -1,0 +1,121 @@
+"""Focused tests for the handover manager (Figure 4 machinery)."""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.memory.manager import MemoryManager
+from repro.memory.properties import LatencyClass, MemoryProperties
+from repro.memory.region import RegionState
+from repro.runtime import CostModel, DeclarativePlacement, HandoverManager
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster.preset("pooled-rack", seed=113)
+    mm = MemoryManager(cluster)
+    cm = CostModel(cluster)
+    placement = DeclarativePlacement(cluster, mm, cm)
+    handover = HandoverManager(cluster, mm, cm, placement)
+    return cluster, mm, handover
+
+
+def run(cluster, gen):
+    def driver():
+        result = yield from gen
+        return result
+
+    return cluster.engine.run(until=cluster.engine.process(driver()))
+
+
+def make_region(mm, device="dram-pool0", size=4 * MiB, owner="producer",
+                properties=None):
+    return mm.allocate_on(
+        device, size, properties or MemoryProperties(), owner=owner)
+
+
+class TestHandOver:
+    def test_addressable_receiver_gets_zero_copy(self, env):
+        cluster, mm, handover = env
+        region = make_region(mm)
+        result = run(cluster, handover.hand_over(
+            region, "producer", "consumer", "gpu1"))
+        assert result is region  # same region, new owner
+        assert region.ownership.is_owner("consumer")
+        assert not region.ownership.is_owner("producer")
+        assert handover.stats.zero_copy == 1
+        assert handover.stats.bytes_copied == 0
+
+    def test_unreachable_receiver_gets_copy_and_original_freed(self, env):
+        cluster, mm, handover = env
+        # A region whose *properties* the receiver's view cannot satisfy:
+        # low-latency-typed data that currently sits on far memory.
+        region = make_region(
+            mm, device="far0",
+            properties=MemoryProperties(latency=LatencyClass.LOW),
+        )
+        offer = handover.costmodel.offered("tpu1", region.device)
+        assert offer.latency is not LatencyClass.LOW  # fixture sanity
+
+        replica = run(cluster, handover.hand_over(
+            region, "producer", "consumer", "tpu1"))
+        assert replica is not region
+        assert region.state is RegionState.FREED  # producer's copy released
+        assert replica.ownership.is_owner("consumer")
+        assert handover.stats.copies == 1
+        assert handover.stats.bytes_copied == region.size
+        # The replica satisfies the receiver's view of the properties.
+        new_offer = handover.costmodel.offered("tpu1", replica.device)
+        assert new_offer.satisfies(region.properties)
+
+    def test_share_out_all_copiers_when_nobody_can_use_it_in_place(self, env):
+        cluster, mm, handover = env
+        # LOW-typed data stuck on far memory: every receiver needs a copy.
+        region = make_region(
+            mm, device="far0",
+            properties=MemoryProperties(latency=LatencyClass.LOW),
+        )
+        receivers = [("r0", "cpu1"), ("r1", "gpu1")]
+        delivered = run(cluster, handover.share_out(
+            region, "producer", receivers))
+        assert all(r is not region for r in delivered.values())
+        assert region.state is RegionState.FREED  # nobody kept the original
+        assert handover.stats.copies == 2
+        for owner, compute in receivers:
+            replica = delivered[owner]
+            assert replica.ownership.is_owner(owner)
+            offer = handover.costmodel.offered(compute, replica.device)
+            assert offer.latency is LatencyClass.LOW
+
+    def test_share_out_all_sharers_frees_once_after_all_drop(self, env):
+        cluster, mm, handover = env
+        region = make_region(mm)
+        receivers = [(f"r{i}", "cpu1") for i in range(3)]
+        delivered = run(cluster, handover.share_out(
+            region, "producer", receivers))
+        assert all(r is region for r in delivered.values())
+        for i in range(3):
+            assert region.state is RegionState.ACTIVE
+            mm.drop_owner(region, f"r{i}")
+        assert region.state is RegionState.FREED
+
+    def test_handover_takes_simulated_time(self, env):
+        cluster, mm, handover = env
+        region = make_region(mm)
+        t0 = cluster.engine.now
+        run(cluster, handover.hand_over(region, "producer", "c", "cpu1"))
+        zero_copy_time = cluster.engine.now - t0
+        from repro.runtime.costmodel import OWNERSHIP_TRANSFER_NS
+
+        assert zero_copy_time == pytest.approx(OWNERSHIP_TRANSFER_NS)
+
+    def test_zero_copy_ratio(self, env):
+        cluster, mm, handover = env
+        for _ in range(3):
+            region = make_region(mm)
+            run(cluster, handover.hand_over(region, "producer", "c", "cpu1"))
+        assert handover.stats.zero_copy_ratio == 1.0
+        empty = type(handover.stats)()
+        assert empty.zero_copy_ratio == 0.0

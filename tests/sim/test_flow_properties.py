@@ -1,0 +1,154 @@
+"""Property-based tests for the flow network and the event kernel.
+
+These pin the physical invariants of the substrate everything else
+trusts: work conservation (bytes in = bytes out), capacity respect, and
+bit-for-bit determinism of whole simulations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, FlowNetwork, Link
+
+
+@st.composite
+def transfer_scripts(draw):
+    """Random links + staggered transfers over random routes."""
+    n_links = draw(st.integers(1, 5))
+    links = [
+        (draw(st.floats(0.5, 50.0)), draw(st.floats(0.0, 500.0)))
+        for _ in range(n_links)
+    ]
+    n_flows = draw(st.integers(1, 12))
+    flows = []
+    for _ in range(n_flows):
+        route = draw(st.lists(st.integers(0, n_links - 1), min_size=1,
+                              max_size=n_links, unique=True))
+        flows.append((
+            draw(st.floats(0.0, 1_000.0)),  # start time
+            route,
+            draw(st.integers(1, 100_000)),  # bytes
+        ))
+    return links, flows
+
+
+class TestFlowProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(script=transfer_scripts())
+    def test_conservation_and_completion(self, script):
+        """Every transfer completes, and each link carries exactly the
+        bytes of the flows routed over it."""
+        link_params, flows = script
+        engine = Engine()
+        net = FlowNetwork(engine)
+        links = [
+            Link(f"l{i}", bandwidth=bw, latency=lat)
+            for i, (bw, lat) in enumerate(link_params)
+        ]
+        events = []
+        expected_per_link = [0.0] * len(links)
+
+        def launcher():
+            now = 0.0
+            for start, route_ids, nbytes in sorted(flows):
+                if start > now:
+                    yield engine.timeout(start - now)
+                    now = start
+                route = [links[i] for i in route_ids]
+                events.append(net.transfer(route, float(nbytes)))
+                for i in route_ids:
+                    expected_per_link[i] += nbytes
+
+        engine.process(launcher())
+        engine.run()
+        assert all(e.processed and e.ok for e in events)
+        assert net.active_flows == 0
+        for link, expected in zip(links, expected_per_link):
+            assert link.bytes_carried == pytest.approx(expected, rel=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(script=transfer_scripts())
+    def test_rates_never_exceed_capacity(self, script):
+        """At every rebalance instant, each link's aggregate allocated
+        rate stays within its capacity."""
+        link_params, flows = script
+        engine = Engine()
+        net = FlowNetwork(engine)
+        links = [
+            Link(f"l{i}", bandwidth=bw, latency=lat)
+            for i, (bw, lat) in enumerate(link_params)
+        ]
+        violations = []
+        original = net._solve_rates
+
+        def checked():
+            original()
+            for link in links:
+                load = net.link_load(link)
+                if load > link.bandwidth * (1 + 1e-9):
+                    violations.append((link.name, load, link.bandwidth))
+
+        net._solve_rates = checked
+
+        def launcher():
+            now = 0.0
+            for start, route_ids, nbytes in sorted(flows):
+                if start > now:
+                    yield engine.timeout(start - now)
+                    now = start
+                net.transfer([links[i] for i in route_ids], float(nbytes))
+
+        engine.process(launcher())
+        engine.run()
+        assert not violations
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=transfer_scripts())
+    def test_simulation_is_deterministic(self, script):
+        """Two identical runs produce identical completion timestamps."""
+
+        def run_once():
+            link_params, flows = script
+            engine = Engine()
+            net = FlowNetwork(engine)
+            links = [
+                Link(f"l{i}", bandwidth=bw, latency=lat)
+                for i, (bw, lat) in enumerate(link_params)
+            ]
+            stamps = []
+
+            def launcher():
+                now = 0.0
+                for start, route_ids, nbytes in sorted(flows):
+                    if start > now:
+                        yield engine.timeout(start - now)
+                        now = start
+                    event = net.transfer(
+                        [links[i] for i in route_ids], float(nbytes))
+                    event.add_callback(lambda _e: stamps.append(engine.now))
+
+            engine.process(launcher())
+            engine.run()
+            return stamps
+
+        assert run_once() == run_once()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bandwidth=st.floats(0.5, 100.0),
+        nbytes=st.integers(1, 10_000_000),
+        n_parallel=st.integers(1, 10),
+    )
+    def test_fair_share_finishes_equal_flows_together(
+        self, bandwidth, nbytes, n_parallel
+    ):
+        """N identical flows over one link all complete at N*serial time."""
+        engine = Engine()
+        net = FlowNetwork(engine)
+        link = Link("l", bandwidth=bandwidth, latency=0.0)
+        events = [net.transfer([link], float(nbytes)) for _ in range(n_parallel)]
+        engine.run()
+        assert all(e.ok for e in events)
+        expected = n_parallel * nbytes / bandwidth
+        assert engine.now == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,191 @@
+"""Tests for the max–min fair flow network."""
+
+import pytest
+
+from repro.sim import Engine, FlowNetwork, Link
+from repro.sim.flows import LinkDown
+
+
+def make_net():
+    engine = Engine()
+    return engine, FlowNetwork(engine)
+
+
+def test_single_flow_duration_is_latency_plus_serialization():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=1.0, latency=100.0)  # 1 B/ns
+    done = net.transfer([link], nbytes=1000.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(1100.0)
+
+
+def test_zero_byte_transfer_pays_only_latency():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=1.0, latency=250.0)
+    done = net.transfer([link], nbytes=0.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(250.0)
+
+
+def test_empty_route_is_instant():
+    engine, net = make_net()
+    done = net.transfer([], nbytes=12345.0)
+    engine.run(until=done)
+    assert engine.now == 0.0
+
+
+def test_two_flows_share_bandwidth_fairly():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=2.0, latency=0.0)
+    d1 = net.transfer([link], nbytes=1000.0)
+    d2 = net.transfer([link], nbytes=1000.0)
+    engine.run(until=engine.all_of([d1, d2]))
+    # Each flow gets 1 B/ns -> both finish at t=1000.
+    assert engine.now == pytest.approx(1000.0)
+
+
+def test_departure_releases_bandwidth():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=2.0, latency=0.0)
+    short = net.transfer([link], nbytes=200.0)
+    long = net.transfer([link], nbytes=1000.0)
+    engine.run(until=short)
+    assert engine.now == pytest.approx(200.0)  # 200 B at 1 B/ns
+    engine.run(until=long)
+    # long moved 200 B by t=200, then streams remaining 800 B at 2 B/ns.
+    assert engine.now == pytest.approx(600.0)
+
+
+def test_late_arrival_slows_in_flight_flow():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=2.0, latency=0.0)
+    first = net.transfer([link], nbytes=1000.0)
+
+    def late():
+        yield engine.timeout(100.0)
+        done = net.transfer([link], nbytes=1000.0)
+        yield done
+        return engine.now
+
+    proc = engine.process(late())
+    engine.run(until=first)
+    # first: 100ns alone at 2 B/ns (200 B), then shares at 1 B/ns for 800 B.
+    assert engine.now == pytest.approx(900.0)
+    engine.run(until=proc)
+    # second: 800 B left at t=900, now alone at 2 B/ns -> 900 + 400 = 1300... but
+    # it moved 800 B between t=100..900 at 1 B/ns, leaving 200 B -> +100ns.
+    assert engine.now == pytest.approx(1000.0)
+
+
+def test_bottleneck_water_filling():
+    engine, net = make_net()
+    # Flow A crosses both links; flows B and C cross only the fat link.
+    thin = Link("thin", bandwidth=1.0, latency=0.0)
+    fat = Link("fat", bandwidth=9.0, latency=0.0)
+    a = net.transfer([thin, fat], nbytes=100.0)
+    b = net.transfer([fat], nbytes=4000.0)
+    c = net.transfer([fat], nbytes=4000.0)
+    engine.run(until=a)
+    # A is capped at 1 B/ns by the thin link -> 100ns.
+    assert engine.now == pytest.approx(100.0)
+    engine.run(until=engine.all_of([b, c]))
+    # B and C each got (9-1)/2 = 4 B/ns while A ran (400 B each),
+    # then 4.5 B/ns for the remaining 3600 B -> 100 + 800 = 900ns.
+    assert engine.now == pytest.approx(900.0)
+
+
+def test_multi_link_latency_accumulates():
+    engine, net = make_net()
+    l1 = Link("l1", bandwidth=10.0, latency=50.0)
+    l2 = Link("l2", bandwidth=10.0, latency=70.0)
+    done = net.transfer([l1, l2], nbytes=100.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(50.0 + 70.0 + 10.0)
+
+
+def test_link_down_fails_inflight_transfer():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=1.0, latency=0.0)
+    done = net.transfer([link], nbytes=10_000.0)
+
+    def saboteur():
+        yield engine.timeout(100.0)
+        net.fail_link(link)
+
+    engine.process(saboteur())
+    with pytest.raises(LinkDown):
+        engine.run(until=done)
+
+
+def test_transfer_on_down_link_fails_immediately():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=1.0, latency=0.0)
+    net.fail_link(link)
+    done = net.transfer([link], nbytes=10.0)
+
+    def waiter():
+        try:
+            yield done
+        except LinkDown as exc:
+            return exc.link.name
+
+    result = engine.run(until=engine.process(waiter()))
+    assert result == "l0"
+
+
+def test_restore_link_allows_new_transfers():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=1.0, latency=0.0)
+    net.fail_link(link)
+    net.restore_link(link)
+    done = net.transfer([link], nbytes=100.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_bytes_carried_accounting():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=1.0, latency=0.0)
+    done = net.transfer([link], nbytes=500.0)
+    engine.run(until=done)
+    assert link.bytes_carried == pytest.approx(500.0)
+    assert net.completed_transfers == 1
+
+
+def test_negative_bytes_rejected():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=1.0, latency=0.0)
+    with pytest.raises(ValueError):
+        net.transfer([link], nbytes=-1.0)
+
+
+def test_invalid_link_parameters_rejected():
+    with pytest.raises(ValueError):
+        Link("bad", bandwidth=0.0, latency=0.0)
+    with pytest.raises(ValueError):
+        Link("bad", bandwidth=1.0, latency=-5.0)
+
+
+def test_sub_ulp_transfer_at_huge_clock_still_completes():
+    """Regression: a transfer whose serialization time is below the float
+    ULP of the current clock must not spin forever at a frozen timestamp."""
+    engine, net = make_net()
+    engine._now = 1e16  # ulp(1e16) = 2.0 ns
+    link = Link("l0", bandwidth=1000.0, latency=0.0)
+    done = net.transfer([link], nbytes=1.0)  # 0.001 ns of serialization
+    for _ in range(100):
+        if done.processed:
+            break
+        engine.step()
+    assert done.processed and done.ok
+    assert engine.now > 1e16
+
+
+def test_many_concurrent_flows_complete():
+    engine, net = make_net()
+    link = Link("l0", bandwidth=10.0, latency=0.0)
+    events = [net.transfer([link], nbytes=100.0) for _ in range(50)]
+    engine.run(until=engine.all_of(events))
+    # 50 flows x 100 B = 5000 B over a 10 B/ns link -> 500ns total.
+    assert engine.now == pytest.approx(500.0)
+    assert net.completed_transfers == 50

@@ -1,0 +1,134 @@
+"""Tests for tracing, time-weighted metrics, and the fault injector."""
+
+import pytest
+
+from repro.sim import Engine, FaultInjector, FaultKind, MetricRecorder, TraceLog
+from repro.sim.rand import RandomStreams
+
+
+class TestTraceLog:
+    def test_emit_and_query(self):
+        log = TraceLog()
+        log.emit(1.0, "memory", "allocate", region="r1")
+        log.emit(2.0, "memory", "free", region="r1")
+        log.emit(3.0, "scheduler", "assign", task="t")
+        assert len(log) == 3
+        assert len(log.by_category("memory")) == 2
+        assert len(log.by_name("allocate")) == 1
+        assert log.by_name("allocate")[0].fields["region"] == "r1"
+
+    def test_category_filter_drops_at_emission(self):
+        log = TraceLog(enabled={"memory"})
+        log.emit(1.0, "memory", "allocate")
+        log.emit(2.0, "scheduler", "assign")
+        assert len(log) == 1
+
+    def test_clear_and_iterate(self):
+        log = TraceLog()
+        log.emit(1.0, "x", "y")
+        assert list(log)
+        log.clear()
+        assert len(log) == 0
+
+    def test_event_renders_readably(self):
+        log = TraceLog()
+        log.emit(1500.0, "memory", "allocate", region="r", size=64)
+        text = str(log.events[0])
+        assert "memory" in text and "allocate" in text and "size=64" in text
+
+
+class TestMetricRecorder:
+    def test_time_weighted_mean(self):
+        recorder = MetricRecorder()
+        recorder.record(0.0, 10.0)  # level 10 from t=0
+        recorder.record(10.0, 20.0)  # level 20 from t=10
+        assert recorder.time_weighted_mean(until=20.0) == pytest.approx(15.0)
+
+    def test_adjust_occupancy_counting(self):
+        recorder = MetricRecorder()
+        recorder.adjust(0.0, +2)
+        recorder.adjust(5.0, -1)
+        assert recorder.level == 1
+        assert recorder.maximum == 2
+        assert recorder.time_weighted_mean(until=10.0) == pytest.approx(1.5)
+
+    def test_time_cannot_go_backwards(self):
+        recorder = MetricRecorder()
+        recorder.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            recorder.record(4.0, 2.0)
+        with pytest.raises(ValueError):
+            recorder.time_weighted_mean(until=1.0)
+
+    def test_no_samples_returns_current_level(self):
+        assert MetricRecorder(initial=7.0).time_weighted_mean() == 7.0
+
+
+class TestRandomStreams:
+    def test_streams_are_independent_and_deterministic(self):
+        a = RandomStreams(42)
+        b = RandomStreams(42)
+        assert a.stream("x").integers(0, 1000, 5).tolist() == \
+            b.stream("x").integers(0, 1000, 5).tolist()
+        assert a.stream("y").integers(0, 1000, 5).tolist() != \
+            b.stream("x").integers(0, 1000, 5).tolist()
+
+    def test_reset_rederives_identically(self):
+        streams = RandomStreams(7)
+        first = streams.stream("s").integers(0, 1000, 5).tolist()
+        streams.reset()
+        assert streams.stream("s").integers(0, 1000, 5).tolist() == first
+
+
+class TestFaultInjector:
+    def test_handlers_dispatch_by_kind(self):
+        engine = Engine()
+        injector = FaultInjector(engine)
+        seen = []
+        injector.on(FaultKind.NODE_CRASH, lambda f: seen.append(f.target))
+        injector.inject_now(FaultKind.NODE_CRASH, "n1")
+        injector.inject_now(FaultKind.LINK_DOWN, "l1")  # no handler: ignored
+        assert seen == ["n1"]
+        assert len(injector.history) == 2
+
+    def test_inject_at_schedules_in_future(self):
+        engine = Engine()
+        injector = FaultInjector(engine)
+        times = []
+        injector.on(FaultKind.NODE_CRASH,
+                    lambda f: times.append(engine.now))
+        injector.inject_at(100.0, FaultKind.NODE_CRASH, "n1")
+        with pytest.raises(ValueError):
+            injector.inject_at(-1.0, FaultKind.NODE_CRASH, "n1")
+        engine.run()
+        assert times == [100.0]
+
+    def test_poisson_schedule_is_deterministic_and_bounded(self):
+        def run_once():
+            engine = Engine()
+            injector = FaultInjector(engine, RandomStreams(3))
+            times = []
+            injector.on(FaultKind.NODE_CRASH,
+                        lambda f: times.append((engine.now, f.target)))
+            n = injector.schedule_poisson(
+                FaultKind.NODE_CRASH, ["a", "b"],
+                rate_per_ns=1e-3, horizon=10_000.0,
+            )
+            engine.run()
+            return n, times
+
+        n1, times1 = run_once()
+        n2, times2 = run_once()
+        assert n1 == n2 and times1 == times2
+        assert n1 == len(times1)
+        assert all(t < 10_000.0 for t, _target in times1)
+        assert n1 == pytest.approx(10, abs=8)  # ~rate * horizon
+
+    def test_poisson_validation(self):
+        injector = FaultInjector(Engine())
+        with pytest.raises(ValueError):
+            injector.schedule_poisson(FaultKind.NODE_CRASH, ["a"],
+                                      rate_per_ns=0.0, horizon=1.0)
+        with pytest.raises(ValueError):
+            injector.schedule_poisson(FaultKind.NODE_CRASH, [],
+                                      rate_per_ns=1.0, horizon=1.0)

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_presets_lists_all(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("pooled-rack", "table1-host", "two-socket-numa"):
+            assert preset in out
+
+    def test_info_renders_live_table1(self, capsys):
+        assert main(["info", "table1-host"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory pool (live Table 1)" in out
+        assert "dram0" in out and "far0" in out and "hdd0" in out
+        assert "Compute pool" in out
+
+    def test_demo_runs_clean(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "demo job finished" in out
+        assert "zero-copy" in out
+        assert "leaked regions: 0" in out
+
+    def test_demo_on_other_preset(self, capsys):
+        assert main(["demo", "compute-centric"]) == 0
+        assert "demo job finished" in capsys.readouterr().out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "atlantis"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestTopoCommand:
+    def test_topo_lists_links_and_roles(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["topo", "two-socket-numa"]) == 0
+        out = capsys.readouterr().out
+        assert "cxl" in out  # the UPI link's technology class
+        assert "ddr" in out
+        assert "compute: cpu0, cpu1" in out
+        assert "memory: dram0, dram1" in out

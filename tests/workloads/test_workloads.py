@@ -1,0 +1,146 @@
+"""Tests for workload generators (zipf, traces, arrivals, data)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ZipfSampler,
+    bursty_arrivals,
+    mixed_trace,
+    poisson_arrivals,
+    sequential_trace,
+    synthetic_frames,
+    synthetic_table,
+    synthetic_tensor,
+    uniform_trace,
+    zipfian_trace,
+)
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(100, skew=0.99)
+        total = sum(sampler.probability(r) for r in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_zero_is_hottest(self):
+        sampler = ZipfSampler(100, skew=1.2)
+        assert sampler.probability(0) > sampler.probability(1) > sampler.probability(50)
+
+    def test_skew_concentrates_hot_set(self):
+        mild = ZipfSampler(1000, skew=0.5)
+        strong = ZipfSampler(1000, skew=1.2)
+        assert strong.hot_set_coverage(10) > mild.hot_set_coverage(10)
+
+    def test_zero_skew_is_uniform(self):
+        sampler = ZipfSampler(10, skew=0.0)
+        for r in range(10):
+            assert sampler.probability(r) == pytest.approx(0.1)
+
+    def test_samples_match_distribution_roughly(self):
+        sampler = ZipfSampler(100, skew=0.99)
+        rng = np.random.default_rng(0)
+        draws = sampler.sample(rng, 20_000)
+        empirical_top10 = np.mean(draws < 10)
+        assert empirical_top10 == pytest.approx(sampler.hot_set_coverage(10), abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, skew=-1)
+        with pytest.raises(IndexError):
+            ZipfSampler(10).probability(10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 500), skew=st.floats(0.0, 3.0), size=st.integers(1, 100))
+    def test_samples_always_in_range(self, n, skew, size):
+        sampler = ZipfSampler(n, skew)
+        draws = sampler.sample(np.random.default_rng(1), size)
+        assert np.all((draws >= 0) & (draws < n))
+
+
+class TestTraces:
+    def test_uniform_trace_shape(self):
+        rng = np.random.default_rng(0)
+        trace = uniform_trace(rng, 100, 10, write_fraction=0.3)
+        assert len(trace) == 100
+        assert all(0 <= e.key < 10 for e in trace)
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+
+    def test_zipfian_trace_skewed(self):
+        rng = np.random.default_rng(0)
+        trace = zipfian_trace(rng, 5000, 100, skew=1.2)
+        hot_hits = sum(1 for e in trace if e.key < 5)
+        assert hot_hits > len(trace) * 0.4
+
+    def test_sequential_trace_wraps(self):
+        trace = sequential_trace(10, 4)
+        assert [e.key for e in trace] == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_mixed_trace_has_both_kinds(self):
+        rng = np.random.default_rng(0)
+        trace = mixed_trace(rng, 1000, 50, scan_fraction=0.5)
+        assert any(e.is_write for e in trace)
+        assert any(not e.is_write for e in trace)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            uniform_trace(rng, -1, 10)
+        with pytest.raises(ValueError):
+            uniform_trace(rng, 10, 0)
+        with pytest.raises(ValueError):
+            uniform_trace(rng, 10, 10, write_fraction=1.5)
+        with pytest.raises(ValueError):
+            mixed_trace(rng, 10, 10, scan_fraction=2.0)
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self):
+        rng = np.random.default_rng(0)
+        arrivals = poisson_arrivals(rng, rate_per_ns=0.01, horizon_ns=1e6)
+        assert len(arrivals) == pytest.approx(10_000, rel=0.1)
+        assert all(0 < t < 1e6 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_bursty_has_gaps(self):
+        rng = np.random.default_rng(0)
+        arrivals = bursty_arrivals(
+            rng, rate_per_ns=0.01, horizon_ns=1e6,
+            burst_length_ns=1e5, idle_length_ns=1e5,
+        )
+        in_idle = [t for t in arrivals if 1e5 < t % 2e5 < 2e5]
+        assert not in_idle
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(rng, 1.0, 100.0, burst_length_ns=0.0, idle_length_ns=1.0)
+
+
+class TestDatagen:
+    def test_table_schema(self):
+        rng = np.random.default_rng(0)
+        table = synthetic_table(rng, 100, n_int_cols=3)
+        assert table.dtype.names == ("id", "c0", "c1", "c2")
+        assert np.array_equal(table["id"], np.arange(100))
+
+    def test_tensor_and_frames(self):
+        rng = np.random.default_rng(0)
+        assert synthetic_tensor(rng, (4, 8)).shape == (4, 8)
+        frames = synthetic_frames(rng, 3, height=16, width=16)
+        assert frames.shape == (3, 16, 16)
+        assert frames.dtype == np.uint8
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            synthetic_table(rng, -1)
+        with pytest.raises(ValueError):
+            synthetic_frames(rng, -1)
