@@ -49,6 +49,11 @@ def test_claim_soak_erasure_store_survives(benchmark, report):
 
     def experiment():
         cluster = Cluster.preset("far-memory-rack", n_nodes=N_NODES, seed=101)
+        # Soak runs must not grow trace memory without bound: cap every
+        # category's ring tightly and let the wrap-around drop counters
+        # prove the log stayed bounded under sustained event pressure.
+        TRACE_CAP = 256
+        cluster.trace.set_capacity(TRACE_CAP)
         manager = MemoryManager(cluster)
         store = ErasureCodedStore(
             cluster, manager, FARS, home="dram0", k=4, m=2,
@@ -81,6 +86,15 @@ def test_claim_soak_erasure_store_survives(benchmark, report):
             "repair_traffic": store.repair_bytes,
             "mean_repair": orchestrator.stats.mean_repair_time_ns,
             "intact": intact,
+        }
+        results["trace"] = {
+            "cap": TRACE_CAP,
+            "retained": len(cluster.trace),
+            "categories": len(cluster.trace.categories()),
+            "dropped": cluster.trace.dropped,
+            "max_ring": max(
+                cluster.trace.retained(c) for c in cluster.trace.categories()
+            ),
         }
 
         # Control: the same crash schedule against raw (unprotected)
@@ -118,6 +132,10 @@ def test_claim_soak_erasure_store_survives(benchmark, report):
     table.add_row("objects intact (of 12)", protected["intact"])
     table.add_row("unprotected store: regions lost",
                   results["unprotected"]["lost"])
+    trace = results["trace"]
+    table.add_row("trace events retained (bounded)",
+                  f"{trace['retained']} (cap {trace['cap']}/category)")
+    table.add_row("trace events dropped by ring wrap", trace["dropped"])
     report("claim_soak", table.render())
 
     assert protected["crashes"] >= 5
@@ -125,3 +143,8 @@ def test_claim_soak_erasure_store_survives(benchmark, report):
     assert protected["repairs"] == protected["crashes"]
     assert protected["rebuilt"] > 0
     assert results["unprotected"]["lost"] > 0
+    # The trace log stayed bounded: no ring holds more than its cap, and
+    # the soak generated enough traffic that wrap-around actually fired.
+    assert trace["max_ring"] <= trace["cap"]
+    assert trace["retained"] <= trace["cap"] * trace["categories"]
+    assert trace["dropped"] > 0

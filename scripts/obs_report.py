@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Render the observability dashboard from a JSONL run export.
+
+Produce the export with ``cluster.obs.export_jsonl("run.jsonl")`` after
+a run, then inspect it offline::
+
+    python scripts/obs_report.py run.jsonl
+    python scripts/obs_report.py run.jsonl --job training
+    python scripts/obs_report.py run.jsonl --metrics
+
+The dashboard shows per-job makespans and handover economics (zero-copy
+ratio), per-device utilization timelines, per-link bytes, and trace-ring
+health (retained vs. dropped events per category).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Render the text dashboard from an obs JSONL export."
+    )
+    parser.add_argument("jsonl", help="path to a file written by export_jsonl()")
+    parser.add_argument("--job", help="restrict the job table to one job name")
+    parser.add_argument(
+        "--width", type=int, default=40,
+        help="sparkline width in columns (default 40)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="also print every recorded metric as a raw table",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.metrics.report import Table
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.export import load_jsonl
+
+    try:
+        data = load_jsonl(args.jsonl)
+    except OSError as exc:
+        print(f"error: cannot read {args.jsonl}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {args.jsonl} is not a JSONL export: {exc}", file=sys.stderr)
+        return 1
+
+    print(render_dashboard(data, job=args.job, width=args.width))
+
+    if args.metrics:
+        table = Table(["metric", "value"], title="All metrics")
+        for name, snap in sorted(data.get("metrics", {}).items()):
+            if "value" in snap:
+                value = f"{snap['value']:g}"
+            else:
+                value = f"mean={snap.get('mean', 0.0):.3g} max={snap.get('max', 0.0):g}"
+            table.add_row(name, value)
+        print()
+        print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. `obs_report.py run.jsonl | head`
+        raise SystemExit(0)

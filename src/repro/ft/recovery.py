@@ -65,6 +65,10 @@ class RecoveryOrchestrator:
         yield self.cluster.engine.timeout(self.detection_delay_ns)
         started = self.cluster.engine.now
         self.stats.repairs_started += 1
+        span = self.cluster.obs.begin_span(
+            "recovery", "repair_done", target=fault.target,
+        )
+        shards = 0
         for store in self.stores:
             store.note_device_failures()
         for store in self.stores:
@@ -73,11 +77,10 @@ class RecoveryOrchestrator:
             except Exception:
                 self.stats.unrecoverable += 1
                 continue
-            self.stats.shards_rebuilt += int(rebuilt or 0)
+            shards += int(rebuilt or 0)
+        self.stats.shards_rebuilt += shards
         self.stats.repairs_completed += 1
         self.stats.total_repair_time_ns += self.cluster.engine.now - started
-        self.cluster.trace.emit(
-            self.cluster.engine.now, "recovery", "repair_done",
-            target=fault.target,
-            duration=self.cluster.engine.now - started,
-        )
+        if span:
+            span.set(duration=self.cluster.engine.now - started, shards=shards)
+        span.close()

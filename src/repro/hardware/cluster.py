@@ -22,6 +22,7 @@ from repro.hardware.spec import (
     MemoryDeviceSpec,
     MemoryKind,
 )
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 from repro.sim.faults import FaultEvent, FaultInjector, FaultKind
@@ -41,7 +42,9 @@ class Cluster:
         self.engine = Engine()
         self.streams = RandomStreams(seed)
         self.trace = TraceLog(enabled=trace_categories)
-        self.flownet = FlowNetwork(self.engine)
+        self.obs = Observability(trace=self.trace, engine=self.engine)
+        self.obs.registry.add_collector(self._collect_hardware_metrics)
+        self.flownet = FlowNetwork(self.engine, trace=self.trace)
         self.topology = Topology()
         self.memory: typing.Dict[str, MemoryDevice] = {}
         self.compute: typing.Dict[str, ComputeDevice] = {}
@@ -213,6 +216,23 @@ class Cluster:
             if link.name == fault.target:
                 self.flownet.restore_link(link)
         self.topology.invalidate_routes()
+
+    # -- observability ----------------------------------------------------
+
+    def _collect_hardware_metrics(self):
+        """Hardware-layer metric readings for the obs registry snapshot."""
+        yield "engine.events_processed", self.engine.events_processed
+        yield "engine.queue_depth", self.engine.queue_depth
+        yield "flow.completed_transfers", self.flownet.completed_transfers
+        yield "flow.bytes_completed", self.flownet.bytes_completed
+        yield "flow.peak_active", self.flownet.peak_active_flows
+        for link in self.topology.links():
+            yield f"link.bytes/{link.name}", link.bytes_carried
+        for name, device in self.compute.items():
+            yield f"device.busy_time/{name}", device.busy_time
+            yield f"device.tasks_completed/{name}", device.tasks_completed
+        for name, device in self.memory.items():
+            yield f"device.mem_used/{name}", device.used
 
     # -- presets ---------------------------------------------------------
 

@@ -178,6 +178,7 @@ class TieringDaemon:
                     continue
                 was = rank.get(region.device.name, len(rank))
                 goes = rank.get(target, len(rank))
+                source = region.device.name
                 try:
                     yield from manager.migrate(region, target)
                 except PlacementError:
@@ -186,3 +187,11 @@ class TieringDaemon:
                     self.promotions += 1
                 else:
                     self.demotions += 1
+                trace = cluster.trace
+                if trace.wants("tiering"):
+                    trace.emit(
+                        cluster.engine.now, "tiering",
+                        "promote" if goes < was else "demote",
+                        region=region.name, nbytes=region.size,
+                        src=source, dst=target,
+                    )

@@ -39,6 +39,8 @@ class PhaseRecord:
     nbytes: float = 0.0
     pattern: str = ""  # 'sequential' | 'random' for memory phases
     access_size: int = 64
+    #: Recorded phase start (span begin); None for legacy instant events.
+    start: typing.Optional[float] = None
 
 
 class Profile:
@@ -66,6 +68,7 @@ class Profile:
                     detail=str(event.fields["op"]),
                     backing=str(event.fields["device"]),
                     duration=float(event.fields["duration"]),
+                    start=event.begin,
                 ))
             elif event.name == "memory_phase":
                 phases.append(PhaseRecord(
@@ -76,6 +79,7 @@ class Profile:
                     nbytes=float(event.fields["nbytes"]),
                     pattern=str(event.fields.get("pattern", "")),
                     access_size=int(event.fields.get("access_size", 64)),
+                    start=event.begin,
                 ))
         return cls(stats, phases)
 
@@ -89,7 +93,7 @@ class Profile:
             if phase.task == task:
                 breakdown[phase.kind] = breakdown.get(phase.kind, 0.0) + phase.duration
         accounted = sum(breakdown.values())
-        breakdown["queue"] = task_stats.queue_delay
+        breakdown["queue"] = task_stats.queue_delay or 0.0
         breakdown["other"] = max(0.0, task_stats.duration - accounted)
         return breakdown
 
@@ -123,8 +127,13 @@ class Profile:
 
     def critical_path(self) -> typing.List[str]:
         """Tasks ordered by finish time whose start chained on the
-        previous finish (the observed serial spine of the run)."""
-        ordered = sorted(self.stats.tasks.values(), key=lambda t: t.finished_at)
+        previous finish (the observed serial spine of the run).
+        Never-started tasks (upstream failures) are not on the path."""
+        ordered = sorted(
+            (t for t in self.stats.tasks.values()
+             if t.started_at is not None and t.finished_at is not None),
+            key=lambda t: t.finished_at,
+        )
         spine = []
         horizon = -1.0
         for task_stats in ordered:
@@ -158,20 +167,23 @@ class Profile:
                 "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
                 "args": {"name": f"{name} @ {task_stats.device}"},
             })
+            if task_stats.started_at is None:
+                continue  # never started (upstream failed): no span to draw
             events.append({
                 "name": name, "cat": "task", "ph": "X", "pid": 1, "tid": tid,
                 "ts": task_stats.started_at, "dur": task_stats.duration,
                 "args": {"device": task_stats.device},
             })
-        # Phases have no recorded start; lay them out back-to-back inside
-        # their task's span (they executed sequentially in the default
-        # behaviour, so this reconstruction is faithful).
-        cursor = {name: self.stats.tasks[name].started_at
+        # Span-complete phase events carry their real start; legacy
+        # instant events are laid out back-to-back inside their task's
+        # span (they executed sequentially in the default behaviour, so
+        # that reconstruction is faithful).
+        cursor = {name: self.stats.tasks[name].started_at or 0.0
                   for name in self.stats.tasks}
         for phase in self.phases:
             if phase.task not in tids:
                 continue
-            start = cursor[phase.task]
+            start = phase.start if phase.start is not None else cursor[phase.task]
             cursor[phase.task] = start + phase.duration
             args = {"backing": phase.backing}
             if phase.kind != "compute":

@@ -1,0 +1,189 @@
+"""Cross-layer observability for the disaggregated runtime.
+
+Paper §3, Challenge 8(1): *"How can we debug, profile, and optimize
+dataflow applications with multiple abstraction layers for performance
+when the runtime system hides performance-relevant details?"*  This
+package is the measurement substrate that makes every layer answerable:
+
+* a **metrics registry** (:mod:`repro.obs.metrics`) of counters, gauges,
+  time-weighted histograms, and bounded per-device utilization
+  timelines;
+* **span-based tracing** (:mod:`repro.obs.span`) nesting
+  job → task → region/phase → device scopes into the bounded
+  per-category ring buffers of :class:`~repro.sim.trace.TraceLog`;
+* **exporters** (:mod:`repro.obs.export`): JSONL run dumps and
+  Chrome/Perfetto ``trace_event`` JSON;
+* a **text dashboard** (:mod:`repro.obs.dashboard`) rendering per-job
+  makespans, device utilization timelines, per-link bytes, and handover
+  economics — also available offline via ``scripts/obs_report.py``.
+
+Every :class:`~repro.hardware.cluster.Cluster` owns an
+:class:`Observability` instance as ``cluster.obs``.  The disabled path
+is near-zero-cost: when a trace category is off, :meth:`Observability.span`
+returns a shared no-op span and instrumented call sites guard field
+construction with ``if sp:`` / :meth:`Observability.on`, so nothing is
+allocated.
+"""
+
+from __future__ import annotations
+
+import typing
+from itertools import count
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+    Timeline,
+)
+from repro.obs.span import NOOP_SPAN, Span
+from repro.sim.trace import TraceLog
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class Observability:
+    """One run's observability: trace backend, spans, and metrics.
+
+    Bound to an engine for timestamps and to a (bounded)
+    :class:`TraceLog` as the event backend.  Usable standalone in tests::
+
+        obs = Observability()
+        with obs.span("cat", "work") as sp:
+            sp.set(items=3)
+    """
+
+    def __init__(
+        self,
+        trace: typing.Optional[TraceLog] = None,
+        engine: typing.Optional["Engine"] = None,
+    ):
+        self.trace = trace if trace is not None else TraceLog()
+        self.engine = engine
+        self.registry = MetricsRegistry()
+        self._stack: typing.List[Span] = []
+        self._span_ids = count(1)
+
+    # -- time / filtering --------------------------------------------------
+
+    def now(self) -> float:
+        return self.engine.now if self.engine is not None else 0.0
+
+    def on(self, category: str) -> bool:
+        """Is this trace category recording?  Check before building
+        field dicts on hot paths."""
+        return self.trace.wants(category)
+
+    def enable(self, *categories: str) -> None:
+        """Enable only the given categories (no args: enable everything)."""
+        self.trace.enabled = set(categories) if categories else None
+
+    def disable(self, *categories: str) -> None:
+        """Disable the given categories (no args: disable everything)."""
+        if not categories:
+            self.trace.enabled = set()
+            return
+        if self.trace.enabled is None:
+            # All were on; there is no closed-world set to subtract from,
+            # so record the complement lazily via known categories.
+            self.trace.enabled = set(self.trace.categories())
+        self.trace.enabled -= set(categories)
+
+    # -- events / spans ----------------------------------------------------
+
+    def event(self, category: str, name: str, **fields) -> None:
+        """Emit an instant event at the current simulated time."""
+        if self.trace.wants(category):
+            self.trace.emit(self.now(), category, name, **fields)
+
+    def span(
+        self,
+        category: str,
+        name: str,
+        parent: typing.Union[Span, int, None] = None,
+        **fields,
+    ):
+        """A context-manager span (no-op when the category is off)."""
+        if not self.trace.wants(category):
+            return NOOP_SPAN
+        return Span(self, category, name, fields, parent)
+
+    def begin_span(
+        self,
+        category: str,
+        name: str,
+        parent: typing.Union[Span, int, None] = None,
+        **fields,
+    ):
+        """An explicit span for scopes crossing simulation processes;
+        the caller must :meth:`Span.close` it."""
+        if not self.trace.wants(category):
+            return NOOP_SPAN
+        return Span(self, category, name, fields, parent)
+
+    def _next_span_id(self) -> int:
+        return next(self._span_ids)
+
+    # -- metrics passthroughs ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(name)
+
+    def gauge(self, name: str, fn=None) -> Gauge:
+        return self.registry.gauge(name, fn)
+
+    def histogram(self, name: str, **kwargs) -> TimeWeightedHistogram:
+        return self.registry.histogram(name, **kwargs)
+
+    def timeline(self, name: str, **kwargs) -> Timeline:
+        return self.registry.timeline(name, **kwargs)
+
+    # -- export / rendering ------------------------------------------------
+
+    def data(self) -> dict:
+        """The live run in the dashboard/JSONL interchange shape."""
+        from repro.obs.export import event_record
+
+        return {
+            "meta": {
+                "now": self.now(),
+                "dropped": self.trace.dropped_by_category,
+                "retained": {
+                    c: self.trace.retained(c) for c in self.trace.categories()
+                },
+            },
+            "events": [event_record(e) for e in self.trace.events],
+            "metrics": self.registry.snapshot(),
+        }
+
+    def export_jsonl(self, path: str) -> int:
+        """Dump events + metrics as JSONL; returns lines written."""
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(path, self)
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Dump the retained trace for chrome://tracing / Perfetto."""
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(path, self.trace)
+
+    def dashboard(self, job: typing.Optional[str] = None) -> str:
+        """Render the live run's text dashboard."""
+        from repro.obs.dashboard import render_dashboard
+
+        return render_dashboard(self.data(), job=job)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Observability",
+    "Span",
+    "TimeWeightedHistogram",
+    "Timeline",
+]

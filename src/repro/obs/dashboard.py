@@ -1,0 +1,163 @@
+"""Text dashboard over a run's observability data.
+
+Renders the cross-layer view Challenge 8(1) asks for, from either a
+live :class:`~repro.obs.Observability` snapshot or a loaded JSONL export
+(:func:`repro.obs.export.load_jsonl`): per-job makespans and handover
+economics, per-device utilization timelines (unicode sparklines over the
+occupancy change points), per-link bytes, and trace-ring health.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.metrics.report import Table, format_bytes, format_ns
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    samples: typing.Sequence[typing.Sequence[float]],
+    width: int = 40,
+    until: typing.Optional[float] = None,
+    peak: typing.Optional[float] = None,
+) -> str:
+    """A piecewise-constant ``[(time, level), ...]`` series as blocks.
+
+    The series is resampled onto ``width`` equal time columns between
+    the first change point and ``until`` (default: the last change
+    point); each column shows the level entering it, scaled to ``peak``
+    (default: the series max).
+    """
+    if not samples:
+        return ""
+    t0 = samples[0][0]
+    t1 = until if until is not None else samples[-1][0]
+    if t1 <= t0:
+        return _BLOCKS[-1] if samples[-1][1] > 0 else _BLOCKS[0]
+    top = peak if peak not in (None, 0) else max(v for _t, v in samples) or 1.0
+    cells = []
+    idx = 0
+    level = samples[0][1]
+    for col in range(width):
+        t = t0 + (t1 - t0) * col / width
+        while idx + 1 < len(samples) and samples[idx + 1][0] <= t:
+            idx += 1
+            level = samples[idx][1]
+        frac = min(1.0, max(0.0, level / top))
+        cells.append(_BLOCKS[round(frac * (len(_BLOCKS) - 1))])
+    return "".join(cells)
+
+
+def _metric_value(metrics: dict, name: str, default: float = 0.0) -> float:
+    snap = metrics.get(name)
+    if not snap:
+        return default
+    return float(snap.get("value", default))
+
+
+def render_dashboard(
+    data: dict,
+    job: typing.Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """The run dashboard as aligned text sections.
+
+    ``data`` is ``{"meta": ..., "events": [...], "metrics": {...}}`` —
+    the shape produced by :func:`repro.obs.export.load_jsonl` and by
+    :meth:`repro.obs.Observability.data`.  ``job`` filters the job table
+    to one job name.
+    """
+    meta = data.get("meta", {})
+    events = data.get("events", [])
+    metrics = data.get("metrics", {})
+    now = float(meta.get("now", 0.0)) or None
+    sections = []
+
+    # -- jobs ------------------------------------------------------------
+    jobs = Table(
+        ["job", "ok", "makespan", "tasks", "zero-copy", "copies",
+         "bytes copied", "zc ratio"],
+        title="Jobs",
+    )
+    job_rows = 0
+    for event in events:
+        if event.get("cat") != "job" or event.get("name") != "run":
+            continue
+        fields = event.get("fields", {})
+        if job is not None and fields.get("job") != job:
+            continue
+        zc = int(fields.get("zero_copy", 0))
+        cp = int(fields.get("copies", 0))
+        ratio = zc / (zc + cp) if (zc + cp) else 0.0
+        jobs.add_row(
+            fields.get("job", "?"),
+            "yes" if fields.get("ok", True) else "FAILED",
+            format_ns(float(event.get("t", 0.0)) - float(event.get("begin", 0.0))),
+            fields.get("tasks", ""),
+            zc, cp, format_bytes(float(fields.get("bytes_copied", 0.0))),
+            f"{ratio:.0%}",
+        )
+        job_rows += 1
+    if job_rows:
+        sections.append(jobs.render())
+
+    # -- per-device utilization timelines --------------------------------
+    util = Table(["device", f"occupancy timeline (t→{format_ns(now or 0)})",
+                  "mean", "peak"],
+                 title="Device utilization")
+    util_rows = 0
+    for name in sorted(metrics):
+        if not name.startswith("device.occupancy/"):
+            continue
+        snap = metrics[name]
+        samples = snap.get("samples", [])
+        util.add_row(
+            name.split("/", 1)[1],
+            sparkline(samples, width=width, until=now),
+            f"{float(snap.get('mean', 0.0)):.2f}",
+            f"{float(snap.get('max', 0.0)):g}",
+        )
+        util_rows += 1
+    if util_rows:
+        sections.append(util.render())
+
+    # -- per-link bytes ---------------------------------------------------
+    links = Table(["link", "bytes carried"], title="Fabric links")
+    link_rows = []
+    for name in metrics:
+        if name.startswith("link.bytes/"):
+            link_rows.append((name.split("/", 1)[1], _metric_value(metrics, name)))
+    link_rows.sort(key=lambda kv: -kv[1])
+    for link_name, nbytes in link_rows:
+        links.add_row(link_name, format_bytes(nbytes))
+    if link_rows:
+        sections.append(links.render())
+
+    # -- handover economics ----------------------------------------------
+    zc = _metric_value(metrics, "handover.zero_copy")
+    cp = _metric_value(metrics, "handover.copies")
+    if zc or cp:
+        handover = Table(["zero-copy", "copies", "bytes copied", "zc ratio"],
+                         title="Handover (whole run)")
+        handover.add_row(
+            int(zc), int(cp),
+            format_bytes(_metric_value(metrics, "handover.bytes_copied")),
+            f"{zc / (zc + cp):.0%}" if (zc + cp) else "n/a",
+        )
+        sections.append(handover.render())
+
+    # -- trace-ring health ------------------------------------------------
+    dropped = meta.get("dropped", {})
+    retained = meta.get("retained", {})
+    if retained or dropped:
+        health = Table(["category", "retained", "dropped"],
+                       title="Trace rings")
+        for category in sorted(set(retained) | set(dropped)):
+            health.add_row(category, retained.get(category, 0),
+                           dropped.get(category, 0))
+        sections.append(health.render())
+
+    if not sections:
+        return "(no observability data recorded)"
+    return "\n\n".join(sections)

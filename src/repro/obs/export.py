@@ -1,0 +1,152 @@
+"""Exporters: JSONL run dumps and Chrome/Perfetto ``trace_event`` JSON.
+
+The JSONL format is the interchange between a run and post-hoc tooling
+(``scripts/obs_report.py``, notebooks): one self-describing JSON object
+per line, with three record kinds —
+
+* ``{"kind": "meta", ...}`` — clock, trace ring health (drop counts);
+* ``{"kind": "event", ...}`` — one trace event (spans carry ``begin``);
+* ``{"kind": "metric", ...}`` — one metric snapshot from the registry.
+
+The Chrome exporter turns span-complete events into ``"X"`` duration
+events grouped into rows by task (or category), loadable in
+chrome://tracing or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.sim.trace import TraceEvent, TraceLog
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def event_record(event: TraceEvent) -> dict:
+    """One trace event as a JSONL-ready dict."""
+    record = {
+        "kind": "event",
+        "t": event.time,
+        "cat": event.category,
+        "name": event.name,
+        "fields": _json_safe(dict(event.fields)),
+    }
+    if event.begin is not None:
+        record["begin"] = event.begin
+        record["span"] = event.span_id
+        record["parent"] = event.parent_id
+    return record
+
+
+def write_jsonl(path: str, obs: "Observability") -> int:
+    """Dump meta + all retained events + a metrics snapshot as JSONL.
+
+    Returns the number of lines written.
+    """
+    lines = 0
+    with open(path, "w") as handle:
+        meta = {
+            "kind": "meta",
+            "now": obs.now(),
+            "dropped": obs.trace.dropped_by_category,
+            "retained": {c: obs.trace.retained(c) for c in obs.trace.categories()},
+        }
+        handle.write(json.dumps(meta) + "\n")
+        lines += 1
+        for event in obs.trace.events:
+            handle.write(json.dumps(event_record(event)) + "\n")
+            lines += 1
+        for name, snap in sorted(obs.registry.snapshot().items()):
+            record = {"kind": "metric", "name": name}
+            record.update(_json_safe(snap))
+            handle.write(json.dumps(record) + "\n")
+            lines += 1
+    return lines
+
+
+def load_jsonl(path: str) -> dict:
+    """Parse a JSONL export back into ``{meta, events, metrics}``."""
+    meta: dict = {}
+    events: typing.List[dict] = []
+    metrics: typing.Dict[str, dict] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "meta":
+                meta = record
+            elif kind == "event":
+                events.append(record)
+            elif kind == "metric":
+                metrics[record["name"]] = record
+    return {"meta": meta, "events": events, "metrics": metrics}
+
+
+# -- Chrome / Perfetto ----------------------------------------------------
+
+
+def to_chrome_trace(
+    events: typing.Iterable[TraceEvent],
+) -> typing.List[dict]:
+    """Trace events as Chrome ``trace_event`` dicts.
+
+    Span-complete events become ``"X"`` duration events; instant events
+    become ``"i"`` instants.  Rows ("threads") are keyed by the event's
+    ``task`` field when present, else its category, so job runs render
+    as one row per task with nested phases.  Simulated nanoseconds map
+    to trace microseconds so sub-µs phases stay visible.
+    """
+    out: typing.List[dict] = []
+    tids: typing.Dict[str, int] = {}
+
+    def tid_for(key: str) -> int:
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": 1,
+                "tid": tids[key], "args": {"name": key},
+            })
+        return tids[key]
+
+    for event in events:
+        row = str(event.fields.get("task", "")) or event.category
+        tid = tid_for(row)
+        args = {str(k): _json_safe(v) for k, v in event.fields.items()}
+        if event.begin is not None:
+            out.append({
+                "name": event.name, "cat": event.category, "ph": "X",
+                "pid": 1, "tid": tid, "ts": event.begin,
+                "dur": event.time - event.begin, "args": args,
+            })
+        else:
+            out.append({
+                "name": event.name, "cat": event.category, "ph": "i",
+                "pid": 1, "tid": tid, "ts": event.time, "s": "t",
+                "args": args,
+            })
+    return out
+
+
+def write_chrome_trace(path: str, trace: TraceLog) -> None:
+    """Dump the whole retained trace for chrome://tracing / Perfetto."""
+    with open(path, "w") as handle:
+        json.dump(
+            {"traceEvents": to_chrome_trace(trace.events),
+             "displayTimeUnit": "ns"},
+            handle,
+        )

@@ -1,0 +1,276 @@
+"""The metrics half of the observability substrate.
+
+Counters, gauges, time-weighted histograms, and bounded utilization
+timelines, held in a :class:`MetricsRegistry` so exporters and the text
+dashboard can walk everything a run recorded.  All metric types are
+bounded in memory by construction: counters/gauges are scalars,
+histograms accumulate per-bucket elapsed time, and timelines keep a ring
+of samples (plus exact time-weighted aggregates via
+:class:`~repro.sim.trace.MetricRecorder`).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.trace import MetricRecorder
+
+#: Default histogram bucket upper bounds (open-ended final bucket).
+DEFAULT_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time scalar, set directly or read through a callback."""
+
+    __slots__ = ("name", "_value", "fn")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: typing.Optional[typing.Callable[[], float]] = None):
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class TimeWeightedHistogram:
+    """How long a piecewise-constant signal dwelt in each level bucket.
+
+    ``observe(time, level)`` records a level change; the histogram
+    accumulates the *time spent* at each level band rather than a count
+    of observations — the right statistic for queue depths and
+    utilization signals in a discrete-event world.
+    """
+
+    __slots__ = ("name", "bounds", "elapsed_in", "_level", "_last_time", "recorder")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: typing.Sequence[float] = DEFAULT_BOUNDS,
+        start_time: float = 0.0,
+    ):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be ascending: {bounds}")
+        self.name = name
+        self.bounds = tuple(bounds)
+        #: elapsed ns per bucket; index len(bounds) is the overflow bucket.
+        self.elapsed_in = [0.0] * (len(self.bounds) + 1)
+        self._level = 0.0
+        self._last_time = float(start_time)
+        self.recorder = MetricRecorder(start_time=start_time)
+
+    def _bucket(self, level: float) -> int:
+        for i, bound in enumerate(self.bounds):
+            if level <= bound:
+                return i
+        return len(self.bounds)
+
+    def observe(self, time: float, level: float) -> None:
+        """The signal changes to ``level`` at ``time``."""
+        dt = time - self._last_time
+        if dt < 0:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        self.elapsed_in[self._bucket(self._level)] += dt
+        self._last_time = time
+        self._level = float(level)
+        self.recorder.record(time, level)
+
+    def adjust(self, time: float, delta: float) -> None:
+        self.observe(time, self._level + delta)
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def time_in_buckets(self) -> typing.Dict[str, float]:
+        """``{"<=bound": elapsed, ..., ">last": elapsed}``."""
+        out = {}
+        for bound, elapsed in zip(self.bounds, self.elapsed_in):
+            out[f"<={bound:g}"] = elapsed
+        out[f">{self.bounds[-1]:g}"] = self.elapsed_in[-1]
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "buckets": self.time_in_buckets(),
+            "mean": self.recorder.time_weighted_mean(),
+            "max": self.recorder.maximum,
+        }
+
+
+class Timeline:
+    """A bounded time-series of a piecewise-constant signal.
+
+    Keeps the last ``max_samples`` ``(time, level)`` change points in a
+    ring (older ones are dropped and counted) *and* exact time-weighted
+    aggregates over the whole run via :class:`MetricRecorder` — so the
+    dashboard can draw a recent-history sparkline while reporting exact
+    lifetime mean/max utilization.
+    """
+
+    __slots__ = ("name", "samples", "dropped", "recorder")
+
+    kind = "timeline"
+
+    def __init__(self, name: str, max_samples: int = 1024, start_time: float = 0.0):
+        if max_samples < 2:
+            raise ValueError("a timeline needs at least 2 samples of history")
+        self.name = name
+        self.samples: typing.Deque[typing.Tuple[float, float]] = collections.deque(
+            maxlen=max_samples
+        )
+        self.dropped = 0
+        self.recorder = MetricRecorder(start_time=start_time)
+
+    def record(self, time: float, level: float) -> None:
+        """The signal changes to ``level`` at ``time``."""
+        self.recorder.record(time, level)
+        if len(self.samples) == self.samples.maxlen:
+            self.dropped += 1
+        self.samples.append((time, float(level)))
+
+    def adjust(self, time: float, delta: float) -> None:
+        """Shift the signal by ``delta`` at ``time`` (occupancy counting)."""
+        self.record(time, self.recorder.level + delta)
+
+    @property
+    def level(self) -> float:
+        return self.recorder.level
+
+    def mean(self, until: typing.Optional[float] = None) -> float:
+        return self.recorder.time_weighted_mean(until)
+
+    @property
+    def maximum(self) -> float:
+        return self.recorder.maximum
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "samples": [[t, v] for t, v in self.samples],
+            "dropped": self.dropped,
+            "mean": self.recorder.time_weighted_mean(),
+            "max": self.recorder.maximum,
+            "level": self.recorder.level,
+        }
+
+
+class MetricsRegistry:
+    """Name → metric instrument map with get-or-create accessors.
+
+    Subsystems that already keep their own counters (handover stats,
+    placement counters, link byte counts, ...) register a *collector* —
+    a zero-argument callable yielding ``(name, value)`` pairs — instead
+    of double-counting on the hot path; collectors are evaluated only at
+    snapshot/export time.
+    """
+
+    def __init__(self):
+        self._metrics: typing.Dict[str, object] = {}
+        self._collectors: typing.List[typing.Callable] = []
+
+    def _get(self, name: str, factory, kind) -> object:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+            return metric
+        if metric.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str, fn=None) -> Gauge:
+        gauge = self._get(name, lambda: Gauge(name, fn), "gauge")
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str, bounds=DEFAULT_BOUNDS, start_time: float = 0.0):
+        return self._get(
+            name, lambda: TimeWeightedHistogram(name, bounds, start_time),
+            "histogram",
+        )
+
+    def timeline(self, name: str, max_samples: int = 1024, start_time: float = 0.0):
+        return self._get(
+            name, lambda: Timeline(name, max_samples, start_time), "timeline"
+        )
+
+    def add_collector(self, fn: typing.Callable) -> None:
+        """Register ``fn() -> iterable[(name, value)]`` read at snapshot."""
+        self._collectors.append(fn)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def names(self) -> typing.List[str]:
+        return sorted(self._metrics)
+
+    # -- snapshot / report -------------------------------------------------
+
+    def snapshot(self) -> typing.Dict[str, dict]:
+        """Every metric (and collector reading) as plain data."""
+        out = {name: metric.snapshot() for name, metric in self._metrics.items()}
+        for collector in self._collectors:
+            for name, value in collector():
+                out[name] = {"type": "gauge", "value": float(value)}
+        return out
+
+    def report(self, title: str = "metrics") -> str:
+        """All scalar metrics as an aligned text table."""
+        # Deferred: repro.metrics pulls in the cluster (import cycle).
+        from repro.metrics.report import Table
+
+        table = Table(["metric", "kind", "value"], title=title)
+        for name, snap in sorted(self.snapshot().items()):
+            if snap["type"] in ("counter", "gauge"):
+                value = f"{snap['value']:g}"
+            elif snap["type"] == "timeline":
+                value = (f"mean={snap['mean']:.3g} max={snap['max']:g} "
+                         f"now={snap['level']:g}")
+            else:  # histogram
+                value = f"mean={snap['mean']:.3g} max={snap['max']:g}"
+            table.add_row(name, snap["type"], value)
+        return table.render()

@@ -87,6 +87,10 @@ class RackDriver:
         self._queue: typing.List[typing.Tuple[AdmittedJob, typing.Callable]] = []
         self.stats = RackStats(memory_utilization=MetricRecorder())
         self._sampling = True
+        obs = rts.cluster.obs
+        self._obs = obs
+        self._running_tl = obs.timeline("rack.running")
+        self._queued_tl = obs.timeline("rack.queued")
 
     # -- admission gate ------------------------------------------------------
 
@@ -107,6 +111,11 @@ class RackDriver:
             self.stats.peak_concurrency = max(
                 self.stats.peak_concurrency, self._running
             )
+            self._queued_tl.adjust(engine.now, -1)
+            self._running_tl.adjust(engine.now, +1)
+            self._obs.counter("rack.admitted").inc()
+            self._obs.event("admission", "admit",
+                            job=admitted.name, wait=admitted.queue_wait)
             execution = self.rts.submit(factory())
             execution.done.add_callback(
                 lambda event, job=admitted: self._on_done(job, event)
@@ -114,6 +123,10 @@ class RackDriver:
 
     def _on_done(self, admitted: AdmittedJob, event) -> None:
         self._running -= 1
+        engine = self.rts.cluster.engine
+        self._running_tl.adjust(engine.now, -1)
+        self._obs.event("admission", "done",
+                        job=admitted.name, ok=bool(event._ok))
         if event._ok:
             admitted.stats = event._value
         else:
@@ -141,6 +154,7 @@ class RackDriver:
                 admitted = AdmittedJob(name=name, arrived_at=engine.now)
                 self.stats.jobs.append(admitted)
                 self._queue.append((admitted, factory))
+                self._queued_tl.adjust(engine.now, +1)
                 self._pump()
 
         def sampler():

@@ -76,12 +76,24 @@ class PlacementPolicy:
             name=request.name, region_type=request.region_type,
         )
         self.placements += 1
-        self.cluster.trace.emit(
-            self.cluster.engine.now, "placement", "place",
-            region=region.name, device=device.name,
-            properties=request.properties.describe(),
-        )
+        trace = self.cluster.trace
+        if trace.wants("placement"):  # describe() is not free; skip when off
+            trace.emit(
+                self.cluster.engine.now, "placement", "place",
+                region=region.name, device=device.name,
+                properties=request.properties.describe(),
+            )
         return region
+
+    def _reject(self, request: PlacementRequest, reason: str) -> None:
+        """Count (and trace) a request no live device could satisfy."""
+        self.rejections += 1
+        trace = self.cluster.trace
+        if trace.wants("placement"):
+            trace.emit(
+                self.cluster.engine.now, "placement", "reject",
+                region=request.name, size=request.size, reason=reason,
+            )
 
     def _has_room(self, device: MemoryDevice, size: int) -> bool:
         return self.manager.allocators[device.name].largest_free_extent >= size
@@ -123,7 +135,7 @@ class DeclarativePlacement(PlacementPolicy):
         """The lowest-scoring satisfying candidate (raises if none)."""
         survivors = self.candidates(request)
         if not survivors:
-            self.rejections += 1
+            self._reject(request, "no satisfying device")
             raise PlacementError(
                 f"no device satisfies {request.properties.describe()} "
                 f"for observers {list(request.observers)} "
@@ -217,7 +229,7 @@ class NaivePlacement(PlacementPolicy):
             and device.spec.byte_addressable
         ]
         if not candidates:
-            self.rejections += 1
+            self._reject(request, "no device with room")
             raise PlacementError(f"no device has {request.size} B free")
         return candidates[int(self._rng.integers(0, len(candidates)))]
 
@@ -254,7 +266,7 @@ class StaticKindPlacement(PlacementPolicy):
                 and (not request.properties.persistent or device.spec.persistent)
             ]
         if not candidates:
-            self.rejections += 1
+            self._reject(request, "no device with room")
             raise PlacementError(f"no device has {request.size} B free")
         # Deterministic: fill the least-utilized matching device.
         return min(candidates, key=lambda d: (d.utilization, d.name))

@@ -108,8 +108,10 @@ class ResilientRuntime:
                 continue
             if task.work.output is None:
                 continue
-            if task_stats.finished_at > task_stats.started_at >= 0 and (
-                task_stats.finished_at > 0
+            if (
+                task_stats.started_at is not None
+                and task_stats.finished_at is not None
+                and task_stats.finished_at >= task_stats.started_at
             ):
                 # finished_at is set on both success and failure; a task
                 # that persisted counts only if it reached its epilogue,

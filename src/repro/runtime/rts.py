@@ -36,6 +36,7 @@ from repro.runtime.placement import (
     PlacementPolicy,
     PlacementRequest,
 )
+from repro.obs.span import NOOP_SPAN
 from repro.runtime.scheduler import HeftScheduler, Scheduler
 from repro.runtime.transfer import HandoverManager
 from repro.sim.events import Event
@@ -49,16 +50,29 @@ class TaskFailure(Exception):
 class TaskStats:
     name: str
     device: str = ""
-    ready_at: float = 0.0
-    started_at: float = 0.0
-    finished_at: float = 0.0
+    #: ``None`` until the corresponding lifecycle point is reached.  A
+    #: task whose upstream fails never becomes ready or starts; its
+    #: timestamps stay ``None`` instead of a meaningless 0.0.
+    ready_at: typing.Optional[float] = None
+    started_at: typing.Optional[float] = None
+    finished_at: typing.Optional[float] = None
+
+    @property
+    def started(self) -> bool:
+        return self.started_at is not None
 
     @property
     def duration(self) -> float:
+        """Execution time; 0.0 for tasks that never started."""
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
         return self.finished_at - self.started_at
 
     @property
-    def queue_delay(self) -> float:
+    def queue_delay(self) -> typing.Optional[float]:
+        """Ready → start wait; ``None`` for tasks that never started."""
+        if self.ready_at is None or self.started_at is None:
+            return None
         return self.started_at - self.ready_at
 
 
@@ -77,6 +91,8 @@ class JobStats:
 
     @property
     def makespan(self) -> float:
+        if self.finished_at < self.submitted_at:
+            return 0.0  # still in flight; a makespan is not defined yet
         return self.finished_at - self.submitted_at
 
     @property
@@ -96,6 +112,8 @@ class TaskContext:
         self._rts = execution.rts
         self.task = task
         self.compute = device_name
+        #: This task's span (parent for phase spans); NOOP when disabled.
+        self.span = NOOP_SPAN
         self.inputs: typing.List[RegionHandle] = []
         self._scratch: typing.Optional[MemoryRegion] = None
         self._output: typing.Optional[MemoryRegion] = None
@@ -260,6 +278,8 @@ class TaskContext:
         return duration
 
     def _touch(self, handle, nbytes, pattern, access_size, mode, is_write):
+        sp = self._rts.cluster.obs.span("profile", "memory_phase",
+                                        parent=self.span)
         accessor = Accessor(self._rts.cluster, handle, self.compute)
         region_size = handle.region.size
         remaining = region_size if nbytes is None else nbytes
@@ -274,16 +294,17 @@ class TaskContext:
             )
             total += duration
             remaining -= chunk
-        region = handle.region
-        self._rts.cluster.trace.emit(
-            self.now, "profile", "memory_phase",
-            task=self.owner, device=self.compute,
-            region=region.name, backing=region.device.name,
-            rtype=region.region_type.value if region.region_type else "",
-            op="write" if is_write else "read",
-            nbytes=requested, duration=total,
-            pattern=pattern.value, access_size=access_size,
-        )
+        if sp:
+            region = handle.region
+            sp.set(
+                task=self.owner, device=self.compute,
+                region=region.name, backing=region.device.name,
+                rtype=region.region_type.value if region.region_type else "",
+                op="write" if is_write else "read",
+                nbytes=requested, duration=total,
+                pattern=pattern.value, access_size=access_size,
+            )
+        sp.close()
         return total
 
     def read_async(
@@ -330,14 +351,15 @@ class TaskContext:
         """Generator: burn ``ops`` operations on this task's device."""
         if op_class is None:
             op_class = self.task.work.op_class
+        sp = self._rts.cluster.obs.span("profile", "compute_phase",
+                                        parent=self.span)
         device = self._rts.cluster.compute[self.compute]
         duration = device.compute_time(op_class, ops)
         yield self._rts.cluster.engine.timeout(duration)
-        self._rts.cluster.trace.emit(
-            self.now, "profile", "compute_phase",
-            task=self.owner, device=self.compute,
-            op=op_class.value, ops=ops, duration=duration,
-        )
+        if sp:
+            sp.set(task=self.owner, device=self.compute,
+                   op=op_class.value, ops=ops, duration=duration)
+        sp.close()
         return duration
 
     def sleep(self, ns: float):
@@ -354,6 +376,9 @@ class _JobExecution:
         self.job = job
         self.job_owner = f"job:{job.name}#{job.id}"
         self.stats = JobStats(job_name=job.name, submitted_at=rts.cluster.engine.now)
+        # Root of this job's span tree (explicit close: the job scope
+        # crosses simulation processes).  No-op when "job" is disabled.
+        self.span = rts.cluster.obs.begin_span("job", "run", job=job.name)
         self.assignment = rts.scheduler.assign(job, rts.cluster, rts.costmodel)
         self.stats.assignment = dict(self.assignment)
 
@@ -439,8 +464,10 @@ class _JobExecution:
 
     def _run_task(self, task: Task):
         engine = self.rts.cluster.engine
+        obs = self.rts.cluster.obs
         stats = TaskStats(name=task.name, device=self.assignment[task.name])
         self.stats.tasks[task.name] = stats
+        task_span = NOOP_SPAN
         try:
             # 1. Wait for every upstream task (data and control edges).
             upstream_events = [self._task_done[u.name] for u in task.upstream()]
@@ -453,7 +480,14 @@ class _JobExecution:
             slot_request = device.acquire_slot()
             yield slot_request
             stats.started_at = engine.now
+            task_span = obs.begin_span(
+                "task", "run", parent=self.span,
+                task=task.qualified_name, device=device.name,
+            )
+            occupancy = obs.timeline(f"device.occupancy/{device.name}")
+            occupancy.adjust(engine.now, +1)
             ctx = TaskContext(self, task, device.name)
+            ctx.span = task_span
             ctx.inputs = list(self._inboxes[task.name])
             try:
                 behaviour = task.fn if task.fn is not None else _default_behaviour
@@ -462,20 +496,45 @@ class _JobExecution:
             finally:
                 device.busy_time += engine.now - stats.started_at
                 device.release_slot(slot_request)
+                occupancy.adjust(engine.now, -1)
             stats.finished_at = engine.now
+            if task_span:
+                task_span.set(queue_delay=stats.queue_delay)
+            task_span.close()
 
             # 3. Epilogue: hand outputs over, drop owned regions.
             yield from self._epilogue(task, ctx)
             self._task_done[task.name].succeed(stats)
         except BaseException as exc:  # noqa: BLE001 - report any task failure
-            stats.finished_at = engine.now
+            # Only tasks that actually ran get a finish time; a task whose
+            # upstream failed never started, and its timestamps stay None.
+            if stats.started_at is not None:
+                stats.finished_at = engine.now
+            if task_span:
+                task_span.set(error=repr(exc))
+            task_span.close()
+            obs.counter("tasks.failed").inc()
             if not self._task_done[task.name].triggered:
                 self._task_done[task.name].fail(TaskFailure(
                     f"task {task.qualified_name} failed: {exc!r}"
                 ))
                 self._task_done[task.name].defuse()
             if not self.done.triggered:
+                # The first failure ends the job: stamp the finish time
+                # here, because _finalize's all_of fails and returns early
+                # (a failed job used to report a negative makespan).
                 self.stats.error = exc
+                self.stats.finished_at = engine.now
+                if self.span:
+                    self.span.set(
+                        ok=False, error=repr(exc),
+                        tasks=len(self.stats.tasks),
+                        zero_copy=self.stats.zero_copy_handover,
+                        copies=self.stats.copy_handover,
+                        bytes_copied=self.stats.bytes_copied,
+                    )
+                self.span.close()
+                obs.counter("jobs.failed").inc()
                 self.done.fail(exc)
                 self.done.defuse()
             return
@@ -545,6 +604,16 @@ class _JobExecution:
         self.stats.copy_handover = self.rts.handover.stats.copies - cp
         self.stats.bytes_copied = self.rts.handover.stats.bytes_copied - bc
         self.stats.regions_allocated = self.rts.placement.placements - self._regions_base
+        obs = self.rts.cluster.obs
+        if self.span:
+            self.span.set(
+                ok=True, tasks=len(self.stats.tasks),
+                zero_copy=self.stats.zero_copy_handover,
+                copies=self.stats.copy_handover,
+                bytes_copied=self.stats.bytes_copied,
+            )
+        self.span.close()
+        obs.counter("jobs.completed").inc()
         if not self.done.triggered:
             self.done.succeed(self.stats)
 
@@ -631,9 +700,20 @@ class RuntimeSystem:
             cluster, self.memory, self.costmodel, self.placement
         )
         self.executions: typing.List[_JobExecution] = []
+        cluster.obs.registry.add_collector(self._collect_runtime_metrics)
+
+    def _collect_runtime_metrics(self):
+        """Runtime-layer readings for the obs registry snapshot (the
+        subsystems already count these; no hot-path double counting)."""
+        yield "handover.zero_copy", self.handover.stats.zero_copy
+        yield "handover.copies", self.handover.stats.copies
+        yield "handover.bytes_copied", self.handover.stats.bytes_copied
+        yield "placement.placements", self.placement.placements
+        yield "placement.rejections", self.placement.rejections
 
     def submit(self, job: Job) -> _JobExecution:
         """Validate, schedule, and start a job; returns its execution."""
+        self.cluster.obs.counter("jobs.submitted").inc()
         execution = _JobExecution(self, job)
         self.executions.append(execution)
         return execution

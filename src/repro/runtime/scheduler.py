@@ -148,6 +148,14 @@ class HeftScheduler(Scheduler):
             slots = device_slots[best_device.name]
             slot_index = min(range(len(slots)), key=lambda i: slots[i])
             slots[slot_index] = best_eft
+        trace = cluster.trace
+        if trace.wants("sched"):
+            trace.emit(
+                cluster.engine.now, "sched", "assign",
+                job=job.name, tasks=len(assignment),
+                devices=len(set(assignment.values())),
+                est_makespan=max(finish.values()) if finish else 0.0,
+            )
         return assignment
 
     # -- estimates ----------------------------------------------------------

@@ -32,11 +32,19 @@ class Engine:
         self._queue: list = []
         self._seq = count()
         self._active_process: typing.Optional[Process] = None
+        #: Lifetime count of processed events (observability; plain int
+        #: so the hot loop pays one increment, nothing more).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in nanoseconds."""
         return self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Events currently scheduled and not yet processed."""
+        return len(self._queue)
 
     @property
     def active_process(self) -> typing.Optional[Process]:
@@ -59,6 +67,7 @@ class Engine:
         if not self._queue:
             raise EmptySchedule()
         self._now, _, _, event = heapq.heappop(self._queue)
+        self.events_processed += 1
         event._process()
 
     def run(self, until: typing.Optional[typing.Union[float, Event]] = None):

@@ -76,12 +76,18 @@ class _Flow:
 class FlowNetwork:
     """Shared-bandwidth transfer scheduler on top of an :class:`Engine`."""
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine, trace=None):
         self.engine = engine
         self._flows: dict = {}  # id -> _Flow
         self._last_update = engine.now
         self._timer_gen = 0
         self.completed_transfers = 0
+        #: Total payload bytes of completed transfers.
+        self.bytes_completed = 0.0
+        #: High-water mark of concurrently active flows (contention).
+        self.peak_active_flows = 0
+        #: Optional bounded TraceLog for per-flow events ("flow" category).
+        self.trace = trace
 
     # -- public API ------------------------------------------------------
 
@@ -185,6 +191,13 @@ class FlowNetwork:
         for flow in finished:
             del self._flows[flow.id]
             self.completed_transfers += 1
+            self.bytes_completed += flow.total_bytes
+            if self.trace is not None and self.trace.wants("flow"):
+                self.trace.emit(
+                    now, "flow", "done",
+                    nbytes=flow.total_bytes, duration=now - flow.started_at,
+                    links=len(flow.route), rate=flow.rate,
+                )
             if not flow.event.triggered:
                 flow.event.succeed(now - flow.started_at)
 
@@ -193,6 +206,8 @@ class FlowNetwork:
         self._timer_gen += 1
         if not self._flows:
             return
+        if len(self._flows) > self.peak_active_flows:
+            self.peak_active_flows = len(self._flows)
         self._solve_rates()
         self._arm_timer()
 

@@ -1,0 +1,136 @@
+"""Exporters, dashboard rendering, and the obs_report CLI."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.dataflow import Job, RegionUsage, Task, WorkSpec
+from repro.hardware import Cluster
+from repro.obs import Observability
+from repro.obs.dashboard import render_dashboard, sparkline
+from repro.obs.export import load_jsonl, to_chrome_trace
+from repro.runtime import RuntimeSystem
+from repro.sim.engine import Engine
+
+KiB = 1024
+MiB = 1024 * KiB
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent.parent / "scripts")
+)
+import obs_report  # noqa: E402
+
+
+@pytest.fixture
+def traced_run():
+    """A real job run with every relevant category recording."""
+    cluster = Cluster.preset("pooled-rack")
+    cluster.obs.enable("job", "task", "profile", "flow", "placement", "sched")
+    rts = RuntimeSystem(cluster)
+    job = Job("pipe")
+    a = job.add_task(Task("produce", work=WorkSpec(
+        ops=1e5, output=RegionUsage(2 * MiB))))
+    b = job.add_task(Task("sink", work=WorkSpec(
+        ops=1e4, input_usage=RegionUsage(0))))
+    job.connect(a, b)
+    stats = rts.run_job(job)
+    assert stats.ok
+    return cluster
+
+
+class TestJsonlRoundTrip:
+    def test_load_matches_live_data(self, traced_run, tmp_path):
+        path = tmp_path / "run.jsonl"
+        lines = traced_run.obs.export_jsonl(str(path))
+        assert lines == len(path.read_text().splitlines())
+        loaded = load_jsonl(str(path))
+        live = traced_run.obs.data()
+        assert loaded["meta"]["now"] == live["meta"]["now"]
+        assert loaded["meta"]["retained"] == live["meta"]["retained"]
+        assert len(loaded["events"]) == len(live["events"])
+        assert set(loaded["metrics"]) >= set(live["metrics"])
+
+    def test_span_events_carry_begin_and_ids(self, traced_run, tmp_path):
+        path = tmp_path / "run.jsonl"
+        traced_run.obs.export_jsonl(str(path))
+        spans = [e for e in load_jsonl(str(path))["events"] if "begin" in e]
+        assert spans
+        job_span = [e for e in spans if e["cat"] == "job"][0]
+        task_spans = [e for e in spans if e["cat"] == "task"]
+        assert all(t["parent"] == job_span["span"] for t in task_spans)
+
+    def test_non_json_field_values_stringified(self, tmp_path):
+        obs = Observability(engine=Engine())
+        obs.event("cat", "thing", weird=object())
+        path = tmp_path / "odd.jsonl"
+        obs.export_jsonl(str(path))
+        loaded = load_jsonl(str(path))
+        assert isinstance(loaded["events"][0]["fields"]["weird"], str)
+
+
+class TestChromeTrace:
+    def test_spans_become_duration_events(self, traced_run, tmp_path):
+        path = tmp_path / "trace.json"
+        traced_run.obs.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        phs = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phs and "M" in phs
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in xs)
+
+    def test_rows_keyed_by_task_then_category(self, traced_run):
+        events = to_chrome_trace(traced_run.trace.events)
+        names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert any(name.startswith("pipe/") for name in names)  # task rows
+        assert "flow" in names or "placement" in names  # category rows
+
+
+class TestSparkline:
+    def test_resamples_piecewise_constant_series(self):
+        line = sparkline([(0.0, 0.0), (5.0, 2.0)], width=4, until=10.0, peak=2.0)
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_empty_and_degenerate_series(self):
+        assert sparkline([]) == ""
+        assert sparkline([(3.0, 1.0)]) == "█"
+        assert sparkline([(3.0, 0.0)]) == " "
+
+
+class TestDashboard:
+    def test_renders_all_sections_from_run(self, traced_run):
+        text = traced_run.obs.dashboard()
+        assert "Jobs" in text
+        assert "pipe" in text
+        assert "Device utilization" in text
+        assert "Fabric links" in text
+        assert "Trace rings" in text
+
+    def test_job_filter(self, traced_run):
+        assert "pipe" in traced_run.obs.dashboard(job="pipe")
+        assert "pipe" not in traced_run.obs.dashboard(job="other")
+
+    def test_empty_data_placeholder(self):
+        assert render_dashboard({}) == "(no observability data recorded)"
+
+
+class TestObsReportCli:
+    def test_renders_dashboard_from_export(self, traced_run, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        traced_run.obs.export_jsonl(str(path))
+        assert obs_report.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Jobs" in out and "pipe" in out
+        assert "Device utilization" in out
+
+    def test_metrics_flag_lists_metrics(self, traced_run, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        traced_run.obs.export_jsonl(str(path))
+        assert obs_report.main([str(path), "--metrics"]) == 0
+        assert "jobs.completed" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert obs_report.main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,145 @@
+"""Unit tests for the observability metric instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+    Timeline,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+        assert counter.snapshot() == {"type": "counter", "value": 5.0}
+
+
+class TestGauge:
+    def test_set_value(self):
+        gauge = Gauge("g")
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_callback_wins_over_set(self):
+        backing = {"n": 3}
+        gauge = Gauge("g", fn=lambda: backing["n"])
+        gauge.set(99)
+        assert gauge.value == 3.0
+        backing["n"] = 11
+        assert gauge.value == 11.0
+
+
+class TestTimeWeightedHistogram:
+    def test_accumulates_time_per_level_bucket(self):
+        hist = TimeWeightedHistogram("depth", bounds=(1, 2, 4))
+        hist.observe(0.0, 1)   # level 0 dwelt [init..0] = 0ns
+        hist.observe(10.0, 3)  # level 1 dwelt 10ns  -> bucket "<=1"
+        hist.observe(15.0, 0)  # level 3 dwelt 5ns   -> bucket "<=4"
+        hist.observe(25.0, 9)  # level 0 dwelt 10ns  -> bucket "<=1"
+        buckets = hist.time_in_buckets()
+        assert buckets["<=1"] == 20.0
+        assert buckets["<=4"] == 5.0
+        assert buckets[">4"] == 0.0
+
+    def test_overflow_bucket(self):
+        hist = TimeWeightedHistogram("depth", bounds=(1, 2))
+        hist.observe(0.0, 100)
+        hist.observe(8.0, 0)
+        assert hist.time_in_buckets()[">2"] == 8.0
+
+    def test_adjust_is_relative(self):
+        hist = TimeWeightedHistogram("depth")
+        hist.adjust(1.0, +2)
+        hist.adjust(2.0, +1)
+        assert hist.level == 3.0
+        hist.adjust(3.0, -3)
+        assert hist.level == 0.0
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            TimeWeightedHistogram("bad", bounds=(4, 2, 1))
+
+    def test_rejects_time_travel(self):
+        hist = TimeWeightedHistogram("depth")
+        hist.observe(10.0, 1)
+        with pytest.raises(ValueError):
+            hist.observe(5.0, 2)
+
+
+class TestTimeline:
+    def test_keeps_samples_and_aggregates(self):
+        timeline = Timeline("occ")
+        timeline.adjust(0.0, +1)
+        timeline.adjust(10.0, +1)
+        timeline.adjust(20.0, -2)
+        assert list(timeline.samples) == [(0.0, 1.0), (10.0, 2.0), (20.0, 0.0)]
+        assert timeline.maximum == 2.0
+        # 1 for 10ns, 2 for 10ns -> mean 1.5 over the recorded window.
+        assert timeline.mean() == pytest.approx(1.5)
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        timeline = Timeline("occ", max_samples=4)
+        for i in range(10):
+            timeline.record(float(i), float(i))
+        assert len(timeline.samples) == 4
+        assert timeline.dropped == 6
+        # Aggregates still cover the whole run, not just the ring.
+        assert timeline.maximum == 9.0
+
+    def test_needs_two_samples_of_history(self):
+        with pytest.raises(ValueError):
+            Timeline("occ", max_samples=1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.timeline("t") is registry.timeline("t")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert "a" in registry and "c" not in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_collectors_fold_into_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("own").inc(2)
+        registry.add_collector(lambda: [("ext.bytes", 42), ("ext.count", 3)])
+        snap = registry.snapshot()
+        assert snap["own"]["value"] == 2.0
+        assert snap["ext.bytes"] == {"type": "gauge", "value": 42.0}
+        assert snap["ext.count"]["value"] == 3.0
+
+    def test_collectors_not_called_before_snapshot(self):
+        registry = MetricsRegistry()
+        calls = []
+        registry.add_collector(lambda: calls.append(1) or [])
+        assert calls == []
+        registry.snapshot()
+        assert calls == [1]
+
+    def test_report_renders_every_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("count").inc()
+        registry.gauge("gauge").set(2)
+        registry.histogram("hist").observe(1.0, 3)
+        registry.timeline("line").record(1.0, 4)
+        text = registry.report()
+        for name in ("count", "gauge", "hist", "line"):
+            assert name in text

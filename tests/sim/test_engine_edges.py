@@ -1,0 +1,106 @@
+"""Edge cases of ``Engine.run(until=...)`` and the engine's counters."""
+
+import pytest
+
+from repro.sim import Engine
+
+
+class TestRunUntilTime:
+    def test_event_exactly_at_stop_time_is_processed(self):
+        engine = Engine()
+        fired = []
+
+        def proc():
+            yield engine.timeout(100.0)
+            fired.append(engine.now)
+
+        engine.process(proc())
+        engine.run(until=100.0)
+        assert fired == [100.0]
+        assert engine.now == 100.0
+
+    def test_event_after_stop_time_is_not_processed(self):
+        engine = Engine()
+        fired = []
+
+        def proc():
+            yield engine.timeout(100.1)
+            fired.append(True)
+
+        engine.process(proc())
+        engine.run(until=100.0)
+        assert not fired
+        assert engine.now == 100.0
+        engine.run()  # the event is still queued, not lost
+        assert fired == [True]
+
+    def test_queue_drains_before_horizon_lands_clock_on_horizon(self):
+        engine = Engine()
+        engine.timeout(10.0)
+        engine.run(until=1000.0)
+        assert engine.now == 1000.0
+
+    def test_until_now_is_allowed(self):
+        engine = Engine()
+        engine.timeout(10.0)
+        engine.run()
+        engine.run(until=engine.now)  # no-op, not a ValueError
+        assert engine.now == 10.0
+
+    def test_until_in_past_raises(self):
+        engine = Engine()
+        engine.timeout(10.0)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.run(until=5.0)
+
+
+class TestRunUntilEvent:
+    def test_failed_event_reraises(self):
+        engine = Engine()
+
+        def proc():
+            yield engine.timeout(5.0)
+            raise ValueError("inner failure")
+
+        with pytest.raises(ValueError, match="inner failure"):
+            engine.run(until=engine.process(proc()))
+        assert engine.now == 5.0
+
+    def test_event_never_triggering_raises_runtime_error(self):
+        engine = Engine()
+        never = engine.event()
+        engine.timeout(10.0)  # something to drain
+        with pytest.raises(RuntimeError, match="never triggered"):
+            engine.run(until=never)
+
+    def test_stops_at_event_not_queue_drain(self):
+        engine = Engine()
+        engine.timeout(1000.0)  # later traffic must stay queued
+
+        def proc():
+            yield engine.timeout(10.0)
+            return "done"
+
+        assert engine.run(until=engine.process(proc())) == "done"
+        assert engine.now == 10.0
+        assert engine.queue_depth > 0
+
+
+class TestCounters:
+    def test_events_processed_counts_every_step(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.timeout(1.0)
+        assert engine.events_processed == 0
+        engine.run()
+        assert engine.events_processed == 5
+
+    def test_queue_depth_tracks_pending_events(self):
+        engine = Engine()
+        assert engine.queue_depth == 0
+        engine.timeout(1.0)
+        engine.timeout(2.0)
+        assert engine.queue_depth == 2
+        engine.run()
+        assert engine.queue_depth == 0
