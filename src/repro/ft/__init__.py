@@ -18,6 +18,7 @@ survive the failures that are routine at datacenter scale:
   simulation processes and accounting repair traffic.
 """
 
+from repro.ft.backups import BackupStats, OutputBackupStore
 from repro.ft.gf256 import GF256
 from repro.ft.erasure import (
     DecodeError,
@@ -31,11 +32,13 @@ from repro.ft.recovery import RecoveryOrchestrator, RecoveryStats
 from repro.ft.checkpoint import CheckpointError, CheckpointService, Snapshot
 
 __all__ = [
+    "BackupStats",
     "CheckpointError",
     "CheckpointService",
     "DecodeError",
     "ErasureCodedStore",
     "GF256",
+    "OutputBackupStore",
     "RecoveryOrchestrator",
     "RecoveryStats",
     "ReedSolomon",

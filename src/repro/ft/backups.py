@@ -1,0 +1,246 @@
+"""Best-effort backups of task outputs for in-flight recovery.
+
+When a producer's output is handed to downstream tasks, the runtime can
+ask this store to keep one extra copy on a device in a *different
+failure domain*.  If a fault later wipes the delivered input, the
+retrying consumer re-materializes it from the backup (a *degraded
+read*) instead of forcing a whole-job re-execution — the middle rung of
+the recovery ladder (task retry → re-placement → degraded read →
+checkpoint-pruned job retry → abandon).
+
+Backups are deliberately best-effort: if no device in another failure
+domain has room, or the backup copy itself fails mid-transfer, the job
+simply proceeds unprotected (and a later loss escalates to the job
+level).  That keeps the data plane's fast path unconditional.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware.cluster import Cluster
+from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.region import MemoryRegion
+from repro.runtime.placement import PlacementPolicy, PlacementRequest
+
+
+@dataclasses.dataclass
+class BackupStats:
+    backups: int = 0
+    backup_bytes: float = 0.0
+    skipped: int = 0
+    restores: int = 0
+    restore_bytes: float = 0.0
+    failed_restores: int = 0
+
+
+class _BackupEntry:
+    """One protected payload: the backup copy plus its job owner."""
+
+    __slots__ = ("copy", "job_owner", "size")
+
+    def __init__(self, copy: MemoryRegion, job_owner: typing.Hashable, size: int):
+        self.copy = copy
+        self.job_owner = job_owner
+        self.size = size
+
+
+class OutputBackupStore:
+    """Keeps one off-domain copy of delivered task outputs.
+
+    Wire into a :class:`~repro.runtime.rts.RuntimeSystem` via its
+    ``backups`` parameter; the runtime calls :meth:`backup_delivery`
+    after each handover, :meth:`restore` from a retrying task, and
+    :meth:`release_job` when the job completes or aborts.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        manager: MemoryManager,
+        owner: str = "backup-store",
+    ):
+        self.cluster = cluster
+        self.manager = manager
+        self.owner = owner
+        self.stats = BackupStats()
+        #: region id -> entry (several delivered regions may map to the
+        #: same entry after a share_out; restores re-register, too)
+        self._entries: typing.Dict[int, _BackupEntry] = {}
+
+    # -- write path --------------------------------------------------------
+
+    def backup_delivery(
+        self,
+        regions: typing.Sequence[MemoryRegion],
+        job_owner: typing.Hashable,
+    ):
+        """Simulation generator: back up one physical copy of a
+        delivered output and register every delivered region against
+        it.  Never raises — a failed backup only loses protection."""
+        from repro.hardware.interconnect import NoRouteError
+        from repro.sim.flows import LinkDown, TransferTimeout
+
+        live = [r for r in regions if r.alive]
+        if not live:
+            return None
+        source = live[0]
+        device = self._pick_device(source)
+        if device is None:
+            self.stats.skipped += 1
+            return None
+        try:
+            copy = self.manager.allocate_on(
+                device, source.size, source.properties,
+                owner=self.owner, name=f"{source.name}~backup",
+            )
+        except PlacementError:
+            self.stats.skipped += 1
+            return None
+        try:
+            yield from self.cluster.reliable_transfer(
+                source.device.name, device, source.size
+            )
+        except (LinkDown, TransferTimeout, NoRouteError, PlacementError):
+            if copy.alive:
+                self.manager.drop_owner(copy, self.owner)
+            self.stats.skipped += 1
+            return None
+        entry = _BackupEntry(copy, job_owner, source.size)
+        for region in live:
+            self._entries[region.id] = entry
+        self.stats.backups += 1
+        self.stats.backup_bytes += source.size
+        self.cluster.trace.emit(
+            self.cluster.engine.now, "recovery", "backup",
+            region=source.name, device=device, nbytes=source.size,
+        )
+        return entry
+
+    def _pick_device(self, region: MemoryRegion) -> typing.Optional[str]:
+        """A healthy device with room in a different failure domain
+        than the region's current home (the whole point of the copy).
+
+        Prefers the fastest qualifying device: a slow backup target
+        (e.g. an HDD with terabytes free) would stretch the unprotected
+        window between delivery and backup completion, and make every
+        later degraded read crawl."""
+        monitor = getattr(self.cluster, "health_monitor", None)
+        home_domain = self.cluster.node_of(region.device.name)
+        # Domains hosting compute also host the consumers most likely to
+        # use the primary copy — a crash there takes both.  Prefer
+        # memory-only domains (the disaggregated pool) when one has room.
+        compute_domains = {
+            self.cluster.node_of(name) for name in self.cluster.compute
+        }
+        best: typing.Optional[str] = None
+        best_key: typing.Optional[typing.Tuple[bool, float, float]] = None
+        for device in self.cluster.memory_devices():
+            if device.name == region.device.name:
+                continue
+            if region.properties.persistent and not device.spec.persistent:
+                continue
+            domain = self.cluster.node_of(device.name)
+            if home_domain is not None and domain == home_domain:
+                continue
+            if monitor is not None and not monitor.can_use(device.name):
+                continue
+            free = self.manager.allocators[device.name].largest_free_extent
+            if free < region.size:
+                continue
+            key = (domain not in compute_domains, device.spec.bandwidth, free)
+            if best_key is None or key > best_key:
+                best, best_key = device.name, key
+        return best
+
+    # -- read path ---------------------------------------------------------
+
+    def has_backup(self, region: MemoryRegion) -> bool:
+        """Whether a live backup copy exists for ``region``."""
+        entry = self._entries.get(region.id)
+        return entry is not None and entry.copy.alive
+
+    def restore(
+        self,
+        region: MemoryRegion,
+        owner: typing.Hashable,
+        observers: typing.Tuple[str, ...],
+        placement: PlacementPolicy,
+    ):
+        """Simulation generator: re-materialize a lost region near its
+        consumer from the backup copy.
+
+        Returns the fresh region, or ``None`` when no live backup copy
+        exists (a *permanent* miss).  Transient infrastructure failures
+        — no placement, or the restore transfer hit a fault — propagate
+        so the caller's retry machinery can re-attempt the restore after
+        re-placing the consumer."""
+        from repro.hardware.interconnect import NoRouteError
+        from repro.sim.flows import LinkDown, TransferTimeout
+
+        entry = self._entries.get(region.id)
+        if entry is None or not entry.copy.alive:
+            self.stats.failed_restores += 1
+            return None
+        try:
+            fresh = placement.place(PlacementRequest(
+                size=entry.size,
+                properties=region.properties,
+                owner=owner,
+                observers=observers,
+                name=f"{region.name}~restored",
+                region_type=region.region_type,
+            ))
+        except PlacementError:
+            self.stats.failed_restores += 1
+            raise
+        try:
+            yield from self.cluster.reliable_transfer(
+                entry.copy.device.name, fresh.device.name, entry.size
+            )
+        except (LinkDown, TransferTimeout, NoRouteError):
+            if fresh.alive:
+                self.manager.drop_owner(fresh, owner)
+            self.stats.failed_restores += 1
+            raise
+        # The restored region is itself protected by the same entry.
+        self._entries[fresh.id] = entry
+        self.stats.restores += 1
+        self.stats.restore_bytes += entry.size
+        self.cluster.trace.emit(
+            self.cluster.engine.now, "recovery", "restore",
+            region=region.name, src=entry.copy.device.name,
+            dst=fresh.device.name, nbytes=entry.size,
+        )
+        return fresh
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def release_job(self, job_owner: typing.Hashable) -> int:
+        """Free every backup held for ``job_owner``; returns how many."""
+        released = 0
+        dead = [
+            rid for rid, entry in self._entries.items()
+            if entry.job_owner == job_owner
+        ]
+        seen: typing.Set[int] = set()
+        for rid in dead:
+            entry = self._entries.pop(rid)
+            if id(entry) in seen:
+                continue
+            seen.add(id(entry))
+            if entry.copy.alive and entry.copy.ownership.is_owner(self.owner):
+                self.manager.drop_owner(entry.copy, self.owner)
+            released += 1
+        return released
+
+    def note_device_failures(self) -> int:
+        """Forget entries whose backup copy is gone; returns how many."""
+        lost = [
+            rid for rid, entry in self._entries.items()
+            if not entry.copy.alive
+        ]
+        for rid in lost:
+            del self._entries[rid]
+        return len(lost)

@@ -69,18 +69,22 @@ class RecoveryOrchestrator:
             "recovery", "repair_done", target=fault.target,
         )
         shards = 0
-        for store in self.stores:
-            store.note_device_failures()
-        for store in self.stores:
-            try:
-                rebuilt = yield from store.recover()
-            except Exception:
-                self.stats.unrecoverable += 1
-                continue
-            shards += int(rebuilt or 0)
-        self.stats.shards_rebuilt += shards
-        self.stats.repairs_completed += 1
-        self.stats.total_repair_time_ns += self.cluster.engine.now - started
-        if span:
-            span.set(duration=self.cluster.engine.now - started, shards=shards)
-        span.close()
+        try:
+            for store in self.stores:
+                store.note_device_failures()
+            for store in self.stores:
+                try:
+                    rebuilt = yield from store.recover()
+                except Exception:
+                    self.stats.unrecoverable += 1
+                    continue
+                shards += int(rebuilt or 0)
+            self.stats.shards_rebuilt += shards
+            self.stats.repairs_completed += 1
+            self.stats.total_repair_time_ns += self.cluster.engine.now - started
+            if span:
+                span.set(duration=self.cluster.engine.now - started, shards=shards)
+        finally:
+            # close() is idempotent and a no-op on NOOP_SPAN, so the span
+            # is accounted for even when the repair process is killed.
+            span.close()

@@ -53,8 +53,12 @@ class Cluster:
         self.faults = FaultInjector(self.engine, self.streams, self.trace)
         self.faults.on(FaultKind.NODE_CRASH, self._on_node_crash)
         self.faults.on(FaultKind.NODE_RESTART, self._on_node_restart)
+        self.faults.on(FaultKind.NODE_REBOOT, self._on_node_reboot)
         self.faults.on(FaultKind.LINK_DOWN, self._on_link_down)
         self.faults.on(FaultKind.LINK_UP, self._on_link_up)
+        #: Optional :class:`repro.runtime.health.HealthMonitor`; when
+        #: attached it owns restart draining and health-aware filtering.
+        self.health_monitor = None
 
     # -- construction ------------------------------------------------------
 
@@ -168,6 +172,64 @@ class Cluster:
         )
         return self.flownet.transfer(route, nbytes)
 
+    def reliable_transfer(
+        self,
+        src_memory: str,
+        dst_memory: str,
+        nbytes: float,
+        *,
+        retries: int = 2,
+        backoff_ns: float = 10_000.0,
+        backoff_factor: float = 2.0,
+        timeout_ns: typing.Optional[float] = None,
+    ):
+        """Generator: :meth:`transfer` with timeout, retry-with-backoff,
+        and reroute semantics for faults landing mid-flight.
+
+        Each attempt recomputes the route (so repaired or alternate
+        paths are picked up automatically), races the transfer against
+        an optional deadline, and backs off exponentially between
+        attempts.  Recoverable errors are :class:`LinkDown`,
+        :class:`TransferTimeout`, and
+        :class:`~repro.hardware.interconnect.NoRouteError`; after
+        ``retries`` re-attempts the last error propagates to the caller.
+        Yields from a simulation process; returns the transfer duration
+        of the successful attempt.
+        """
+        from repro.hardware.interconnect import NoRouteError
+        from repro.sim.flows import LinkDown, TransferTimeout
+
+        attempt = 0
+        while True:
+            try:
+                done = self.transfer(src_memory, dst_memory, nbytes)
+                if timeout_ns is None:
+                    duration = yield done
+                else:
+                    timer = self.engine.timeout(timeout_ns)
+                    yield self.engine.any_of([done, timer])
+                    if not done.triggered:
+                        self.flownet.cancel(
+                            done, TransferTimeout(nbytes, timeout_ns)
+                        )
+                        raise TransferTimeout(nbytes, timeout_ns)
+                    if not done._ok:  # lost a same-timestamp race
+                        raise done._value
+                    duration = done._value
+                return duration
+            except (LinkDown, TransferTimeout, NoRouteError) as exc:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                self.obs.counter("transfer.retries").inc()
+                self.trace.emit(
+                    self.engine.now, "transfer", "retry",
+                    src=src_memory, dst=dst_memory, nbytes=nbytes,
+                    attempt=attempt, error=type(exc).__name__,
+                )
+                delay = min(backoff_ns * backoff_factor ** (attempt - 1), 1e7)
+                yield self.engine.timeout(delay)
+
     # -- fault handling ----------------------------------------------------
 
     def crash_node(self, node: str) -> None:
@@ -190,18 +252,35 @@ class Cluster:
         self.topology.invalidate_routes()
 
     def _on_node_restart(self, fault: FaultEvent) -> None:
+        """A restart *request*.  With a health monitor attached and the
+        node healthy, the monitor drains it gracefully and injects
+        ``NODE_REBOOT`` once idle; otherwise (no monitor, or the node
+        already crashed so there is nothing left to drain) the node
+        power-cycles immediately and synchronously."""
+        monitor = self.health_monitor
+        if monitor is not None and monitor.begin_drain(fault.target):
+            return
+        self.faults.inject_now(FaultKind.NODE_REBOOT, fault.target)
+
+    def _on_node_reboot(self, fault: FaultEvent) -> None:
+        """The power-cycle instant: devices come back, every attached
+        link bounces (killing in-flight flows), and volatile contents
+        are wiped by the :class:`~repro.memory.manager.MemoryManager`'s
+        own ``NODE_REBOOT`` handler."""
         members = self.nodes.get(fault.target, set())
         for name in members:
             if name in self.memory:
-                device = self.memory[name]
-                released = device.used if not device.spec.persistent else 0
-                device.recover()
-                if released:
-                    device.occupancy.record(self.engine.now, device.used)
+                self.memory[name].recover(preserve_contents=True)
             elif name in self.compute:
                 self.compute[name].recover()
+        for name in members:
+            if name in self.memory:
+                port = self.memory[name].port
+                self.flownet.fail_link(port)
+                self.flownet.restore_link(port)
         for u, v, data in self.topology.graph.edges(data=True):
             if u in members or v in members:
+                self.flownet.fail_link(data["link"])
                 self.flownet.restore_link(data["link"])
         self.topology.invalidate_routes()
 

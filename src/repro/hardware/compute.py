@@ -70,6 +70,18 @@ class ComputeDevice:
         self._slots.release(request)
         self.busy_slots.adjust(self.engine.now, -1)
 
+    def cancel_slot(self, request: Request) -> None:
+        """Withdraw a slot request, granted or still queued.
+
+        Interrupted waiters cannot tell whether their request was ever
+        granted; this resolves either case without skewing the
+        busy-slots metric (which only counts granted requests).
+        """
+        if request.triggered:
+            self.release_slot(request)
+        else:
+            self._slots.release(request)
+
     def execute(self, op: OpClass, ops: float):
         """Generator: occupy one slot for the compute time of ``ops``.
 

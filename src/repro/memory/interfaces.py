@@ -130,9 +130,11 @@ def access_plan(
             latency = max(round_trip, n_ops * round_trip / SYNC_MLP)
         else:
             # Explicit async: queue_depth in flight, but every request
-            # pays its software issue/completion cost.
+            # pays its software issue/completion cost.  The pipeline-fill
+            # round trip overlaps with steady-state issue, so the total
+            # is bounded below by one round trip, not prefixed by it.
             per_op = max(ASYNC_OP_OVERHEAD_NS, round_trip / queue_depth)
-            latency = round_trip + n_ops * per_op
+            latency = max(round_trip, n_ops * per_op)
     else:
         # Prefetchable stream: pay the round trip once; the device port
         # and fabric links bound the streaming part via wire_bytes.

@@ -42,6 +42,7 @@ class MemoryManager:
         self.freed_regions = 0
         self.lost_regions = 0
         cluster.faults.on(FaultKind.NODE_CRASH, self._on_node_crash)
+        cluster.faults.on(FaultKind.NODE_REBOOT, self._on_node_crash)
         cluster.faults.on(FaultKind.POWER_OUTAGE, self._on_power_outage)
         cluster.faults.on(FaultKind.MEMORY_CORRUPTION, self._on_corruption)
 
@@ -196,6 +197,9 @@ class MemoryManager:
     # -- failure handling --------------------------------------------------
 
     def _on_node_crash(self, fault: FaultEvent) -> None:
+        # Handles NODE_CRASH and NODE_REBOOT alike: both lose the
+        # volatile contents of every member device (a reboot of a node
+        # that already crashed finds them marked lost and is a no-op).
         members = self.cluster.nodes.get(fault.target, set())
         for region in list(self.regions.values()):
             if region.device.name in members and not region.device.spec.persistent:

@@ -14,6 +14,15 @@ Data moves between tasks by **ownership transfer** whenever the
 downstream compute device can address the region, and by physical copy
 only when it cannot (:mod:`repro.runtime.transfer` — Figure 4).
 :class:`~repro.runtime.rts.RuntimeSystem` is the public facade.
+
+Failures in flight are the RTS's problem too (§3, Challenge 8(3)):
+:mod:`repro.runtime.health` tracks per-device health from the fault
+injector, feeds it to placement and scheduling, and drives graceful
+drains; :class:`~repro.runtime.rts.RuntimeSystem` retries individual
+tasks (with re-placement and degraded reads from
+:class:`~repro.ft.backups.OutputBackupStore`) before
+:class:`~repro.runtime.resilience.ResilientRuntime` escalates to a
+checkpoint-pruned job re-execution.
 """
 
 from repro.runtime.costmodel import CostModel
@@ -31,6 +40,13 @@ from repro.runtime.scheduler import (
     RoundRobinScheduler,
     Scheduler,
     SchedulingError,
+)
+from repro.runtime.health import (
+    DeviceDown,
+    HealthMonitor,
+    HealthState,
+    HealthStats,
+    RecoveryPolicy,
 )
 from repro.runtime.transfer import HandoverManager, HandoverStats
 from repro.runtime.rts import JobStats, RuntimeSystem, TaskContext
@@ -50,9 +66,13 @@ __all__ = [
     "CalibratedCostModel",
     "CostModel",
     "DeclarativePlacement",
+    "DeviceDown",
     "EncryptingPlacement",
     "HandoverManager",
     "HandoverStats",
+    "HealthMonitor",
+    "HealthState",
+    "HealthStats",
     "HeftScheduler",
     "JobAbandoned",
     "JobPlan",
@@ -65,6 +85,7 @@ __all__ = [
     "RackDriver",
     "RackStats",
     "RandomScheduler",
+    "RecoveryPolicy",
     "ResilienceStats",
     "ResilientRuntime",
     "RoundRobinScheduler",

@@ -24,6 +24,7 @@ class AdmittedJob:
     arrived_at: float
     admitted_at: float = 0.0
     stats: typing.Optional[JobStats] = None
+    shed: bool = False  # rejected by the surviving-capacity watermark
 
     @property
     def queue_wait(self) -> float:
@@ -43,6 +44,10 @@ class RackStats:
     @property
     def completed(self) -> int:
         return sum(1 for j in self.jobs if j.completed)
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for j in self.jobs if j.shed)
 
     @property
     def mean_queue_wait(self) -> float:
@@ -74,15 +79,23 @@ class RackDriver:
         max_concurrent: int = 8,
         memory_headroom: float = 0.05,
         sample_interval_ns: float = 100_000.0,
+        shed_below_capacity_fraction: float = 0.0,
     ):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         if not 0.0 <= memory_headroom < 1.0:
             raise ValueError("memory_headroom must be in [0, 1)")
+        if not 0.0 <= shed_below_capacity_fraction <= 1.0:
+            raise ValueError("shed_below_capacity_fraction must be in [0, 1]")
         self.rts = rts
         self.max_concurrent = max_concurrent
         self.memory_headroom = memory_headroom
         self.sample_interval_ns = sample_interval_ns
+        #: Reject (shed) queued jobs while the *surviving* memory
+        #: capacity — devices that are up and usable per the health
+        #: monitor — is below this fraction of the rack's total.  0
+        #: disables shedding (the pre-recovery behaviour).
+        self.shed_below_capacity_fraction = shed_below_capacity_fraction
         self._running = 0
         self._queue: typing.List[typing.Tuple[AdmittedJob, typing.Callable]] = []
         self.stats = RackStats(memory_utilization=MetricRecorder())
@@ -101,9 +114,42 @@ class RackDriver:
         used = sum(d.used for d in self.rts.cluster.memory.values())
         return used <= capacity * (1.0 - self.memory_headroom)
 
+    def _surviving_capacity_fraction(self) -> float:
+        """Fraction of total memory capacity on usable devices."""
+        cluster = self.rts.cluster
+        monitor = getattr(cluster, "health_monitor", None)
+        total = 0.0
+        alive = 0.0
+        for device in cluster.memory.values():
+            total += device.capacity
+            if device.failed:
+                continue
+            if monitor is not None and not monitor.can_use(device.name):
+                continue
+            alive += device.capacity
+        return alive / total if total else 1.0
+
+    def _shed_queue(self) -> None:
+        """Reject every queued job (the rack cannot serve them safely)."""
+        engine = self.rts.cluster.engine
+        while self._queue:
+            admitted, _factory = self._queue.pop(0)
+            admitted.shed = True
+            self._queued_tl.adjust(engine.now, -1)
+            self._obs.counter("rack.shed").inc()
+            self._obs.event("admission", "shed", job=admitted.name)
+
     def _pump(self) -> None:
         """Admit queued jobs while the gate is open (arrival order)."""
         engine = self.rts.cluster.engine
+        if (
+            self.shed_below_capacity_fraction > 0.0
+            and self._queue
+            and self._surviving_capacity_fraction()
+            < self.shed_below_capacity_fraction
+        ):
+            self._shed_queue()
+            return
         while self._queue and self._gate_open():
             admitted, factory = self._queue.pop(0)
             admitted.admitted_at = engine.now

@@ -1,0 +1,349 @@
+"""Device health tracking and in-flight recovery policy.
+
+Paper §3, Challenge 8: the RTS must survive network errors, corrupted
+memory, and planned/unplanned node faults *without* forcing
+applications to stop and restart.  This module is the control plane of
+that promise:
+
+* :class:`HealthMonitor` subscribes to the cluster's
+  :class:`~repro.sim.faults.FaultInjector` and tracks per-device health
+  (:class:`HealthState`: UP / SUSPECT / DOWN / DRAINING) with a
+  configurable *detection delay* — the simulated gap between a fault
+  occurring and the control plane acting on it.  Placement and
+  scheduling consult it to exclude unhealthy devices, and repeat
+  offenders are blacklisted.
+* On confirmed device death the monitor interrupts the task processes
+  registered against that device (:meth:`HealthMonitor.watch`), which
+  is what lets :class:`~repro.runtime.rts._JobExecution` retry just the
+  affected tasks instead of failing the job.
+* A planned ``NODE_RESTART`` becomes a *graceful drain*: the node is
+  marked DRAINING (no new placements or schedules), running tasks
+  finish, live volatile bytes drain away, and only then does the node
+  power-cycle (``NODE_REBOOT``).
+* :class:`RecoveryPolicy` is the knob set for the data plane: how many
+  task attempts, what backoff, and which exception types count as
+  *recoverable* infrastructure failures (vs. application bugs, which
+  must keep failing the job).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.sim.events import Interrupt, Process
+from repro.sim.faults import FaultEvent, FaultKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.cluster import Cluster
+
+
+class HealthState(enum.Enum):
+    """Control-plane view of one device."""
+
+    UP = "up"
+    SUSPECT = "suspect"  # fault reported, detection delay running
+    DOWN = "down"  # confirmed dead; tasks interrupted
+    DRAINING = "draining"  # planned restart; finishing in-flight work
+
+
+class DeviceDown(Exception):
+    """Delivered (as an :class:`~repro.sim.events.Interrupt` cause) to
+    task processes running on a device the monitor confirmed dead."""
+
+    def __init__(self, device: str):
+        super().__init__(f"device {device} is down")
+        self.device = device
+
+
+@dataclasses.dataclass
+class HealthStats:
+    transitions: int = 0
+    crashes_detected: int = 0
+    tasks_interrupted: int = 0
+    drains_started: int = 0
+    drains_completed: int = 0
+    drain_time_ns: float = 0.0
+    blacklisted: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPolicy:
+    """Task-level recovery knobs consumed by the runtime."""
+
+    #: Total tries per task (first run included).
+    max_task_attempts: int = 3
+    backoff_base_ns: float = 10_000.0
+    backoff_factor: float = 2.0
+    max_backoff_ns: float = 1e6
+    #: Reroute/retry budget for each data transfer.
+    transfer_retries: int = 2
+    #: Optional per-transfer deadline before cancel + retry.
+    transfer_timeout_ns: typing.Optional[float] = None
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Exponential backoff before re-running a failed attempt."""
+        delay = self.backoff_base_ns * self.backoff_factor ** max(0, attempt - 1)
+        return min(delay, self.max_backoff_ns)
+
+    def recoverable(self, exc: BaseException) -> bool:
+        """Infrastructure failures are retried; application errors are not."""
+        from repro.hardware.interconnect import NoRouteError
+        from repro.memory.manager import PlacementError
+        from repro.memory.region import RegionLostError
+        from repro.sim.flows import LinkDown, TransferTimeout
+
+        if isinstance(exc, Interrupt):
+            return isinstance(exc.cause, DeviceDown)
+        return isinstance(
+            exc,
+            (DeviceDown, LinkDown, TransferTimeout, RegionLostError,
+             PlacementError, NoRouteError),
+        )
+
+
+class HealthMonitor:
+    """Tracks device/link health for one cluster and owns drains.
+
+    Attaching a monitor sets ``cluster.health_monitor``, which switches
+    placement, scheduling, and ``NODE_RESTART`` handling to
+    health-aware behaviour.  Detection is not instantaneous: a crash
+    marks members SUSPECT immediately (the control plane stops using
+    them) but running tasks are only interrupted once the failure is
+    *confirmed* after ``detection_delay_ns``.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        detection_delay_ns: float = 10_000.0,
+        blacklist_after: int = 3,
+        drain_poll_ns: float = 10_000.0,
+        max_drain_ns: typing.Optional[float] = None,
+    ):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.obs = cluster.obs
+        self.detection_delay_ns = float(detection_delay_ns)
+        self.blacklist_after = int(blacklist_after)
+        self.drain_poll_ns = float(drain_poll_ns)
+        self.max_drain_ns = max_drain_ns
+        self.stats = HealthStats()
+        self._state: typing.Dict[str, HealthState] = {
+            name: HealthState.UP
+            for name in list(cluster.memory) + list(cluster.compute)
+        }
+        self._since: typing.Dict[str, float] = {}
+        self._failures: typing.Dict[str, int] = {}
+        self._blacklist: typing.Set[str] = set()
+        self._links_down: typing.Set[str] = set()
+        #: device -> task processes to interrupt on confirmed death
+        self._watched: typing.Dict[str, typing.Set[Process]] = {}
+        self._callbacks: typing.List[typing.Callable[[], None]] = []
+        cluster.health_monitor = self
+        cluster.faults.on(FaultKind.NODE_CRASH, self._on_node_crash)
+        cluster.faults.on(FaultKind.NODE_REBOOT, self._on_node_reboot)
+        cluster.faults.on(FaultKind.LINK_DOWN, self._on_link_down)
+        cluster.faults.on(FaultKind.LINK_UP, self._on_link_up)
+
+    # -- queries (placement / scheduling consult these) -------------------
+
+    def state(self, device_name: str) -> HealthState:
+        """Current health state of one device (unknown names are UP)."""
+        return self._state.get(device_name, HealthState.UP)
+
+    def can_use(self, device_name: str) -> bool:
+        """May new work (placements, tasks) target this device?"""
+        return (
+            self._state.get(device_name, HealthState.UP) is HealthState.UP
+            and device_name not in self._blacklist
+        )
+
+    def is_blacklisted(self, device_name: str) -> bool:
+        """Whether repeated failures have excluded this device for good."""
+        return device_name in self._blacklist
+
+    @property
+    def blacklist(self) -> typing.FrozenSet[str]:
+        return frozenset(self._blacklist)
+
+    def link_up(self, link_name: str) -> bool:
+        """Whether a fabric link is currently believed healthy."""
+        return link_name not in self._links_down
+
+    def up_devices(self) -> typing.List[str]:
+        """Names of all devices new work may currently target."""
+        return [n for n in self._state if self.can_use(n)]
+
+    def on_change(self, callback: typing.Callable[[], None]) -> None:
+        """Run ``callback`` after every health transition (e.g. cost
+        model invalidation)."""
+        self._callbacks.append(callback)
+
+    # -- task watching ------------------------------------------------------
+
+    def watch(self, device_name: str, process: Process) -> None:
+        """Interrupt ``process`` with :class:`DeviceDown` if the device
+        is later confirmed dead (pairs with :meth:`unwatch`)."""
+        self._watched.setdefault(device_name, set()).add(process)
+
+    def unwatch(self, device_name: str, process: Process) -> None:
+        """Stop watching ``process`` (its attempt on the device ended)."""
+        self._watched.get(device_name, set()).discard(process)
+
+    # -- transitions -------------------------------------------------------
+
+    def _set_state(self, name: str, new: HealthState) -> None:
+        if name not in self._state or self._state[name] is new:
+            return
+        self._state[name] = new
+        self._since[name] = self.engine.now
+        self.stats.transitions += 1
+        self.obs.counter(f"health.to_{new.value}").inc()
+        self.obs.event("health", "transition", device=name, state=new.value)
+        self.obs.timeline("health.up_devices").record(
+            self.engine.now, len(self.up_devices())
+        )
+        for callback in self._callbacks:
+            callback()
+
+    def _members(self, node: str) -> typing.List[str]:
+        return [
+            name for name in self.cluster.nodes.get(node, set())
+            if name in self._state  # skips switch vertices
+        ]
+
+    def _device_failed(self, name: str) -> bool:
+        return self.cluster.device(name).failed
+
+    # -- fault handlers ----------------------------------------------------
+
+    def _on_node_crash(self, fault: FaultEvent) -> None:
+        members = self._members(fault.target)
+        if not members:
+            return
+        self.stats.crashes_detected += 1
+        for name in members:
+            self._failures[name] = self._failures.get(name, 0) + 1
+            if (
+                self._failures[name] >= self.blacklist_after
+                and name not in self._blacklist
+            ):
+                self._blacklist.add(name)
+                self.stats.blacklisted += 1
+                self.obs.event("health", "blacklist", device=name,
+                               failures=self._failures[name])
+            self._set_state(name, HealthState.SUSPECT)
+        if self.detection_delay_ns <= 0:
+            self._confirm(members)
+        else:
+            self.engine.process(
+                self._confirm_after_delay(members),
+                name=f"health:{fault.target}#detect",
+            )
+
+    def _confirm_after_delay(self, members: typing.List[str]):
+        yield self.engine.timeout(self.detection_delay_ns)
+        self._confirm(members)
+
+    def _confirm(self, members: typing.List[str]) -> None:
+        for name in members:
+            if not self._device_failed(name):
+                continue  # repaired inside the detection window
+            self._set_state(name, HealthState.DOWN)
+            for process in list(self._watched.get(name, ())):
+                if process.is_alive:
+                    process.interrupt(DeviceDown(name))
+                    self.stats.tasks_interrupted += 1
+            self._watched.pop(name, None)
+
+    def _on_node_reboot(self, fault: FaultEvent) -> None:
+        # Runs after the cluster recovered the devices: back in service
+        # (a blacklisted device stays excluded via can_use).
+        for name in self._members(fault.target):
+            if not self._device_failed(name):
+                self._set_state(name, HealthState.UP)
+
+    def _on_link_down(self, fault: FaultEvent) -> None:
+        self._links_down.add(fault.target)
+        self.obs.event("health", "link_down", link=fault.target)
+        for callback in self._callbacks:
+            callback()
+
+    def _on_link_up(self, fault: FaultEvent) -> None:
+        self._links_down.discard(fault.target)
+        self.obs.event("health", "link_up", link=fault.target)
+        for callback in self._callbacks:
+            callback()
+
+    # -- graceful drain ----------------------------------------------------
+
+    def begin_drain(self, node: str) -> bool:
+        """Start draining a healthy node ahead of a planned restart.
+
+        Returns ``False`` when there is nothing to drain (unknown node,
+        or a member already failed — that is the *repair* path, handled
+        by an immediate reboot).  Otherwise marks every member DRAINING
+        and spawns the drain process, which injects ``NODE_REBOOT`` once
+        the node is idle.
+        """
+        members = self._members(node)
+        if not members or any(self._device_failed(m) for m in members):
+            return False
+        self.stats.drains_started += 1
+        for name in members:
+            self._set_state(name, HealthState.DRAINING)
+        self.engine.process(self._drain(node, members), name=f"health:{node}#drain")
+        return True
+
+    def _drain(self, node: str, members: typing.List[str]):
+        span = self.obs.begin_span("health", "drain", node=node)
+        started = self.engine.now
+        forced = False
+        while True:
+            if any(self._device_failed(m) for m in members):
+                # Crashed mid-drain; the crash path owns recovery now.
+                if span:
+                    span.set(aborted=True)
+                span.close()
+                return
+            if self._node_idle(members):
+                break
+            if (
+                self.max_drain_ns is not None
+                and self.engine.now - started >= self.max_drain_ns
+            ):
+                forced = True
+                break
+            yield self.engine.timeout(self.drain_poll_ns)
+        duration = self.engine.now - started
+        self.stats.drains_completed += 1
+        self.stats.drain_time_ns += duration
+        self.obs.counter("health.drains").inc()
+        if span:
+            span.set(duration=duration, forced=forced)
+        span.close()
+        self.cluster.faults.inject_now(FaultKind.NODE_REBOOT, node)
+
+    def _node_idle(self, members: typing.List[str]) -> bool:
+        for name in members:
+            if name in self.cluster.compute:
+                if self.cluster.compute[name].slots_in_use > 0:
+                    return False
+            elif name in self.cluster.memory:
+                device = self.cluster.memory[name]
+                # Volatile bytes still live on the node would be lost by
+                # the reboot; wait for their owners to let go.
+                if not device.spec.persistent and device.used > 0:
+                    return False
+        return True
+
+
+__all__ = [
+    "DeviceDown",
+    "HealthMonitor",
+    "HealthState",
+    "HealthStats",
+    "RecoveryPolicy",
+]

@@ -99,7 +99,18 @@ class PlacementPolicy:
         return self.manager.allocators[device.name].largest_free_extent >= size
 
     def _alive_devices(self) -> typing.List[MemoryDevice]:
-        return self.cluster.memory_devices()
+        """Live memory devices, minus any a health monitor rules out.
+
+        If health filtering would leave nothing (e.g. the whole cluster
+        is draining), fall back to the unfiltered live set so placement
+        degrades to the pre-health behaviour instead of deadlocking.
+        """
+        devices = self.cluster.memory_devices()
+        monitor = getattr(self.cluster, "health_monitor", None)
+        if monitor is not None:
+            healthy = [d for d in devices if monitor.can_use(d.name)]
+            return healthy or devices
+        return devices
 
 
 class DeclarativePlacement(PlacementPolicy):

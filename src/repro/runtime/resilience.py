@@ -72,10 +72,12 @@ class ResilientRuntime:
         """
         checkpoints: typing.Dict[str, int] = {}  # task name -> output size
         last_error: typing.Optional[BaseException] = None
+        job_name: typing.Optional[str] = None
 
         for _attempt in range(self.max_attempts):
             self.stats.attempts += 1
             job = job_factory()
+            job_name = job.name
             if checkpoints:
                 job, skipped = prune_with_checkpoints(job, checkpoints)
                 self.stats.tasks_skipped_by_checkpoints += skipped
@@ -96,7 +98,7 @@ class ResilientRuntime:
                 continue
             return stats
 
-        raise JobAbandoned(job_factory().name, self.stats.attempts, last_error)
+        raise JobAbandoned(job_name, self.stats.attempts, last_error)
 
     @staticmethod
     def _harvest_checkpoints(job: Job, execution) -> typing.Dict[str, int]:
@@ -116,8 +118,7 @@ class ResilientRuntime:
                 # finished_at is set on both success and failure; a task
                 # that persisted counts only if it reached its epilogue,
                 # which _run_task records by triggering its done event.
-                done_event = execution._task_done[name]
-                if done_event.triggered and done_event._ok:
+                if execution.task_succeeded(name):
                     harvested[name] = task.work.output.size
         return harvested
 

@@ -28,7 +28,7 @@ from repro.hardware.spec import OpClass
 from repro.memory.interfaces import AccessMode, AccessPattern, Accessor
 from repro.memory.manager import MemoryManager
 from repro.memory.properties import MemoryProperties
-from repro.memory.region import MemoryRegion, RegionHandle
+from repro.memory.region import MemoryRegion, RegionHandle, RegionLostError
 from repro.memory.regions import RegionType, region_properties
 from repro.runtime.costmodel import CostModel
 from repro.runtime.placement import (
@@ -56,6 +56,9 @@ class TaskStats:
     ready_at: typing.Optional[float] = None
     started_at: typing.Optional[float] = None
     finished_at: typing.Optional[float] = None
+    #: How many times the task was (re)started; >1 means in-flight
+    #: recovery retried it after an infrastructure failure.
+    attempts: int = 0
 
     @property
     def started(self) -> bool:
@@ -87,6 +90,10 @@ class JobStats:
     copy_handover: int = 0
     bytes_copied: float = 0.0
     regions_allocated: int = 0
+    #: In-flight recovery activity (nonzero only with a RecoveryPolicy).
+    task_retries: int = 0
+    replacements: int = 0
+    degraded_reads: int = 0
     error: typing.Optional[BaseException] = None
 
     @property
@@ -392,6 +399,8 @@ class _JobExecution:
             name: [] for name in job.tasks
         }
         self._expected_inputs: typing.Dict[str, int] = {}
+        #: task -> devices it already failed on (avoided when re-placing)
+        self._failed_on: typing.Dict[str, typing.Set[str]] = {}
         #: global scratch slots: name -> (event, region)
         self._slots: typing.Dict[str, typing.List] = {
             slot: [engine.event(), None] for slot in job.global_scratch_slots()
@@ -436,7 +445,14 @@ class _JobExecution:
             raise TaskFailure(f"slot {slot!r} was not declared by any task")
         event, existing = self._slots[slot]
         if existing is not None:
-            raise TaskFailure(f"slot {slot!r} already published")
+            if existing.alive:
+                if slot in ctx.task.work.scratch_puts:
+                    # A retried producer re-publishing its own slot is
+                    # idempotent; a second *distinct* publisher is a bug.
+                    return existing.handle(self.job_owner)
+                raise TaskFailure(f"slot {slot!r} already published")
+            # The published region was lost to a fault: publish afresh.
+            self._slots[slot][1] = None
         if size is None:
             size = self.job.global_scratch_slots()[slot]
         region = self.rts.placement.place(PlacementRequest(
@@ -449,7 +465,8 @@ class _JobExecution:
             usage=ctx.task.work.scratch_puts.get(slot),
         ))
         self._slots[slot][1] = region
-        event.succeed(region)
+        if not event.triggered:
+            event.succeed(region)
         return region.handle(self.job_owner)
 
     def consume_slot(self, ctx: TaskContext, slot: str):
@@ -457,7 +474,10 @@ class _JobExecution:
             raise TaskFailure(f"unknown global scratch slot {slot!r}")
         event, region = self._slots[slot]
         if region is None:
-            region = yield event
+            yield event
+            # Re-read: the slot may have been re-published since the
+            # event first fired (fault recovery replaces lost regions).
+            region = self._slots[slot][1]
         return region.handle(self.job_owner)
 
     # -- task execution ------------------------------------------------------
@@ -467,7 +487,7 @@ class _JobExecution:
         obs = self.rts.cluster.obs
         stats = TaskStats(name=task.name, device=self.assignment[task.name])
         self.stats.tasks[task.name] = stats
-        task_span = NOOP_SPAN
+        policy = self.rts.recovery
         try:
             # 1. Wait for every upstream task (data and control edges).
             upstream_events = [self._task_done[u.name] for u in task.upstream()]
@@ -475,44 +495,36 @@ class _JobExecution:
                 yield engine.all_of(upstream_events)
             stats.ready_at = engine.now
 
-            # 2. Occupy an execution slot on the assigned device.
-            device = self.rts.cluster.compute[self.assignment[task.name]]
-            slot_request = device.acquire_slot()
-            yield slot_request
-            stats.started_at = engine.now
-            task_span = obs.begin_span(
-                "task", "run", parent=self.span,
-                task=task.qualified_name, device=device.name,
-            )
-            occupancy = obs.timeline(f"device.occupancy/{device.name}")
-            occupancy.adjust(engine.now, +1)
-            ctx = TaskContext(self, task, device.name)
-            ctx.span = task_span
-            ctx.inputs = list(self._inboxes[task.name])
-            try:
-                behaviour = task.fn if task.fn is not None else _default_behaviour
-                yield from behaviour(ctx)
-                device.tasks_completed += 1
-            finally:
-                device.busy_time += engine.now - stats.started_at
-                device.release_slot(slot_request)
-                occupancy.adjust(engine.now, -1)
-            stats.finished_at = engine.now
-            if task_span:
-                task_span.set(queue_delay=stats.queue_delay)
-            task_span.close()
-
-            # 3. Epilogue: hand outputs over, drop owned regions.
-            yield from self._epilogue(task, ctx)
+            # 2. Run attempts.  Recoverable infrastructure failures are
+            # retried with backoff, re-placement onto surviving devices,
+            # and degraded reads of lost inputs from backups; anything
+            # else (or an exhausted budget) falls through to the job-level
+            # failure path below.  The repair itself runs inside the
+            # loop: a fault landing mid-restore burns an attempt and is
+            # retried too (with the dead device replaced by then).
+            repair_cause: typing.Optional[BaseException] = None
+            while True:
+                stats.attempts += 1
+                try:
+                    if repair_cause is not None:
+                        yield from self._prepare_retry(task, stats, repair_cause)
+                        repair_cause = None
+                    yield from self._attempt(task, stats)
+                    break
+                except BaseException as exc:  # noqa: BLE001
+                    if (
+                        policy is None
+                        or stats.attempts >= policy.max_task_attempts
+                        or not policy.recoverable(exc)
+                    ):
+                        raise
+                    repair_cause = exc
             self._task_done[task.name].succeed(stats)
         except BaseException as exc:  # noqa: BLE001 - report any task failure
             # Only tasks that actually ran get a finish time; a task whose
             # upstream failed never started, and its timestamps stay None.
             if stats.started_at is not None:
                 stats.finished_at = engine.now
-            if task_span:
-                task_span.set(error=repr(exc))
-            task_span.close()
             obs.counter("tasks.failed").inc()
             if not self._task_done[task.name].triggered:
                 self._task_done[task.name].fail(TaskFailure(
@@ -539,18 +551,198 @@ class _JobExecution:
                 self.done.defuse()
             return
 
-    def _epilogue(self, task: Task, ctx: TaskContext):
-        # Drop scratch and any ad-hoc task-owned regions.
-        if ctx._scratch is not None:
-            self.rts.memory.drop_owner(ctx._scratch, ctx.owner)
-        for region in ctx._extra_regions:
-            if region.alive and region.ownership.is_owner(ctx.owner):
-                self.rts.memory.drop_owner(region, ctx.owner)
-        # Drop our claim on inputs (frees them once all consumers did).
-        for handle in ctx.inputs:
-            if handle.region.alive and handle.region.ownership.is_owner(ctx.owner):
-                self.rts.memory.drop_owner(handle.region, ctx.owner)
+    def _attempt(self, task: Task, stats: TaskStats):
+        """One try at running ``task`` end-to-end (slot, behaviour,
+        epilogue).  Raises on failure after releasing everything the
+        attempt allocated, so a retry starts from a clean slate."""
+        engine = self.rts.cluster.engine
+        obs = self.rts.cluster.obs
+        monitor = self.rts.cluster.health_monitor
+        device = self.rts.cluster.compute[self.assignment[task.name]]
+        stats.device = device.name
+        process = engine.active_process
+        watched = monitor is not None and process is not None
+        if watched:
+            monitor.watch(device.name, process)
+        slot_request = device.acquire_slot()
+        try:
+            yield slot_request
+        except BaseException:
+            if watched:
+                monitor.unwatch(device.name, process)
+            device.cancel_slot(slot_request)
+            raise
+        stats.started_at = engine.now
+        task_span = obs.begin_span(
+            "task", "run", parent=self.span,
+            task=task.qualified_name, device=device.name,
+            attempt=stats.attempts,
+        )
+        occupancy = obs.timeline(f"device.occupancy/{device.name}")
+        occupancy.adjust(engine.now, +1)
+        ctx = TaskContext(self, task, device.name)
+        ctx.span = task_span
+        ctx.inputs = list(self._inboxes[task.name])
+        try:
+            behaviour = task.fn if task.fn is not None else _default_behaviour
+            yield from behaviour(ctx)
+            device.tasks_completed += 1
+        except BaseException as exc:  # noqa: BLE001
+            if task_span:
+                task_span.set(error=repr(exc))
+            task_span.close()
+            self._release_attempt(ctx)
+            raise
+        finally:
+            if watched:
+                monitor.unwatch(device.name, process)
+            device.busy_time += engine.now - stats.started_at
+            device.release_slot(slot_request)
+            occupancy.adjust(engine.now, -1)
+        stats.finished_at = engine.now
+        if task_span:
+            task_span.set(queue_delay=stats.queue_delay)
+        task_span.close()
 
+        # Epilogue: hand outputs over, drop owned regions.
+        try:
+            yield from self._epilogue(task, ctx)
+        except BaseException:
+            self._release_attempt(ctx)
+            raise
+
+    def _release_attempt(self, ctx: TaskContext) -> None:
+        """Free regions a failed attempt allocated (scratch, output,
+        ad-hoc requests).  Inputs are kept: the next attempt re-reads
+        them (or repairs them from backups if they were lost)."""
+        regions = [ctx._scratch, ctx._output] + list(ctx._extra_regions)
+        for region in regions:
+            if (
+                region is not None
+                and region.alive
+                and region.ownership.is_owner(ctx.owner)
+            ):
+                self.rts.memory.drop_owner(region, ctx.owner)
+
+    def _prepare_retry(self, task: Task, stats: TaskStats, exc: BaseException):
+        """Between attempts: back off, move off bad devices, repair
+        lost inputs.  Raises (ending recovery) when the job's global
+        state is gone or a lost input has no backup."""
+        rts = self.rts
+        engine = rts.cluster.engine
+        rts.cluster.obs.counter("recovery.task_retries").inc()
+        self.stats.task_retries += 1
+        rts.cluster.trace.emit(
+            engine.now, "recovery", "task_retry",
+            task=task.qualified_name, attempt=stats.attempts,
+            device=self.assignment[task.name], error=type(exc).__name__,
+        )
+        if self._device_implicated(task, exc):
+            self._failed_on.setdefault(task.name, set()).add(
+                self.assignment[task.name]
+            )
+        yield engine.timeout(rts.recovery.backoff_ns(stats.attempts))
+        if self.global_state is not None and not self.global_state.alive:
+            raise TaskFailure(
+                f"job {self.job.name!r} lost its Global State region"
+            ) from exc
+        self._replace(task)
+        # A dead device poisons this task's successors too: the output is
+        # placed for *their* devices and the handover targets them.  They
+        # cannot have started yet (they wait on this task's done-event),
+        # so they are safe to move off dead devices here.
+        for downstream in task.downstream():
+            self._replace(downstream)
+        yield from self._repair_inputs(task)
+
+    def _device_implicated(self, task: Task, exc: BaseException) -> bool:
+        from repro.runtime.health import DeviceDown
+        from repro.sim.events import Interrupt
+
+        if isinstance(exc, DeviceDown):
+            return True
+        if isinstance(exc, Interrupt) and isinstance(exc.cause, DeviceDown):
+            return True
+        return self.rts.cluster.compute[self.assignment[task.name]].failed
+
+    def _replace(self, task: Task) -> None:
+        """Move the task off a dead/unhealthy/blacklisted device onto the
+        cheapest surviving candidate (no-op while the current one is fine)."""
+        rts = self.rts
+        cluster = rts.cluster
+        monitor = cluster.health_monitor
+        current = self.assignment[task.name]
+        avoid = self._failed_on.get(task.name, set())
+        device = cluster.compute.get(current)
+        if (
+            device is not None
+            and not device.failed
+            and current not in avoid
+            and (monitor is None or monitor.can_use(current))
+        ):
+            return
+        candidates = Scheduler.candidates(task, cluster)
+        preferred = [d for d in candidates if d.name not in avoid] or candidates
+
+        def estimate(d):
+            try:
+                return HeftScheduler._exec_estimate(task, d.name, rts.costmodel)
+            except Exception:  # noqa: BLE001 - unreachable memory etc.
+                return float("inf")
+
+        best = min(preferred, key=estimate)
+        if best.name == current:
+            return
+        self.assignment[task.name] = best.name
+        self.stats.assignment[task.name] = best.name
+        cluster.obs.counter("recovery.replacements").inc()
+        self.stats.replacements += 1
+        cluster.trace.emit(
+            cluster.engine.now, "recovery", "replace",
+            task=task.qualified_name, src=current, dst=best.name,
+        )
+
+    def _repair_inputs(self, task: Task):
+        """Re-materialize lost input regions from the backup store
+        (degraded read); raises :class:`TaskFailure` when impossible."""
+        inbox = self._inboxes[task.name]
+        backups = self.rts.backups
+        for index, handle in enumerate(list(inbox)):
+            region = handle.region
+            if region.alive:
+                continue
+            owner = task.qualified_name
+            restored = None
+            if backups is not None:
+                restored = yield from backups.restore(
+                    region, owner=owner,
+                    observers=(self.assignment[task.name],),
+                    placement=self.rts.placement,
+                )
+            if restored is None:
+                raise TaskFailure(
+                    f"task {task.qualified_name} lost input {region.name!r} "
+                    "and no backup copy is available"
+                )
+            inbox[index] = restored.handle(owner)
+            self.rts.cluster.obs.counter("recovery.degraded_reads").inc()
+            self.stats.degraded_reads += 1
+            self.rts.cluster.trace.emit(
+                self.rts.cluster.engine.now, "recovery", "degraded_read",
+                task=task.qualified_name, region=region.name,
+                device=restored.device.name,
+            )
+
+    def task_succeeded(self, name: str) -> bool:
+        """Whether the named task completed successfully (public API for
+        resilience layers harvesting checkpoints)."""
+        event = self._task_done.get(name)
+        return bool(event is not None and event.triggered and event.ok)
+
+    def _epilogue(self, task: Task, ctx: TaskContext):
+        # Hand the output over first: if the handover fails, the inputs
+        # below are still intact and a retried attempt can re-run the
+        # task (dropping them first would leave nothing to retry from).
         output = ctx._output
         downstream = task.downstream()
         if output is not None and downstream:
@@ -567,12 +759,38 @@ class _JobExecution:
                 delivered = yield from self.rts.handover.share_out(
                     output, ctx.owner, receivers
                 )
+            if self.rts.backups is not None:
+                unique = {id(r): r for r in delivered.values()}
+                yield from self.rts.backups.backup_delivery(
+                    list(unique.values()), self.job_owner
+                )
+            # A fault may have wiped a delivered region while the
+            # epilogue was still in flight.  Fail THIS attempt (the
+            # producer can simply re-run and re-deliver) instead of
+            # handing downstream a dead input it cannot recover alone.
+            dead = [r for r in delivered.values() if not r.alive]
+            if dead:
+                raise RegionLostError(
+                    f"delivery of {output.name!r} was lost before "
+                    f"{task.qualified_name} finished handing it over"
+                )
             for d in downstream:
                 region = delivered[d.qualified_name]
                 self._inboxes[d.name].append(region.handle(d.qualified_name))
         elif output is not None:
             # Sink output: belongs to the job until the job completes.
             self.rts.memory.transfer_ownership(output, ctx.owner, self.job_owner)
+
+        # Drop scratch and any ad-hoc task-owned regions.
+        if ctx._scratch is not None and ctx._scratch.alive:
+            self.rts.memory.drop_owner(ctx._scratch, ctx.owner)
+        for region in ctx._extra_regions:
+            if region.alive and region.ownership.is_owner(ctx.owner):
+                self.rts.memory.drop_owner(region, ctx.owner)
+        # Drop our claim on inputs (frees them once all consumers did).
+        for handle in ctx.inputs:
+            if handle.region.alive and handle.region.ownership.is_owner(ctx.owner):
+                self.rts.memory.drop_owner(handle.region, ctx.owner)
 
     def abort(self) -> None:
         """Release every region still owned by this job or its tasks.
@@ -587,6 +805,8 @@ class _JobExecution:
             for owner in owners & region.ownership.owners:
                 if region.alive and not region.ownership.released:
                     region.ownership.drop(owner)
+        if self.rts.backups is not None:
+            self.rts.backups.release_job(self.job_owner)
 
     def _finalize(self):
         engine = self.rts.cluster.engine
@@ -598,6 +818,8 @@ class _JobExecution:
         for region in list(self.rts.memory.live_regions()):
             if region.ownership.is_owner(self.job_owner):
                 self.rts.memory.drop_owner(region, self.job_owner)
+        if self.rts.backups is not None:
+            self.rts.backups.release_job(self.job_owner)
         self.stats.finished_at = engine.now
         zc, cp, bc = self._handover_base
         self.stats.zero_copy_handover = self.rts.handover.stats.zero_copy - zc
@@ -686,6 +908,9 @@ class RuntimeSystem:
         scheduler: typing.Optional[Scheduler] = None,
         placement: typing.Optional[PlacementPolicy] = None,
         memory: typing.Optional[MemoryManager] = None,
+        health=None,
+        recovery=None,
+        backups=None,
     ):
         self.cluster = cluster
         self.memory = memory if memory is not None else MemoryManager(cluster)
@@ -696,10 +921,28 @@ class RuntimeSystem:
             else DeclarativePlacement(cluster, self.memory, self.costmodel)
         )
         self.scheduler = scheduler if scheduler is not None else HeftScheduler()
+        #: Health/recovery plumbing (all optional; None = the pre-health
+        #: behaviour where any infrastructure failure fails the job).
+        self.health = (
+            health if health is not None
+            else getattr(cluster, "health_monitor", None)
+        )
+        self.recovery = recovery
+        self.backups = backups
         self.handover = HandoverManager(
-            cluster, self.memory, self.costmodel, self.placement
+            cluster, self.memory, self.costmodel, self.placement,
+            transfer_retries=(
+                recovery.transfer_retries if recovery is not None else 0
+            ),
+            transfer_timeout_ns=(
+                recovery.transfer_timeout_ns if recovery is not None else None
+            ),
         )
         self.executions: typing.List[_JobExecution] = []
+        if self.health is not None:
+            # Health transitions change which offers exist; the cached
+            # cost model must not keep quoting dead devices.
+            self.health.on_change(self.costmodel.invalidate)
         cluster.obs.registry.add_collector(self._collect_runtime_metrics)
 
     def _collect_runtime_metrics(self):

@@ -44,8 +44,15 @@ class Scheduler:
         allowed: typing.Optional[typing.Set[str]] = None,
     ) -> typing.List[ComputeDevice]:
         """Compute devices that may run ``task`` (kind + op-class filter,
-        optionally restricted to a coherence domain)."""
+        optionally restricted to a coherence domain).  A health monitor,
+        when attached, rules out SUSPECT/DOWN/DRAINING and blacklisted
+        devices — unless that would leave nothing to schedule on, in
+        which case the health filter is waived rather than deadlocking."""
         devices = cluster.compute_devices()
+        monitor = getattr(cluster, "health_monitor", None)
+        if monitor is not None:
+            healthy = [d for d in devices if monitor.can_use(d.name)]
+            devices = healthy or devices
         if allowed is not None:
             devices = [d for d in devices if d.name in allowed]
         if task.properties.compute is not None:

@@ -46,11 +46,19 @@ class HandoverManager:
         manager: MemoryManager,
         costmodel: CostModel,
         placement: PlacementPolicy,
+        transfer_retries: int = 0,
+        transfer_backoff_ns: float = 10_000.0,
+        transfer_timeout_ns: typing.Optional[float] = None,
     ):
         self.cluster = cluster
         self.manager = manager
         self.costmodel = costmodel
         self.placement = placement
+        #: Retry/timeout budget applied to every handover copy (0 /
+        #: None = fail fast, the pre-recovery behaviour).
+        self.transfer_retries = transfer_retries
+        self.transfer_backoff_ns = transfer_backoff_ns
+        self.transfer_timeout_ns = transfer_timeout_ns
         self.stats = HandoverStats()
 
     def can_hand_over(self, region: MemoryRegion, to_compute: str) -> bool:
@@ -163,5 +171,16 @@ class HandoverManager:
                 ),
             )
             replica = self.placement.place(relaxed)
-        yield self.cluster.transfer(region.device.name, replica.device.name, region.size)
+        try:
+            yield from self.cluster.reliable_transfer(
+                region.device.name, replica.device.name, region.size,
+                retries=self.transfer_retries,
+                backoff_ns=self.transfer_backoff_ns,
+                timeout_ns=self.transfer_timeout_ns,
+            )
+        except BaseException:
+            # The bytes never arrived; do not leak the half-made replica.
+            if replica.alive and replica.ownership.is_owner(to_owner):
+                self.manager.drop_owner(replica, to_owner)
+            raise
         return replica

@@ -298,6 +298,11 @@ class AnyOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # A loser of the race failing after the condition already
+            # triggered was abandoned by the waiter; defuse it so the
+            # engine does not re-raise on behalf of nobody.
+            if not event._ok:
+                event.defuse()
             return
         if not event._ok:
             event.defuse()

@@ -27,6 +27,7 @@ class FaultKind(enum.Enum):
 
     NODE_CRASH = "node_crash"  # unplanned node loss
     NODE_RESTART = "node_restart"  # planned maintenance / kernel update
+    NODE_REBOOT = "node_reboot"  # the power-cycle instant of a restart
     LINK_DOWN = "link_down"  # network error
     LINK_UP = "link_up"  # network repair
     MEMORY_CORRUPTION = "memory_corruption"  # bit flips / corrupted region

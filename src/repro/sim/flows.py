@@ -34,6 +34,17 @@ class LinkDown(Exception):
         self.link = link
 
 
+class TransferTimeout(Exception):
+    """A transfer was cancelled because it exceeded its deadline."""
+
+    def __init__(self, nbytes: float, timeout_ns: float):
+        super().__init__(
+            f"transfer of {nbytes:.0f}B timed out after {timeout_ns:.0f}ns"
+        )
+        self.nbytes = nbytes
+        self.timeout_ns = timeout_ns
+
+
 class Link:
     """A bidirectional network/bus link with capacity and propagation latency."""
 
@@ -120,6 +131,8 @@ class FlowNetwork:
         start_time = self.engine.now
 
         def _start(_event: Event) -> None:
+            if done.triggered:
+                return  # cancelled during the latency phase
             flow = _Flow(route, nbytes, done)
             flow.started_at = start_time
             for link in route:
@@ -162,6 +175,29 @@ class FlowNetwork:
     def restore_link(self, link: Link) -> None:
         """Bring a failed link back up (new transfers may use it)."""
         link.up = True
+
+    def cancel(self, event: Event, cause: typing.Optional[Exception] = None) -> bool:
+        """Cancel the transfer identified by its completion ``event``.
+
+        Works both for flows that are streaming and for transfers still
+        in their latency phase (whose flow object does not exist yet).
+        The event is failed with ``cause`` (default
+        :class:`TransferTimeout`) and defused, so abandoning callers —
+        e.g. an ``any_of`` race against a deadline — never leak an
+        unhandled failure into the engine.  Returns ``False`` if the
+        transfer already finished.
+        """
+        if event.triggered:
+            return False
+        for flow in list(self._flows.values()):
+            if flow.event is event:
+                self._advance()
+                del self._flows[flow.id]
+                self._rebalance()
+                break
+        event.fail(cause or TransferTimeout(float("nan"), float("nan")))
+        event.defuse()
+        return True
 
     @property
     def active_flows(self) -> int:

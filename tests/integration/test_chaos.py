@@ -13,8 +13,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dataflow import Job, RegionUsage, Task, WorkSpec
+from repro.ft import OutputBackupStore
 from repro.hardware import Cluster
-from repro.runtime import JobAbandoned, ResilientRuntime, RuntimeSystem
+from repro.runtime import (
+    HealthMonitor,
+    JobAbandoned,
+    RecoveryPolicy,
+    ResilientRuntime,
+    RuntimeSystem,
+)
 from repro.sim.faults import FaultKind
 
 KiB = 1024
@@ -113,3 +120,100 @@ class TestChaos:
         stats = resilient.run_job(lambda: build_job((3, 8 * MiB, 1.0), "c"))
         assert stats.ok
         assert resilient.stats.failures == 0
+
+
+class TestChaosWithRecovery:
+    """The same sanctioned outcomes and no-leak invariants, but against
+    the FULL recovery stack — health monitor, task-level retries with
+    re-placement, output backups — and a nastier fault mix that adds
+    fabric link flaps and cluster-wide power outages."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(schedule=chaos_schedule(), shape=chaos_job_shape(),
+           seed=st.integers(0, 50),
+           link_flap=st.one_of(st.none(), st.floats(1_000.0, 1_000_000.0)),
+           outage_at=st.one_of(st.none(), st.floats(10_000.0, 2_000_000.0)))
+    def test_recovery_stack_never_leaves_partial_state(
+        self, schedule, shape, seed, link_flap, outage_at
+    ):
+        cluster = Cluster.preset("pooled-rack", seed=seed)
+        HealthMonitor(cluster, detection_delay_ns=5_000.0)
+        rts = RuntimeSystem(cluster, recovery=RecoveryPolicy(
+            backoff_base_ns=1_000.0, max_task_attempts=3,
+        ))
+        rts.backups = OutputBackupStore(cluster, rts.memory)
+        resilient = ResilientRuntime(rts, max_attempts=4)
+
+        for crash_at, restart_after, node in schedule:
+            cluster.faults.inject_at(crash_at, FaultKind.NODE_CRASH, node)
+            cluster.faults.inject_at(
+                crash_at + restart_after, FaultKind.NODE_RESTART, node)
+        if link_flap is not None:
+            cluster.faults.inject_at(
+                link_flap, FaultKind.LINK_DOWN, "far0--tor")
+            cluster.faults.inject_at(
+                link_flap + 300_000.0, FaultKind.LINK_UP, "far0--tor")
+        if outage_at is not None:
+            cluster.faults.inject_at(
+                outage_at, FaultKind.POWER_OUTAGE, "rack")
+
+        counter = [0]
+
+        def factory():
+            counter[0] += 1
+            return build_job(shape, counter[0])
+
+        outcome = None
+        try:
+            stats = resilient.run_job(factory)
+            outcome = "ok"
+            assert stats.ok
+        except JobAbandoned:
+            outcome = "abandoned"
+        assert outcome in ("ok", "abandoned")
+
+        cluster.engine.run()
+        assert rts.memory.live_regions() == []
+        for allocator in rts.memory.allocators.values():
+            allocator.check_invariants()
+        for device in cluster.memory.values():
+            if not device.failed:
+                assert device.used == 0, device.name
+
+    def test_power_outage_wipes_volatile_state_but_job_recovers(self):
+        """A cluster-wide POWER_OUTAGE mid-run loses every volatile
+        region; the resilient layer re-executes and still succeeds."""
+        shape = (3, 8 * MiB, 2.0)  # touches=2.0: reads span two passes
+        cluster = Cluster.preset("pooled-rack", seed=3)
+        engine = cluster.engine
+        rts = RuntimeSystem(cluster)
+        resilient = ResilientRuntime(rts, max_attempts=3)
+
+        fired = []
+
+        def saboteur():
+            # Cut power exactly once, while s1 is mid-read of its input:
+            # the second read pass then finds the region LOST.
+            while not (rts.executions
+                       and rts.executions[0]._inboxes["s1"]):
+                yield engine.timeout(1_000.0)
+            yield engine.timeout(1_000.0)
+            cluster.faults.inject_now(FaultKind.POWER_OUTAGE, "rack")
+            fired.append(engine.now)
+
+        engine.process(saboteur(), name="saboteur")
+        counter = [0]
+
+        def factory():
+            counter[0] += 1
+            return build_job(shape, counter[0])
+
+        stats = resilient.run_job(factory)
+        assert stats.ok
+        assert fired  # the outage really happened mid-run
+        assert rts.memory.lost_regions > 0
+        assert resilient.stats.failures >= 1
+        cluster.engine.run()
+        assert rts.memory.live_regions() == []
+        for device in cluster.memory.values():
+            assert device.used == 0, device.name

@@ -75,7 +75,7 @@ class TestAccessPlan:
         )
         assert sync.latency_ns == pytest.approx(160 * rtt / SYNC_MLP)
         per_op = max(ASYNC_OP_OVERHEAD_NS, rtt / 16)
-        assert async_.latency_ns == pytest.approx(rtt + 160 * per_op)
+        assert async_.latency_ns == pytest.approx(max(rtt, 160 * per_op))
         assert async_.wire_bytes == sync.wire_bytes
 
     def test_granularity_amplifies_random_wire_bytes(self, env):

@@ -1,0 +1,282 @@
+"""Tests for the device-health subsystem (repro.runtime.health).
+
+The health monitor is the control plane of in-flight recovery: it must
+see faults through the injector, transition device state with the
+configured detection delay, interrupt the task processes registered
+against dead devices, blacklist repeat offenders, filter placement and
+scheduling candidates, and turn planned restarts into graceful drains.
+"""
+
+import pytest
+
+from repro.dataflow import Job, Task, WorkSpec
+from repro.hardware import Cluster
+from repro.runtime import (
+    DeviceDown,
+    HealthMonitor,
+    HealthState,
+    RecoveryPolicy,
+    RuntimeSystem,
+    Scheduler,
+)
+from repro.sim.events import Interrupt
+from repro.sim.faults import FaultKind
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.preset("pooled-rack")
+
+
+class TestStateMachine:
+    def test_crash_marks_suspect_then_down_after_delay(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=500.0)
+        cluster.crash_node("mem-shelf")
+        # Immediately: control plane stops using the devices (SUSPECT)...
+        assert monitor.state("dram-pool0") is HealthState.SUSPECT
+        assert not monitor.can_use("dram-pool0")
+        # ...but confirmation (and task interrupts) wait for the delay.
+        cluster.engine.run(until=499.0)
+        assert monitor.state("dram-pool0") is HealthState.SUSPECT
+        cluster.engine.run()
+        assert monitor.state("dram-pool0") is HealthState.DOWN
+        assert monitor.stats.crashes_detected == 1
+
+    def test_zero_delay_confirms_synchronously(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0)
+        cluster.crash_node("mem-shelf")
+        assert monitor.state("dram-pool0") is HealthState.DOWN
+
+    def test_reboot_restores_up(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0)
+        cluster.crash_node("memnode0")
+        assert monitor.state("far0") is HealthState.DOWN
+        # Restarting an already-crashed node has nothing to drain: the
+        # power-cycle happens synchronously and brings the device back.
+        cluster.faults.inject_now(FaultKind.NODE_RESTART, "memnode0")
+        assert monitor.state("far0") is HealthState.UP
+        assert monitor.can_use("far0")
+
+    def test_unknown_devices_default_to_up(self, cluster):
+        monitor = HealthMonitor(cluster)
+        assert monitor.state("no-such-device") is HealthState.UP
+        assert monitor.can_use("no-such-device")
+
+    def test_transitions_are_counted_and_observable(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0)
+        seen = []
+        monitor.on_change(lambda: seen.append(monitor.state("far0")))
+        cluster.crash_node("memnode0")
+        assert monitor.stats.transitions >= 2  # SUSPECT then DOWN
+        assert seen  # callbacks fired
+        assert cluster.obs.counter("health.to_down").value >= 1
+
+
+class TestBlacklist:
+    def test_repeat_offender_is_blacklisted(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0,
+                                blacklist_after=2)
+        for _ in range(2):
+            cluster.crash_node("memnode0")
+            cluster.faults.inject_now(FaultKind.NODE_RESTART, "memnode0")
+        assert monitor.is_blacklisted("far0")
+        assert "far0" in monitor.blacklist
+        # Back UP after the reboot, but still excluded from new work.
+        assert monitor.state("far0") is HealthState.UP
+        assert not monitor.can_use("far0")
+        assert "far0" not in monitor.up_devices()
+        assert monitor.stats.blacklisted == 1
+
+    def test_single_failure_is_forgiven(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0,
+                                blacklist_after=3)
+        cluster.crash_node("memnode0")
+        cluster.faults.inject_now(FaultKind.NODE_RESTART, "memnode0")
+        assert not monitor.is_blacklisted("far0")
+        assert monitor.can_use("far0")
+
+
+class TestWatch:
+    def test_watched_process_interrupted_on_confirmed_death(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=100.0)
+        engine = cluster.engine
+        outcome = []
+
+        def worker():
+            try:
+                yield engine.timeout(1e9)
+                outcome.append(("finished", engine.now))
+            except Interrupt as interrupt:
+                outcome.append((interrupt.cause, engine.now))
+
+        process = engine.process(worker(), name="worker")
+        monitor.watch("cpu1", process)
+        cluster.faults.inject_at(50.0, FaultKind.NODE_CRASH, "blade-cpu1")
+        engine.run()
+        assert len(outcome) == 1
+        cause, interrupted_at = outcome[0]
+        assert isinstance(cause, DeviceDown)
+        assert cause.device == "cpu1"
+        assert monitor.stats.tasks_interrupted == 1
+        assert interrupted_at == pytest.approx(150.0)  # crash + delay
+
+    def test_unwatched_process_left_alone(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0)
+        engine = cluster.engine
+        outcome = []
+
+        def worker():
+            yield engine.timeout(100.0)
+            outcome.append("finished")
+
+        process = engine.process(worker(), name="worker")
+        monitor.watch("cpu1", process)
+        monitor.unwatch("cpu1", process)
+        cluster.crash_node("blade-cpu1")
+        engine.run()
+        assert outcome == ["finished"]
+        assert monitor.stats.tasks_interrupted == 0
+
+
+class TestDrain:
+    def test_restart_drains_busy_node_then_reboots(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0,
+                                drain_poll_ns=100.0)
+        engine = cluster.engine
+        cpu = cluster.compute["cpu1"]
+
+        def busy_task():
+            request = cpu.acquire_slot()
+            yield request
+            try:
+                yield engine.timeout(5_000.0)
+            finally:
+                cpu.release_slot(request)
+
+        engine.process(busy_task(), name="busy")
+        engine.run(until=10.0)
+        cluster.faults.inject_now(FaultKind.NODE_RESTART, "blade-cpu1")
+        # Draining, not dead: the running task is not interrupted.
+        assert monitor.state("cpu1") is HealthState.DRAINING
+        assert not monitor.can_use("cpu1")
+        assert not cpu.failed
+        engine.run()
+        # The node idled, power-cycled, and is back in service.
+        assert monitor.stats.drains_started == 1
+        assert monitor.stats.drains_completed == 1
+        assert monitor.state("cpu1") is HealthState.UP
+        assert any(
+            f.kind is FaultKind.NODE_REBOOT and f.target == "blade-cpu1"
+            for f in cluster.faults.history
+        )
+
+    def test_max_drain_forces_the_reboot(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0,
+                                drain_poll_ns=100.0, max_drain_ns=1_000.0)
+        engine = cluster.engine
+        cpu = cluster.compute["cpu1"]
+        request = cpu.acquire_slot()  # held forever: the node never idles
+        engine.run()
+        cluster.faults.inject_now(FaultKind.NODE_RESTART, "blade-cpu1")
+        engine.run()
+        assert monitor.stats.drains_completed == 1
+        assert monitor.state("cpu1") is HealthState.UP
+        cpu.release_slot(request)
+
+    def test_crash_mid_drain_aborts_the_drain(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0,
+                                drain_poll_ns=100.0)
+        engine = cluster.engine
+        cpu = cluster.compute["cpu1"]
+        request = cpu.acquire_slot()
+        engine.run()
+        cluster.faults.inject_now(FaultKind.NODE_RESTART, "blade-cpu1")
+        assert monitor.state("cpu1") is HealthState.DRAINING
+        cluster.faults.inject_at(500.0, FaultKind.NODE_CRASH, "blade-cpu1")
+        engine.run()
+        assert monitor.stats.drains_started == 1
+        assert monitor.stats.drains_completed == 0
+        assert monitor.state("cpu1") is HealthState.DOWN
+        cpu._slots.release(request)
+
+
+class TestRecoveryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RecoveryPolicy(backoff_base_ns=100.0, backoff_factor=2.0,
+                                max_backoff_ns=350.0)
+        assert policy.backoff_ns(1) == pytest.approx(100.0)
+        assert policy.backoff_ns(2) == pytest.approx(200.0)
+        assert policy.backoff_ns(3) == pytest.approx(350.0)  # capped
+
+    def test_recoverable_classification(self):
+        from repro.hardware.interconnect import NoRouteError
+        from repro.memory.manager import PlacementError
+        from repro.memory.region import RegionLostError
+        from repro.sim.flows import TransferTimeout
+
+        policy = RecoveryPolicy()
+        assert policy.recoverable(DeviceDown("cpu1"))
+        assert policy.recoverable(TransferTimeout(64.0, 10.0))
+        assert policy.recoverable(RegionLostError("gone"))
+        assert policy.recoverable(PlacementError("full"))
+        assert policy.recoverable(NoRouteError("partitioned"))
+        assert policy.recoverable(Interrupt(DeviceDown("cpu1")))
+        # Application failures must keep failing the job.
+        assert not policy.recoverable(RuntimeError("bug"))
+        assert not policy.recoverable(Interrupt(None))
+        assert not policy.recoverable(KeyError("oops"))
+
+
+class TestHealthFiltering:
+    def test_scheduler_excludes_unhealthy_compute(self, cluster):
+        HealthMonitor(cluster, detection_delay_ns=0.0)
+        job = Job("probe")
+        job.add_task(Task("t", work=WorkSpec(ops=1e4)))
+        task = job.tasks["t"]
+        before = {d.name for d in Scheduler.candidates(task, cluster)}
+        assert "cpu1" in before
+        cluster.crash_node("blade-cpu1")
+        # The device object is failed AND the monitor excludes it; also
+        # exercise the monitor path once the device itself recovered.
+        cluster.faults.inject_now(FaultKind.NODE_RESTART, "blade-cpu1")
+        cluster.crash_node("blade-cpu2")
+        cluster.engine.run()
+        after = {d.name for d in Scheduler.candidates(task, cluster)}
+        assert "cpu2" not in after
+
+    def test_placement_avoids_suspect_devices(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=1e6)
+        rts = RuntimeSystem(cluster)
+        # A long detection window: devices are only SUSPECT, not failed,
+        # so without the health filter they would still take placements.
+        cluster.crash_node("mem-shelf")
+        from repro.memory.regions import RegionType, region_properties
+        from repro.runtime.placement import PlacementRequest
+
+        region = rts.placement.place(PlacementRequest(
+            size=4096,
+            properties=region_properties(RegionType.PRIVATE_SCRATCH),
+            owner="probe", observers=("cpu1",), name="probe",
+            region_type=RegionType.PRIVATE_SCRATCH,
+        ))
+        shelf = {"dram-pool0", "dram-pool1", "cxl-exp0", "pmem-pool0"}
+        assert region.device.name not in shelf
+        assert monitor.state(region.device.name) is HealthState.UP
+
+    def test_filter_waived_when_everything_is_unhealthy(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0,
+                                blacklist_after=1)
+        compute_blades = ["blade-cpu1", "blade-cpu2", "blade-gpu1",
+                          "blade-gpu2", "blade-tpu", "blade-fpga"]
+        for node in compute_blades:
+            cluster.faults.inject_now(FaultKind.NODE_CRASH, node)
+            cluster.faults.inject_now(FaultKind.NODE_RESTART, node)
+        cluster.engine.run()
+        # Every compute device is alive but blacklisted.  The filter is
+        # waived rather than deadlocking scheduling forever.
+        assert all(
+            not monitor.can_use(d.name) for d in cluster.compute_devices()
+        )
+        job = Job("probe")
+        job.add_task(Task("t", work=WorkSpec(ops=1e4)))
+        assert Scheduler.candidates(job.tasks["t"], cluster)

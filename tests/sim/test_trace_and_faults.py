@@ -124,6 +124,35 @@ class TestFaultInjector:
         assert all(t < 10_000.0 for t, _target in times1)
         assert n1 == pytest.approx(10, abs=8)  # ~rate * horizon
 
+    def test_node_reboot_is_a_distinct_kind(self):
+        """NODE_RESTART is the *request*, NODE_REBOOT the power-cycle
+        instant a drain (or immediate repair) resolves it into."""
+        assert FaultKind.NODE_REBOOT is not FaultKind.NODE_RESTART
+        assert FaultKind.NODE_REBOOT.value == "node_reboot"
+
+    def test_handlers_run_in_registration_order(self):
+        # The recovery stack depends on this: the cluster fails devices
+        # first, the memory manager marks regions lost second, and the
+        # health monitor (registered last) observes the final state.
+        engine = Engine()
+        injector = FaultInjector(engine)
+        order = []
+        injector.on(FaultKind.NODE_CRASH, lambda f: order.append("cluster"))
+        injector.on(FaultKind.NODE_CRASH, lambda f: order.append("memory"))
+        injector.on(FaultKind.NODE_CRASH, lambda f: order.append("health"))
+        injector.inject_now(FaultKind.NODE_CRASH, "n1")
+        assert order == ["cluster", "memory", "health"]
+
+    def test_detail_fields_reach_handlers_and_history(self):
+        engine = Engine()
+        injector = FaultInjector(engine)
+        seen = []
+        injector.on(FaultKind.MEMORY_CORRUPTION,
+                    lambda f: seen.append(f.detail))
+        injector.inject_now(FaultKind.MEMORY_CORRUPTION, "region-x", bits=3)
+        assert seen == [{"bits": 3}]
+        assert injector.history[-1].detail == {"bits": 3}
+
     def test_poisson_validation(self):
         injector = FaultInjector(Engine())
         with pytest.raises(ValueError):
