@@ -10,6 +10,7 @@ output capturing.
 from __future__ import annotations
 
 import pathlib
+import time
 
 import pytest
 
@@ -30,13 +31,27 @@ def report():
 
 
 def run_sim(cluster, generator):
-    """Run one simulation generator to completion, return its value."""
+    """Run one simulation generator to completion, return its value.
+
+    Prints a one-line harness-cost summary (engine events processed and
+    wall-clock) so slow claims are visible in CI logs without digging
+    into pytest durations.
+    """
 
     def driver():
         result = yield from generator
         return result
 
-    return cluster.engine.run(until=cluster.engine.process(driver()))
+    events_before = cluster.engine.events_processed
+    wall_start = time.perf_counter()
+    result = cluster.engine.run(until=cluster.engine.process(driver()))
+    wall = time.perf_counter() - wall_start
+    events = cluster.engine.events_processed - events_before
+    print(
+        f"[run_sim] events={events} wall={wall:.3f}s "
+        f"({events / max(wall, 1e-9):,.0f} events/s)"
+    )
+    return result
 
 
 def once(benchmark, fn):

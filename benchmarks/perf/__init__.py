@@ -1,0 +1,13 @@
+"""Simulator-core microbenchmarks (wall-clock, not simulated time).
+
+Unlike the claim benches, the artifact here is the *harness's own*
+speed: events/s through the engine, flow-rebalance throughput, HEFT
+scheduling throughput, placement probe throughput.  These are the hot
+paths that decide how large a scenario the reproduction can run, so
+they are tracked as a first-class regression surface.
+
+Run them via ``python scripts/perf_report.py`` which emits
+``BENCH_sim_hotpaths.json`` (see EXPERIMENTS.md), or individually::
+
+    PYTHONPATH=src python -m benchmarks.perf.hotpaths flows_2k
+"""

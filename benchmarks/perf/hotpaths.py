@@ -1,0 +1,319 @@
+"""Microbenchmarks for the simulator/runtime hot paths.
+
+Each ``bench_*`` function is deterministic (fixed seeds), builds its own
+fixture, runs the measured section once, and returns a flat dict::
+
+    {"name": ..., "wall_s": ..., "ops": ..., "ops_per_s": ...,
+     "events": ..., "events_per_s": ..., ...extras}
+
+``ops`` is the bench's natural unit of work (flows completed, tasks
+scheduled, placements performed, ...); ``events`` is the number of
+discrete-event engine steps the scenario consumed (0 for benches that
+never touch an engine).  ``scripts/perf_report.py`` aggregates these
+into ``BENCH_sim_hotpaths.json`` and enforces the regression gate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import typing
+
+from repro.dataflow import Job, RegionUsage, Task, WorkSpec
+from repro.hardware import Cluster
+from repro.hardware.spec import OpClass
+from repro.memory.interfaces import AccessPattern
+from repro.memory.manager import MemoryManager
+from repro.memory.properties import (
+    BandwidthClass,
+    LatencyClass,
+    MemoryProperties,
+)
+from repro.runtime.costmodel import CostModel
+from repro.runtime.placement import DeclarativePlacement, PlacementRequest
+from repro.runtime.scheduler import HeftScheduler
+from repro.sim import Engine, FlowNetwork, Link
+from repro.sim.faults import FaultKind
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def _result(name: str, wall_s: float, ops: int, events: int, **extras) -> dict:
+    wall_s = max(wall_s, 1e-9)
+    out = {
+        "name": name,
+        "wall_s": round(wall_s, 4),
+        "ops": ops,
+        "ops_per_s": round(ops / wall_s, 1),
+        "events": events,
+        "events_per_s": round(events / wall_s, 1),
+    }
+    out.update(extras)
+    return out
+
+
+# -- 1. flow network churn ------------------------------------------------
+
+
+def bench_flows_2k(n_flows: int = 2000, segments: int = 64, seed: int = 7) -> dict:
+    """Start/complete ``n_flows`` concurrent flows over a segmented fabric.
+
+    The fabric is ``segments`` independent 3-link segments (leaf, spine,
+    leaf) — the sharded-traffic shape of a real rack, where most flows
+    never share links with most other flows.  Every arrival and
+    completion triggers a rate rebalance; the quadratic-era solver paid
+    O(all flows x all links) for each, the incremental one only touches
+    the affected segment.
+    """
+    engine = Engine()
+    net = FlowNetwork(engine)
+    rng = random.Random(seed)
+    segs = [
+        (
+            Link(f"seg{s}-a", bandwidth=2.0, latency=50.0),
+            Link(f"seg{s}-spine", bandwidth=4.0, latency=100.0),
+            Link(f"seg{s}-b", bandwidth=2.0, latency=50.0),
+        )
+        for s in range(segments)
+    ]
+    events: typing.List = []
+
+    def workload():
+        for i in range(n_flows):
+            seg = segs[i % segments]
+            route = seg if rng.random() < 0.7 else seg[:2]
+            nbytes = float(rng.randrange(256 * KiB, 2 * MiB))
+            events.append(net.transfer(route, nbytes))
+            if i % 100 == 99:
+                # Stagger arrivals so concurrency ramps instead of
+                # arriving at one timestamp.
+                yield engine.timeout(5_000.0)
+        yield engine.all_of(events)
+
+    start = time.perf_counter()
+    engine.run(until=engine.process(workload()))
+    wall = time.perf_counter() - start
+    assert net.completed_transfers == n_flows
+    return _result(
+        "flows_2k", wall, ops=n_flows, events=engine.events_processed,
+        peak_active_flows=net.peak_active_flows,
+    )
+
+
+def bench_flows_shared_link(n_flows: int = 600, seed: int = 11) -> dict:
+    """Worst case for incremental solving: every flow shares one core link.
+
+    All flows form a single connected component, so each rebalance still
+    has to re-solve everything; the win here comes only from the lazy
+    advance and the completion heap.  Kept as an honesty check so the
+    sharded bench can't hide a regression in the contended path.
+    """
+    engine = Engine()
+    net = FlowNetwork(engine)
+    rng = random.Random(seed)
+    core = Link("core", bandwidth=8.0, latency=100.0)
+    leaves = [Link(f"leaf{i}", bandwidth=2.0, latency=20.0) for i in range(16)]
+    events: typing.List = []
+
+    def workload():
+        for i in range(n_flows):
+            route = (leaves[i % len(leaves)], core)
+            events.append(net.transfer(route, float(rng.randrange(64 * KiB, 512 * KiB))))
+            if i % 50 == 49:
+                yield engine.timeout(2_000.0)
+        yield engine.all_of(events)
+
+    start = time.perf_counter()
+    engine.run(until=engine.process(workload()))
+    wall = time.perf_counter() - start
+    assert net.completed_transfers == n_flows
+    return _result(
+        "flows_shared_link", wall, ops=n_flows, events=engine.events_processed,
+        peak_active_flows=net.peak_active_flows,
+    )
+
+
+# -- 2. HEFT scheduling over large DAGs -----------------------------------
+
+
+def _layered_job(n_tasks: int, rng: random.Random, name: str = "perf-dag") -> Job:
+    """A layered DAG with mixed op classes and fan-in up to 3."""
+    job = Job(name)
+    width = 20
+    ops_menu = [
+        (OpClass.SCALAR, 2e6),
+        (OpClass.VECTOR, 1e7),
+        (OpClass.MATMUL, 4e7),
+        (OpClass.COMPRESS, 8e6),
+    ]
+    layers: typing.List[typing.List[Task]] = []
+    made = 0
+    while made < n_tasks:
+        layer_size = min(width, n_tasks - made)
+        layer: typing.List[Task] = []
+        for i in range(layer_size):
+            op, ops = ops_menu[rng.randrange(len(ops_menu))]
+            task = job.add_task(Task(
+                f"t{made + i}",
+                work=WorkSpec(
+                    op_class=op, ops=ops,
+                    # Only non-root layers read an upstream input.
+                    input_usage=RegionUsage(0, touches=1.0) if layers else None,
+                    output=RegionUsage(rng.choice([1, 2, 4]) * MiB),
+                    scratch=RegionUsage(2 * MiB, touches=2.0),
+                ),
+            ))
+            layer.append(task)
+        if layers:
+            prev = layers[-1]
+            for task in layer:
+                for pred in rng.sample(prev, k=min(len(prev), rng.randrange(1, 4))):
+                    job.connect(pred, task)
+        layers.append(layer)
+        made += layer_size
+    return job
+
+
+def bench_heft_500(n_tasks: int = 500, repeats: int = 3, seed: int = 3) -> dict:
+    """HEFT assignment over a 500-task DAG on the pooled rack, repeated."""
+    rng = random.Random(seed)
+    cluster = Cluster.preset("pooled-rack", seed=seed)
+    costmodel = CostModel(cluster)
+    scheduler = HeftScheduler()
+    jobs = [_layered_job(n_tasks, rng, name=f"perf-dag{r}") for r in range(repeats)]
+
+    start = time.perf_counter()
+    assignments = [scheduler.assign(job, cluster, costmodel) for job in jobs]
+    wall = time.perf_counter() - start
+    assert all(len(a) == n_tasks for a in assignments)
+    return _result(
+        "heft_500", wall, ops=n_tasks * repeats, events=0,
+        devices_used=len(set(assignments[0].values())),
+    )
+
+
+# -- 3. placement under fragmentation -------------------------------------
+
+
+def bench_placement_fragmentation(
+    n_warm: int = 2000, n_probes: int = 1200, seed: int = 5
+) -> dict:
+    """Declarative placement against heavily fragmented free lists.
+
+    Warm-up allocates ``n_warm`` regions and frees a random two-thirds
+    so the per-device free lists fragment into many scattered extents;
+    the timed phase then runs place/free cycles, each of which probes
+    ``largest_free_extent`` and the offer-satisfaction filter across
+    the whole device inventory.
+    """
+    rng = random.Random(seed)
+    cluster = Cluster.preset("pooled-rack", seed=seed)
+    manager = MemoryManager(cluster)
+    costmodel = CostModel(cluster)
+    policy = DeclarativePlacement(cluster, manager, costmodel)
+    observers = ["cpu1", "cpu2", "gpu1", "gpu2"]
+    props_menu = [
+        MemoryProperties(),
+        MemoryProperties(latency=LatencyClass.HIGH, bandwidth=BandwidthClass.LOW),
+        MemoryProperties(latency=LatencyClass.MEDIUM, bandwidth=BandwidthClass.MEDIUM),
+    ]
+
+    def request(i: int) -> PlacementRequest:
+        return PlacementRequest(
+            size=rng.choice([64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]),
+            properties=props_menu[i % len(props_menu)],
+            owner=f"owner{i}",
+            observers=(observers[i % 2], observers[2 + i % 2]),
+            name=f"r{i}",
+            usage=RegionUsage(64 * KiB, touches=1.5, pattern=AccessPattern.RANDOM),
+        )
+
+    warm = [policy.place(request(i)) for i in range(n_warm)]
+    for region in rng.sample(warm, (2 * n_warm) // 3):
+        manager.free(region)
+
+    start = time.perf_counter()
+    for i in range(n_probes):
+        region = policy.place(request(n_warm + i))
+        if i % 3 != 0:  # keep some live so fragmentation persists
+            manager.free(region)
+    wall = time.perf_counter() - start
+    extents = sum(len(a._free) for a in manager.allocators.values())
+    return _result(
+        "placement_fragmentation", wall, ops=n_probes, events=0,
+        free_extents=extents,
+    )
+
+
+# -- 4. soak wall-clock ----------------------------------------------------
+
+
+def bench_soak_transfers(
+    n_workers: int = 150, transfers_each: int = 12, seed: int = 13
+) -> dict:
+    """A mini soak: contended transfers plus fault churn on the pooled rack.
+
+    Every worker streams transfers between random pool devices (all
+    crossing the CXL switch, so the flow network stays one big
+    component), while a link flap and a node crash/reboot land
+    mid-flight.  This is the wall-clock shape of test_claim_soak /
+    test_claim_multitenant without their FT/RTS layers on top.
+    """
+    cluster = Cluster.preset("pooled-rack", seed=seed)
+    rng = random.Random(seed)
+    pool = ["dram-pool0", "dram-pool1", "cxl-exp0", "pmem-pool0",
+            "dram-local1", "dram-local2", "gddr1", "gddr2"]
+    done_workers = []
+
+    def worker(wid: int):
+        for t in range(transfers_each):
+            src, dst = rng.sample(pool, 2)
+            nbytes = float(rng.randrange(128 * KiB, 1 * MiB))
+            try:
+                yield from cluster.reliable_transfer(src, dst, nbytes, retries=3)
+            except Exception:
+                pass  # soak: survival matters, not every byte
+            yield cluster.engine.timeout(float(rng.randrange(1_000, 20_000)))
+        done_workers.append(wid)
+
+    cluster.faults.inject_at(2_000_000.0, FaultKind.LINK_DOWN, "cxl-switch--tor")
+    cluster.faults.inject_at(4_000_000.0, FaultKind.LINK_UP, "cxl-switch--tor")
+    cluster.faults.inject_at(6_000_000.0, FaultKind.NODE_CRASH, "blade-gpu1")
+    cluster.faults.inject_at(8_000_000.0, FaultKind.NODE_RESTART, "blade-gpu1")
+
+    processes = [cluster.engine.process(worker(w)) for w in range(n_workers)]
+    start = time.perf_counter()
+    cluster.engine.run(until=cluster.engine.all_of(processes))
+    wall = time.perf_counter() - start
+    assert len(done_workers) == n_workers
+    return _result(
+        "soak_transfers", wall,
+        ops=cluster.flownet.completed_transfers,
+        events=cluster.engine.events_processed,
+        peak_active_flows=cluster.flownet.peak_active_flows,
+    )
+
+
+#: name -> zero-arg callable, the registry perf_report.py iterates.
+ALL_BENCHES: typing.Dict[str, typing.Callable[[], dict]] = {
+    "flows_2k": bench_flows_2k,
+    "flows_shared_link": bench_flows_shared_link,
+    "heft_500": bench_heft_500,
+    "placement_fragmentation": bench_placement_fragmentation,
+    "soak_transfers": bench_soak_transfers,
+}
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    import sys
+
+    names = (argv if argv is not None else sys.argv[1:]) or list(ALL_BENCHES)
+    for name in names:
+        result = ALL_BENCHES[name]()
+        print(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -305,6 +305,12 @@ class Cluster:
         yield "flow.completed_transfers", self.flownet.completed_transfers
         yield "flow.bytes_completed", self.flownet.bytes_completed
         yield "flow.peak_active", self.flownet.peak_active_flows
+        yield "flow.rebalances", self.flownet.rebalances
+        yield "flow.flows_resolved", self.flownet.flows_resolved
+        # Flow progress is settled lazily (only when a flow's rate
+        # changes); bring every in-flight flow current so the per-link
+        # byte counters below are exact as of this snapshot.
+        self.flownet.settle_all()
         for link in self.topology.links():
             yield f"link.bytes/{link.name}", link.bytes_carried
         for name, device in self.compute.items():

@@ -44,6 +44,10 @@ class FreeListAllocator:
         self.granularity = granularity
         #: sorted list of (offset, size) free extents
         self._free: typing.List[typing.Tuple[int, int]] = [(0, capacity)]
+        #: cached max extent size; dirty when an allocation may have
+        #: shrunk the current maximum (frees only ever raise it).
+        self._largest: int = capacity
+        self._largest_dirty: bool = False
         self._live: typing.Dict[int, Allocation] = {}
         self.allocated_bytes = 0
         self.peak_bytes = 0
@@ -66,6 +70,10 @@ class FreeListAllocator:
                     del self._free[index]
                 else:
                     self._free[index] = (offset + rounded, extent - rounded)
+                if extent >= self._largest:
+                    # We may have carved up the (sole) largest extent;
+                    # recompute lazily on the next probe.
+                    self._largest_dirty = True
                 allocation = Allocation(
                     id=next(FreeListAllocator._ids),
                     offset=offset, size=rounded, requested=size,
@@ -101,17 +109,27 @@ class FreeListAllocator:
                 hi = mid
         self._free.insert(lo, (offset, size))
         # Coalesce with successor, then predecessor.
+        merged = size
         if lo + 1 < len(self._free):
             noff, nsize = self._free[lo + 1]
             if offset + size == noff:
-                self._free[lo] = (offset, size + nsize)
+                merged = size + nsize
+                self._free[lo] = (offset, merged)
                 del self._free[lo + 1]
         if lo > 0:
             poff, psize = self._free[lo - 1]
             coff, csize = self._free[lo]
             if poff + psize == coff:
-                self._free[lo - 1] = (poff, psize + csize)
+                merged = psize + csize
+                self._free[lo - 1] = (poff, merged)
                 del self._free[lo]
+        # Inserting/coalescing free space can only *raise* the maximum,
+        # so the cache stays valid in O(1) even when it was clean.  The
+        # cache is an upper bound while dirty, so an extent beating it
+        # is exactly the new maximum and the flag can clear.
+        if merged > self._largest:
+            self._largest = merged
+            self._largest_dirty = False
 
     # -- introspection ---------------------------------------------------
 
@@ -121,7 +139,10 @@ class FreeListAllocator:
 
     @property
     def largest_free_extent(self) -> int:
-        return max((size for _, size in self._free), default=0)
+        if self._largest_dirty:
+            self._largest = max((size for _, size in self._free), default=0)
+            self._largest_dirty = False
+        return self._largest
 
     @property
     def fragmentation(self) -> float:

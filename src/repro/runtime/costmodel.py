@@ -36,11 +36,33 @@ class CostModel:
     def __init__(self, cluster: Cluster):
         self.cluster = cluster
         self._offer_cache: dict = {}
+        self._access_cache: dict = {}
+        self._scratch_cache: dict = {}
+        self._seen_epoch = self._topology_epoch()
+
+    def _topology_epoch(self) -> int:
+        flownet = getattr(self.cluster, "flownet", None)
+        return flownet.topology_epoch if flownet is not None else 0
+
+    def _check_epoch(self) -> None:
+        """Self-invalidate when the fabric changed under us.
+
+        Link failures *and* restores bump ``FlowNetwork.topology_epoch``,
+        so cached NoRouteError offers can't outlive the outage that
+        produced them even if no explicit ``invalidate()`` caller fires.
+        """
+        epoch = self._topology_epoch()
+        if epoch != self._seen_epoch:
+            self._seen_epoch = epoch
+            self._offer_cache.clear()
+            self._access_cache.clear()
+            self._scratch_cache.clear()
 
     # -- offered properties (Figure 3: device value depends on observer) --
 
     def offered(self, observer: str, device: MemoryDevice) -> OfferedProperties:
         """What ``device`` offers as seen from compute device ``observer``."""
+        self._check_epoch()
         key = (observer, device.name)
         cached = self._offer_cache.get(key)
         if cached is not None:
@@ -75,6 +97,8 @@ class CostModel:
     def invalidate(self) -> None:
         """Drop cached offers (topology or device state changed)."""
         self._offer_cache.clear()
+        self._access_cache.clear()
+        self._scratch_cache.clear()
 
     # -- access costs --------------------------------------------------------
 
@@ -89,8 +113,16 @@ class CostModel:
         """Uncontended estimate for one region usage (ns)."""
         if usage.touched_bytes == 0:
             return 0.0
-        offer = self.offered(observer, device)
+        # RegionUsage is a frozen dataclass, so the whole call signature
+        # is hashable; schedulers probe the same (observer, device,
+        # usage) triples over and over while ranking candidates.
+        memo_key = (observer, device.name, usage, is_write, mode)
+        cached = self._access_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        offer = self.offered(observer, device)  # also runs the epoch check
         if offer.bytes_per_ns == 0.0:
+            self._access_cache[memo_key] = float("inf")
             return float("inf")
         if mode is None:
             mode = AccessMode.SYNC if offer.sync else AccessMode.ASYNC
@@ -100,7 +132,9 @@ class CostModel:
             pattern=usage.pattern, mode=mode, access_size=usage.access_size,
             is_write=is_write,
         )
-        return plan.lower_bound_ns(offer.bytes_per_ns)
+        estimate = plan.lower_bound_ns(offer.bytes_per_ns)
+        self._access_cache[memo_key] = estimate
+        return estimate
 
     def transfer_time(self, src: MemoryDevice, dst: MemoryDevice, nbytes: int) -> float:
         """Uncontended estimate for a device-to-device copy (ns)."""
@@ -185,6 +219,9 @@ class CostModel:
         A planning helper (hypothetical scratch placement for scheduling
         before real placement happens).
         """
+        self._check_epoch()
+        if observer in self._scratch_cache:
+            return self._scratch_cache[observer]
         best = None
         best_rtt = float("inf")
         for device in self.cluster.memory_devices():
@@ -193,4 +230,5 @@ class CostModel:
                 continue
             if offer.rtt_ns < best_rtt:
                 best, best_rtt = device, offer.rtt_ns
+        self._scratch_cache[observer] = best
         return best

@@ -130,6 +130,11 @@ class HealthMonitor:
         self.drain_poll_ns = float(drain_poll_ns)
         self.max_drain_ns = max_drain_ns
         self.stats = HealthStats()
+        #: Monotonic generation counter: bumped on every state
+        #: transition and blacklist addition, so epoch-keyed caches
+        #: (placement's satisfaction index) can validate with one
+        #: integer compare instead of subscribing to callbacks.
+        self.epoch = 0
         self._state: typing.Dict[str, HealthState] = {
             name: HealthState.UP
             for name in list(cluster.memory) + list(cluster.compute)
@@ -199,6 +204,7 @@ class HealthMonitor:
             return
         self._state[name] = new
         self._since[name] = self.engine.now
+        self.epoch += 1
         self.stats.transitions += 1
         self.obs.counter(f"health.to_{new.value}").inc()
         self.obs.event("health", "transition", device=name, state=new.value)
@@ -231,6 +237,7 @@ class HealthMonitor:
                 and name not in self._blacklist
             ):
                 self._blacklist.add(name)
+                self.epoch += 1  # can_use changed even if state didn't
                 self.stats.blacklisted += 1
                 self.obs.event("health", "blacklist", device=name,
                                failures=self._failures[name])

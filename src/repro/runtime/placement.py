@@ -63,6 +63,12 @@ class PlacementPolicy:
         self.costmodel = costmodel
         self.placements = 0
         self.rejections = 0
+        #: (observers, properties) -> device names whose offer satisfies
+        #: the request from every observer.  Valid for one (topology,
+        #: health) epoch pair; capacity is deliberately excluded from
+        #: the key — ``_has_room`` stays a per-call O(1) probe.
+        self._sat_cache: typing.Dict[tuple, typing.List[str]] = {}
+        self._sat_epoch: typing.Optional[tuple] = None
 
     def choose_device(self, request: PlacementRequest) -> MemoryDevice:
         """Pick the backing device for a request (no allocation)."""
@@ -112,6 +118,43 @@ class PlacementPolicy:
             return healthy or devices
         return devices
 
+    def _satisfying_names(
+        self,
+        observers: typing.Tuple[str, ...],
+        properties: MemoryProperties,
+    ) -> typing.List[str]:
+        """Alive device names whose offer satisfies ``properties`` for
+        every observer, via an epoch-keyed index.
+
+        Device liveness changes always travel with a fabric change
+        (``fail``/``recover`` pair with link fail/restore, which bump
+        ``FlowNetwork.topology_epoch``) and health rulings bump the
+        monitor's epoch, so one integer pair decides cache validity
+        without any callback wiring.
+        """
+        monitor = getattr(self.cluster, "health_monitor", None)
+        flownet = getattr(self.cluster, "flownet", None)
+        epoch = (
+            flownet.topology_epoch if flownet is not None else 0,
+            monitor.epoch if monitor is not None else -1,
+        )
+        if epoch != self._sat_epoch:
+            self._sat_epoch = epoch
+            self._sat_cache.clear()
+        key = (observers, properties)
+        names = self._sat_cache.get(key)
+        if names is None:
+            names = [
+                device.name
+                for device in self._alive_devices()
+                if all(
+                    self.costmodel.offered(observer, device).satisfies(properties)
+                    for observer in observers
+                )
+            ]
+            self._sat_cache[key] = names
+        return names
+
 
 class DeclarativePlacement(PlacementPolicy):
     """The paper's policy: cheapest device satisfying all declared
@@ -119,14 +162,14 @@ class DeclarativePlacement(PlacementPolicy):
 
     def candidates(self, request: PlacementRequest) -> typing.List[MemoryDevice]:
         """Live devices whose offer satisfies the request for every observer."""
-        survivors = []
-        for device in self._alive_devices():
-            if not self._has_room(device, request.size):
-                continue
-            offers = [self.costmodel.offered(o, device) for o in request.observers]
-            if all(offer.satisfies(request.properties) for offer in offers):
-                survivors.append(device)
-        return survivors
+        memory = self.cluster.memory
+        return [
+            memory[name]
+            for name in self._satisfying_names(
+                request.observers, request.properties
+            )
+            if self._has_room(memory[name], request.size)
+        ]
 
     def score(self, request: PlacementRequest, device: MemoryDevice) -> float:
         """Lower is better: expected access cost + a capacity-pressure
@@ -177,14 +220,13 @@ class EncryptingPlacement(DeclarativePlacement):
         if not request.properties.confidential:
             return survivors
         relaxed = dc_replace(request.properties, confidential=False)
-        extra = []
         seen = {device.name for device in survivors}
-        for device in self._alive_devices():
-            if device.name in seen or not self._has_room(device, request.size):
-                continue
-            offers = [self.costmodel.offered(o, device) for o in request.observers]
-            if all(offer.satisfies(relaxed) for offer in offers):
-                extra.append(device)
+        memory = self.cluster.memory
+        extra = [
+            memory[name]
+            for name in self._satisfying_names(request.observers, relaxed)
+            if name not in seen and self._has_room(memory[name], request.size)
+        ]
         return survivors + extra
 
     def score(self, request: PlacementRequest, device) -> float:

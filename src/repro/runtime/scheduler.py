@@ -113,13 +113,28 @@ class HeftScheduler(Scheduler):
         candidates = {
             t.name: self.candidates(t, cluster, allowed) for t in tasks
         }
-        exec_time = {
-            t.name: {
-                d.name: self._exec_estimate(t, d.name, costmodel)
-                for d in candidates[t.name]
-            }
-            for t in tasks
-        }
+        # Large DAGs repeat a handful of task shapes across hundreds of
+        # tasks; estimate each (shape, device) pair once per assign().
+        # The shape tuple captures every WorkSpec field the estimate
+        # reads (WorkSpec itself carries a dict, so it can't be a key).
+        est_memo: typing.Dict[tuple, float] = {}
+        exec_time: typing.Dict[str, typing.Dict[str, float]] = {}
+        for t in tasks:
+            work = t.work
+            input_bytes = sum(u.work.output_size for u in t.upstream())
+            shape = (
+                work.op_class, work.ops, work.input_usage, work.output,
+                work.scratch, work.state_usage, input_bytes,
+            )
+            times: typing.Dict[str, float] = {}
+            for d in candidates[t.name]:
+                key = (shape, d.name)
+                estimate = est_memo.get(key)
+                if estimate is None:
+                    estimate = self._exec_estimate(t, d.name, costmodel)
+                    est_memo[key] = estimate
+                times[d.name] = estimate
+            exec_time[t.name] = times
 
         rank = self._upward_ranks(job, cluster, costmodel, exec_time)
         order = sorted(tasks, key=lambda t: -rank[t.name])
@@ -131,6 +146,10 @@ class HeftScheduler(Scheduler):
             d.name: [0.0] * d.slots for d in cluster.compute_devices()
         }
 
+        # Edge costs depend only on (payload size, src device, dst
+        # device); the candidate loop re-asks the same triples for
+        # every sibling sharing a predecessor.
+        edge_memo: typing.Dict[tuple, float] = {}
         for task in order:
             best_device, best_eft, best_start = None, float("inf"), 0.0
             for device in candidates[task.name]:
@@ -138,9 +157,18 @@ class HeftScheduler(Scheduler):
                 for pred in task.upstream():
                     if pred.name not in assignment:
                         continue  # pred ranks lower; conservative zero
-                    comm = self._edge_cost(
-                        pred, assignment[pred.name], device.name, cluster, costmodel
+                    ekey = (
+                        pred.work.output_size,
+                        assignment[pred.name],
+                        device.name,
                     )
+                    comm = edge_memo.get(ekey)
+                    if comm is None:
+                        comm = self._edge_cost(
+                            pred, assignment[pred.name], device.name,
+                            cluster, costmodel,
+                        )
+                        edge_memo[ekey] = comm
                     ready = max(ready, finish[pred.name] + comm)
                 slots = device_slots[device.name]
                 slot_index = min(range(len(slots)), key=lambda i: slots[i])
@@ -191,23 +219,30 @@ class HeftScheduler(Scheduler):
             / max(1, sum(1 for v in times.values() if v < float("inf")))
             for name, times in exec_time.items()
         }
+        # Rough fleet-average bandwidth for the ranking phase only;
+        # constant across the whole DAG, so compute it once.
+        bandwidths = [d.spec.bandwidth for d in cluster.memory_devices()]
+        mean_bw = sum(bandwidths) / max(1, len(bandwidths))
         rank: typing.Dict[str, float] = {}
         for task in reversed(job.topological_order()):
             downstream_cost = 0.0
-            for succ in task.downstream():
-                comm = self._mean_edge_cost(task, cluster, costmodel)
-                downstream_cost = max(downstream_cost, comm + rank[succ.name])
+            if task.work.output_size:
+                comm = self._mean_edge_cost(task, mean_bw)
+                for succ in task.downstream():
+                    downstream_cost = max(
+                        downstream_cost, comm + rank[succ.name]
+                    )
+            else:
+                for succ in task.downstream():
+                    downstream_cost = max(downstream_cost, rank[succ.name])
             rank[task.name] = mean_exec[task.name] + downstream_cost
         return rank
 
     @staticmethod
-    def _mean_edge_cost(task: Task, cluster: Cluster, costmodel: CostModel) -> float:
+    def _mean_edge_cost(task: Task, mean_bw: float) -> float:
         nbytes = task.work.output_size
         if nbytes == 0:
             return 0.0
-        # Rough fleet-average bandwidth for the ranking phase only.
-        bandwidths = [d.spec.bandwidth for d in cluster.memory_devices()]
-        mean_bw = sum(bandwidths) / max(1, len(bandwidths))
         return nbytes / max(mean_bw, 1e-9)
 
     @staticmethod

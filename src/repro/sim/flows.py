@@ -9,12 +9,27 @@ This captures the contention effects that make data placement matter,
 at a tiny fraction of the cost of packet-level simulation (a design
 choice recorded in DESIGN.md §5).
 
+Scaling (DESIGN.md §5, "simulator performance model"): the solver is
+*incremental*.  Persistent link→flow and event→flow indexes make
+``fail_link``/``cancel``/``link_load`` proportional to the flows
+actually involved; each arrival/departure re-solves only the connected
+component of the flow–link sharing graph it touches (max–min fair rates
+decompose exactly across components); per-flow progress is settled
+lazily — a flow's ``remaining`` is only updated when *its* rate changes
+— and completions come from a heap with generation-based lazy
+invalidation instead of a rearm-everything timer.  The retained
+reference solver (:func:`waterfill` over the full flow set, enabled
+with ``FlowNetwork(..., incremental=False)``) is differentially tested
+against the incremental path in ``tests/sim/test_flows_differential.py``:
+same scenario, byte-identical rates and traces.
+
 Units: time in nanoseconds, bandwidth in bytes/ns (1 byte/ns = 1 GB/s
 with GB = 1e9 bytes).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import typing
 from itertools import count
@@ -71,34 +86,125 @@ class Link:
 class _Flow:
     _ids = count()
 
+    __slots__ = (
+        "id", "route", "links", "total_bytes", "remaining", "rate",
+        "event", "started_at", "last_settled", "gen",
+    )
+
     def __init__(self, route: typing.Sequence[Link], nbytes: float, event: Event):
         self.id = next(_Flow._ids)
         self.route = tuple(route)
+        #: Unique links of the route, in route order (a degenerate route
+        #: listing a link twice still contends once in the solver but
+        #: carries bytes per occurrence).
+        self.links = tuple(dict.fromkeys(self.route))
         self.total_bytes = float(nbytes)
         self.remaining = float(nbytes)
         self.rate = 0.0
         self.event = event
         self.started_at: float = 0.0
+        #: Time up to which ``remaining``/``bytes_carried`` are settled.
+        self.last_settled: float = 0.0
+        #: Bumped on every rate change; stale completion-heap entries
+        #: (older generation) are discarded lazily.
+        self.gen = 0
 
     def __repr__(self) -> str:
         return f"<Flow #{self.id} {self.remaining:.0f}/{self.total_bytes:.0f}B @{self.rate:.3f}B/ns>"
 
 
+def waterfill(
+    flows_by_id: typing.Mapping[int, _Flow],
+    ordered_ids: typing.Optional[typing.List[int]] = None,
+) -> typing.Dict[int, float]:
+    """Progressive water-filling over ``flows_by_id``; the reference solver.
+
+    Returns ``{flow_id: max–min fair rate}``.  Deterministic and
+    order-canonical: candidate bottleneck links are scanned in ascending
+    link id and flows freeze in ascending flow id, so solving a connected
+    component in isolation yields *bit-identical* rates to solving it as
+    part of the full flow set (components never share links, hence never
+    share a ``remaining capacity`` cell; the global freeze sequence is a
+    pure interleaving of the per-component sequences).
+
+    ``ordered_ids`` (the flow ids, ascending) may be passed by callers
+    that already sorted them.
+    """
+    if ordered_ids is None:
+        ordered_ids = sorted(flows_by_id)
+    by_link: typing.Dict[int, list] = {}  # lid -> [remaining_cap, unfrozen fid set]
+    for fid in ordered_ids:
+        for link in flows_by_id[fid].links:
+            entry = by_link.get(link.id)
+            if entry is None:
+                by_link[link.id] = entry = [link.bandwidth, set()]
+            entry[1].add(fid)
+
+    rates: typing.Dict[int, float] = {}
+    link_ids = sorted(by_link)
+    while True:
+        # Fair share offered by each link that still has unfrozen flows.
+        bottleneck_id = None
+        bottleneck_share = float("inf")
+        for lid in link_ids:
+            cap, unfrozen = by_link[lid]
+            if not unfrozen:
+                continue
+            share = cap / len(unfrozen)
+            if share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck_id = lid
+        if bottleneck_id is None:
+            break
+        # Freeze every unfrozen flow on the bottleneck at that share.
+        for fid in sorted(by_link[bottleneck_id][1]):
+            rates[fid] = bottleneck_share
+            for link in flows_by_id[fid].links:
+                entry = by_link[link.id]
+                entry[1].discard(fid)
+                entry[0] -= bottleneck_share
+                if entry[0] < 0:
+                    entry[0] = 0.0
+    return rates
+
+
 class FlowNetwork:
     """Shared-bandwidth transfer scheduler on top of an :class:`Engine`."""
 
-    def __init__(self, engine: Engine, trace=None):
+    def __init__(self, engine: Engine, trace=None, incremental: bool = True):
         self.engine = engine
-        self._flows: dict = {}  # id -> _Flow
-        self._last_update = engine.now
+        self._flows: typing.Dict[int, _Flow] = {}
+        #: link id -> {flow id -> flow} for every link with live flows.
+        self._by_link: typing.Dict[int, typing.Dict[int, _Flow]] = {}
+        #: completion event -> flow (O(1) cancel).
+        self._by_event: typing.Dict[Event, _Flow] = {}
+        #: (completion time, flow id, flow gen) min-heap; entries whose
+        #: gen no longer matches the flow's are stale and skipped.
+        self._completions: list = []
         self._timer_gen = 0
+        #: Deadline of the currently armed engine timer (None = no valid
+        #: timer outstanding; superseded timers no-op via the gen check).
+        self._timer_deadline: typing.Optional[float] = None
+        #: Restrict each re-solve to the affected connected component
+        #: (True) or re-solve the full flow set (False, reference mode).
+        self.incremental = incremental
         self.completed_transfers = 0
         #: Total payload bytes of completed transfers.
         self.bytes_completed = 0.0
         #: High-water mark of concurrently active flows (contention).
         self.peak_active_flows = 0
+        #: Rate re-solves performed / flows they touched (observability:
+        #: flows_resolved / rebalances ≈ mean component size).
+        self.rebalances = 0
+        self.flows_resolved = 0
+        #: Bumped whenever link state flips (fail/restore); topology- and
+        #: offer-caches key their validity off this (see CostModel).
+        self.topology_epoch = 0
         #: Optional bounded TraceLog for per-flow events ("flow" category).
         self.trace = trace
+        #: Optional hooks called after each re-solve with the affected
+        #: flows (tests use this to audit capacity invariants).
+        self.on_rebalance: typing.List[typing.Callable[[typing.List[_Flow]], None]] = []
 
     # -- public API ------------------------------------------------------
 
@@ -133,17 +239,22 @@ class FlowNetwork:
         def _start(_event: Event) -> None:
             if done.triggered:
                 return  # cancelled during the latency phase
-            flow = _Flow(route, nbytes, done)
-            flow.started_at = start_time
             for link in route:
                 if not link.up:
                     if not done.triggered:
                         done.fail(LinkDown(link))
                         done.defuse()
                     return
-            self._advance()
+            flow = _Flow(route, nbytes, done)
+            flow.started_at = start_time
+            flow.last_settled = self.engine.now
             self._flows[flow.id] = flow
-            self._rebalance()
+            for link in flow.links:
+                self._by_link.setdefault(link.id, {})[flow.id] = flow
+            self._by_event[done] = flow
+            if len(self._flows) > self.peak_active_flows:
+                self.peak_active_flows = len(self._flows)
+            self._resolve(flow.links)
 
         if latency > 0:
             starter = Event(self.engine)
@@ -161,20 +272,31 @@ class FlowNetwork:
         Returns the list of failed flow events (already failed).
         """
         link.up = False
-        self._advance()
+        self.topology_epoch += 1
+        doomed = list(self._by_link.get(link.id, {}).values())
         failed = []
-        for flow in list(self._flows.values()):
-            if link in flow.route:
-                del self._flows[flow.id]
-                if not flow.event.triggered:
-                    flow.event.fail(LinkDown(link))
-                failed.append(flow.event)
-        self._rebalance()
+        now = self.engine.now
+        seeds: typing.Dict[int, Link] = {}
+        for flow in doomed:
+            self._settle(flow, now)
+            self._remove(flow)
+            for other in flow.links:
+                seeds[other.id] = other
+            if not flow.event.triggered:
+                flow.event.fail(LinkDown(link))
+            failed.append(flow.event)
+        if doomed:
+            self._resolve(seeds.values())
         return failed
 
     def restore_link(self, link: Link) -> None:
-        """Bring a failed link back up (new transfers may use it)."""
+        """Bring a failed link back up (new transfers may use it).
+
+        Bumps :attr:`topology_epoch` so offer/satisfaction caches stop
+        serving the NoRoute-era answers for paths over this link.
+        """
         link.up = True
+        self.topology_epoch += 1
 
     def cancel(self, event: Event, cause: typing.Optional[Exception] = None) -> bool:
         """Cancel the transfer identified by its completion ``event``.
@@ -189,12 +311,11 @@ class FlowNetwork:
         """
         if event.triggered:
             return False
-        for flow in list(self._flows.values()):
-            if flow.event is event:
-                self._advance()
-                del self._flows[flow.id]
-                self._rebalance()
-                break
+        flow = self._by_event.get(event)
+        if flow is not None:
+            self._settle(flow, self.engine.now)
+            self._remove(flow)
+            self._resolve(flow.links)
         event.fail(cause or TransferTimeout(float("nan"), float("nan")))
         event.defuse()
         return True
@@ -205,109 +326,207 @@ class FlowNetwork:
 
     def link_load(self, link: Link) -> float:
         """Current aggregate rate (bytes/ns) crossing ``link``."""
-        return sum(f.rate for f in self._flows.values() if link in f.route)
+        return sum(f.rate for f in self._by_link.get(link.id, {}).values())
+
+    def settle_all(self) -> None:
+        """Materialize every flow's progress up to now.
+
+        Lazy settlement only updates ``remaining``/``bytes_carried`` when
+        a flow's rate changes; call this before reading mid-flight byte
+        counters (the cluster's metrics collector does).
+        """
+        now = self.engine.now
+        for flow in self._flows.values():
+            self._settle(flow, now)
 
     # -- internals ---------------------------------------------------------
 
-    def _advance(self) -> None:
-        """Progress all in-flight flows to the current time at their rates."""
-        now = self.engine.now
-        dt = now - self._last_update
-        self._last_update = now
-        if dt <= 0:
-            return
-        finished = []
-        for flow in self._flows.values():
-            moved = flow.rate * dt
-            flow.remaining -= moved
-            for link in flow.route:
-                link.bytes_carried += moved
-            if flow.remaining <= _EPSILON_BYTES:
-                finished.append(flow)
-        for flow in finished:
-            del self._flows[flow.id]
-            self.completed_transfers += 1
-            self.bytes_completed += flow.total_bytes
-            if self.trace is not None and self.trace.wants("flow"):
-                self.trace.emit(
-                    now, "flow", "done",
-                    nbytes=flow.total_bytes, duration=now - flow.started_at,
-                    links=len(flow.route), rate=flow.rate,
-                )
-            if not flow.event.triggered:
-                flow.event.succeed(now - flow.started_at)
+    def _settle(self, flow: _Flow, now: float) -> None:
+        """Progress one flow to ``now`` at its current rate.
 
-    def _rebalance(self) -> None:
-        """Re-solve max–min fair rates and arm the next completion timer."""
-        self._timer_gen += 1
-        if not self._flows:
+        ``moved`` is clamped to ``remaining`` so ``link.bytes_carried``
+        never over-credits the final tick of a flow.
+        """
+        dt = now - flow.last_settled
+        flow.last_settled = now
+        if dt <= 0.0 or flow.rate <= 0.0:
             return
-        if len(self._flows) > self.peak_active_flows:
-            self.peak_active_flows = len(self._flows)
-        self._solve_rates()
+        moved = flow.rate * dt
+        if moved > flow.remaining:
+            moved = flow.remaining
+        flow.remaining -= moved
+        for link in flow.route:
+            link.bytes_carried += moved
+
+    def _remove(self, flow: _Flow) -> None:
+        """Drop a flow from every index (does not touch its event)."""
+        del self._flows[flow.id]
+        for link in flow.links:
+            flows_here = self._by_link[link.id]
+            del flows_here[flow.id]
+            if not flows_here:
+                del self._by_link[link.id]
+        self._by_event.pop(flow.event, None)
+
+    def _component(
+        self, seed_links: typing.Iterable[Link]
+    ) -> typing.Dict[int, _Flow]:
+        """Flows in the connected component(s) reachable from ``seed_links``
+        through the flow–link sharing graph (all flows in reference mode)."""
+        if not self.incremental:
+            return dict(self._flows)
+        total = len(self._flows)
+        flows: typing.Dict[int, _Flow] = {}
+        pending = [link.id for link in seed_links]
+        seen = set(pending)
+        while pending:
+            lid = pending.pop()
+            for fid, flow in self._by_link.get(lid, {}).items():
+                if fid in flows:
+                    continue
+                flows[fid] = flow
+                for link in flow.links:
+                    if link.id not in seen:
+                        seen.add(link.id)
+                        pending.append(link.id)
+            if len(flows) == total:
+                break  # the component spans every live flow
+        return flows
+
+    def _resolve(self, seed_links: typing.Iterable[Link]) -> None:
+        """Re-solve rates for the component(s) touching ``seed_links``."""
+        component = self._component(seed_links)
+        self.rebalances += 1
+        self.flows_resolved += len(component)
+        if component:
+            ordered = sorted(component)
+            rates = waterfill(component, ordered)
+            now = self.engine.now
+            full = len(component) == len(self._flows)
+            for fid in ordered:
+                flow = component[fid]
+                new_rate = rates.get(fid, 0.0)
+                if new_rate == flow.rate:
+                    continue  # untouched: its completion entry stays valid
+                self._settle(flow, now)
+                flow.rate = new_rate
+                flow.gen += 1
+                if not full and new_rate > 0.0:
+                    heapq.heappush(
+                        self._completions,
+                        (now + flow.remaining / new_rate, flow.id, flow.gen),
+                    )
+            if full:
+                # Every stale heap entry just got invalidated anyway, so a
+                # wholesale rebuild (O(n) heapify, no garbage left behind)
+                # beats pushing n fresh entries onto a pile of dead ones.
+                # ``last_settled + remaining/rate`` is exact for changed
+                # (settled just now) and unchanged flows alike, because a
+                # flow's rate is constant since its last settlement.
+                self._completions = [
+                    (f.last_settled + f.remaining / f.rate, f.id, f.gen)
+                    for f in self._flows.values()
+                    if f.rate > 0.0
+                ]
+                heapq.heapify(self._completions)
+            for hook in self.on_rebalance:
+                hook(list(component.values()))
         self._arm_timer()
 
-    def _solve_rates(self) -> None:
-        """Progressive water-filling over the current flow set."""
-        flows = list(self._flows.values())
-        links: dict = {}
-        for flow in flows:
-            for link in flow.route:
-                links.setdefault(link.id, (link, []))[1].append(flow)
-
-        remaining_cap = {lid: pair[0].bandwidth for lid, pair in links.items()}
-        unfrozen: dict = {lid: set(f.id for f in pair[1]) for lid, pair in links.items()}
-        frozen_rate: dict = {}
-
-        flow_by_id = {f.id: f for f in flows}
-        while any(unfrozen.values()):
-            # Fair share offered by each link that still has unfrozen flows.
-            bottleneck_id = None
-            bottleneck_share = float("inf")
-            for lid, flow_ids in unfrozen.items():
-                if not flow_ids:
-                    continue
-                share = remaining_cap[lid] / len(flow_ids)
-                if share < bottleneck_share:
-                    bottleneck_share = share
-                    bottleneck_id = lid
-            if bottleneck_id is None:
-                break
-            # Freeze every unfrozen flow on the bottleneck at that share.
-            for fid in list(unfrozen[bottleneck_id]):
-                frozen_rate[fid] = bottleneck_share
-                flow = flow_by_id[fid]
-                for link in flow.route:
-                    lid = link.id
-                    unfrozen[lid].discard(fid)
-                    remaining_cap[lid] -= bottleneck_share
-                    if remaining_cap[lid] < 0:
-                        remaining_cap[lid] = 0.0
-
-        for flow in flows:
-            flow.rate = frozen_rate.get(flow.id, 0.0)
-
     def _arm_timer(self) -> None:
-        next_dt = float("inf")
-        for flow in self._flows.values():
-            if flow.rate > 0:
-                next_dt = min(next_dt, flow.remaining / flow.rate)
-        if next_dt == float("inf"):
+        """Point the single engine timer at the earliest live completion."""
+        heap = self._completions
+        if len(heap) > 64 and len(heap) > 4 * len(self._flows):
+            # Lazy invalidation lets stale entries pile up when rates
+            # churn (every flow sharing one bottleneck); compact before
+            # the heap outgrows the live flow set by too much.
+            flows = self._flows
+            heap = self._completions = [
+                entry for entry in heap
+                if (flow := flows.get(entry[1])) is not None
+                and flow.gen == entry[2]
+            ]
+            heapq.heapify(heap)
+        while heap:
+            _, fid, gen = heap[0]
+            flow = self._flows.get(fid)
+            if flow is None or flow.gen != gen:
+                heapq.heappop(heap)  # stale: flow gone or rate changed
+                continue
+            break
+        if not heap:
+            if self._timer_deadline is not None:
+                self._timer_gen += 1  # orphan any outstanding timer
+                self._timer_deadline = None
             return
+        deadline = heap[0][0]
+        if self._timer_deadline == deadline:
+            return  # an armed timer already covers this instant
+        self._timer_gen += 1
+        self._timer_deadline = deadline
+        generation = self._timer_gen
         # A delay below one ULP of the current clock would re-fire at the
         # *same* float timestamp forever (zero elapsed time -> zero
         # progress).  Clamp up so the clock always advances; the extra
         # sub-ulp wait is physically meaningless.
-        ulp = math.ulp(self.engine.now) if self.engine.now > 0 else 0.0
-        generation = self._timer_gen
+        now = self.engine.now
+        ulp = math.ulp(now) if now > 0 else 0.0
         timer = Event(self.engine)
         timer._ok = True
         timer._value = None
         timer.add_callback(lambda _e: self._on_timer(generation))
-        self.engine.schedule(timer, delay=max(next_dt, ulp, 0.0))
+        self.engine.schedule(timer, delay=max(deadline - now, ulp, 0.0))
 
     def _on_timer(self, generation: int) -> None:
-        if generation != self._timer_gen:
+        if generation != self._timer_gen or self._timer_deadline is None:
             return  # superseded by a later rebalance
-        self._advance()
-        self._rebalance()
+        self._timer_deadline = None
+        now = self.engine.now
+        heap = self._completions
+        finished: typing.List[_Flow] = []
+        while heap and heap[0][0] <= now:
+            _, fid, gen = heapq.heappop(heap)
+            flow = self._flows.get(fid)
+            if flow is None or flow.gen != gen:
+                continue  # stale entry
+            self._settle(flow, now)
+            deadline = now + flow.remaining / flow.rate
+            if flow.remaining <= _EPSILON_BYTES or deadline <= now:
+                # Done, or the residual streams out in under one ulp of
+                # the clock: no representable future instant exists, so
+                # finish now (_finish credits the residual exactly).
+                finished.append(flow)
+            else:
+                # Float undershoot on the final tick: re-aim at the
+                # (sub-ulp) residual instead of finishing early.
+                flow.gen += 1
+                heapq.heappush(heap, (deadline, flow.id, flow.gen))
+        seeds: typing.Dict[int, Link] = {}
+        for flow in finished:
+            self._finish(flow, now)
+            for link in flow.links:
+                seeds[link.id] = link
+        if seeds:
+            self._resolve(seeds.values())
+        else:
+            self._arm_timer()
+
+    def _finish(self, flow: _Flow, now: float) -> None:
+        """Complete a flow: credit the residual, deliver its event."""
+        if flow.remaining > 0.0:
+            # Exactness: the sub-epsilon residual still counts as carried,
+            # so per-link totals equal the payloads routed over them.
+            for link in flow.route:
+                link.bytes_carried += flow.remaining
+            flow.remaining = 0.0
+        self._remove(flow)
+        self.completed_transfers += 1
+        self.bytes_completed += flow.total_bytes
+        if self.trace is not None and self.trace.wants("flow"):
+            self.trace.emit(
+                now, "flow", "done",
+                nbytes=flow.total_bytes, duration=now - flow.started_at,
+                links=len(flow.route), rate=flow.rate,
+            )
+        if not flow.event.triggered:
+            flow.event.succeed(now - flow.started_at)

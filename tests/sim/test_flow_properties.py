@@ -80,16 +80,14 @@ class TestFlowProperties:
             for i, (bw, lat) in enumerate(link_params)
         ]
         violations = []
-        original = net._solve_rates
 
-        def checked():
-            original()
+        def checked(_flows):
             for link in links:
                 load = net.link_load(link)
                 if load > link.bandwidth * (1 + 1e-9):
                     violations.append((link.name, load, link.bandwidth))
 
-        net._solve_rates = checked
+        net.on_rebalance.append(checked)
 
         def launcher():
             now = 0.0

@@ -1,0 +1,180 @@
+"""Differential tests: incremental flow solving vs. the reference path.
+
+The incremental :class:`FlowNetwork` re-solves only the connected
+component touched by an arrival/departure and reuses frozen rates
+elsewhere; ``FlowNetwork(..., incremental=False)`` shares every line of
+code *except* component restriction (``_component`` returns all live
+flows).  These tests drive both modes — and the retained module-level
+:func:`waterfill` reference solver — through randomized scenarios and
+demand byte-identical outcomes, which is the determinism guard for the
+whole optimization: if component restriction ever changed a single
+float, the traces would diverge.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Engine, FlowNetwork, Link
+from repro.sim.flows import waterfill
+from repro.sim.trace import TraceLog
+
+
+def _build_fabric(rng, n_segments):
+    """A segmented fabric with a few cross-segment uplinks.
+
+    Mixes isolated components (where incremental solving pays off) with
+    shared links (where components merge and split as flows churn).
+    """
+    links = []
+    segments = []
+    for s in range(n_segments):
+        seg = [
+            Link(f"seg{s}-l{i}",
+                 bandwidth=rng.choice([1.0, 2.0, 4.0, 8.0]),
+                 latency=rng.choice([0.0, 20.0, 100.0]))
+            for i in range(3)
+        ]
+        segments.append(seg)
+        links.extend(seg)
+    uplinks = [
+        Link(f"up{u}", bandwidth=rng.choice([2.0, 16.0]), latency=50.0)
+        for u in range(max(1, n_segments // 2))
+    ]
+    links.extend(uplinks)
+    return links, segments, uplinks
+
+
+def _random_script(seed, n_flows=60, n_segments=4):
+    """(links, flow script) where the script is (start, route, bytes, cancel)."""
+    rng = random.Random(seed)
+    links, segments, uplinks = _build_fabric(rng, n_segments)
+    script = []
+    for _ in range(n_flows):
+        seg = segments[rng.randrange(n_segments)]
+        route = list(rng.sample(seg, rng.randint(1, 3)))
+        if rng.random() < 0.3:  # cross-segment: bridge via an uplink
+            route.append(uplinks[rng.randrange(len(uplinks))])
+            other = segments[rng.randrange(n_segments)]
+            route.append(other[rng.randrange(3)])
+        # Dedup while preserving order (a route never repeats a hop).
+        route = list(dict.fromkeys(route))
+        script.append((
+            rng.uniform(0.0, 5_000.0),            # start time
+            route,
+            float(rng.randint(1, 2_000_000)),     # bytes
+            rng.random() < 0.1,                   # cancel mid-flight?
+        ))
+    return links, script
+
+
+def _run(script_seed, incremental, with_faults=False):
+    """Execute one scenario; returns (trace events, completion stamps,
+    per-link bytes, stats tuple)."""
+    links, script = _random_script(script_seed)
+    engine = Engine()
+    trace = TraceLog(enabled={"flow"}, capacity=100_000)
+    net = FlowNetwork(engine, trace=trace, incremental=incremental)
+    stamps = []
+
+    def launcher():
+        now = 0.0
+        rng = random.Random(script_seed + 99)
+        for start, route, nbytes, cancel in sorted(
+            script, key=lambda item: item[0]
+        ):
+            if start > now:
+                yield engine.timeout(start - now)
+                now = start
+            event = net.transfer(route, nbytes)
+            event.defuse()  # fault runs kill flows; that's expected
+            event.add_callback(lambda _e: stamps.append(engine.now))
+            if cancel:
+                def canceller(ev=event, delay=rng.uniform(10.0, 2_000.0)):
+                    yield engine.timeout(delay)
+                    if not ev.processed:
+                        net.cancel(ev)
+                engine.process(canceller())
+            elif with_faults and rng.random() < 0.08:
+                victim = route[rng.randrange(len(route))]
+                def flapper(link=victim, delay=rng.uniform(10.0, 3_000.0)):
+                    yield engine.timeout(delay)
+                    net.fail_link(link)
+                    yield engine.timeout(500.0)
+                    net.restore_link(link)
+                engine.process(flapper())
+
+    engine.process(launcher())
+    engine.run()
+    events = [
+        (e.time, e.category, e.name, tuple(sorted(e.fields.items())))
+        for e in trace.events
+    ]
+    per_link = {link.name: link.bytes_carried for link in links}
+    stats = (net.completed_transfers, net.bytes_completed,
+             net.peak_active_flows)
+    return events, stamps, per_link, stats
+
+
+class TestIncrementalVsReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_traces_byte_identical(self, seed):
+        """Incremental and full-component solving must be observationally
+        indistinguishable: identical trace logs, completion stamps,
+        per-link byte counters, and aggregate stats."""
+        inc = _run(seed, incremental=True)
+        ref = _run(seed, incremental=False)
+        assert inc[0] == ref[0], "trace logs diverged"
+        assert inc[1] == ref[1], "completion stamps diverged"
+        assert inc[2] == ref[2], "per-link bytes diverged"
+        assert inc[3] == ref[3], "aggregate stats diverged"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_traces_byte_identical_under_faults(self, seed):
+        """Same, with link flaps killing and rerouting flows mid-flight."""
+        inc = _run(seed + 100, incremental=True, with_faults=True)
+        ref = _run(seed + 100, incremental=False, with_faults=True)
+        assert inc[0] == ref[0]
+        assert inc[1] == ref[1]
+        assert inc[2] == ref[2]
+        assert inc[3] == ref[3]
+
+
+class TestRatesMatchReferenceSolver:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_live_rates_equal_global_waterfill(self, seed):
+        """At every rebalance instant the incremental network's assigned
+        rates equal a from-scratch global water-filling over all live
+        flows — bitwise, not approximately."""
+        links, script = _random_script(seed + 500, n_flows=40)
+        engine = Engine()
+        net = FlowNetwork(engine, incremental=True)
+        mismatches = []
+
+        def check(_affected):
+            live = dict(net._flows)
+            if not live:
+                return
+            expected = waterfill(live)
+            actual = {fid: flow.rate for fid, flow in live.items()}
+            for fid in live:
+                if expected.get(fid, 0.0) != actual[fid]:
+                    mismatches.append((engine.now, fid,
+                                       expected.get(fid, 0.0), actual[fid]))
+
+        net.on_rebalance.append(check)
+
+        def launcher():
+            now = 0.0
+            for start, route, nbytes, _cancel in sorted(
+                script, key=lambda item: item[0]
+            ):
+                if start > now:
+                    yield engine.timeout(start - now)
+                    now = start
+                net.transfer(route, nbytes)
+
+        engine.process(launcher())
+        engine.run()
+        assert not mismatches, mismatches[:5]
+        assert net.active_flows == 0
