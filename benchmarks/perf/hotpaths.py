@@ -101,6 +101,59 @@ def bench_flows_2k(n_flows: int = 2000, segments: int = 64, seed: int = 7) -> di
     )
 
 
+def bench_flows_2k_causal(
+    n_flows: int = 2000, segments: int = 64, seed: int = 7
+) -> dict:
+    """``bench_flows_2k`` with causal tracing on: the overhead probe.
+
+    Identical workload, but the flow network carries a trace log with
+    the ``causal`` category enabled, so every waterfill freeze also
+    records the bottleneck link id and every completion pins it onto
+    the delivery event.  Only ``causal`` is enabled — the ``flow``
+    event ring is a pre-existing feature with its own cost, and this
+    bench isolates what the causal subsystem *adds*.
+    ``scripts/perf_report.py --check`` gates the wall-clock ratio
+    against plain ``flows_2k`` (<10% overhead is the acceptance bar).
+    """
+    from repro.sim.trace import TraceLog
+
+    engine = Engine()
+    net = FlowNetwork(engine, trace=TraceLog(enabled={"causal"}))
+    rng = random.Random(seed)
+    segs = [
+        (
+            Link(f"cseg{s}-a", bandwidth=2.0, latency=50.0),
+            Link(f"cseg{s}-spine", bandwidth=4.0, latency=100.0),
+            Link(f"cseg{s}-b", bandwidth=2.0, latency=50.0),
+        )
+        for s in range(segments)
+    ]
+    events: typing.List = []
+
+    def workload():
+        for i in range(n_flows):
+            seg = segs[i % segments]
+            route = seg if rng.random() < 0.7 else seg[:2]
+            nbytes = float(rng.randrange(256 * KiB, 2 * MiB))
+            events.append(net.transfer(route, nbytes))
+            if i % 100 == 99:
+                yield engine.timeout(5_000.0)
+        yield engine.all_of(events)
+
+    start = time.perf_counter()
+    engine.run(until=engine.process(workload()))
+    wall = time.perf_counter() - start
+    assert net.completed_transfers == n_flows
+    bottlenecked = sum(
+        1 for e in events if getattr(e, "_bottleneck", None) is not None
+    )
+    return _result(
+        "flows_2k_causal", wall, ops=n_flows, events=engine.events_processed,
+        peak_active_flows=net.peak_active_flows,
+        bottlenecks_recorded=bottlenecked,
+    )
+
+
 def bench_flows_shared_link(n_flows: int = 600, seed: int = 11) -> dict:
     """Worst case for incremental solving: every flow shares one core link.
 
@@ -298,6 +351,7 @@ def bench_soak_transfers(
 #: name -> zero-arg callable, the registry perf_report.py iterates.
 ALL_BENCHES: typing.Dict[str, typing.Callable[[], dict]] = {
     "flows_2k": bench_flows_2k,
+    "flows_2k_causal": bench_flows_2k_causal,
     "flows_shared_link": bench_flows_shared_link,
     "heft_500": bench_heft_500,
     "placement_fragmentation": bench_placement_fragmentation,

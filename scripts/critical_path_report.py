@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Per-job critical-path attribution report from the causal DAG.
+
+Answers "where did this job's wall-clock go?" with buckets that provably
+sum to the makespan, the straggler outliers, per-link transfer shares,
+and SLO budget state.  Two input modes::
+
+    # From a JSONL export (cluster.obs.export_jsonl("run.jsonl")):
+    python scripts/critical_path_report.py run.jsonl
+    python scripts/critical_path_report.py run.jsonl --job training
+
+    # Self-contained benchmark mode (used by CI's perf-smoke job):
+    python scripts/critical_path_report.py --bench --json attribution.json
+
+``--bench`` runs a deterministic multi-job workload (fan-out/fan-in
+DAGs with contended transfers) on the pooled rack with causal tracing
+enabled and reports on the result.  In every mode the script *verifies*
+each job's attribution — buckets must sum to the makespan within 1e-6
+relative tolerance and the reported critical path must be a real
+root-to-sink chain of recorded edges — and exits non-zero on violation
+or when ``--job`` matches nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+REL_TOL = 1e-6
+
+
+def _bench_workload():
+    """Deterministic multi-job run with causal tracing; returns its obs."""
+    from repro.dataflow import Job, RegionUsage, Task, WorkSpec
+    from repro.hardware import Cluster
+    from repro.hardware.spec import OpClass
+    from repro.runtime import RuntimeSystem
+
+    KiB, MiB = 1024, 1024 * 1024
+
+    def fan_job(name: str, width: int, payload: int) -> Job:
+        job = Job(name, global_state_size=64 * KiB)
+        source = job.add_task(Task("ingest", work=WorkSpec(
+            ops=2e5, output=RegionUsage(payload))))
+        shards = []
+        for i in range(width):
+            shard = job.add_task(Task(f"map{i}", work=WorkSpec(
+                op_class=OpClass.VECTOR, ops=5e5,
+                input_usage=RegionUsage(0),
+                scratch=RegionUsage(1 * MiB, touches=2.0),
+                output=RegionUsage(payload // width))))
+            job.connect(source, shard)
+            shards.append(shard)
+        reduce = job.add_task(Task("reduce", work=WorkSpec(
+            op_class=OpClass.MATMUL, ops=2e6,
+            input_usage=RegionUsage(0),
+            output=RegionUsage(payload // 2))))
+        for shard in shards:
+            job.connect(shard, reduce)
+        sink = job.add_task(Task("publish", work=WorkSpec(
+            ops=1e4, input_usage=RegionUsage(0),
+            state_usage=RegionUsage(8 * KiB))))
+        job.connect(reduce, sink)
+        return job
+
+    cluster = Cluster.preset("pooled-rack", seed=42)
+    rts = RuntimeSystem(cluster)
+    cluster.obs.slo.set_policy("training", target_ns=2e6, objective=0.9)
+    jobs = [
+        fan_job("training", width=4, payload=8 * MiB),
+        fan_job("training", width=4, payload=8 * MiB),
+        fan_job("analytics", width=2, payload=2 * MiB),
+    ]
+    for job in jobs:
+        stats = rts.run_job(job)
+        assert stats.ok, f"bench job {job.name} failed"
+    return cluster.obs
+
+
+def _collect(causal_jobs: dict, job_filter):
+    """Attribute every finished graph; returns (attributions, problems)."""
+    from repro.obs.causal import JobGraph, attribute_job, validate_path
+
+    attributions = []
+    problems = []
+    for key, graph_data in causal_jobs.items():
+        graph = (
+            graph_data if isinstance(graph_data, JobGraph)
+            else JobGraph.from_dict(graph_data)
+        )
+        if job_filter is not None and graph.job != job_filter:
+            continue
+        att = attribute_job(graph)
+        if att is None:
+            continue  # still in flight
+        total = sum(att["buckets"].values())
+        tolerance = REL_TOL * max(abs(att["makespan"]), 1.0)
+        if abs(total - att["makespan"]) > tolerance:
+            problems.append(
+                f"{key}: buckets sum to {total:.6f} but makespan is "
+                f"{att['makespan']:.6f}"
+            )
+        if not validate_path(graph, att["path"]):
+            problems.append(f"{key}: critical path is not a valid "
+                            f"root-to-sink chain")
+        attributions.append(att)
+    return attributions, problems
+
+
+def _format_ns(ns: float) -> str:
+    from repro.metrics.report import format_ns
+
+    return format_ns(ns)
+
+
+def _render(attributions, stragglers, slo) -> str:
+    from repro.obs.causal import BUCKETS
+
+    lines = []
+    for att in attributions:
+        makespan = att["makespan"] or 1.0
+        status = "OK" if att["ok"] else "FAILED"
+        lines.append(
+            f"job {att['job']} ({att['key']})  "
+            f"makespan {_format_ns(att['makespan'])}  [{status}]"
+        )
+        if att.get("admission_wait_ns"):
+            lines.append(
+                f"  admission wait (before submit): "
+                f"{_format_ns(att['admission_wait_ns'])}"
+            )
+        if att.get("dropped_nodes"):
+            lines.append(f"  ! graph saturated: {att['dropped_nodes']} "
+                         f"nodes dropped (degraded to unattributed)")
+        lines.append(f"  critical path: {len(att['path'])} nodes, "
+                     f"{len(att['steps'])} contributing steps")
+        for bucket in BUCKETS:
+            ns = att["buckets"][bucket]
+            if ns <= 0.0:
+                continue
+            lines.append(f"    {bucket:<18s} {_format_ns(ns):>12s}  "
+                         f"{100.0 * ns / makespan:5.1f}%")
+        if att["link_share"]:
+            ranked = sorted(att["link_share"].items(), key=lambda kv: -kv[1])
+            shares = ", ".join(
+                f"{link} {_format_ns(ns)}" for link, ns in ranked[:4]
+            )
+            lines.append(f"  transfer by link: {shares}")
+        top_tasks = sorted(
+            att["per_task"].items(), key=lambda kv: -kv[1]["total"]
+        )[:3]
+        for task, info in top_tasks:
+            lines.append(
+                f"  top contributor: {task} on {info['device'] or '?'} "
+                f"({_format_ns(info['total'])}, "
+                f"{100.0 * info['total'] / makespan:.1f}%)"
+            )
+        lines.append("")
+    if stragglers:
+        lines.append("stragglers:")
+        for entry in stragglers[:10]:
+            culprit = entry["task"] or entry["device"]
+            lines.append(
+                f"  [{entry['scope']}] {culprit} in {entry['job']}/"
+                f"{entry['bucket']}: {_format_ns(entry['ns'])} "
+                f"({entry['share']:.0%} of makespan; cohort median "
+                f"{_format_ns(entry['cohort_median'])}, "
+                f"n={entry['cohort_size']})"
+            )
+        lines.append("")
+    if slo:
+        lines.append("SLO:")
+        for workload, snap in sorted(slo.items()):
+            line = (f"  {workload}: n={snap['total']} "
+                    f"p50={_format_ns(float(snap.get('p50', 0.0)))} "
+                    f"p95={_format_ns(float(snap.get('p95', 0.0)))} "
+                    f"p99={_format_ns(float(snap.get('p99', 0.0)))}")
+            if "target_ns" in snap:
+                line += (f" target={_format_ns(float(snap['target_ns']))}"
+                         f" miss={snap['miss_fraction']:.1%}"
+                         f" budget_left={snap['budget_remaining']:.0%}"
+                         f" burn={snap['burn_rate']:.2f}")
+            lines.append(line)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Critical-path attribution report from the causal DAG."
+    )
+    parser.add_argument("jsonl", nargs="?",
+                        help="JSONL export (omit with --bench)")
+    parser.add_argument("--bench", action="store_true",
+                        help="run the built-in benchmark workload instead "
+                             "of reading an export")
+    parser.add_argument("--job", help="restrict to one job name "
+                                      "(exit 1 when it recorded nothing)")
+    parser.add_argument("--json", type=pathlib.Path, metavar="PATH",
+                        help="also write the attribution artifact as JSON")
+    args = parser.parse_args(argv)
+
+    if args.bench == (args.jsonl is not None):
+        parser.error("provide exactly one of: a JSONL export, or --bench")
+
+    from repro.obs.causal import detect_stragglers
+
+    if args.bench:
+        obs = _bench_workload()
+        causal_jobs = dict(obs.causal.jobs)
+        slo = obs.slo.snapshot()
+    else:
+        from repro.obs.export import load_jsonl
+
+        try:
+            data = load_jsonl(args.jsonl)
+        except OSError as exc:
+            print(f"error: cannot read {args.jsonl}: {exc}", file=sys.stderr)
+            return 1
+        causal_jobs = data.get("causal", {}).get("jobs", {})
+        slo = data.get("slo", {})
+
+    attributions, problems = _collect(causal_jobs, args.job)
+    if not attributions:
+        target = f"job {args.job!r}" if args.job else "any job"
+        print(f"error: no causal data recorded for {target} "
+              f"(was the 'causal' trace category enabled?)", file=sys.stderr)
+        return 1
+
+    stragglers = detect_stragglers(attributions)
+    print(_render(attributions, stragglers, slo))
+
+    if args.json:
+        artifact = {
+            "generated_by": "scripts/critical_path_report.py",
+            "jobs": attributions,
+            "stragglers": stragglers,
+            "slo": slo,
+            "verified": not problems,
+        }
+        args.json.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if problems:
+        for problem in problems:
+            print(f"VERIFICATION FAILED: {problem}", file=sys.stderr)
+        return 2
+    print(f"verified: {len(attributions)} job(s), buckets sum to makespan, "
+          f"critical paths valid")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        raise SystemExit(0)

@@ -6,11 +6,17 @@ a run, then inspect it offline::
 
     python scripts/obs_report.py run.jsonl
     python scripts/obs_report.py run.jsonl --job training
+    python scripts/obs_report.py run.jsonl --category recovery
     python scripts/obs_report.py run.jsonl --metrics
 
 The dashboard shows per-job makespans and handover economics (zero-copy
-ratio), per-device utilization timelines, per-link bytes, and trace-ring
-health (retained vs. dropped events per category).
+ratio), critical-path attribution and SLO budgets (when the run traced
+the ``causal`` category), per-device utilization timelines, per-link
+bytes, and trace-ring health (retained vs. dropped events per category).
+
+``--job``/``--category`` make the report *assertive*: when the export
+recorded nothing for the requested job or category the script prints an
+error and exits non-zero, so CI pipelines can depend on it.
 """
 
 from __future__ import annotations
@@ -29,6 +35,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument("jsonl", help="path to a file written by export_jsonl()")
     parser.add_argument("--job", help="restrict the job table to one job name")
+    parser.add_argument(
+        "--category",
+        help="require trace events of this category (exit 1 when none)",
+    )
     parser.add_argument(
         "--width", type=int, default=40,
         help="sparkline width in columns (default 40)",
@@ -51,6 +61,40 @@ def main(argv=None) -> int:
     except ValueError as exc:
         print(f"error: {args.jsonl} is not a JSONL export: {exc}", file=sys.stderr)
         return 1
+
+    if args.job is not None:
+        recorded = (
+            any(
+                event.get("cat") == "job"
+                and event.get("fields", {}).get("job") == args.job
+                for event in data.get("events", [])
+            )
+            or any(
+                graph.get("job") == args.job
+                for graph in data.get("causal", {}).get("jobs", {}).values()
+            )
+            or args.job in data.get("slo", {})
+        )
+        if not recorded:
+            print(
+                f"error: nothing recorded for job {args.job!r} in "
+                f"{args.jsonl}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.category is not None:
+        count = sum(
+            1 for event in data.get("events", [])
+            if event.get("cat") == args.category
+        )
+        if count == 0:
+            print(
+                f"error: no events of category {args.category!r} in "
+                f"{args.jsonl} (was the category enabled?)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"[{args.category}] {count} events retained\n")
 
     print(render_dashboard(data, job=args.job, width=args.width))
 

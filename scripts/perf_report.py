@@ -48,7 +48,8 @@ def run_benches(names=None) -> dict:
     return results
 
 
-def check(current: dict, baseline: dict, threshold: float) -> int:
+def check(current: dict, baseline: dict, threshold: float,
+          causal_overhead: float = 1.10) -> int:
     """Compare wall-clock against the checked-in baseline; 0 = pass."""
     failures = []
     for name, result in current.items():
@@ -64,8 +65,23 @@ def check(current: dict, baseline: dict, threshold: float) -> int:
         )
         if ratio > threshold:
             failures.append((name, ratio))
+
+    # Causal tracing must stay cheap: gate the same-machine, same-run
+    # wall ratio of the traced flow bench against the plain one.
+    plain = current.get("flows_2k")
+    traced = current.get("flows_2k_causal")
+    if plain and traced:
+        ratio = traced["wall_s"] / max(plain["wall_s"], 1e-9)
+        verdict = "OK" if ratio <= causal_overhead else "REGRESSION"
+        print(
+            f"  causal overhead: flows_2k_causal / flows_2k = {ratio:.3f}x "
+            f"(max {causal_overhead:.2f}x) {verdict}"
+        )
+        if ratio > causal_overhead:
+            failures.append(("causal_overhead", ratio))
+
     if failures:
-        print(f"FAIL: {len(failures)} bench(es) regressed >{threshold}x: "
+        print(f"FAIL: {len(failures)} check(s) failed: "
               + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures))
         return 1
     print("all benches within threshold")
@@ -85,6 +101,9 @@ def main(argv=None) -> int:
                              "instead of rewriting them")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="max allowed wall-clock ratio in --check mode")
+    parser.add_argument("--causal-overhead", type=float, default=1.10,
+                        help="max allowed flows_2k_causal/flows_2k wall "
+                             "ratio in --check mode (default 1.10)")
     args = parser.parse_args(argv)
 
     existing = {}
@@ -94,7 +113,16 @@ def main(argv=None) -> int:
     current = run_benches(set(args.bench) or None)
 
     if args.check:
-        return check(current, existing.get("after", {}), args.threshold)
+        if "flows_2k" in current and "flows_2k_causal" in current:
+            # The overhead gate compares two ~100ms sections; one noisy
+            # scheduler hiccup would flake CI.  Re-run the pair once and
+            # keep the faster sample of each.
+            rerun = run_benches({"flows_2k", "flows_2k_causal"})
+            for name, result in rerun.items():
+                if result["wall_s"] < current[name]["wall_s"]:
+                    current[name] = result
+        return check(current, existing.get("after", {}), args.threshold,
+                     causal_overhead=args.causal_overhead)
 
     after = dict(existing.get("after", {}))
     after.update(current)

@@ -65,6 +65,9 @@ class RecoveryOrchestrator:
         yield self.cluster.engine.timeout(self.detection_delay_ns)
         started = self.cluster.engine.now
         self.stats.repairs_started += 1
+        self.cluster.obs.causal.note_fault(
+            "repair_started", fault.target, started
+        )
         span = self.cluster.obs.begin_span(
             "recovery", "repair_done", target=fault.target,
         )
@@ -82,6 +85,10 @@ class RecoveryOrchestrator:
             self.stats.shards_rebuilt += shards
             self.stats.repairs_completed += 1
             self.stats.total_repair_time_ns += self.cluster.engine.now - started
+            self.cluster.obs.causal.note_fault(
+                "repair_done", fault.target, self.cluster.engine.now,
+                shards=shards,
+            )
             if span:
                 span.set(duration=self.cluster.engine.now - started, shards=shards)
         finally:

@@ -182,6 +182,7 @@ class Cluster:
         backoff_ns: float = 10_000.0,
         backoff_factor: float = 2.0,
         timeout_ns: typing.Optional[float] = None,
+        report: typing.Optional[list] = None,
     ):
         """Generator: :meth:`transfer` with timeout, retry-with-backoff,
         and reroute semantics for faults landing mid-flight.
@@ -195,6 +196,11 @@ class Cluster:
         ``retries`` re-attempts the last error propagates to the caller.
         Yields from a simulation process; returns the transfer duration
         of the successful attempt.
+
+        ``report``, when given, receives one dict describing the
+        successful attempt — bytes, duration, retry count, and the
+        bottleneck link the waterfill froze the flow at (``None`` when
+        causal tracing is off or the transfer never contended).
         """
         from repro.hardware.interconnect import NoRouteError
         from repro.sim.flows import LinkDown, TransferTimeout
@@ -216,6 +222,13 @@ class Cluster:
                     if not done._ok:  # lost a same-timestamp race
                         raise done._value
                     duration = done._value
+                if report is not None:
+                    report.append({
+                        "src": src_memory, "dst": dst_memory,
+                        "bytes": nbytes, "duration": duration,
+                        "attempts": attempt + 1,
+                        "link": getattr(done, "_bottleneck", None),
+                    })
                 return duration
             except (LinkDown, TransferTimeout, NoRouteError) as exc:
                 if attempt >= retries:

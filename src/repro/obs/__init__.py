@@ -30,13 +30,16 @@ from __future__ import annotations
 import typing
 from itertools import count
 
+from repro.obs.causal import CausalTracer
 from repro.obs.metrics import (
     Counter,
     Gauge,
+    LatencyHistogram,
     MetricsRegistry,
     TimeWeightedHistogram,
     Timeline,
 )
+from repro.obs.slo import SloTracker
 from repro.obs.span import NOOP_SPAN, Span
 from repro.sim.trace import TraceLog
 
@@ -63,6 +66,10 @@ class Observability:
         self.trace = trace if trace is not None else TraceLog()
         self.engine = engine
         self.registry = MetricsRegistry()
+        #: Causal DAG recorder (gated on the "causal" trace category).
+        self.causal = CausalTracer(self)
+        #: Per-workload latency percentiles + error-budget accounting.
+        self.slo = SloTracker()
         self._stack: typing.List[Span] = []
         self._span_ids = count(1)
 
@@ -156,6 +163,8 @@ class Observability:
             },
             "events": [event_record(e) for e in self.trace.events],
             "metrics": self.registry.snapshot(),
+            "causal": self.causal.data(),
+            "slo": self.slo.snapshot(),
         }
 
     def export_jsonl(self, path: str) -> int:
@@ -165,10 +174,11 @@ class Observability:
         return write_jsonl(path, self)
 
     def write_chrome_trace(self, path: str) -> None:
-        """Dump the retained trace for chrome://tracing / Perfetto."""
+        """Dump the retained trace for chrome://tracing / Perfetto,
+        including "s"/"f" flow events for recorded causal edges."""
         from repro.obs.export import write_chrome_trace
 
-        write_chrome_trace(path, self.trace)
+        write_chrome_trace(path, self.trace, causal=self.causal.data())
 
     def dashboard(self, job: typing.Optional[str] = None) -> str:
         """Render the live run's text dashboard."""
@@ -178,11 +188,14 @@ class Observability:
 
 
 __all__ = [
+    "CausalTracer",
     "Counter",
     "Gauge",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NOOP_SPAN",
     "Observability",
+    "SloTracker",
     "Span",
     "TimeWeightedHistogram",
     "Timeline",

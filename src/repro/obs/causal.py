@@ -1,0 +1,574 @@
+"""Causal critical-path analysis: where did a job's wall-clock go?
+
+Raw spans (``repro.obs.span``) record that phases *happened*; they
+cannot answer "why did this job take 4.2s" when the cause is a transfer
+stalled behind a shared link or a SUSPECT-node retry.  This module turns
+the span tree into a **causal DAG** recorded at emission time:
+
+* every job owns a :class:`JobGraph` of interval nodes (``CausalNode``)
+  — dependency waits, queue waits, compute/memory phases, handovers,
+  recovery intervals — connected by typed edges (``spawn``, ``seq``,
+  ``data_dep``, ``queue``, ``retry``, ``finish``);
+* :func:`critical_path` walks the DAG backward from the sink, always
+  following the predecessor that finished *last* — the causally binding
+  chain;
+* :func:`attribute_job` converts that path into wall-clock **attribution
+  buckets** that provably sum to the job's makespan: walking the path
+  forward, each step's interval ``[prev_end, node.end]`` splits into a
+  *gap* (time no recorded node explains → ``unattributed``) and an
+  *active* part (→ the node's bucket).  The per-step intervals telescope
+  from ``submitted_at`` to ``finished_at`` exactly, so the identity
+  ``sum(buckets) == makespan`` holds by construction — even when the
+  graph hit its node cap and degraded.
+
+On top of the DAG: :func:`detect_stragglers` flags tasks/devices whose
+critical-path contribution is a robust outlier (median + k·MAD) within
+their phase cohort, and transfer nodes carry the **bottleneck link**
+frozen by the max–min waterfill (``sim/flows.py``), so the transfer
+bucket breaks down into per-link shares.
+
+Everything here is gated on the ``"causal"`` trace category: when it is
+disabled (``TraceLog(enabled=...)`` without ``"causal"``), the tracer
+records nothing and the wiring in ``rts.py`` et al. costs one attribute
+check per call site.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+
+#: The attribution buckets, in report order.  ``unattributed`` absorbs
+#: gaps between recorded nodes (and anything a saturated graph dropped),
+#: which is what keeps the sum-to-makespan identity unconditional.
+BUCKETS = (
+    "dependency_wait",
+    "queue_wait",
+    "compute",
+    "transfer",
+    "ownership_stall",
+    "recovery_retry",
+    "admission_backoff",
+    "unattributed",
+)
+
+#: Edge kinds (DESIGN.md documents which call site emits each).
+EDGE_KINDS = ("spawn", "seq", "data_dep", "queue", "retry", "finish")
+
+
+class CausalNode:
+    """One interval in a job's causal DAG."""
+
+    __slots__ = ("id", "kind", "bucket", "begin", "end", "task", "device",
+                 "fields")
+
+    def __init__(self, nid, kind, bucket, begin, end, task, device, fields):
+        self.id = nid
+        self.kind = kind
+        self.bucket = bucket
+        self.begin = float(begin)
+        self.end = float(end)
+        self.task = task
+        self.device = device
+        self.fields = fields
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.begin)
+
+    def __repr__(self) -> str:
+        return (f"<CausalNode #{self.id} {self.kind} [{self.begin:.0f},"
+                f"{self.end:.0f}] {self.task}>")
+
+
+class JobGraph:
+    """The causal DAG of one job execution.
+
+    Nodes are appended in emission order, so node ids increase along
+    simulated time and every edge points from a lower id to a higher id
+    — the DAG is acyclic by construction and backward walks terminate.
+    """
+
+    def __init__(self, key: str, job: str, submitted_at: float,
+                 max_nodes: int = 100_000):
+        self.key = key
+        self.job = job
+        self.submitted_at = float(submitted_at)
+        self.finished_at: typing.Optional[float] = None
+        self.ok: typing.Optional[bool] = None
+        self.max_nodes = max_nodes
+        self.nodes: typing.Dict[int, CausalNode] = {}
+        #: dst node id -> list of (src node id, edge kind)
+        self.in_edges: typing.Dict[int, typing.List[typing.Tuple[int, str]]] = {}
+        self.dropped_nodes = 0
+        #: Time the job waited in an admission queue *before* submit
+        #: (outside the makespan; reported as a supplementary row).
+        self.admission_wait_ns = 0.0
+        #: Free-form job-level annotations (est_makespan, retry_of, ...).
+        self.fields: typing.Dict[str, object] = {}
+        self._next_id = 0
+        self.root = self.add_node("submit", None, submitted_at, submitted_at)
+        self.sink: typing.Optional[int] = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(
+        self,
+        kind: str,
+        bucket: typing.Optional[str],
+        begin: float,
+        end: float,
+        task: str = "",
+        device: str = "",
+        parents: typing.Iterable = (),
+        detached: bool = False,
+        **fields,
+    ) -> typing.Optional[int]:
+        """Append a node; returns its id, or ``None`` when the graph is
+        at its node cap (the dropped interval degrades to
+        ``unattributed`` without breaking the sum identity).
+
+        ``parents`` is an iterable of node ids or ``(node_id, edge_kind)``
+        pairs; bare ids get a ``seq`` edge.  A non-detached node with no
+        surviving parent is chained to the root (``spawn``), so every
+        node reachable from the sink has a path back to the root.
+        """
+        if len(self.nodes) >= self.max_nodes:
+            self.dropped_nodes += 1
+            return None
+        nid = self._next_id
+        self._next_id += 1
+        self.nodes[nid] = CausalNode(
+            nid, kind, bucket, begin, end, task, device, fields
+        )
+        linked = False
+        for parent in parents:
+            if isinstance(parent, tuple):
+                src, edge_kind = parent
+            else:
+                src, edge_kind = parent, "seq"
+            if self.add_edge(src, nid, edge_kind):
+                linked = True
+        if not linked and not detached and nid != 0:
+            self.add_edge(self.root, nid, "spawn")
+        return nid
+
+    def add_edge(self, src: typing.Optional[int], dst: int, kind: str) -> bool:
+        """Record a causal edge; rejects dangling/backward references
+        (dropped parents, cross-job ids) instead of corrupting the DAG."""
+        if src is None or src not in self.nodes or dst not in self.nodes:
+            return False
+        if src >= dst:
+            return False
+        self.in_edges.setdefault(dst, []).append((src, kind))
+        return True
+
+    def finish(self, time: float, ok: bool,
+               parents: typing.Iterable = ()) -> typing.Optional[int]:
+        """Close the graph with a sink node at the job's finish time
+        (idempotent: only the first finish defines the sink)."""
+        if self.sink is not None:
+            return self.sink
+        self.finished_at = float(time)
+        self.ok = ok
+        # The sink must exist even at the node cap: steal headroom.
+        if len(self.nodes) >= self.max_nodes:
+            self.max_nodes = len(self.nodes) + 1
+        self.sink = self.add_node(
+            "finish", None, time, time,
+            parents=[
+                (p if isinstance(p, tuple) else (p, "finish"))
+                for p in parents
+            ],
+        )
+        return self.sink
+
+    @property
+    def makespan(self) -> typing.Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def edge_list(self) -> typing.List[typing.Tuple[int, int, str]]:
+        return [
+            (src, dst, kind)
+            for dst, srcs in sorted(self.in_edges.items())
+            for src, kind in srcs
+        ]
+
+    # -- interchange -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSONL-ready shape (``export.write_jsonl`` emits one per job)."""
+        return {
+            "key": self.key,
+            "job": self.job,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "ok": self.ok,
+            "root": self.root,
+            "sink": self.sink,
+            "dropped_nodes": self.dropped_nodes,
+            "admission_wait_ns": self.admission_wait_ns,
+            "fields": dict(self.fields),
+            "nodes": [
+                [n.id, n.kind, n.bucket, n.begin, n.end, n.task, n.device,
+                 n.fields]
+                for n in self.nodes.values()
+            ],
+            "edges": self.edge_list(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobGraph":
+        graph = cls.__new__(cls)
+        graph.key = data["key"]
+        graph.job = data["job"]
+        graph.submitted_at = float(data["submitted_at"])
+        finished = data.get("finished_at")
+        graph.finished_at = None if finished is None else float(finished)
+        graph.ok = data.get("ok")
+        graph.max_nodes = len(data["nodes"]) + 1
+        graph.dropped_nodes = int(data.get("dropped_nodes", 0))
+        graph.admission_wait_ns = float(data.get("admission_wait_ns", 0.0))
+        graph.fields = dict(data.get("fields", {}))
+        graph.nodes = {}
+        for nid, kind, bucket, begin, end, task, device, fields in data["nodes"]:
+            graph.nodes[int(nid)] = CausalNode(
+                int(nid), kind, bucket, begin, end, task, device,
+                dict(fields or {}),
+            )
+        graph._next_id = (max(graph.nodes) + 1) if graph.nodes else 0
+        graph.in_edges = {}
+        for src, dst, kind in data.get("edges", []):
+            graph.in_edges.setdefault(int(dst), []).append((int(src), kind))
+        graph.root = int(data.get("root", 0))
+        sink = data.get("sink")
+        graph.sink = None if sink is None else int(sink)
+        return graph
+
+
+class CausalTracer:
+    """Per-run registry of job graphs plus cross-job causal context.
+
+    Owned by :class:`~repro.obs.Observability` as ``obs.causal``.  All
+    emission is gated on the ``"causal"`` trace category; ``job_begin``
+    returns ``None`` when it is off and every call site short-circuits
+    on that.
+    """
+
+    CATEGORY = "causal"
+
+    def __init__(self, obs: "Observability", max_jobs: int = 256,
+                 max_nodes_per_job: int = 100_000):
+        self.obs = obs
+        self.max_jobs = max_jobs
+        self.max_nodes_per_job = max_nodes_per_job
+        #: job key -> JobGraph, in begin order (oldest evicted first).
+        self.jobs: "collections.OrderedDict[str, JobGraph]" = (
+            collections.OrderedDict()
+        )
+        self.dropped_jobs = 0
+        #: device name -> (job key, node id, task) of the last slot
+        #: release observed there; same-job successors turn it into a
+        #: ``queue`` edge, cross-job successors into a ``blocked_by``
+        #: annotation (per-job graphs stay self-contained).
+        self._slot_release: typing.Dict[str, typing.Tuple[str, int, str]] = {}
+        #: Bounded log of cluster-level causes (fault detections, drains,
+        #: repairs) that retry nodes cite as their root cause.
+        self.faults: typing.Deque[dict] = collections.deque(maxlen=256)
+        #: Bounded log of placement rejections (recovery context).
+        self.rejection_log: typing.Deque[dict] = collections.deque(maxlen=256)
+        self.rejections = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.obs.trace.wants(self.CATEGORY)
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def job_begin(self, key: str, job: str,
+                  submitted_at: typing.Optional[float] = None
+                  ) -> typing.Optional[JobGraph]:
+        """Open a graph for a job; ``None`` when causal tracing is off."""
+        if not self.enabled:
+            return None
+        if submitted_at is None:
+            submitted_at = self.obs.now()
+        graph = JobGraph(key, job, submitted_at,
+                         max_nodes=self.max_nodes_per_job)
+        self.jobs[key] = graph
+        while len(self.jobs) > self.max_jobs:
+            self.jobs.popitem(last=False)
+            self.dropped_jobs += 1
+        return graph
+
+    def job_finish(self, graph: JobGraph, time: float, ok: bool,
+                   parents: typing.Iterable = ()) -> None:
+        graph.finish(time, ok, parents)
+
+    def link_retry(self, prev_key: str, new_key: str) -> None:
+        """Annotate a job-level retry chain (``resilience.py``)."""
+        new = self.jobs.get(new_key)
+        if new is not None:
+            new.fields["retry_of"] = prev_key
+        prev = self.jobs.get(prev_key)
+        if prev is not None:
+            prev.fields["retried_as"] = new_key
+
+    # -- cross-job context -------------------------------------------------
+
+    def note_slot_release(self, device: str, job_key: str, node_id: int,
+                          task: str) -> None:
+        self._slot_release[device] = (job_key, node_id, task)
+
+    def last_slot_release(
+        self, device: str
+    ) -> typing.Optional[typing.Tuple[str, int, str]]:
+        return self._slot_release.get(device)
+
+    def note_fault(self, kind: str, target: str, time: float, **fields) -> None:
+        """Record a cluster-level cause (fault detection, drain, repair)."""
+        if not self.enabled:
+            return
+        entry = {"kind": kind, "target": target, "time": time}
+        entry.update(fields)
+        self.faults.append(entry)
+
+    def last_fault(self, target: str) -> typing.Optional[dict]:
+        for entry in reversed(self.faults):
+            if entry["target"] == target:
+                return entry
+        return None
+
+    def note_rejection(self, owner, name: str, reason: str,
+                       time: float) -> None:
+        self.rejections += 1
+        if self.enabled:
+            self.rejection_log.append({
+                "owner": str(owner), "region": name, "reason": reason,
+                "time": time,
+            })
+
+    # -- export ------------------------------------------------------------
+
+    def data(self) -> dict:
+        """The tracer's state in the JSONL/dashboard interchange shape."""
+        return {
+            "jobs": {key: g.to_dict() for key, g in self.jobs.items()},
+            "dropped_jobs": self.dropped_jobs,
+            "faults": list(self.faults),
+            "rejections": self.rejections,
+        }
+
+
+# -- analysis ---------------------------------------------------------------
+
+
+def critical_path(graph: JobGraph) -> typing.List[int]:
+    """Root-to-sink node ids along the causally binding chain.
+
+    From the sink, repeatedly step to the predecessor with the latest
+    end time (ties broken toward the later-emitted node): that
+    predecessor is the one the current node actually waited for.  Edges
+    always point from a lower node id to a higher one, so the walk
+    strictly decreases and terminates at the root.  Empty when the job
+    has not finished.
+    """
+    if graph.sink is None or graph.sink not in graph.nodes:
+        return []
+    path = [graph.sink]
+    nodes = graph.nodes
+    cur = graph.sink
+    while cur != graph.root:
+        preds = graph.in_edges.get(cur)
+        if not preds:
+            break  # only the root may be predecessor-free
+        cur = max(preds, key=lambda e: (nodes[e[0]].end, e[0]))[0]
+        path.append(cur)
+    path.reverse()
+    return path
+
+
+def attribute_job(graph: JobGraph) -> typing.Optional[dict]:
+    """Wall-clock attribution of one finished job; ``None`` in flight.
+
+    Returns ``{job, key, ok, makespan, buckets, path, steps, per_task,
+    link_share, ...}`` where ``sum(buckets.values()) == makespan``
+    exactly (up to float addition): the forward walk splits every step's
+    interval ``[prev_end, node.end]`` into gap → ``unattributed`` and
+    active → the node's bucket, and those intervals telescope from
+    ``submitted_at`` to ``finished_at``.
+    """
+    if graph.finished_at is None:
+        return None
+    path = critical_path(graph)
+    buckets = {bucket: 0.0 for bucket in BUCKETS}
+    steps: typing.List[dict] = []
+    per_task: typing.Dict[str, dict] = {}
+    link_share: typing.Dict[str, float] = {}
+    prev_end = graph.submitted_at
+    for nid in path:
+        node = graph.nodes[nid]
+        if nid == graph.root:
+            prev_end = max(prev_end, node.end)
+            continue
+        if node.end <= prev_end:
+            continue  # fully overlapped by the previous step: contributes 0
+        gap = max(0.0, node.begin - prev_end)
+        active = node.end - max(node.begin, prev_end)
+        bucket = node.bucket if node.bucket in buckets else "unattributed"
+        if gap > 0.0:
+            buckets["unattributed"] += gap
+        buckets[bucket] += active
+        if active > 0.0:
+            steps.append({
+                "node": nid, "kind": node.kind, "bucket": bucket,
+                "task": node.task, "device": node.device, "ns": active,
+                "begin": max(node.begin, prev_end), "end": node.end,
+            })
+            if node.task:
+                entry = per_task.setdefault(
+                    node.task, {"total": 0.0, "device": node.device,
+                                "buckets": {}}
+                )
+                entry["total"] += active
+                if node.device:
+                    entry["device"] = node.device
+                entry["buckets"][bucket] = (
+                    entry["buckets"].get(bucket, 0.0) + active
+                )
+            if bucket == "transfer":
+                _share_links(node, active, link_share)
+        prev_end = node.end
+    if graph.finished_at > prev_end:
+        # A saturated graph can leave the tail unexplained; keep the sum.
+        buckets["unattributed"] += graph.finished_at - prev_end
+    return {
+        "job": graph.job,
+        "key": graph.key,
+        "ok": graph.ok,
+        "submitted_at": graph.submitted_at,
+        "finished_at": graph.finished_at,
+        "makespan": graph.finished_at - graph.submitted_at,
+        "buckets": buckets,
+        "path": path,
+        "steps": steps,
+        "per_task": per_task,
+        "link_share": link_share,
+        "admission_wait_ns": graph.admission_wait_ns,
+        "dropped_nodes": graph.dropped_nodes,
+        "fields": dict(graph.fields),
+    }
+
+
+def _share_links(node: CausalNode, active: float,
+                 link_share: typing.Dict[str, float]) -> None:
+    """Split a transfer node's critical time across its bottleneck links
+    (proportional to per-copy durations), recorded by the waterfill."""
+    copies = node.fields.get("copies") or ()
+    total = sum(float(c.get("duration", 0.0)) for c in copies)
+    if total <= 0.0:
+        key = node.fields.get("link") or node.fields.get("backing") or "(local)"
+        link_share[str(key)] = link_share.get(str(key), 0.0) + active
+        return
+    for copy in copies:
+        key = str(copy.get("link") or "(uncontended)")
+        frac = float(copy.get("duration", 0.0)) / total
+        link_share[key] = link_share.get(key, 0.0) + active * frac
+
+
+def quantile(sorted_values: typing.Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    if q <= 0.0:
+        return sorted_values[0]
+    if q >= 1.0:
+        return sorted_values[-1]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= len(sorted_values):
+        return sorted_values[-1]
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac
+
+
+def detect_stragglers(
+    attributions: typing.Sequence[dict],
+    mad_k: float = 3.0,
+    min_share: float = 0.05,
+    min_cohort: int = 4,
+) -> typing.List[dict]:
+    """Tasks/devices whose critical-path contribution is a robust outlier.
+
+    Cohorts pool per-task bucket contributions across all runs of the
+    same job name (phase cohort); a member is flagged when its
+    contribution exceeds ``median + mad_k · 1.4826 · MAD`` *and* at
+    least ``min_share`` of its job's makespan.  Devices are tested the
+    same way over per-device aggregates.  Small cohorts
+    (< ``min_cohort``) are skipped — no robust statistic exists there.
+    """
+    task_cohorts: typing.Dict[tuple, list] = {}
+    device_cohorts: typing.Dict[tuple, list] = {}
+    for att in attributions:
+        makespan = att["makespan"] or 1.0
+        per_device: typing.Dict[tuple, float] = {}
+        for task, info in att["per_task"].items():
+            for bucket, ns in info["buckets"].items():
+                task_cohorts.setdefault((att["job"], bucket), []).append({
+                    "task": task, "device": info.get("device", ""),
+                    "job": att["job"], "key": att["key"],
+                    "ns": ns, "share": ns / makespan,
+                })
+                dev = info.get("device", "")
+                if dev:
+                    cell = (att["job"], bucket, dev, att["key"])
+                    per_device[cell] = per_device.get(cell, 0.0) + ns
+        for (job, bucket, dev, key), ns in per_device.items():
+            device_cohorts.setdefault((job, bucket, dev), []).append({
+                "device": dev, "job": job, "key": key,
+                "ns": ns, "share": ns / makespan,
+            })
+
+    flagged: typing.List[dict] = []
+    for scope, cohorts in (("task", task_cohorts), ("device", device_cohorts)):
+        for cohort_key, members in cohorts.items():
+            if len(members) < min_cohort:
+                continue
+            values = sorted(m["ns"] for m in members)
+            med = quantile(values, 0.5)
+            mad = quantile(sorted(abs(v - med) for v in values), 0.5)
+            threshold = med + mad_k * 1.4826 * mad
+            for member in members:
+                if member["ns"] > threshold and member["share"] >= min_share:
+                    flagged.append({
+                        "scope": scope,
+                        "job": member["job"],
+                        "bucket": cohort_key[1],
+                        "task": member.get("task", ""),
+                        "device": member.get("device", ""),
+                        "key": member["key"],
+                        "ns": member["ns"],
+                        "share": member["share"],
+                        "cohort_median": med,
+                        "threshold": threshold,
+                        "cohort_size": len(members),
+                    })
+    flagged.sort(key=lambda f: -f["ns"])
+    return flagged
+
+
+def validate_path(graph: JobGraph, path: typing.Sequence[int]) -> bool:
+    """Is ``path`` a real root-to-sink chain of recorded edges?"""
+    if not path:
+        return False
+    if path[0] != graph.root or path[-1] != graph.sink:
+        return False
+    for src, dst in zip(path, path[1:]):
+        if not any(s == src for s, _k in graph.in_edges.get(dst, ())):
+            return False
+    return True

@@ -3,8 +3,10 @@
 Renders the cross-layer view Challenge 8(1) asks for, from either a
 live :class:`~repro.obs.Observability` snapshot or a loaded JSONL export
 (:func:`repro.obs.export.load_jsonl`): per-job makespans and handover
-economics, per-device utilization timelines (unicode sparklines over the
-occupancy change points), per-link bytes, and trace-ring health.
+economics, critical-path attribution (where each job's wall-clock went,
+from the causal DAG), stragglers, SLO budget state, per-device
+utilization timelines (unicode sparklines over the occupancy change
+points), per-link bytes, and trace-ring health.
 """
 
 from __future__ import annotations
@@ -12,8 +14,26 @@ from __future__ import annotations
 import typing
 
 from repro.metrics.report import Table, format_bytes, format_ns
+from repro.obs.causal import (
+    BUCKETS,
+    JobGraph,
+    attribute_job,
+    detect_stragglers,
+)
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: Column headers for the attribution table, in BUCKETS order.
+_BUCKET_SHORT = {
+    "dependency_wait": "dep",
+    "queue_wait": "queue",
+    "compute": "compute",
+    "transfer": "xfer",
+    "ownership_stall": "own",
+    "recovery_retry": "recov",
+    "admission_backoff": "adm",
+    "unattributed": "other",
+}
 
 
 def sparkline(
@@ -101,6 +121,74 @@ def render_dashboard(
         job_rows += 1
     if job_rows:
         sections.append(jobs.render())
+
+    # -- critical-path attribution ---------------------------------------
+    attributions = []
+    for graph_data in (data.get("causal") or {}).get("jobs", {}).values():
+        if job is not None and graph_data.get("job") != job:
+            continue
+        att = attribute_job(JobGraph.from_dict(graph_data))
+        if att is not None:
+            attributions.append(att)
+    if attributions:
+        att_table = Table(
+            ["job", "ok", "makespan"]
+            + [_BUCKET_SHORT[b] for b in BUCKETS],
+            title="Critical-path attribution (% of makespan)",
+        )
+        for att in attributions:
+            makespan = att["makespan"] or 1.0
+            att_table.add_row(
+                att["job"],
+                "yes" if att["ok"] else "FAILED",
+                format_ns(att["makespan"]),
+                *[f"{100.0 * att['buckets'][b] / makespan:.0f}%"
+                  for b in BUCKETS],
+            )
+        sections.append(att_table.render())
+
+        flagged = detect_stragglers(attributions)
+        if flagged:
+            straggler_table = Table(
+                ["scope", "job", "bucket", "culprit", "time", "share",
+                 "cohort median"],
+                title="Stragglers (robust outliers in their phase cohort)",
+            )
+            for entry in flagged[:10]:
+                straggler_table.add_row(
+                    entry["scope"], entry["job"], entry["bucket"],
+                    entry["task"] or entry["device"],
+                    format_ns(entry["ns"]), f"{entry['share']:.0%}",
+                    format_ns(entry["cohort_median"]),
+                )
+            sections.append(straggler_table.render())
+
+    # -- SLO budgets -----------------------------------------------------
+    slo = data.get("slo") or {}
+    slo_rows = [
+        snap for workload, snap in sorted(slo.items())
+        if job is None or workload == job or workload == f"{job}@e2e"
+    ]
+    if slo_rows:
+        slo_table = Table(
+            ["workload", "n", "p50", "p95", "p99", "worst", "target",
+             "miss", "budget left", "burn"],
+            title="SLO",
+        )
+        for snap in slo_rows:
+            has_policy = "target_ns" in snap
+            slo_table.add_row(
+                snap["workload"], snap["total"],
+                format_ns(float(snap.get("p50", 0.0))),
+                format_ns(float(snap.get("p95", 0.0))),
+                format_ns(float(snap.get("p99", 0.0))),
+                format_ns(float(snap.get("worst_ns", 0.0))),
+                format_ns(float(snap["target_ns"])) if has_policy else "-",
+                f"{snap['miss_fraction']:.1%}" if has_policy else "-",
+                f"{snap['budget_remaining']:.0%}" if has_policy else "-",
+                f"{snap['burn_rate']:.2f}" if has_policy else "-",
+            )
+        sections.append(slo_table.render())
 
     # -- per-device utilization timelines --------------------------------
     util = Table(["device", f"occupancy timeline (t→{format_ns(now or 0)})",

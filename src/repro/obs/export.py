@@ -6,11 +6,19 @@ per line, with three record kinds —
 
 * ``{"kind": "meta", ...}`` — clock, trace ring health (drop counts);
 * ``{"kind": "event", ...}`` — one trace event (spans carry ``begin``);
-* ``{"kind": "metric", ...}`` — one metric snapshot from the registry.
+* ``{"kind": "metric", ...}`` — one metric snapshot from the registry;
+* ``{"kind": "causal", ...}`` — one job's causal DAG
+  (``JobGraph.to_dict()`` shape, consumed by
+  ``scripts/critical_path_report.py``);
+* ``{"kind": "causal_meta", ...}`` — tracer-level fault/rejection log;
+* ``{"kind": "slo", ...}`` — one workload's SLO snapshot.
 
 The Chrome exporter turns span-complete events into ``"X"`` duration
 events grouped into rows by task (or category), loadable in
-chrome://tracing or https://ui.perfetto.dev.
+chrome://tracing or https://ui.perfetto.dev.  When a causal dump is
+supplied, every causal edge additionally becomes a Perfetto **flow**
+(``"s"``/``"f"`` event pair), so the UI draws arrows along the critical
+path.
 """
 
 from __future__ import annotations
@@ -73,14 +81,37 @@ def write_jsonl(path: str, obs: "Observability") -> int:
             record.update(_json_safe(snap))
             handle.write(json.dumps(record) + "\n")
             lines += 1
+        causal = obs.causal.data()
+        for graph in causal["jobs"].values():
+            record = {"kind": "causal"}
+            record.update(_json_safe(graph))
+            handle.write(json.dumps(record) + "\n")
+            lines += 1
+        if causal["faults"] or causal["dropped_jobs"] or causal["rejections"]:
+            handle.write(json.dumps({
+                "kind": "causal_meta",
+                "dropped_jobs": causal["dropped_jobs"],
+                "rejections": causal["rejections"],
+                "faults": _json_safe(causal["faults"]),
+            }) + "\n")
+            lines += 1
+        for workload, snap in sorted(obs.slo.snapshot().items()):
+            record = {"kind": "slo", "workload": workload}
+            record.update(_json_safe(snap))
+            handle.write(json.dumps(record) + "\n")
+            lines += 1
     return lines
 
 
 def load_jsonl(path: str) -> dict:
-    """Parse a JSONL export back into ``{meta, events, metrics}``."""
+    """Parse a JSONL export back into
+    ``{meta, events, metrics, causal, slo}``."""
     meta: dict = {}
     events: typing.List[dict] = []
     metrics: typing.Dict[str, dict] = {}
+    causal: dict = {"jobs": {}, "dropped_jobs": 0, "rejections": 0,
+                    "faults": []}
+    slo: typing.Dict[str, dict] = {}
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -94,25 +125,24 @@ def load_jsonl(path: str) -> dict:
                 events.append(record)
             elif kind == "metric":
                 metrics[record["name"]] = record
-    return {"meta": meta, "events": events, "metrics": metrics}
+            elif kind == "causal":
+                causal["jobs"][record["key"]] = record
+            elif kind == "causal_meta":
+                causal["dropped_jobs"] = record.get("dropped_jobs", 0)
+                causal["rejections"] = record.get("rejections", 0)
+                causal["faults"] = record.get("faults", [])
+            elif kind == "slo":
+                slo[record["workload"]] = record
+    return {"meta": meta, "events": events, "metrics": metrics,
+            "causal": causal, "slo": slo}
 
 
 # -- Chrome / Perfetto ----------------------------------------------------
 
 
-def to_chrome_trace(
-    events: typing.Iterable[TraceEvent],
-) -> typing.List[dict]:
-    """Trace events as Chrome ``trace_event`` dicts.
-
-    Span-complete events become ``"X"`` duration events; instant events
-    become ``"i"`` instants.  Rows ("threads") are keyed by the event's
-    ``task`` field when present, else its category, so job runs render
-    as one row per task with nested phases.  Simulated nanoseconds map
-    to trace microseconds so sub-µs phases stay visible.
-    """
-    out: typing.List[dict] = []
-    tids: typing.Dict[str, int] = {}
+def _tid_allocator(out: typing.List[dict], tids: typing.Dict[str, int]):
+    """Row ("thread") allocator shared between exporters: first use of a
+    key emits its ``thread_name`` metadata record."""
 
     def tid_for(key: str) -> int:
         if key not in tids:
@@ -122,6 +152,25 @@ def to_chrome_trace(
                 "tid": tids[key], "args": {"name": key},
             })
         return tids[key]
+
+    return tid_for
+
+
+def to_chrome_trace(
+    events: typing.Iterable[TraceEvent],
+    _tid_for=None,
+    _out: typing.Optional[typing.List[dict]] = None,
+) -> typing.List[dict]:
+    """Trace events as Chrome ``trace_event`` dicts.
+
+    Span-complete events become ``"X"`` duration events; instant events
+    become ``"i"`` instants.  Rows ("threads") are keyed by the event's
+    ``task`` field when present, else its category, so job runs render
+    as one row per task with nested phases.  Simulated nanoseconds map
+    to trace microseconds so sub-µs phases stay visible.
+    """
+    out: typing.List[dict] = _out if _out is not None else []
+    tid_for = _tid_for or _tid_allocator(out, {})
 
     for event in events:
         row = str(event.fields.get("task", "")) or event.category
@@ -142,11 +191,72 @@ def to_chrome_trace(
     return out
 
 
-def write_chrome_trace(path: str, trace: TraceLog) -> None:
-    """Dump the whole retained trace for chrome://tracing / Perfetto."""
+def causal_flow_events(
+    causal: dict,
+    _tid_for=None,
+    _out: typing.Optional[typing.List[dict]] = None,
+) -> typing.List[dict]:
+    """Causal DAGs as Perfetto slices plus ``"s"``/``"f"`` flow events.
+
+    ``causal`` is ``CausalTracer.data()`` (or the ``causal`` section of
+    a loaded JSONL export).  Each node becomes an ``"X"`` slice on a
+    ``causal:<job>/<task>`` row; each edge becomes a flow arrow from the
+    source node's end to the destination node's begin, so the UI draws
+    the cross-task/cross-layer causality the span tree cannot show.
+    """
+    out: typing.List[dict] = _out if _out is not None else []
+    tid_for = _tid_for or _tid_allocator(out, {})
+    flow_id = 0
+    for key, graph in (causal.get("jobs") or {}).items():
+        job = graph.get("job", key)
+        rows: typing.Dict[int, int] = {}
+        nodes: typing.Dict[int, list] = {}
+        for node in graph.get("nodes", []):
+            nid, kind, bucket, begin, end, task, device, fields = node
+            nodes[nid] = node
+            tid = tid_for(f"causal:{job}/{task or kind}")
+            rows[nid] = tid
+            out.append({
+                "name": kind, "cat": "causal", "ph": "X", "pid": 1,
+                "tid": tid, "ts": begin, "dur": max(end - begin, 0.001),
+                "args": _json_safe({
+                    "bucket": bucket, "node": nid, "device": device,
+                    "job": job, **(fields or {}),
+                }),
+            })
+        for src, dst, edge_kind in graph.get("edges", []):
+            if src not in nodes or dst not in nodes:
+                continue
+            flow_id += 1
+            fid = f"{key}#{flow_id}"
+            src_end = nodes[src][4]
+            dst_begin = max(nodes[dst][3], src_end)
+            out.append({
+                "name": edge_kind, "cat": "causal", "ph": "s",
+                "pid": 1, "tid": rows[src], "ts": src_end, "id": fid,
+            })
+            out.append({
+                "name": edge_kind, "cat": "causal", "ph": "f", "bp": "e",
+                "pid": 1, "tid": rows[dst], "ts": dst_begin, "id": fid,
+            })
+    return out
+
+
+def write_chrome_trace(
+    path: str, trace: TraceLog, causal: typing.Optional[dict] = None
+) -> None:
+    """Dump the whole retained trace for chrome://tracing / Perfetto.
+
+    With a ``causal`` dump, the file additionally carries the causal
+    DAG rows and flow arrows (see :func:`causal_flow_events`).
+    """
+    out: typing.List[dict] = []
+    tid_for = _tid_allocator(out, {})
+    to_chrome_trace(trace.events, _tid_for=tid_for, _out=out)
+    if causal:
+        causal_flow_events(causal, _tid_for=tid_for, _out=out)
     with open(path, "w") as handle:
         json.dump(
-            {"traceEvents": to_chrome_trace(trace.events),
-             "displayTimeUnit": "ns"},
+            {"traceEvents": out, "displayTimeUnit": "ns"},
             handle,
         )

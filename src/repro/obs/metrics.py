@@ -19,6 +19,11 @@ from repro.sim.trace import MetricRecorder
 #: Default histogram bucket upper bounds (open-ended final bucket).
 DEFAULT_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
+#: Log-scale latency bucket bounds in nanoseconds: 1µs .. ~17.6min in
+#: powers of two (open-ended final bucket).  Wide enough for anything a
+#: simulated job can take, cheap enough to keep per workload.
+LATENCY_BOUNDS_NS = tuple(float(2 ** k) for k in range(10, 41))
+
 
 class Counter:
     """A monotonically increasing scalar."""
@@ -123,12 +128,135 @@ class TimeWeightedHistogram:
         out[f">{self.bounds[-1]:g}"] = self.elapsed_in[-1]
         return out
 
+    def quantile(self, q: float) -> float:
+        """The level below which the signal dwelt for a ``q`` fraction of
+        observed time, linearly interpolated within its bucket.
+
+        Bucket ``i`` spans ``(bounds[i-1], bounds[i]]``; the first bucket
+        starts at the lowest level ever recorded and the overflow bucket
+        ends at the highest.  With no elapsed time yet, returns the
+        current level.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = sum(self.elapsed_in)
+        if total <= 0.0:
+            return self._level
+        floor = min(self.recorder.minimum, self.bounds[0])
+        ceiling = max(self.recorder.maximum, self.bounds[-1])
+        target = q * total
+        cumulative = 0.0
+        for i, elapsed in enumerate(self.elapsed_in):
+            if elapsed <= 0.0:
+                continue
+            lo = floor if i == 0 else self.bounds[i - 1]
+            hi = self.bounds[i] if i < len(self.bounds) else ceiling
+            if cumulative + elapsed >= target:
+                frac = (target - cumulative) / elapsed
+                return lo + (hi - lo) * max(0.0, min(1.0, frac))
+            cumulative += elapsed
+        return ceiling
+
     def snapshot(self) -> dict:
         return {
             "type": self.kind,
             "buckets": self.time_in_buckets(),
             "mean": self.recorder.time_weighted_mean(),
             "max": self.recorder.maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class LatencyHistogram:
+    """Count-based histogram of observed durations (log-scale buckets).
+
+    Unlike :class:`TimeWeightedHistogram` (which tracks how long a
+    *signal* dwelt at each level), this counts discrete observations —
+    the right statistic for per-job/per-request latencies — and answers
+    ``quantile(q)`` by linear interpolation within the winning bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "_sum", "_min", "_max")
+
+    kind = "latency"
+
+    def __init__(self, name: str,
+                 bounds: typing.Sequence[float] = LATENCY_BOUNDS_NS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be ascending: {bounds}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        #: observations per bucket; index len(bounds) is the overflow.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency cannot be negative: {value}")
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bucket whose bound >= value
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.total += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.total if self.total else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.total else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """The latency below which a ``q`` fraction of observations fall,
+        linearly interpolated within its bucket (clamped to the observed
+        min/max so tiny samples do not report bucket-edge artifacts)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = self.bounds[i - 1] if i > 0 else min(self._min, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self._max
+                frac = (target - cumulative) / n
+                value = lo + (hi - lo) * max(0.0, min(1.0, frac))
+                return max(self._min, min(self._max, value))
+            cumulative += n
+        return self._max
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -235,6 +363,11 @@ class MetricsRegistry:
             name, lambda: Timeline(name, max_samples, start_time), "timeline"
         )
 
+    def latency(self, name: str, bounds=LATENCY_BOUNDS_NS) -> LatencyHistogram:
+        return self._get(
+            name, lambda: LatencyHistogram(name, bounds), "latency"
+        )
+
     def add_collector(self, fn: typing.Callable) -> None:
         """Register ``fn() -> iterable[(name, value)]`` read at snapshot."""
         self._collectors.append(fn)
@@ -270,7 +403,11 @@ class MetricsRegistry:
             elif snap["type"] == "timeline":
                 value = (f"mean={snap['mean']:.3g} max={snap['max']:g} "
                          f"now={snap['level']:g}")
+            elif snap["type"] == "latency":
+                value = (f"n={snap['count']} p50={snap['p50']:.3g} "
+                         f"p95={snap['p95']:.3g} p99={snap['p99']:.3g}")
             else:  # histogram
-                value = f"mean={snap['mean']:.3g} max={snap['max']:g}"
+                value = (f"mean={snap['mean']:.3g} max={snap['max']:g} "
+                         f"p95={snap['p95']:.3g}")
             table.add_row(name, snap["type"], value)
         return table.render()

@@ -1,0 +1,159 @@
+"""SLO tracking: per-workload latency distributions with error budgets.
+
+A *workload* is a stream of job completions sharing a name (everything
+submitted as ``training``, say).  For each workload the tracker keeps a
+count-based log-scale :class:`~repro.obs.metrics.LatencyHistogram`
+(p50/p95/p99 via linear interpolation within buckets) and — once a
+:class:`SloPolicy` is attached — classic error-budget accounting:
+
+* an observation *misses* when the job failed or its latency exceeds
+  the policy target;
+* the **budget** is the tolerable miss fraction, ``1 - objective``;
+* **burn rate** is ``miss_fraction / budget``: 1.0 means misses arrive
+  exactly as fast as the budget allows, >1.0 means the budget is being
+  consumed early (the standard multi-window burn-rate alert input);
+* **budget remaining** is the fraction of the budget still unspent
+  (negative once the SLO is blown).
+
+The tracker is registered on :class:`~repro.obs.Observability` as
+``obs.slo``; the RTS records every job completion, and the admission
+layer records end-to-end (arrival → finish) latencies under
+``<workload>@e2e``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.obs.metrics import LATENCY_BOUNDS_NS, LatencyHistogram
+
+
+@dataclasses.dataclass(frozen=True)
+class SloPolicy:
+    """A latency objective: ``objective`` of jobs under ``target_ns``."""
+
+    target_ns: float
+    objective: float = 0.99
+
+    def __post_init__(self):
+        if self.target_ns <= 0:
+            raise ValueError(f"SLO target must be positive: {self.target_ns}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO objective must be in (0, 1): {self.objective}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The tolerable miss fraction."""
+        return 1.0 - self.objective
+
+
+class WorkloadSlo:
+    """One workload's latency distribution and budget state."""
+
+    __slots__ = ("workload", "policy", "histogram", "total", "failures",
+                 "missed", "worst_ns")
+
+    def __init__(self, workload: str,
+                 policy: typing.Optional[SloPolicy] = None):
+        self.workload = workload
+        self.policy = policy
+        self.histogram = LatencyHistogram(f"slo.latency/{workload}")
+        self.total = 0
+        self.failures = 0
+        self.missed = 0
+        self.worst_ns = 0.0
+
+    def record(self, latency_ns: float, ok: bool = True) -> None:
+        self.total += 1
+        self.histogram.observe(latency_ns)
+        if latency_ns > self.worst_ns:
+            self.worst_ns = latency_ns
+        if not ok:
+            self.failures += 1
+        if self.policy is not None and (
+            not ok or latency_ns > self.policy.target_ns
+        ):
+            self.missed += 1
+
+    @property
+    def miss_fraction(self) -> float:
+        return self.missed / self.total if self.total else 0.0
+
+    @property
+    def burn_rate(self) -> typing.Optional[float]:
+        if self.policy is None:
+            return None
+        return self.miss_fraction / self.policy.budget
+
+    @property
+    def budget_remaining(self) -> typing.Optional[float]:
+        if self.policy is None:
+            return None
+        return 1.0 - self.miss_fraction / self.policy.budget
+
+    def snapshot(self) -> dict:
+        snap = {
+            "workload": self.workload,
+            "total": self.total,
+            "failures": self.failures,
+            "worst_ns": self.worst_ns,
+            "p50": self.histogram.quantile(0.50),
+            "p95": self.histogram.quantile(0.95),
+            "p99": self.histogram.quantile(0.99),
+            "mean": self.histogram.mean,
+        }
+        if self.policy is not None:
+            snap.update({
+                "target_ns": self.policy.target_ns,
+                "objective": self.policy.objective,
+                "missed": self.missed,
+                "miss_fraction": self.miss_fraction,
+                "burn_rate": self.burn_rate,
+                "budget_remaining": self.budget_remaining,
+            })
+        return snap
+
+
+class SloTracker:
+    """All workloads' SLO state for one run (``obs.slo``)."""
+
+    def __init__(self):
+        self.workloads: typing.Dict[str, WorkloadSlo] = {}
+
+    def set_policy(self, workload: str, target_ns: float,
+                   objective: float = 0.99) -> WorkloadSlo:
+        """Attach (or replace) the latency objective for a workload.
+
+        Misses are classified at record time, so set policies before
+        running; observations recorded earlier only feed percentiles.
+        """
+        state = self._state(workload)
+        state.policy = SloPolicy(target_ns=target_ns, objective=objective)
+        return state
+
+    def record(self, workload: str, latency_ns: float, ok: bool = True) -> None:
+        self._state(workload).record(latency_ns, ok=ok)
+
+    def _state(self, workload: str) -> WorkloadSlo:
+        state = self.workloads.get(workload)
+        if state is None:
+            state = self.workloads[workload] = WorkloadSlo(workload)
+        return state
+
+    def __contains__(self, workload: str) -> bool:
+        return workload in self.workloads
+
+    def __getitem__(self, workload: str) -> WorkloadSlo:
+        return self.workloads[workload]
+
+    def snapshot(self) -> typing.Dict[str, dict]:
+        return {
+            name: state.snapshot()
+            for name, state in sorted(self.workloads.items())
+        }
+
+
+__all__ = ["LATENCY_BOUNDS_NS", "SloPolicy", "SloTracker", "WorkloadSlo"]

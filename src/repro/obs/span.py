@@ -101,11 +101,19 @@ class Span:
         self.fields.update(fields)
 
     def close(self, time: typing.Optional[float] = None) -> None:
-        """Emit the span-complete event (idempotent)."""
+        """Emit the span-complete event (idempotent).
+
+        An explicit ``time`` earlier than ``begin`` is clamped to the
+        begin time: a span can be empty, never negative (a negative
+        duration renders as garbage in Chrome/Perfetto and corrupts
+        per-bucket attribution downstream).
+        """
         if self.closed:
             return
         self.closed = True
         end = self.obs.now() if time is None else time
+        if end < self.begin:
+            end = self.begin
         self.obs.trace.emit_span(
             end, self.category, self.name, self.fields,
             begin=self.begin, span_id=self.id, parent_id=self.parent_id,

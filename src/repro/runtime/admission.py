@@ -163,6 +163,17 @@ class RackDriver:
             self._obs.event("admission", "admit",
                             job=admitted.name, wait=admitted.queue_wait)
             execution = self.rts.submit(factory())
+            graph = getattr(execution, "causal", None)
+            if graph is not None:
+                # The admission wait happened *before* submit, so it
+                # lies outside the makespan; record it as a detached
+                # annotation node plus a job-level field.
+                graph.admission_wait_ns = admitted.queue_wait
+                graph.add_node(
+                    "admission_wait", "admission_backoff",
+                    admitted.arrived_at, admitted.admitted_at,
+                    detached=True, job=admitted.name,
+                )
             execution.done.add_callback(
                 lambda event, job=admitted: self._on_done(job, event)
             )
@@ -173,6 +184,12 @@ class RackDriver:
         self._running_tl.adjust(engine.now, -1)
         self._obs.event("admission", "done",
                         job=admitted.name, ok=bool(event._ok))
+        # End-to-end latency (arrival -> finish) includes the admission
+        # queue; tracked per workload next to the RTS's makespan SLO.
+        self._obs.slo.record(
+            f"{admitted.name}@e2e", engine.now - admitted.arrived_at,
+            ok=bool(event._ok),
+        )
         if event._ok:
             admitted.stats = event._value
         else:

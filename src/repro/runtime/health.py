@@ -259,6 +259,10 @@ class HealthMonitor:
             if not self._device_failed(name):
                 continue  # repaired inside the detection window
             self._set_state(name, HealthState.DOWN)
+            self.obs.causal.note_fault(
+                "device_down", name, self.engine.now,
+                interrupted=len(self._watched.get(name, ())),
+            )
             for process in list(self._watched.get(name, ())):
                 if process.is_alive:
                     process.interrupt(DeviceDown(name))
@@ -301,6 +305,7 @@ class HealthMonitor:
         self.stats.drains_started += 1
         for name in members:
             self._set_state(name, HealthState.DRAINING)
+            self.obs.causal.note_fault("drain", name, self.engine.now)
         self.engine.process(self._drain(node, members), name=f"health:{node}#drain")
         return True
 

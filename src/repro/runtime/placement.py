@@ -100,6 +100,12 @@ class PlacementPolicy:
                 self.cluster.engine.now, "placement", "reject",
                 region=request.name, size=request.size, reason=reason,
             )
+        obs = getattr(self.cluster, "obs", None)
+        if obs is not None:
+            # Recovery nodes cite rejection pressure as retry context.
+            obs.causal.note_rejection(
+                request.owner, request.name, reason, self.cluster.engine.now
+            )
 
     def _has_room(self, device: MemoryDevice, size: int) -> bool:
         return self.manager.allocators[device.name].largest_free_extent >= size

@@ -73,6 +73,7 @@ class ResilientRuntime:
         checkpoints: typing.Dict[str, int] = {}  # task name -> output size
         last_error: typing.Optional[BaseException] = None
         job_name: typing.Optional[str] = None
+        prev_key: typing.Optional[str] = None
 
         for _attempt in range(self.max_attempts):
             self.stats.attempts += 1
@@ -86,6 +87,12 @@ class ResilientRuntime:
                 )
             started = self.rts.cluster.engine.now
             execution = self.rts.submit(job)
+            if prev_key is not None:
+                # Chain whole-job re-executions in the causal record.
+                self.rts.cluster.obs.causal.link_retry(
+                    prev_key, execution.job_owner
+                )
+            prev_key = execution.job_owner
             try:
                 stats = self.rts.cluster.engine.run(until=execution.done)
             except BaseException as exc:  # noqa: BLE001 - any task failure

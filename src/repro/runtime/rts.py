@@ -287,6 +287,7 @@ class TaskContext:
     def _touch(self, handle, nbytes, pattern, access_size, mode, is_write):
         sp = self._rts.cluster.obs.span("profile", "memory_phase",
                                         parent=self.span)
+        began = self.now
         accessor = Accessor(self._rts.cluster, handle, self.compute)
         region_size = handle.region.size
         remaining = region_size if nbytes is None else nbytes
@@ -312,6 +313,16 @@ class TaskContext:
                 pattern=pattern.value, access_size=access_size,
             )
         sp.close()
+        if self._execution.causal is not None:
+            region = handle.region
+            self._execution._causal_chain(
+                self.task.name, "memory_phase", "transfer",
+                began, self.now,
+                task=self.owner, device=self.compute,
+                op="write" if is_write else "read",
+                nbytes=requested, region=region.name,
+                backing=region.device.name,
+            )
         return total
 
     def read_async(
@@ -361,12 +372,20 @@ class TaskContext:
         sp = self._rts.cluster.obs.span("profile", "compute_phase",
                                         parent=self.span)
         device = self._rts.cluster.compute[self.compute]
+        began = self.now
         duration = device.compute_time(op_class, ops)
         yield self._rts.cluster.engine.timeout(duration)
         if sp:
             sp.set(task=self.owner, device=self.compute,
                    op=op_class.value, ops=ops, duration=duration)
         sp.close()
+        if self._execution.causal is not None:
+            self._execution._causal_chain(
+                self.task.name, "compute_phase", "compute",
+                began, self.now,
+                task=self.owner, device=self.compute,
+                op=op_class.value, ops=ops,
+            )
         return duration
 
     def sleep(self, ns: float):
@@ -388,6 +407,21 @@ class _JobExecution:
         self.span = rts.cluster.obs.begin_span("job", "run", job=job.name)
         self.assignment = rts.scheduler.assign(job, rts.cluster, rts.costmodel)
         self.stats.assignment = dict(self.assignment)
+        # Causal DAG for critical-path attribution (None when the
+        # "causal" trace category is off; every call site guards on it).
+        self.causal = rts.cluster.obs.causal.job_begin(
+            self.job_owner, job.name, self.stats.submitted_at
+        )
+        #: task name -> id of the task's latest causal node (chain head).
+        self._cnodes: typing.Dict[str, int] = {}
+        #: consumer task name -> handover nodes that delivered its inputs.
+        self._delivered: typing.Dict[str, typing.List[int]] = {}
+        #: global-scratch slot -> publisher's chain node at publish time.
+        self._slot_nodes: typing.Dict[str, int] = {}
+        if self.causal is not None:
+            est = getattr(rts.scheduler, "last_estimate", None)
+            if est is not None and est.get("job") == job.name:
+                self.causal.fields["est_makespan"] = est["makespan"]
 
         engine = rts.cluster.engine
         self.done: Event = engine.event()
@@ -467,6 +501,10 @@ class _JobExecution:
         self._slots[slot][1] = region
         if not event.triggered:
             event.succeed(region)
+        if self.causal is not None:
+            publisher = self._cnodes.get(ctx.task.name)
+            if publisher is not None:
+                self._slot_nodes[slot] = publisher
         return region.handle(self.job_owner)
 
     def consume_slot(self, ctx: TaskContext, slot: str):
@@ -474,17 +512,65 @@ class _JobExecution:
             raise TaskFailure(f"unknown global scratch slot {slot!r}")
         event, region = self._slots[slot]
         if region is None:
+            waited_from = self.rts.cluster.engine.now
             yield event
             # Re-read: the slot may have been re-published since the
             # event first fired (fault recovery replaces lost regions).
             region = self._slots[slot][1]
+            if self.causal is not None:
+                publisher = self._slot_nodes.get(slot)
+                self._causal_chain(
+                    ctx.task.name, "slot_wait", "dependency_wait",
+                    waited_from, self.rts.cluster.engine.now,
+                    extra_parents=(
+                        () if publisher is None
+                        else ((publisher, "data_dep"),)
+                    ),
+                    task=ctx.owner, device=ctx.compute, slot=slot,
+                )
         return region.handle(self.job_owner)
+
+    # -- causal emission ---------------------------------------------------
+
+    def _causal_chain(
+        self,
+        task_name: str,
+        kind: str,
+        bucket: typing.Optional[str],
+        begin: float,
+        end: float,
+        extra_parents: typing.Iterable = (),
+        chain_kind: str = "seq",
+        **fields,
+    ) -> typing.Optional[int]:
+        """Append a node to ``task_name``'s causal chain.  No-op (None)
+        when causal tracing is off or the graph is saturated."""
+        if self.causal is None:
+            return None
+        parents = []
+        chain = self._cnodes.get(task_name)
+        if chain is not None:
+            parents.append((chain, chain_kind))
+        parents.extend(extra_parents)
+        nid = self.causal.add_node(kind, bucket, begin, end,
+                                   parents=parents, **fields)
+        if nid is not None:
+            self._cnodes[task_name] = nid
+        return nid
+
+    def _chain_end(self, task_name: str, default: float) -> float:
+        """End time of the task's latest causal node (clamped to now)."""
+        chain = self._cnodes.get(task_name)
+        if self.causal is None or chain is None:
+            return default
+        return min(self.causal.nodes[chain].end, default)
 
     # -- task execution ------------------------------------------------------
 
     def _run_task(self, task: Task):
         engine = self.rts.cluster.engine
         obs = self.rts.cluster.obs
+        spawned = engine.now
         stats = TaskStats(name=task.name, device=self.assignment[task.name])
         self.stats.tasks[task.name] = stats
         policy = self.rts.recovery
@@ -494,6 +580,24 @@ class _JobExecution:
             if upstream_events:
                 yield engine.all_of(upstream_events)
             stats.ready_at = engine.now
+            if self.causal is not None:
+                # Data edges come from the handover nodes that delivered
+                # our inputs; control-only upstreams contribute their
+                # chain heads.
+                parents = [
+                    (nid, "data_dep")
+                    for nid in self._delivered.get(task.name, ())
+                ]
+                for up in task.upstream():
+                    if up.work.output is None:
+                        up_node = self._cnodes.get(up.name)
+                        if up_node is not None:
+                            parents.append((up_node, "data_dep"))
+                self._causal_chain(
+                    task.name, "dep_wait", "dependency_wait",
+                    spawned, engine.now, extra_parents=parents,
+                    task=task.qualified_name,
+                )
 
             # 2. Run attempts.  Recoverable infrastructure failures are
             # retried with backoff, re-placement onto surviving devices,
@@ -526,6 +630,15 @@ class _JobExecution:
             if stats.started_at is not None:
                 stats.finished_at = engine.now
             obs.counter("tasks.failed").inc()
+            if self.causal is not None and task.name in self._cnodes:
+                self._causal_chain(
+                    task.name, "task_failed", "recovery_retry",
+                    self._chain_end(task.name, engine.now), engine.now,
+                    chain_kind="retry",
+                    task=task.qualified_name,
+                    device=self.assignment.get(task.name, ""),
+                    error=type(exc).__name__, attempt=stats.attempts,
+                )
             if not self._task_done[task.name].triggered:
                 self._task_done[task.name].fail(TaskFailure(
                     f"task {task.qualified_name} failed: {exc!r}"
@@ -547,6 +660,13 @@ class _JobExecution:
                     )
                 self.span.close()
                 obs.counter("jobs.failed").inc()
+                if self.causal is not None:
+                    failed = self._cnodes.get(task.name)
+                    obs.causal.job_finish(
+                        self.causal, engine.now, ok=False,
+                        parents=() if failed is None else (failed,),
+                    )
+                obs.slo.record(self.job.name, self.stats.makespan, ok=False)
                 self.done.fail(exc)
                 self.done.defuse()
             return
@@ -573,6 +693,29 @@ class _JobExecution:
             device.cancel_slot(slot_request)
             raise
         stats.started_at = engine.now
+        if self.causal is not None:
+            begin = self._chain_end(
+                task.name,
+                stats.ready_at if stats.ready_at is not None else engine.now,
+            )
+            extra = []
+            fields = {}
+            release = obs.causal.last_slot_release(device.name)
+            if release is not None and begin < engine.now:
+                rel_key, rel_node, rel_task = release
+                if rel_key == self.job_owner:
+                    # Same-job hand-off: a real queue edge.
+                    extra.append((rel_node, "queue"))
+                else:
+                    # Cross-job hand-off: annotate only, so per-job
+                    # graphs stay self-contained.
+                    fields["blocked_by"] = f"{rel_key}/{rel_task}"
+            self._causal_chain(
+                task.name, "queue_wait", "queue_wait",
+                min(begin, engine.now), engine.now, extra_parents=extra,
+                task=task.qualified_name, device=device.name,
+                attempt=stats.attempts, **fields,
+            )
         task_span = obs.begin_span(
             "task", "run", parent=self.span,
             task=task.qualified_name, device=device.name,
@@ -603,6 +746,16 @@ class _JobExecution:
         if task_span:
             task_span.set(queue_delay=stats.queue_delay)
         task_span.close()
+        if self.causal is not None:
+            done_node = self._causal_chain(
+                task.name, "task_done", None, engine.now, engine.now,
+                task=task.qualified_name, device=device.name,
+            )
+            if done_node is not None:
+                obs.causal.note_slot_release(
+                    device.name, self.job_owner, done_node,
+                    task.qualified_name,
+                )
 
         # Epilogue: hand outputs over, drop owned regions.
         try:
@@ -632,6 +785,9 @@ class _JobExecution:
         engine = rts.cluster.engine
         rts.cluster.obs.counter("recovery.task_retries").inc()
         self.stats.task_retries += 1
+        failed_device = self.assignment[task.name]
+        recovery_begin = self._chain_end(task.name, engine.now)
+        degraded_base = self.stats.degraded_reads
         rts.cluster.trace.emit(
             engine.now, "recovery", "task_retry",
             task=task.qualified_name, attempt=stats.attempts,
@@ -654,6 +810,26 @@ class _JobExecution:
         for downstream in task.downstream():
             self._replace(downstream)
         yield from self._repair_inputs(task)
+        if self.causal is not None:
+            # The recovery interval starts where the doomed attempt's
+            # last recorded node ended: it absorbs the in-flight time the
+            # failure wasted, the backoff, and the input repair.
+            fields = dict(
+                attempt=stats.attempts, error=type(exc).__name__,
+                device=failed_device,
+                degraded_reads=self.stats.degraded_reads - degraded_base,
+            )
+            fault = rts.cluster.obs.causal.last_fault(failed_device)
+            if fault is not None:
+                fields["cause"] = fault["kind"]
+                fields["cause_target"] = fault["target"]
+            if self.assignment[task.name] != failed_device:
+                fields["replaced_by"] = self.assignment[task.name]
+            self._causal_chain(
+                task.name, "recovery", "recovery_retry",
+                min(recovery_begin, engine.now), engine.now,
+                chain_kind="retry", task=task.qualified_name, **fields,
+            )
 
     def _device_implicated(self, task: Task, exc: BaseException) -> bool:
         from repro.runtime.health import DeviceDown
@@ -746,18 +922,21 @@ class _JobExecution:
         output = ctx._output
         downstream = task.downstream()
         if output is not None and downstream:
+            engine = self.rts.cluster.engine
+            handover_begin = engine.now
+            report = [] if self.causal is not None else None
             receivers = [
                 (d.qualified_name, self.assignment[d.name]) for d in downstream
             ]
             if len(receivers) == 1:
                 owner, compute = receivers[0]
                 region = yield from self.rts.handover.hand_over(
-                    output, ctx.owner, owner, compute
+                    output, ctx.owner, owner, compute, report=report
                 )
                 delivered = {owner: region}
             else:
                 delivered = yield from self.rts.handover.share_out(
-                    output, ctx.owner, receivers
+                    output, ctx.owner, receivers, report=report
                 )
             if self.rts.backups is not None:
                 unique = {id(r): r for r in delivered.values()}
@@ -774,6 +953,21 @@ class _JobExecution:
                     f"delivery of {output.name!r} was lost before "
                     f"{task.qualified_name} finished handing it over"
                 )
+            if self.causal is not None:
+                copies = report or []
+                handover_node = self._causal_chain(
+                    task.name, "handover",
+                    "transfer" if copies else "ownership_stall",
+                    handover_begin, engine.now,
+                    task=task.qualified_name, device=ctx.compute,
+                    zero_copy=not copies, copies=copies,
+                    nbytes=output.size, receivers=len(downstream),
+                )
+                if handover_node is not None:
+                    for d in downstream:
+                        self._delivered.setdefault(d.name, []).append(
+                            handover_node
+                        )
             for d in downstream:
                 region = delivered[d.qualified_name]
                 self._inboxes[d.name].append(region.handle(d.qualified_name))
@@ -836,6 +1030,14 @@ class _JobExecution:
             )
         self.span.close()
         obs.counter("jobs.completed").inc()
+        if self.causal is not None:
+            # Every task's chain head is a candidate finish-parent; the
+            # critical-path walk picks whichever actually ended last.
+            obs.causal.job_finish(
+                self.causal, engine.now, ok=True,
+                parents=list(self._cnodes.values()),
+            )
+        obs.slo.record(self.job.name, self.stats.makespan, ok=True)
         if not self.done.triggered:
             self.done.succeed(self.stats)
 

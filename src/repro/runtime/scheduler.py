@@ -105,6 +105,13 @@ class Scheduler:
 class HeftScheduler(Scheduler):
     """Heterogeneous-Earliest-Finish-Time list scheduling."""
 
+    def __init__(self):
+        #: Predictions of the most recent ``assign()`` — the job name,
+        #: its estimated makespan, and per-task estimated finish times.
+        #: Causal attribution stamps these onto the job graph so reports
+        #: can compare predicted vs. actual critical paths.
+        self.last_estimate: typing.Optional[dict] = None
+
     def assign(self, job: Job, cluster: Cluster, costmodel: CostModel) -> Assignment:
         """HEFT list scheduling with handover-aware edge costs."""
         job.validate()
@@ -183,13 +190,19 @@ class HeftScheduler(Scheduler):
             slots = device_slots[best_device.name]
             slot_index = min(range(len(slots)), key=lambda i: slots[i])
             slots[slot_index] = best_eft
+        est_makespan = max(finish.values()) if finish else 0.0
+        self.last_estimate = {
+            "job": job.name,
+            "makespan": est_makespan,
+            "finish": dict(finish),
+        }
         trace = cluster.trace
         if trace.wants("sched"):
             trace.emit(
                 cluster.engine.now, "sched", "assign",
                 job=job.name, tasks=len(assignment),
                 devices=len(set(assignment.values())),
-                est_makespan=max(finish.values()) if finish else 0.0,
+                est_makespan=est_makespan,
             )
         return assignment
 

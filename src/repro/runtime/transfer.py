@@ -77,12 +77,15 @@ class HandoverManager:
         from_owner: typing.Hashable,
         to_owner: typing.Hashable,
         to_compute: str,
+        report: typing.Optional[list] = None,
     ):
         """Simulation generator: deliver ``region`` to ``to_owner``.
 
         Returns the region the receiver should use: the same region
         (ownership transferred, zero copy) or a fresh copy placed near
         the receiver (the original is dropped by ``from_owner``).
+        ``report``, when given, collects one dict per physical copy
+        (bytes, duration, bottleneck link) for causal attribution.
         """
         started = self.cluster.engine.now
         if self.can_hand_over(region, to_compute):
@@ -96,7 +99,8 @@ class HandoverManager:
             )
             return region
 
-        replica = yield from self._copy_near(region, to_owner, to_compute)
+        replica = yield from self._copy_near(region, to_owner, to_compute,
+                                             report=report)
         self.manager.drop_owner(region, from_owner)  # frees the original
         self.stats.copies += 1
         self.stats.bytes_copied += region.size
@@ -112,6 +116,7 @@ class HandoverManager:
         region: MemoryRegion,
         from_owner: typing.Hashable,
         receivers: typing.Sequence[typing.Tuple[typing.Hashable, str]],
+        report: typing.Optional[list] = None,
     ):
         """Simulation generator: deliver one region to several receivers.
 
@@ -131,7 +136,8 @@ class HandoverManager:
         result: typing.Dict[typing.Hashable, MemoryRegion] = {}
 
         for owner, compute in copiers:
-            replica = yield from self._copy_near(region, owner, compute)
+            replica = yield from self._copy_near(region, owner, compute,
+                                                 report=report)
             result[owner] = replica
             self.stats.copies += 1
             self.stats.bytes_copied += region.size
@@ -148,7 +154,11 @@ class HandoverManager:
     # -- internals ---------------------------------------------------------
 
     def _copy_near(
-        self, region: MemoryRegion, to_owner: typing.Hashable, to_compute: str
+        self,
+        region: MemoryRegion,
+        to_owner: typing.Hashable,
+        to_compute: str,
+        report: typing.Optional[list] = None,
     ):
         """Allocate a replica the receiver can use and stream the bytes."""
         request = PlacementRequest(
@@ -177,6 +187,7 @@ class HandoverManager:
                 retries=self.transfer_retries,
                 backoff_ns=self.transfer_backoff_ns,
                 timeout_ns=self.transfer_timeout_ns,
+                report=report,
             )
         except BaseException:
             # The bytes never arrived; do not leak the half-made replica.

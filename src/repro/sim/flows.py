@@ -88,7 +88,7 @@ class _Flow:
 
     __slots__ = (
         "id", "route", "links", "total_bytes", "remaining", "rate",
-        "event", "started_at", "last_settled", "gen",
+        "event", "started_at", "last_settled", "gen", "bottleneck",
     )
 
     def __init__(self, route: typing.Sequence[Link], nbytes: float, event: Event):
@@ -108,6 +108,9 @@ class _Flow:
         #: Bumped on every rate change; stale completion-heap entries
         #: (older generation) are discarded lazily.
         self.gen = 0
+        #: Link id this flow last froze at in the waterfill (its max–min
+        #: bottleneck); only recorded when causal tracing wants it.
+        self.bottleneck: typing.Optional[int] = None
 
     def __repr__(self) -> str:
         return f"<Flow #{self.id} {self.remaining:.0f}/{self.total_bytes:.0f}B @{self.rate:.3f}B/ns>"
@@ -116,6 +119,7 @@ class _Flow:
 def waterfill(
     flows_by_id: typing.Mapping[int, _Flow],
     ordered_ids: typing.Optional[typing.List[int]] = None,
+    bottlenecks: typing.Optional[typing.Dict[int, int]] = None,
 ) -> typing.Dict[int, float]:
     """Progressive water-filling over ``flows_by_id``; the reference solver.
 
@@ -128,7 +132,10 @@ def waterfill(
     pure interleaving of the per-component sequences).
 
     ``ordered_ids`` (the flow ids, ascending) may be passed by callers
-    that already sorted them.
+    that already sorted them.  ``bottlenecks``, when given, is filled
+    with ``{flow_id: link id the flow froze at}`` — the link that
+    capped its max–min rate (causal attribution uses this to break the
+    transfer bucket down by bottleneck link).
     """
     if ordered_ids is None:
         ordered_ids = sorted(flows_by_id)
@@ -159,6 +166,8 @@ def waterfill(
         # Freeze every unfrozen flow on the bottleneck at that share.
         for fid in sorted(by_link[bottleneck_id][1]):
             rates[fid] = bottleneck_share
+            if bottlenecks is not None:
+                bottlenecks[fid] = bottleneck_id
             for link in flows_by_id[fid].links:
                 entry = by_link[link.id]
                 entry[1].discard(fid)
@@ -400,11 +409,19 @@ class FlowNetwork:
         self.flows_resolved += len(component)
         if component:
             ordered = sorted(component)
-            rates = waterfill(component, ordered)
+            want_bottlenecks = (
+                self.trace is not None and self.trace.wants("causal")
+            )
+            bottlenecks: typing.Optional[typing.Dict[int, int]] = (
+                {} if want_bottlenecks else None
+            )
+            rates = waterfill(component, ordered, bottlenecks)
             now = self.engine.now
             full = len(component) == len(self._flows)
             for fid in ordered:
                 flow = component[fid]
+                if want_bottlenecks:
+                    flow.bottleneck = bottlenecks.get(fid)
                 new_rate = rates.get(fid, 0.0)
                 if new_rate == flow.rate:
                     continue  # untouched: its completion entry stays valid
@@ -522,11 +539,23 @@ class FlowNetwork:
         self._remove(flow)
         self.completed_transfers += 1
         self.bytes_completed += flow.total_bytes
+        bottleneck_name = None
+        if flow.bottleneck is not None:
+            for link in flow.links:
+                if link.id == flow.bottleneck:
+                    bottleneck_name = link.name
+                    break
         if self.trace is not None and self.trace.wants("flow"):
             self.trace.emit(
                 now, "flow", "done",
                 nbytes=flow.total_bytes, duration=now - flow.started_at,
                 links=len(flow.route), rate=flow.rate,
+                bottleneck=bottleneck_name,
             )
+        if bottleneck_name is not None:
+            # Completion events have no __slots__; riding the bottleneck
+            # along lets reliable_transfer report it without new plumbing
+            # through every yield layer.
+            flow.event._bottleneck = bottleneck_name
         if not flow.event.triggered:
             flow.event.succeed(now - flow.started_at)

@@ -134,3 +134,20 @@ class TestObsReportCli:
     def test_missing_file_is_an_error(self, tmp_path, capsys):
         assert obs_report.main([str(tmp_path / "nope.jsonl")]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_job_filter_is_assertive(self, traced_run, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        traced_run.obs.export_jsonl(str(path))
+        assert obs_report.main([str(path), "--job", "pipe"]) == 0
+        capsys.readouterr()
+        assert obs_report.main([str(path), "--job", "ghost"]) == 1
+        err = capsys.readouterr().err
+        assert "nothing recorded for job 'ghost'" in err
+
+    def test_category_filter_is_assertive(self, traced_run, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        traced_run.obs.export_jsonl(str(path))
+        assert obs_report.main([str(path), "--category", "flow"]) == 0
+        assert "events retained" in capsys.readouterr().out
+        assert obs_report.main([str(path), "--category", "nonesuch"]) == 1
+        assert "no events of category" in capsys.readouterr().err

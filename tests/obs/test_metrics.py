@@ -5,6 +5,7 @@ import pytest
 from repro.obs.metrics import (
     Counter,
     Gauge,
+    LatencyHistogram,
     MetricsRegistry,
     TimeWeightedHistogram,
     Timeline,
@@ -72,6 +73,104 @@ class TestTimeWeightedHistogram:
         with pytest.raises(ValueError):
             hist.observe(5.0, 2)
 
+    def test_quantile_interpolates_within_buckets(self):
+        hist = TimeWeightedHistogram("depth", bounds=(1, 2, 4))
+        hist.observe(10.0, 3)  # level 0 dwelt 10ns in (floor=0, 1]
+        hist.observe(20.0, 0)  # level 3 dwelt 10ns in (2, 4]
+        # Half the time was spent at level 0; the median lands exactly on
+        # the first bucket's upper bound.
+        assert hist.quantile(0.50) == pytest.approx(1.0)
+        # 75% target: 5ns into the 10ns dwelt in (2, 4] -> midpoint.
+        assert hist.quantile(0.75) == pytest.approx(3.0)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+        assert hist.quantile(0.0) == pytest.approx(0.0)
+
+    def test_quantile_without_history_returns_current_level(self):
+        hist = TimeWeightedHistogram("depth")
+        assert hist.quantile(0.95) == 0.0
+        hist.observe(0.0, 7)  # zero elapsed time so far
+        assert hist.quantile(0.95) == 7.0
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = TimeWeightedHistogram("depth")
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_snapshot_includes_percentiles(self):
+        hist = TimeWeightedHistogram("depth", bounds=(1, 2, 4))
+        hist.observe(10.0, 3)
+        hist.observe(20.0, 0)
+        snap = hist.snapshot()
+        assert snap["p50"] == pytest.approx(hist.quantile(0.50))
+        assert snap["p95"] == pytest.approx(hist.quantile(0.95))
+        assert snap["p99"] == pytest.approx(hist.quantile(0.99))
+
+
+class TestLatencyHistogram:
+    def test_counts_mean_min_max(self):
+        hist = LatencyHistogram("lat", bounds=(10, 100, 1000))
+        for value in (5.0, 50.0, 500.0, 5000.0):
+            hist.observe(value)
+        assert hist.total == 4
+        assert hist.mean == pytest.approx(1388.75)
+        assert hist.minimum == 5.0
+        assert hist.maximum == 5000.0
+        # 5000 overflows the last bound into the open-ended bucket.
+        assert hist.counts == [1, 1, 1, 1]
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = LatencyHistogram("lat", bounds=(0, 100))
+        hist.observe(25.0)
+        hist.observe(75.0)
+        # Both samples land in the (0, 100] bucket; the quantile is a
+        # linear walk through it, clamped to the observed range.
+        assert hist.quantile(0.25) == pytest.approx(25.0)
+        assert hist.quantile(0.50) == pytest.approx(50.0)
+        assert hist.quantile(1.00) == pytest.approx(75.0)
+
+    def test_quantile_clamps_to_observed_range(self):
+        hist = LatencyHistogram("lat", bounds=(10,))
+        hist.observe(5.0)
+        hist.observe(7.0)
+        # Raw interpolation would report near the 10ns bucket edge; the
+        # clamp keeps tiny samples honest.
+        assert hist.quantile(0.99) == 7.0
+        assert hist.quantile(0.0) == 5.0
+
+    def test_single_observation_is_every_quantile(self):
+        hist = LatencyHistogram("lat")
+        hist.observe(42.0)
+        for q in (0.01, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram("lat")
+        assert hist.quantile(0.5) == 0.0
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+        assert snap["min"] == 0.0
+
+    def test_rejects_negative_latency_and_bad_quantile(self):
+        hist = LatencyHistogram("lat")
+        with pytest.raises(ValueError):
+            hist.observe(-1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(2.0)
+
+    def test_snapshot_percentiles_match_quantile(self):
+        hist = LatencyHistogram("lat")
+        for value in (10.0, 20.0, 30.0, 40.0, 1000.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["type"] == "latency"
+        assert snap["p50"] == pytest.approx(hist.quantile(0.50))
+        assert snap["p95"] == pytest.approx(hist.quantile(0.95))
+        assert snap["p99"] == pytest.approx(hist.quantile(0.99))
+        assert snap["min"] <= snap["p50"] <= snap["p95"] <= snap["max"]
+
 
 class TestTimeline:
     def test_keeps_samples_and_aggregates(self):
@@ -103,6 +202,7 @@ class TestMetricsRegistry:
         registry = MetricsRegistry()
         assert registry.counter("a") is registry.counter("a")
         assert registry.timeline("t") is registry.timeline("t")
+        assert registry.latency("l") is registry.latency("l")
 
     def test_kind_conflict_raises(self):
         registry = MetricsRegistry()
@@ -140,6 +240,9 @@ class TestMetricsRegistry:
         registry.gauge("gauge").set(2)
         registry.histogram("hist").observe(1.0, 3)
         registry.timeline("line").record(1.0, 4)
+        registry.latency("lat").observe(7.0)
         text = registry.report()
-        for name in ("count", "gauge", "hist", "line"):
+        for name in ("count", "gauge", "hist", "line", "lat"):
             assert name in text
+        assert "n=1" in text  # latency row shows count + percentiles
+        assert "p99" in text

@@ -35,6 +35,25 @@ class TestSpanLifecycle:
         span.close(time=123.0)
         assert obs.trace.events[0].time == 123.0
 
+    def test_close_time_before_begin_clamps_to_zero_duration(self, obs):
+        obs.engine._now = 100.0
+        span = obs.begin_span("cat", "work")
+        span.close(time=40.0)  # bogus earlier-than-begin close
+        [event] = obs.trace.events
+        assert event.begin == 100.0
+        assert event.time == 100.0  # clamped, not a negative duration
+        assert event.duration == 0.0
+
+    def test_double_close_keeps_first_end_time(self, obs):
+        obs.engine._now = 10.0
+        span = obs.begin_span("cat", "work")
+        obs.engine._now = 30.0
+        span.close()
+        span.close(time=5.0)  # late duplicate with a bogus time
+        [event] = obs.trace.events
+        assert event.time == 30.0
+        assert event.duration == 20.0
+
     def test_exception_recorded_and_propagated(self, obs):
         with pytest.raises(RuntimeError):
             with obs.span("cat", "work"):
