@@ -10,16 +10,15 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    Cluster,
     ComputeKind,
     Job,
     LatencyClass,
     OpClass,
     RegionUsage,
-    RuntimeSystem,
     Task,
     TaskProperties,
     WorkSpec,
+    connect,
 )
 from repro.metrics import Table, format_bytes, format_ns
 
@@ -29,9 +28,9 @@ MiB = 1024 * 1024
 def main() -> None:
     # The memory-centric rack of Figure 1b: CPUs/GPUs/TPU/FPGA in front
     # of a CXL-switched pool of DRAM, CXL-DRAM and PMem, with far memory
-    # and storage behind the datacenter network.
-    cluster = Cluster.preset("pooled-rack")
-    rts = RuntimeSystem(cluster)
+    # and storage behind the datacenter network.  connect() stacks the
+    # cluster, runtime system, and QoS admission behind one Session.
+    session = connect("pooled-rack")
 
     # A declarative dataflow: what each task needs, never where it runs.
     job = Job("quickstart", global_state_size=64 * 1024)
@@ -58,7 +57,7 @@ def main() -> None:
     job.connect(ingest, train)
     job.connect(train, report)
 
-    stats = rts.run_job(job)
+    stats = session.run(job)
 
     print(f"job {stats.job_name!r} finished in {format_ns(stats.makespan)} "
           f"(simulated)\n")
@@ -72,7 +71,7 @@ def main() -> None:
           f"{stats.copy_handover} copies "
           f"({format_bytes(stats.bytes_copied)} moved)")
     print(f"regions allocated: {stats.regions_allocated}, "
-          f"leaked: {len(rts.memory.live_regions())}")
+          f"leaked: {len(session.rts.memory.live_regions())}")
 
 
 if __name__ == "__main__":

@@ -35,10 +35,10 @@ REL_TOL = 1e-6
 
 def _bench_workload():
     """Deterministic multi-job run with causal tracing; returns its obs."""
+    from repro.api import connect
     from repro.dataflow import Job, RegionUsage, Task, WorkSpec
     from repro.hardware import Cluster
     from repro.hardware.spec import OpClass
-    from repro.runtime import RuntimeSystem
 
     KiB, MiB = 1024, 1024 * 1024
 
@@ -68,7 +68,7 @@ def _bench_workload():
         return job
 
     cluster = Cluster.preset("pooled-rack", seed=42)
-    rts = RuntimeSystem(cluster)
+    session = connect(cluster=cluster)
     cluster.obs.slo.set_policy("training", target_ns=2e6, objective=0.9)
     jobs = [
         fan_job("training", width=4, payload=8 * MiB),
@@ -76,7 +76,7 @@ def _bench_workload():
         fan_job("analytics", width=2, payload=2 * MiB),
     ]
     for job in jobs:
-        stats = rts.run_job(job)
+        stats = session.run(job)
         assert stats.ok, f"bench job {job.name} failed"
     return cluster.obs
 

@@ -9,18 +9,19 @@ and memory.
 
 Quickstart::
 
-    from repro import Cluster, RuntimeSystem, Job, Task, WorkSpec, RegionUsage
+    from repro import Job, RegionUsage, Task, WorkSpec, connect
 
-    cluster = Cluster.preset("pooled-rack")      # Figure 1b
-    rts = RuntimeSystem(cluster)
-
+    session = connect("pooled-rack")             # Figure 1b
     job = Job("hello")
     a = job.add_task(Task("produce", work=WorkSpec(ops=1e5,
                                                    output=RegionUsage(1 << 20))))
     b = job.add_task(Task("consume", work=WorkSpec(input_usage=RegionUsage(0))))
     job.connect(a, b)
-    stats = rts.run_job(job)
+    stats = session.run(job)
     print(stats.makespan, stats.zero_copy_handover)
+
+Multi-tenant QoS (weights, priority classes, quotas, preemption) lives
+behind the same door — see :mod:`repro.api` and the README walkthrough.
 
 See ``examples/`` for complete applications and ``benchmarks/`` for the
 experiment harness (DESIGN.md maps each bench to the paper's artifacts).
@@ -48,10 +49,14 @@ from repro.memory import (
 )
 from repro.runtime import (
     JobStats,
+    PriorityClass,
     RuntimeSystem,
     TaskContext,
+    TenantQuota,
     baselines,
 )
+from repro import api
+from repro.api import Session, connect
 
 __version__ = "0.1.0"
 
@@ -67,15 +72,20 @@ __all__ = [
     "MemoryKind",
     "MemoryProperties",
     "OpClass",
+    "PriorityClass",
     "RegionType",
     "RegionUsage",
     "RuntimeSystem",
+    "Session",
     "Task",
     "TaskContext",
     "TaskProperties",
+    "TenantQuota",
     "ValidationError",
     "WorkSpec",
+    "api",
     "baselines",
+    "connect",
     "linear_job",
     "task",
 ]

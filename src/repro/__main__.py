@@ -91,12 +91,12 @@ def cmd_topo(args) -> int:
 def cmd_demo(args) -> int:
     from repro import (
         ComputeKind, Job, LatencyClass, OpClass, RegionUsage,
-        RuntimeSystem, Task, TaskProperties, WorkSpec,
+        Task, TaskProperties, WorkSpec, connect,
     )
 
     MiB = 1 << 20
     cluster = Cluster.preset(args.preset, trace_categories={"memory"})
-    rts = RuntimeSystem(cluster)
+    session = connect(cluster=cluster)
     # No Global State: the demo must run even on Figure 1a architectures,
     # where CPU and GPU share no coherence domain (see Scheduler.state_domain).
     job = Job("demo")
@@ -116,7 +116,7 @@ def cmd_demo(args) -> int:
     job.connect(ingest, train)
     job.connect(train, report)
 
-    stats = rts.run_job(job)
+    stats = session.run(job)
     print(f"demo job finished in {format_ns(stats.makespan)} (simulated)\n")
     schedule = Table(["task", "device", "duration"], title="Schedule")
     for name, task_stats in stats.tasks.items():
@@ -129,7 +129,7 @@ def cmd_demo(args) -> int:
     print(placement)
     print(f"\nhandover: {stats.zero_copy_handover} zero-copy, "
           f"{stats.copy_handover} copies; leaked regions: "
-          f"{len(rts.memory.live_regions())}")
+          f"{len(session.rts.memory.live_regions())}")
     return 0
 
 

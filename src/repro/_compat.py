@@ -1,0 +1,44 @@
+"""Deprecation plumbing for the pre-``Session`` submission entry points.
+
+The ``repro.api`` facade is the one front door for submitting work
+(tenants, priorities, admission).  The four older doors —
+``RuntimeSystem.submit`` / ``run_job`` / ``run_jobs`` and
+``RackDriver.run_trace`` — keep working behind shims that call
+:func:`warn_once` and forward to the canonical internals.
+
+Every shim message starts with ``"repro."`` so a test suite can run
+with ``-W error::DeprecationWarning`` scoped to ``repro.*`` modules
+while exempting exactly these shims by message prefix (see the
+``filterwarnings`` entries in ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import typing
+import warnings
+
+#: Shim keys that already warned in this process (one warning per door,
+#: not one per call — a trace replaying 10k jobs should not emit 10k
+#: identical warnings).
+_WARNED: typing.Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per ``key``.
+
+    ``stacklevel=3`` attributes the warning to the shim's caller
+    (warn_once -> shim -> caller), so ``-W error`` filters scoped by
+    module blame the right code.
+    """
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warnings() -> None:
+    """Forget which shims warned (tests assert warn-once behaviour)."""
+    _WARNED.clear()
+
+
+__all__ = ["reset_warnings", "warn_once"]

@@ -1,0 +1,219 @@
+"""The one front door: ``connect()`` a rack, ``submit``/``run`` jobs.
+
+Before this module the repo had four divergent submission entry points
+(``RuntimeSystem.submit``/``run_job``/``run_jobs`` and
+``RackDriver.run_trace``), none of which knew about tenants.
+:func:`connect` builds the whole stack — cluster preset, runtime
+system, QoS admission — and returns a :class:`Session` whose
+``submit``/``run`` are the supported way in.  Everything lands in the
+admission layer, so weighted-fair queueing, quotas, priority classes,
+and preemption apply uniformly::
+
+    import repro.api as api
+
+    session = api.connect("pooled-rack", seed=7)
+    session.register_tenant("web", weight=3.0, priority="interactive",
+                            slo_target_ns=2e6)
+    session.register_tenant("batch", weight=1.0, priority="best_effort")
+
+    handle = session.submit(job, tenant="web")     # queue it
+    stats = session.run()                          # drive to completion
+    print(session.dashboard())
+
+The old entry points keep working behind once-per-process
+``DeprecationWarning`` shims (see :mod:`repro._compat`).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataflow.graph import Job
+from repro.hardware.cluster import Cluster
+from repro.runtime.admission import AdmittedJob, RackDriver, RackStats
+from repro.runtime.rts import JobStats, RuntimeSystem
+from repro.runtime.tenancy import (
+    PriorityClass,
+    Tenant,
+    TenantQuota,
+    TenantRegistry,
+)
+
+
+def connect(
+    cluster_preset: str = "pooled-rack",
+    *,
+    seed: int = 0,
+    cluster: typing.Optional[Cluster] = None,
+    scheduler=None,
+    placement=None,
+    recovery=None,
+    tenants: typing.Optional[TenantRegistry] = None,
+    **rack_options,
+) -> "Session":
+    """Build a cluster, runtime, and QoS admission layer; return the
+    Session that fronts them.
+
+    ``cluster_preset``/``seed`` pick the simulated rack (pass an
+    explicit ``cluster`` to override); ``scheduler``/``placement``/
+    ``recovery`` forward to :class:`~repro.runtime.rts.RuntimeSystem`;
+    everything else (``max_concurrent``, ``policy``,
+    ``enable_preemption``, ...) forwards to
+    :class:`~repro.runtime.admission.RackDriver`.
+    """
+    if cluster is None:
+        cluster = Cluster.preset(cluster_preset, seed=seed)
+    rts = RuntimeSystem(
+        cluster, scheduler=scheduler, placement=placement, recovery=recovery,
+    )
+    driver = RackDriver(rts, tenants=tenants, **rack_options)
+    return Session(rts, driver)
+
+
+class Session:
+    """A connected rack: tenants, submission, execution, reporting."""
+
+    def __init__(self, rts: RuntimeSystem, driver: RackDriver):
+        self.rts = rts
+        self.driver = driver
+
+    # -- plumbing accessors ----------------------------------------------
+
+    @property
+    def cluster(self) -> Cluster:
+        """The simulated rack this session runs on."""
+        return self.rts.cluster
+
+    @property
+    def obs(self):
+        """The run's cross-layer observability hub."""
+        return self.rts.cluster.obs
+
+    @property
+    def tenants(self) -> TenantRegistry:
+        """The tenant registry the admission layer schedules over."""
+        return self.driver.tenants
+
+    @property
+    def stats(self) -> RackStats:
+        """Admission-level statistics for everything submitted so far."""
+        return self.driver.stats
+
+    # -- tenancy ----------------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        *,
+        weight: float = 1.0,
+        priority: typing.Union[PriorityClass, str, int] = PriorityClass.BATCH,
+        quota: typing.Optional[TenantQuota] = None,
+        slo_target_ns: typing.Optional[float] = None,
+        slo_objective: float = 0.99,
+    ) -> Tenant:
+        """Register a tenant; optionally attach an end-to-end SLO.
+
+        The SLO is tracked on workload ``tenant:<name>`` (arrival ->
+        finish latency recorded by the admission layer) and funds the
+        tenant's quota burst credits: remaining error budget scales
+        ``quota.burst_ns``.
+        """
+        tenant = self.tenants.register(
+            name, weight=weight, priority=priority, quota=quota,
+        )
+        if slo_target_ns is not None:
+            self.obs.slo.set_policy(
+                f"tenant:{name}", slo_target_ns, objective=slo_objective,
+            )
+        return tenant
+
+    # -- submission / execution -------------------------------------------
+
+    def submit(
+        self,
+        job: Job,
+        *,
+        tenant: typing.Optional[str] = None,
+        priority: typing.Union[PriorityClass, str, int, None] = None,
+        cost: float = 1.0,
+    ) -> AdmittedJob:
+        """Queue one job through QoS admission; returns its handle.
+
+        Tenant/priority resolution: explicit argument, else the job's
+        own annotation (``Job(tenant=...)``, ``linear_job(tenant=...)``,
+        ``@task(..., tenant=...)``), else the default tenant and its
+        class.  The handle's ``stats`` fills in once the job finishes
+        (drive the clock with :meth:`run`).
+        """
+        return self.driver.submit_job(
+            job.name, job, tenant=tenant, priority=priority, cost=cost,
+        )
+
+    def run(
+        self,
+        *jobs: Job,
+        tenant: typing.Optional[str] = None,
+        priority: typing.Union[PriorityClass, str, int, None] = None,
+    ):
+        """Submit ``jobs`` (if any) and run the simulation to the end.
+
+        Returns the single :class:`~repro.runtime.rts.JobStats` for one
+        job, a list for several, or the session's
+        :class:`~repro.runtime.admission.RackStats` when called with no
+        arguments (drain mode).  A failed job raises its error; a shed
+        job returns ``None`` stats.
+        """
+        handles = [
+            self.submit(job, tenant=tenant, priority=priority)
+            for job in jobs
+        ]
+        self.rts.cluster.engine.run()
+        if not jobs:
+            return self.driver.stats
+        results: typing.List[typing.Optional[JobStats]] = []
+        for handle in handles:
+            stats = self._result(handle)
+            results.append(stats)
+        return results[0] if len(jobs) == 1 else results
+
+    def _result(self, handle: AdmittedJob) -> typing.Optional[JobStats]:
+        """Finished stats for a handle; raises the job's error."""
+        if handle.shed:
+            return None
+        execution = handle.execution
+        if execution is None:
+            raise RuntimeError(
+                f"job {handle.name!r} was never admitted (queued behind a "
+                f"quota?); check session.stats and tenant quotas"
+            )
+        if execution.stats.error is not None:
+            raise execution.stats.error
+        return execution.stats
+
+    def run_trace(self, arrivals) -> RackStats:
+        """Run ``(time, name, job_factory[, tenant[, priority]])``
+        arrivals to completion; returns the rack statistics."""
+        return self.driver._run_trace(arrivals)
+
+    # -- reporting --------------------------------------------------------
+
+    def tenant_report(self) -> typing.Dict[str, dict]:
+        """Per-tenant admission/fairness/preemption accounting."""
+        return self.driver.tenant_report()
+
+    def dashboard(self, job: typing.Optional[str] = None) -> str:
+        """The run's text dashboard (jobs, attribution, SLOs, tenants)."""
+        from repro.obs.dashboard import render_dashboard
+
+        return render_dashboard(self.obs.data(), job=job)
+
+
+__all__ = [
+    "AdmittedJob",
+    "PriorityClass",
+    "Session",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "connect",
+]

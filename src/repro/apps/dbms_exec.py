@@ -147,7 +147,8 @@ class PhysicalQueryEngine:
     def execute(self, plan: PlanNode) -> typing.Tuple[object, JobStats]:
         """Compile, run, and return (real result, simulated stats)."""
         job, results = self.compile(plan)
-        stats = self.rts.run_job(job)
+        execution = self.rts._submit(job)
+        stats = self.rts.cluster.engine.run(until=execution.done)
         return results["__root__"], stats
 
     # -- operator tasks ------------------------------------------------------

@@ -182,7 +182,8 @@ class JacobiSolver:
             previous = barrier
 
         job.validate()
-        stats = self.rts.run_job(job)
+        execution = self.rts._submit(job)
+        stats = self.rts.cluster.engine.run(until=execution.done)
         return SolveResult(
             field=state["grid"],
             residuals=state["residuals"],

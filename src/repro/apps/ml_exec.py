@@ -191,7 +191,8 @@ class LinearTrainer:
         job.connect(previous, evaluate)
         job.validate()
 
-        stats = self.rts.run_job(job)
+        execution = self.rts._submit(job)
+        stats = self.rts.cluster.engine.run(until=execution.done)
         return TrainingResult(
             weights=state["w"], bias=state["b"],
             loss_per_epoch=loss_per_epoch,

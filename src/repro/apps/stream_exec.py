@@ -103,7 +103,7 @@ class StreamExecutor:
         engine = self.rts.cluster.engine
         record.started_at = engine.now
         self._in_flight += 1
-        execution = self.rts.submit(self.template(record.index))
+        execution = self.rts._submit(self.template(record.index))
         execution.done.add_callback(
             lambda event, rec=record: self._on_done(rec, event)
         )

@@ -15,20 +15,44 @@ The paper's declarative style, as Python::
     def face_recognition(ctx):
         ...
 
-``after`` wires the dataflow edges at declaration time.
+``after`` wires the dataflow edges at declaration time.  ``tenant=``
+and ``priority=`` annotate the *job* for the multi-tenant admission
+layer (see :mod:`repro.runtime.tenancy`); they ride along on the job
+so ``Session.submit(job)`` needs no extra arguments.
 """
 
 from __future__ import annotations
 
+import dis
 import typing
 
-from repro.dataflow.graph import Job, Task
+from repro.dataflow.graph import Job, Task, ValidationError
 from repro.dataflow.properties import TaskProperties
 from repro.dataflow.workspec import RegionUsage, WorkSpec
 from repro.hardware.spec import ComputeKind, OpClass
 from repro.memory.properties import LatencyClass
 
 TaskLike = typing.Union[Task, str]
+
+
+def _annotate_job(job: Job, tenant, priority, where: str) -> None:
+    """Set job-level tenancy annotations, rejecting contradictions."""
+    if tenant is not None:
+        existing = getattr(job, "tenant", None)
+        if existing is not None and existing != tenant:
+            raise ValidationError(
+                f"{where} sets tenant={tenant!r} but job {job.name!r} is "
+                f"already annotated with tenant={existing!r}"
+            )
+        job.tenant = tenant
+    if priority is not None:
+        existing = getattr(job, "priority", None)
+        if existing is not None and existing != priority:
+            raise ValidationError(
+                f"{where} sets priority={priority!r} but job {job.name!r} "
+                f"is already annotated with priority={existing!r}"
+            )
+        job.priority = priority
 
 
 def task(
@@ -42,13 +66,22 @@ def task(
     persistent: bool = False,
     mem_latency: typing.Optional[LatencyClass] = None,
     streaming: bool = False,
+    tenant: typing.Optional[str] = None,
+    priority=None,
 ) -> typing.Callable:
     """Decorator: register the function as a task of ``job``.
 
     The decorated function becomes the task's custom behaviour (may be
     ``None``-bodied; the WorkSpec default behaviour then applies).
-    Returns the :class:`~repro.dataflow.graph.Task`, so the decorated
-    name can be used directly in later ``after=`` references.
+    Returns the :class:`~repro.dataflow.graph.Task` — carrying the
+    function's ``__name__``/``__doc__`` so introspection still works —
+    so the decorated name can be used directly in later ``after=``
+    references.  Decorating the *same* function object twice (e.g.
+    under two jobs) raises: the Task replaces the name, so a second
+    decoration would silently alias the first job's state.
+
+    ``tenant=``/``priority=`` annotate the whole job (all tasks share
+    the submission identity); conflicting annotations raise.
     """
     upstream: typing.List[TaskLike]
     if after is None:
@@ -67,8 +100,18 @@ def task(
     )
 
     def decorate(fn: typing.Callable) -> Task:
+        bound = getattr(fn, "__repro_task__", None)
+        if bound is not None:
+            raise ValidationError(
+                f"function {getattr(fn, '__qualname__', fn)!r} is already "
+                f"bound to task {bound!r}; the @task decorator replaces "
+                f"the name with the Task, so reusing one function would "
+                f"alias its state — define a fresh function per task"
+            )
+        task_name = name or fn.__name__
+        _annotate_job(job, tenant, priority, where=f"@task({task_name!r})")
         new_task = Task(
-            name=name or fn.__name__,
+            name=task_name,
             work=work,
             properties=properties,
             fn=fn if _has_body(fn) else None,
@@ -76,28 +119,70 @@ def task(
         job.add_task(new_task)
         for up in upstream:
             job.connect(up, new_task)
+        # Preserve the decorated function's identity on the Task (the
+        # decoration replaces the name in the caller's namespace).
+        new_task.__name__ = fn.__name__
+        new_task.__qualname__ = getattr(fn, "__qualname__", fn.__name__)
+        new_task.__doc__ = fn.__doc__
+        new_task.__wrapped__ = fn
+        try:
+            fn.__repro_task__ = new_task.qualified_name
+        except (AttributeError, TypeError):  # builtins / slotted callables
+            pass
         return new_task
 
     return decorate
 
 
+#: Opcodes a declaration-only body compiles to, across CPython 3.8-3.13:
+#: ``pass``, ``...``, and docstring-only bodies all reduce to "return a
+#: constant" (the docstring itself lives in ``co_consts``, emitting no
+#: code).  Anything else — calls, loads of names, yields — is a body.
+_TRIVIAL_OPS = frozenset({
+    "RESUME",        # 3.11+ prologue
+    "CACHE",         # 3.11+ inline caches (not yielded by default, but safe)
+    "NOP",
+    "EXTENDED_ARG",
+    "LOAD_CONST",
+    "RETURN_CONST",  # 3.12+
+    "RETURN_VALUE",
+    "POP_TOP",       # pre-3.8 docstring-expression residue
+})
+
+
 def _has_body(fn: typing.Callable) -> bool:
-    """Heuristic: treat functions whose body is just ``...``/``pass``/a
-    docstring as declaration-only (no custom behaviour)."""
+    """Does the function have a real body (vs ``...``/``pass``/docstring)?
+
+    Inspects the compiled instructions instead of guessing from
+    ``len(co_code)`` (whose trivial-body length changes between CPython
+    versions): a declaration-only body consists solely of
+    constant-return plumbing.  Note a body like ``return 1`` is still
+    "trivial" here — task behaviours must be generators, so a bare
+    constant return cannot be meaningful behaviour.
+    """
     code = getattr(fn, "__code__", None)
     if code is None:
         return False
-    # A trivial body compiles to <= 4 instructions (load const, return).
-    return len(code.co_code) > 8
+    return any(
+        ins.opname not in _TRIVIAL_OPS for ins in dis.get_instructions(code)
+    )
 
 
 def linear_job(
     name: str,
     stages: typing.Sequence[typing.Tuple[str, WorkSpec, TaskProperties]],
     global_state_size: int = 0,
+    *,
+    tenant: typing.Optional[str] = None,
+    priority=None,
 ) -> Job:
-    """Build a simple pipeline job from (name, work, properties) stages."""
-    job = Job(name, global_state_size=global_state_size)
+    """Build a simple pipeline job from (name, work, properties) stages.
+
+    ``tenant=``/``priority=`` annotate the job for the multi-tenant
+    admission layer (kept on the Job; interpreted at submission).
+    """
+    job = Job(name, global_state_size=global_state_size,
+              tenant=tenant, priority=priority)
     previous: typing.Optional[Task] = None
     for stage_name, work, properties in stages:
         current = job.add_task(Task(stage_name, work=work, properties=properties))

@@ -71,7 +71,14 @@ class Job:
 
     _ids = count()
 
-    def __init__(self, name: str, global_state_size: int = 0):
+    def __init__(
+        self,
+        name: str,
+        global_state_size: int = 0,
+        *,
+        tenant: typing.Optional[str] = None,
+        priority=None,
+    ):
         if not name:
             raise ValidationError("job name may not be empty")
         if global_state_size < 0:
@@ -82,6 +89,11 @@ class Job:
         self.graph = nx.DiGraph()
         #: Size of the job's Global State region (Table 2); 0 = none.
         self.global_state_size = global_state_size
+        #: Tenancy annotations (None = decided at submission: the
+        #: submitting tenant's defaults).  The dataflow layer carries
+        #: them opaquely; the runtime's tenancy module interprets them.
+        self.tenant = tenant
+        self.priority = priority
         #: Sizes of the job's Global Scratch slots, discovered from tasks.
         self.submitted = False
 

@@ -51,6 +51,7 @@ BUCKETS = (
     "transfer",
     "ownership_stall",
     "recovery_retry",
+    "preemption",
     "admission_backoff",
     "unattributed",
 )

@@ -31,6 +31,7 @@ _BUCKET_SHORT = {
     "transfer": "xfer",
     "ownership_stall": "own",
     "recovery_retry": "recov",
+    "preemption": "prmpt",
     "admission_backoff": "adm",
     "unattributed": "other",
 }
@@ -96,7 +97,7 @@ def render_dashboard(
 
     # -- jobs ------------------------------------------------------------
     jobs = Table(
-        ["job", "ok", "makespan", "tasks", "zero-copy", "copies",
+        ["job", "tenant", "ok", "makespan", "tasks", "zero-copy", "copies",
          "bytes copied", "zc ratio"],
         title="Jobs",
     )
@@ -112,6 +113,7 @@ def render_dashboard(
         ratio = zc / (zc + cp) if (zc + cp) else 0.0
         jobs.add_row(
             fields.get("job", "?"),
+            fields.get("tenant", "-"),
             "yes" if fields.get("ok", True) else "FAILED",
             format_ns(float(event.get("t", 0.0)) - float(event.get("begin", 0.0))),
             fields.get("tasks", ""),
@@ -132,7 +134,7 @@ def render_dashboard(
             attributions.append(att)
     if attributions:
         att_table = Table(
-            ["job", "ok", "makespan"]
+            ["job", "tenant", "ok", "makespan"]
             + [_BUCKET_SHORT[b] for b in BUCKETS],
             title="Critical-path attribution (% of makespan)",
         )
@@ -140,6 +142,7 @@ def render_dashboard(
             makespan = att["makespan"] or 1.0
             att_table.add_row(
                 att["job"],
+                att.get("fields", {}).get("tenant", "-"),
                 "yes" if att["ok"] else "FAILED",
                 format_ns(att["makespan"]),
                 *[f"{100.0 * att['buckets'][b] / makespan:.0f}%"
@@ -189,6 +192,34 @@ def render_dashboard(
                 f"{snap['burn_rate']:.2f}" if has_policy else "-",
             )
         sections.append(slo_table.render())
+
+    # -- tenants ----------------------------------------------------------
+    tenant_names = sorted({
+        name.split("/", 1)[1]
+        for name in metrics
+        if name.startswith("tenant.") and "/" in name
+    })
+    # A lone default tenant is the single-tenant degenerate case; the
+    # table only earns its lines when QoS is actually in play.
+    if tenant_names and tenant_names != ["default"]:
+        tenants = Table(
+            ["tenant", "weight", "share", "served", "submitted", "admitted",
+             "shed", "preempted", "won"],
+            title="Tenants (fair-share and preemption accounting)",
+        )
+        for name in tenant_names:
+            tenants.add_row(
+                name,
+                f"{_metric_value(metrics, f'tenant.weight/{name}', 1.0):g}",
+                f"{_metric_value(metrics, f'tenant.share/{name}'):.0%}",
+                format_ns(_metric_value(metrics, f"tenant.served_ns/{name}")),
+                int(_metric_value(metrics, f"tenant.submitted/{name}")),
+                int(_metric_value(metrics, f"tenant.admitted/{name}")),
+                int(_metric_value(metrics, f"tenant.shed/{name}")),
+                int(_metric_value(metrics, f"tenant.preempted/{name}")),
+                int(_metric_value(metrics, f"tenant.preemptions_won/{name}")),
+            )
+        sections.append(tenants.render())
 
     # -- per-device utilization timelines --------------------------------
     util = Table(["device", f"occupancy timeline (t→{format_ns(now or 0)})",

@@ -56,6 +56,14 @@ from repro.runtime.resilience import (
     ResilientRuntime,
     prune_with_checkpoints,
 )
+from repro.runtime.tenancy import (
+    Preempted,
+    PriorityClass,
+    Tenant,
+    TenantQuota,
+    TenantRegistry,
+    estimate_job_footprint,
+)
 from repro.runtime.admission import AdmittedJob, RackDriver, RackStats
 from repro.runtime.calibration import CalibratedCostModel, ObservationStats
 from repro.runtime.planner import JobPlan, PlannedRegion, TaskPlan, plan_job
@@ -82,6 +90,8 @@ __all__ = [
     "PlacementPolicy",
     "PlacementRequest",
     "PlannedRegion",
+    "Preempted",
+    "PriorityClass",
     "RackDriver",
     "RackStats",
     "RandomScheduler",
@@ -95,7 +105,11 @@ __all__ = [
     "StaticKindPlacement",
     "TaskContext",
     "TaskPlan",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
     "baselines",
+    "estimate_job_footprint",
     "plan_job",
     "prune_with_checkpoints",
 ]

@@ -86,7 +86,7 @@ class ResilientRuntime:
                     1 for name in checkpoints if name in job.tasks
                 )
             started = self.rts.cluster.engine.now
-            execution = self.rts.submit(job)
+            execution = self.rts._submit(job)
             if prev_key is not None:
                 # Chain whole-job re-executions in the causal record.
                 self.rts.cluster.obs.causal.link_retry(

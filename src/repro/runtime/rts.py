@@ -38,8 +38,10 @@ from repro.runtime.placement import (
 )
 from repro.obs.span import NOOP_SPAN
 from repro.runtime.scheduler import HeftScheduler, Scheduler
+from repro.runtime.tenancy import DEFAULT_TENANT, Preempted, coerce_priority
 from repro.runtime.transfer import HandoverManager
-from repro.sim.events import Event
+from repro.sim.events import Event, Interrupt
+from repro import _compat
 
 
 class TaskFailure(Exception):
@@ -59,6 +61,9 @@ class TaskStats:
     #: How many times the task was (re)started; >1 means in-flight
     #: recovery retried it after an infrastructure failure.
     attempts: int = 0
+    #: How many times the task was preempted by a higher-class job and
+    #: re-queued (does not consume the recovery attempt budget).
+    preemptions: int = 0
 
     @property
     def started(self) -> bool:
@@ -95,6 +100,11 @@ class JobStats:
     replacements: int = 0
     degraded_reads: int = 0
     error: typing.Optional[BaseException] = None
+    #: Multi-tenancy: which tenant submitted the job, at which class,
+    #: and how many times the whole job was preempted (victim side).
+    tenant: str = DEFAULT_TENANT
+    priority: str = ""
+    preemptions: int = 0
 
     @property
     def makespan(self) -> float:
@@ -393,18 +403,44 @@ class TaskContext:
         yield self._rts.cluster.engine.timeout(ns)
 
 
+def _preemption_cause(exc: BaseException) -> typing.Optional[Preempted]:
+    """The Preempted cause if ``exc`` is a preemption, else None."""
+    if isinstance(exc, Preempted):
+        return exc
+    if isinstance(exc, Interrupt) and isinstance(exc.cause, Preempted):
+        return exc.cause
+    return None
+
+
 class _JobExecution:
     """One running job: mailboxes, per-task processes, completion event."""
 
-    def __init__(self, rts: "RuntimeSystem", job: Job):
+    def __init__(
+        self,
+        rts: "RuntimeSystem",
+        job: Job,
+        tenant: typing.Optional[str] = None,
+        priority=None,
+    ):
         job.validate()
         self.rts = rts
         self.job = job
         self.job_owner = f"job:{job.name}#{job.id}"
-        self.stats = JobStats(job_name=job.name, submitted_at=rts.cluster.engine.now)
+        # Tenancy: explicit argument > job-level annotation > default.
+        self.tenant = tenant or getattr(job, "tenant", None) or DEFAULT_TENANT
+        if priority is None:
+            priority = getattr(job, "priority", None)
+        self.priority = coerce_priority(priority) if priority is not None else None
+        self.stats = JobStats(
+            job_name=job.name, submitted_at=rts.cluster.engine.now,
+            tenant=self.tenant,
+            priority=self.priority.name.lower() if self.priority else "",
+        )
         # Root of this job's span tree (explicit close: the job scope
         # crosses simulation processes).  No-op when "job" is disabled.
-        self.span = rts.cluster.obs.begin_span("job", "run", job=job.name)
+        self.span = rts.cluster.obs.begin_span(
+            "job", "run", job=job.name, tenant=self.tenant
+        )
         self.assignment = rts.scheduler.assign(job, rts.cluster, rts.costmodel)
         self.stats.assignment = dict(self.assignment)
         # Causal DAG for critical-path attribution (None when the
@@ -412,6 +448,11 @@ class _JobExecution:
         self.causal = rts.cluster.obs.causal.job_begin(
             self.job_owner, job.name, self.stats.submitted_at
         )
+        if self.causal is not None:
+            self.causal.fields["tenant"] = self.tenant
+        #: task name -> live attempt process (set only while the task
+        #: holds a compute slot; the window preemption may interrupt).
+        self._attempt_procs: typing.Dict[str, typing.Any] = {}
         #: task name -> id of the task's latest causal node (chain head).
         self._cnodes: typing.Dict[str, int] = {}
         #: consumer task name -> handover nodes that delivered its inputs.
@@ -565,6 +606,36 @@ class _JobExecution:
             return default
         return min(self.causal.nodes[chain].end, default)
 
+    # -- preemption ----------------------------------------------------------
+
+    def preempt(self, by: str = "") -> int:
+        """Interrupt every task attempt currently holding a compute slot.
+
+        Called by the admission layer when a higher-class arrival needs
+        the slots this (``BEST_EFFORT``) job occupies.  Preempted tasks
+        release their slot, scratch, and output through the normal
+        attempt-failure unwind, then re-queue behind the preemptor;
+        tasks still waiting on dependencies are untouched (they and the
+        preempted tasks' not-yet-started successors simply keep waiting
+        on the done-events).  Returns the number of tasks interrupted
+        (0 = nothing was running, the caller should pick another
+        victim).
+        """
+        interrupted = 0
+        for name, process in list(self._attempt_procs.items()):
+            if process is not None and process.is_alive:
+                process.interrupt(Preempted(by))
+                interrupted += 1
+        if interrupted:
+            self.stats.preemptions += 1
+            obs = self.rts.cluster.obs
+            obs.counter("preemption.jobs").inc()
+            obs.event(
+                "recovery", "job_preempted", job=self.job.name,
+                tenant=self.tenant, by=by, tasks=interrupted,
+            )
+        return interrupted
+
     # -- task execution ------------------------------------------------------
 
     def _run_task(self, task: Task):
@@ -607,15 +678,35 @@ class _JobExecution:
             # loop: a fault landing mid-restore burns an attempt and is
             # retried too (with the dead device replaced by then).
             repair_cause: typing.Optional[BaseException] = None
+            requeue_cause: typing.Optional[BaseException] = None
             while True:
-                stats.attempts += 1
+                if requeue_cause is None:
+                    # A preemption re-queue is not a fresh attempt: it
+                    # must not consume the recovery attempt budget.
+                    stats.attempts += 1
                 try:
                     if repair_cause is not None:
                         yield from self._prepare_retry(task, stats, repair_cause)
                         repair_cause = None
+                    if requeue_cause is not None:
+                        yield from self._prepare_requeue(
+                            task, stats, requeue_cause
+                        )
+                        requeue_cause = None
                     yield from self._attempt(task, stats)
                     break
                 except BaseException as exc:  # noqa: BLE001
+                    if (
+                        _preemption_cause(exc) is not None
+                        and stats.preemptions < self.rts.max_task_preemptions
+                    ):
+                        # Preemption is policy, not failure: re-queue
+                        # even with no RecoveryPolicy configured.  The
+                        # per-task bound is a livelock backstop; the
+                        # driver already bounds preemptions per job.
+                        stats.preemptions += 1
+                        requeue_cause = exc
+                        continue
                     if (
                         policy is None
                         or stats.attempts >= policy.max_task_attempts
@@ -693,6 +784,11 @@ class _JobExecution:
             device.cancel_slot(slot_request)
             raise
         stats.started_at = engine.now
+        if process is not None:
+            # Holding a slot makes this attempt a preemption target;
+            # the registration window closes when the slot is released
+            # (the epilogue's handovers are never interrupted).
+            self._attempt_procs[task.name] = process
         if self.causal is not None:
             begin = self._chain_end(
                 task.name,
@@ -737,6 +833,7 @@ class _JobExecution:
             self._release_attempt(ctx)
             raise
         finally:
+            self._attempt_procs.pop(task.name, None)
             if watched:
                 monitor.unwatch(device.name, process)
             device.busy_time += engine.now - stats.started_at
@@ -829,6 +926,36 @@ class _JobExecution:
                 task.name, "recovery", "recovery_retry",
                 min(recovery_begin, engine.now), engine.now,
                 chain_kind="retry", task=task.qualified_name, **fields,
+            )
+
+    def _prepare_requeue(self, task: Task, stats: TaskStats, exc: BaseException):
+        """Between a preemption and the re-attempt: back off briefly.
+
+        Unlike :meth:`_prepare_retry` there is nothing to repair — the
+        device is healthy, the attempt's scratch/output were released
+        by the normal unwind, and the inputs are still live.  The
+        backoff exists so the preemptor's slot requests land ahead of
+        ours in the device's FIFO queue.
+        """
+        rts = self.rts
+        engine = rts.cluster.engine
+        cause = _preemption_cause(exc)
+        rts.cluster.obs.counter("preemption.task_requeues").inc()
+        begin = self._chain_end(task.name, engine.now)
+        rts.cluster.trace.emit(
+            engine.now, "recovery", "task_preempted",
+            task=task.qualified_name, device=self.assignment[task.name],
+            by=cause.by if cause is not None else "",
+        )
+        yield engine.timeout(rts.preemption_backoff_ns)
+        if self.causal is not None:
+            self._causal_chain(
+                task.name, "preempted", "preemption",
+                min(begin, engine.now), engine.now, chain_kind="retry",
+                task=task.qualified_name,
+                device=self.assignment[task.name],
+                by=cause.by if cause is not None else "",
+                preemption=stats.preemptions,
             )
 
     def _device_implicated(self, task: Task, exc: BaseException) -> bool:
@@ -1104,6 +1231,14 @@ def _default_behaviour(ctx: TaskContext):
 class RuntimeSystem:
     """Public facade: a runtime system bound to one cluster."""
 
+    #: How long a preempted task waits before re-queueing, so the
+    #: preemptor's slot requests land first in the device FIFO.
+    preemption_backoff_ns: float = 10_000.0
+    #: Livelock backstop: after this many preemptions a task treats the
+    #: next one as a plain failure (the admission layer bounds
+    #: preemptions per *job* well below this).
+    max_task_preemptions: int = 8
+
     def __init__(
         self,
         cluster: Cluster,
@@ -1156,12 +1291,32 @@ class RuntimeSystem:
         yield "placement.placements", self.placement.placements
         yield "placement.rejections", self.placement.rejections
 
-    def submit(self, job: Job) -> _JobExecution:
-        """Validate, schedule, and start a job; returns its execution."""
+    def _submit(
+        self,
+        job: Job,
+        *,
+        tenant: typing.Optional[str] = None,
+        priority=None,
+    ) -> _JobExecution:
+        """Canonical submission: validate, schedule, and start a job.
+
+        Internal — :class:`repro.api.Session` and the admission layer
+        land here; external callers go through the Session facade.
+        """
         self.cluster.obs.counter("jobs.submitted").inc()
-        execution = _JobExecution(self, job)
+        execution = _JobExecution(self, job, tenant=tenant, priority=priority)
         self.executions.append(execution)
         return execution
+
+    def submit(self, job: Job) -> _JobExecution:
+        """Deprecated: submit through ``repro.api.Session`` instead."""
+        _compat.warn_once(
+            "RuntimeSystem.submit",
+            "repro.RuntimeSystem.submit() is deprecated; use "
+            "repro.api.connect(...).submit(job) so admission, tenancy, "
+            "and QoS apply",
+        )
+        return self._submit(job)
 
     def plan(self, job: Job):
         """Dry-run: the assignment, placements, and makespan the runtime
@@ -1176,13 +1331,23 @@ class RuntimeSystem:
         self.cluster.engine.run(until=until)
 
     def run_job(self, job: Job) -> JobStats:
-        """Submit one job and run the simulation to its completion."""
-        execution = self.submit(job)
+        """Deprecated: use ``repro.api.Session.run(job)`` instead."""
+        _compat.warn_once(
+            "RuntimeSystem.run_job",
+            "repro.RuntimeSystem.run_job() is deprecated; use "
+            "repro.api.connect(...).run(job) (the Session facade)",
+        )
+        execution = self._submit(job)
         return self.cluster.engine.run(until=execution.done)
 
     def run_jobs(self, jobs: typing.Sequence[Job]) -> typing.List[JobStats]:
-        """Submit several jobs at once (they contend) and run them all."""
-        executions = [self.submit(job) for job in jobs]
+        """Deprecated: use ``repro.api.Session.run(*jobs)`` instead."""
+        _compat.warn_once(
+            "RuntimeSystem.run_jobs",
+            "repro.RuntimeSystem.run_jobs() is deprecated; use "
+            "repro.api.connect(...).run(*jobs) (the Session facade)",
+        )
+        executions = [self._submit(job) for job in jobs]
         self.cluster.engine.run(until=self.cluster.engine.all_of(
             [e.done for e in executions]
         ))

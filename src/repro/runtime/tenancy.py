@@ -1,0 +1,286 @@
+"""Multi-tenant QoS: tenants, priority classes, quotas (§3 Challenge 5).
+
+The paper's RTS must "serve thousands of jobs in parallel" and
+"optimize for concurrently running jobs"; a shared disaggregated rack
+without per-application policy hands the pool to whichever tenant is
+greediest.  This module is the policy vocabulary the admission layer
+(:class:`~repro.runtime.admission.RackDriver`) enforces:
+
+* :class:`Tenant` — a named principal with a weighted-fair share
+  (start-time fair queueing weight), a :class:`PriorityClass`, and an
+  optional :class:`TenantQuota`;
+* :class:`TenantQuota` — caps over estimated in-flight pool memory
+  bytes, compute-device-time (a debt-limited token bucket earning
+  ``compute_share`` device-ns per wall-ns), and concurrent jobs.  A
+  tenant with an SLO policy on workload ``tenant:<name>`` may overdraw
+  the compute bucket by ``burst_ns`` scaled by its *remaining SLO error
+  budget* — a tenant that is meeting its SLO earns burst headroom, one
+  that is burning budget loses it;
+* :class:`Preempted` — the interrupt cause delivered into a running
+  ``BEST_EFFORT`` task when a higher class arrival takes its slot.
+
+Nothing here touches the simulator; the driver owns clock access and
+enforcement so this vocabulary stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+#: Tenant jobs with no explicit tenant land here.
+DEFAULT_TENANT = "default"
+
+
+class PriorityClass(enum.IntEnum):
+    """Strict service classes; lower value is served first.
+
+    Between classes the scheduler is strictly prioritized (an
+    ``INTERACTIVE`` arrival is always picked before queued ``BATCH``
+    work); *within* a class, tenants share by weighted-fair queueing.
+    Only ``BEST_EFFORT`` jobs may be preempted.
+    """
+
+    INTERACTIVE = 0
+    BATCH = 1
+    BEST_EFFORT = 2
+
+
+def coerce_priority(
+    value: typing.Union["PriorityClass", str, int],
+) -> PriorityClass:
+    """Normalize a user-facing priority spelling to a PriorityClass.
+
+    Accepts the enum itself, its name in any case (``"interactive"``,
+    ``"BEST_EFFORT"``, ``"best-effort"``), or its integer value.
+    """
+    if isinstance(value, PriorityClass):
+        return value
+    if isinstance(value, str):
+        key = value.strip().upper().replace("-", "_").replace(" ", "_")
+        try:
+            return PriorityClass[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority {value!r}; expected one of "
+                f"{[p.name for p in PriorityClass]}"
+            ) from None
+    if isinstance(value, int):
+        try:
+            return PriorityClass(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown priority value {value!r}; expected "
+                f"{[int(p) for p in PriorityClass]}"
+            ) from None
+    raise ValueError(f"cannot interpret {value!r} as a priority class")
+
+
+class Preempted(Exception):
+    """A task was interrupted to yield its compute slot to a higher
+    class arrival.  Carried as the ``cause`` of a
+    :class:`~repro.sim.events.Interrupt`; the RTS re-queues the task
+    (it does not count against the failure-recovery attempt budget)."""
+
+    def __init__(self, by: str = ""):
+        super().__init__(by)
+        #: Name of the admitted job that took the slot.
+        self.by = by
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantQuota:
+    """Admission-time resource caps for one tenant (None = unlimited)."""
+
+    #: Cap on the tenant's estimated in-flight pool-memory footprint
+    #: (sum of :func:`estimate_job_footprint` over its running jobs).
+    memory_bytes: typing.Optional[float] = None
+    #: Compute-device-time share: the tenant earns this many device-ns
+    #: of credit per simulated ns and pays actual task device-occupancy
+    #: when jobs finish.  Admission requires a non-negative balance
+    #: (plus any SLO-funded burst), so sustained usage converges to the
+    #: share while short debts amortize over time.
+    compute_share: typing.Optional[float] = None
+    #: Cap on concurrently admitted jobs.
+    max_running: typing.Optional[int] = None
+    #: Maximum SLO-funded overdraft of the compute bucket, in device-ns.
+    #: The live overdraft is ``burst_ns * budget_remaining`` of the
+    #: tenant's ``tenant:<name>`` SLO workload (zero without a policy
+    #: or once the error budget is spent).
+    burst_ns: float = 0.0
+    #: How much unused compute credit may be banked, in device-ns
+    #: (0 = use-it-or-lose-it; the share still amortizes debt).
+    bucket_cap_ns: float = 0.0
+
+    def __post_init__(self):
+        if self.memory_bytes is not None and self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be > 0: {self.memory_bytes}")
+        if self.compute_share is not None and self.compute_share <= 0:
+            raise ValueError(
+                f"compute_share must be > 0: {self.compute_share}"
+            )
+        if self.max_running is not None and self.max_running < 1:
+            raise ValueError(f"max_running must be >= 1: {self.max_running}")
+        if self.burst_ns < 0:
+            raise ValueError(f"burst_ns must be >= 0: {self.burst_ns}")
+        if self.bucket_cap_ns < 0:
+            raise ValueError(
+                f"bucket_cap_ns must be >= 0: {self.bucket_cap_ns}"
+            )
+
+
+class Tenant:
+    """One principal sharing the rack: identity, policy, live state."""
+
+    def __init__(
+        self,
+        name: str,
+        weight: float = 1.0,
+        priority: PriorityClass = PriorityClass.BATCH,
+        quota: typing.Optional[TenantQuota] = None,
+    ):
+        if not name:
+            raise ValueError("tenant name may not be empty")
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be > 0: {weight}")
+        self.name = name
+        self.weight = float(weight)
+        self.priority = coerce_priority(priority)
+        self.quota = quota if quota is not None else TenantQuota()
+        # -- weighted-fair-queueing state (owned by the driver) --------
+        #: Finish tag of the tenant's most recently enqueued job; the
+        #: next job's start tag is max(virtual time, this).
+        self.virtual_finish = 0.0
+        # -- compute token bucket --------------------------------------
+        self.bucket_ns = 0.0
+        self._bucket_stamp = 0.0
+        # -- live admission state --------------------------------------
+        self.running = 0
+        self.in_flight_bytes = 0.0
+        # -- accounting ------------------------------------------------
+        self.submitted = 0
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        #: Times a job of this tenant was preempted (victim side).
+        self.preempted = 0
+        #: Admissions this tenant gained by preempting someone.
+        self.preemptions_won = 0
+        #: Times the tenant's queue head was deferred by a quota.
+        self.quota_deferrals = 0
+        #: Compute-device-ns consumed by this tenant's finished jobs.
+        self.served_ns = 0.0
+        self.queue_wait_ns = 0.0
+
+    def refill(self, now: float) -> None:
+        """Lazily accrue compute credit up to ``now`` (no-op without a
+        compute_share quota)."""
+        share = self.quota.compute_share
+        if share is None:
+            return
+        dt = now - self._bucket_stamp
+        if dt > 0:
+            self.bucket_ns = min(
+                self.bucket_ns + dt * share, self.quota.bucket_cap_ns
+            )
+        self._bucket_stamp = max(self._bucket_stamp, now)
+
+    def spend(self, device_ns: float) -> None:
+        """Debit consumed compute-device time against the bucket."""
+        if self.quota.compute_share is not None and device_ns > 0:
+            self.bucket_ns -= device_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tenant({self.name!r}, weight={self.weight}, "
+            f"priority={self.priority.name}, running={self.running})"
+        )
+
+
+class TenantRegistry:
+    """All tenants known to one rack; auto-registers ``default``.
+
+    ``get`` auto-creates unknown tenants with default policy so
+    single-tenant callers never have to think about tenancy; ``register``
+    is the explicit path and rejects duplicates.
+    """
+
+    def __init__(self):
+        self._tenants: typing.Dict[str, Tenant] = {}
+        self.register(DEFAULT_TENANT)
+
+    def register(
+        self,
+        name: str,
+        *,
+        weight: float = 1.0,
+        priority: typing.Union[PriorityClass, str, int] = PriorityClass.BATCH,
+        quota: typing.Optional[TenantQuota] = None,
+    ) -> Tenant:
+        """Create and return a tenant; raises on a duplicate name."""
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} is already registered")
+        tenant = Tenant(
+            name, weight=weight, priority=coerce_priority(priority),
+            quota=quota,
+        )
+        self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: typing.Optional[str]) -> Tenant:
+        """The named tenant, auto-registered with defaults if unknown."""
+        key = name or DEFAULT_TENANT
+        tenant = self._tenants.get(key)
+        if tenant is None:
+            tenant = self._tenants[key] = Tenant(key)
+        return tenant
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self) -> typing.Iterator[Tenant]:
+        """Tenants in name order (deterministic scheduling scans)."""
+        for name in sorted(self._tenants):
+            yield self._tenants[name]
+
+    def names(self) -> typing.List[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenants)
+
+
+def estimate_job_footprint(job) -> float:
+    """Estimated peak pool-memory bytes a job can hold in flight.
+
+    Sums the declared global state, every task's scratch and output,
+    and all global-scratch slot sizes — a deliberate over-estimate
+    (assumes everything live at once) so memory quotas fail safe.
+    Inputs are not counted: they are the upstream's output, already
+    charged once.
+    """
+    total = float(getattr(job, "global_state_size", 0) or 0)
+    for task in getattr(job, "tasks", {}).values():
+        work = task.work
+        if work.scratch is not None:
+            total += work.scratch.size
+        if work.output is not None:
+            total += work.output.size
+        for usage in work.scratch_puts.values():
+            total += usage.size
+    return total
+
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "Preempted",
+    "PriorityClass",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "coerce_priority",
+    "estimate_job_footprint",
+]

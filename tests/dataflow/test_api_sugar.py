@@ -1,0 +1,146 @@
+"""Tests for the @task decorator sugar: body detection, identity
+preservation, double-decoration guard, and tenancy annotations."""
+
+import pytest
+
+from repro.dataflow import Job, RegionUsage, ValidationError, WorkSpec
+from repro.dataflow.api import _has_body, linear_job, task
+from repro.dataflow.properties import TaskProperties
+
+MiB = 1024 * 1024
+
+
+def spec(payload=1 * MiB):
+    return WorkSpec(ops=1e5, output=RegionUsage(payload))
+
+
+class TestHasBody:
+    def test_ellipsis_only_is_no_body(self):
+        def fn(ctx):
+            ...
+        assert not _has_body(fn)
+
+    def test_pass_only_is_no_body(self):
+        def fn(ctx):
+            pass
+        assert not _has_body(fn)
+
+    def test_docstring_only_is_no_body(self):
+        def fn(ctx):
+            """Just documentation, no behaviour."""
+        assert not _has_body(fn)
+
+    def test_docstring_plus_ellipsis_is_no_body(self):
+        def fn(ctx):
+            """Documented declaration."""
+            ...
+        assert not _has_body(fn)
+
+    def test_one_line_generator_is_a_body(self):
+        def fn(ctx):
+            yield ctx
+        assert _has_body(fn)
+
+    def test_single_statement_is_a_body(self):
+        def fn(ctx):
+            ctx.log("hello")
+        assert _has_body(fn)
+
+    def test_non_function_has_no_body(self):
+        assert not _has_body(print)
+
+
+class TestTaskDecorator:
+    def test_trivial_body_leaves_default_behaviour(self):
+        job = Job("j")
+
+        @task(job, work=spec())
+        def stage(ctx):
+            ...
+
+        assert job.tasks["stage"].fn is None
+
+    def test_real_body_becomes_behaviour(self):
+        job = Job("j")
+
+        @task(job, work=spec())
+        def stage(ctx):
+            yield ctx
+
+        assert job.tasks["stage"].fn is not None
+
+    def test_identity_preserved_on_task(self):
+        job = Job("j")
+
+        @task(job, work=spec())
+        def stage(ctx):
+            """Produce the payload."""
+            ...
+
+        assert stage is job.tasks["stage"]
+        assert stage.__name__ == "stage"
+        assert stage.__doc__ == "Produce the payload."
+        assert stage.__wrapped__.__name__ == "stage"
+
+    def test_after_wires_edges(self):
+        job = Job("j")
+
+        @task(job, work=spec())
+        def first(ctx):
+            ...
+
+        @task(job, after=first, work=WorkSpec(
+            ops=1e5, input_usage=RegionUsage(0)))
+        def second(ctx):
+            ...
+
+        assert ("first", "second") in {
+            (up.name, down.name) for up, down in job.edges()
+        }
+
+    def test_double_decoration_raises(self):
+        job_a, job_b = Job("a"), Job("b")
+
+        def stage(ctx):
+            ...
+
+        task(job_a, work=spec())(stage)
+        with pytest.raises(ValidationError, match="already bound"):
+            task(job_b, work=spec())(stage)
+
+
+class TestTenancyAnnotations:
+    def test_task_annotates_the_job(self):
+        job = Job("j")
+
+        @task(job, work=spec(), tenant="web", priority="interactive")
+        def stage(ctx):
+            ...
+
+        assert job.tenant == "web"
+        assert job.priority == "interactive"
+
+    def test_conflicting_tenant_rejected_before_mutation(self):
+        job = Job("j", tenant="web")
+
+        with pytest.raises(ValidationError, match="already annotated"):
+            @task(job, work=spec(), tenant="batch")
+            def stage(ctx):
+                ...
+
+        assert job.tenant == "web"
+        assert "stage" not in job.tasks  # rejected before add_task
+
+    def test_linear_job_annotations(self):
+        job = linear_job(
+            "pipe",
+            [("only", spec(), TaskProperties())],
+            tenant="analytics", priority="best_effort",
+        )
+        assert job.tenant == "analytics"
+        assert job.priority == "best_effort"
+
+    def test_plain_jobs_carry_no_tenancy(self):
+        job = linear_job("pipe", [("only", spec(), TaskProperties())])
+        assert job.tenant is None
+        assert job.priority is None

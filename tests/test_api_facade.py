@@ -1,0 +1,165 @@
+"""Tests for the unified submission API: connect()/Session, and the
+deprecation shims that keep the old entry points alive."""
+
+import warnings
+
+import pytest
+
+from repro import _compat, connect
+from repro.api import Session
+from repro.dataflow import Job, RegionUsage, Task, WorkSpec, task
+from repro.hardware import Cluster
+from repro.runtime import RackDriver, RuntimeSystem
+from repro.runtime.admission import RackStats
+from repro.runtime.rts import JobStats
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+def pipeline(name="pipe", payload=2 * MiB):
+    job = Job(name)
+    a = job.add_task(Task("a", work=WorkSpec(
+        ops=1e5, output=RegionUsage(payload))))
+    b = job.add_task(Task("b", work=WorkSpec(
+        ops=1e5, input_usage=RegionUsage(0))))
+    job.connect(a, b)
+    return job
+
+
+def failing_job(name="boom"):
+    job = Job(name)
+
+    @task(job, name="upstream", work=WorkSpec(output=RegionUsage(4 * KiB)))
+    def upstream(ctx):
+        yield from ctx.sleep(25.0)
+        raise RuntimeError("mid-task crash")
+
+    return job
+
+
+class TestConnect:
+    def test_connect_builds_the_stack(self):
+        session = connect("pooled-rack", seed=3)
+        assert isinstance(session, Session)
+        assert session.cluster is session.rts.cluster
+        assert "default" in session.tenants
+
+    def test_rack_options_forward(self):
+        session = connect("pooled-rack", max_concurrent=3, policy="fifo")
+        assert session.driver.max_concurrent == 3
+        assert session.driver.policy == "fifo"
+
+    def test_explicit_cluster_wins(self):
+        cluster = Cluster.preset("pooled-rack", seed=9)
+        session = connect(cluster=cluster)
+        assert session.cluster is cluster
+
+
+class TestSessionRun:
+    def test_run_single_job_returns_its_stats(self):
+        session = connect("pooled-rack")
+        stats = session.run(pipeline())
+        assert isinstance(stats, JobStats)
+        assert stats.ok
+
+    def test_run_many_returns_list_in_order(self):
+        session = connect("pooled-rack")
+        results = session.run(pipeline("p0"), pipeline("p1"))
+        assert [s.job_name for s in results] == ["p0", "p1"]
+
+    def test_submit_then_drain(self):
+        session = connect("pooled-rack")
+        handle = session.submit(pipeline())
+        stats = session.run()
+        assert isinstance(stats, RackStats)
+        assert handle.completed
+        assert handle.e2e_latency > 0
+
+    def test_job_annotations_flow_through(self):
+        session = connect("pooled-rack")
+        session.register_tenant("web", priority="interactive")
+        job = pipeline()
+        job.tenant = "web"
+        handle = session.submit(job)
+        session.run()
+        assert handle.tenant == "web"
+        assert handle.priority.name == "INTERACTIVE"
+        assert handle.execution.stats.tenant == "web"
+
+    def test_failed_job_raises(self):
+        session = connect("pooled-rack")
+        with pytest.raises(RuntimeError, match="mid-task crash"):
+            session.run(failing_job())
+
+    def test_run_trace_accepts_tenant_tuples(self):
+        session = connect("pooled-rack", max_concurrent=2)
+        session.register_tenant("web", weight=2.0)
+        stats = session.run_trace([
+            (0.0, "j0", lambda: pipeline("j0")),
+            (1000.0, "j1", lambda: pipeline("j1"), "web"),
+        ])
+        assert stats.completed == 2
+        assert session.tenant_report()["web"]["completed"] == 1
+
+    def test_register_tenant_installs_slo(self):
+        session = connect("pooled-rack")
+        session.register_tenant("web", slo_target_ns=2e6)
+        assert "tenant:web" in session.obs.slo
+
+    def test_dashboard_renders(self):
+        session = connect("pooled-rack")
+        session.run(pipeline())
+        text = session.dashboard()
+        assert "Jobs" in text
+
+
+class TestDeprecationShims:
+    """Every legacy entry point warns exactly once and still works."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_warning_registry(self):
+        _compat.reset_warnings()
+        yield
+        _compat.reset_warnings()
+
+    @staticmethod
+    def _rts():
+        return RuntimeSystem(Cluster.preset("pooled-rack"))
+
+    def _assert_warns_once(self, call):
+        with pytest.warns(DeprecationWarning, match="^repro\\.") as record:
+            first = call()
+        assert len(record) == 1
+        with warnings.catch_warnings(record=True) as silent:
+            warnings.simplefilter("always")
+            call()
+        assert not silent  # second use is quiet
+        return first
+
+    def test_run_job_warns_once_and_forwards(self):
+        rts = self._rts()
+        stats = self._assert_warns_once(lambda: rts.run_job(pipeline()))
+        assert stats.ok
+
+    def test_run_jobs_warns_once_and_forwards(self):
+        rts = self._rts()
+        results = self._assert_warns_once(
+            lambda: rts.run_jobs([pipeline("p0"), pipeline("p1")]))
+        assert [s.job_name for s in results] == ["p0", "p1"]
+
+    def test_submit_warns_once_and_forwards(self):
+        rts = self._rts()
+        execution = self._assert_warns_once(lambda: rts.submit(pipeline()))
+        rts.cluster.engine.run()
+        assert execution.stats.ok
+
+    def test_run_trace_warns_once_and_forwards(self):
+        # A fresh driver per call: run_trace drains one arrival list,
+        # so re-running it on a used driver would never terminate.
+        def call():
+            driver = RackDriver(self._rts(), max_concurrent=2)
+            return driver.run_trace([(0.0, "j0", lambda: pipeline("j0"))])
+
+        stats = self._assert_warns_once(call)
+        assert stats.completed >= 1

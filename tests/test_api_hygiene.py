@@ -82,3 +82,54 @@ def test_public_methods_of_exported_classes_documented(package_name):
 
 def test_version_exposed():
     assert repro.__version__
+
+
+# Frozen snapshots of the supported API surface.  A failure here means
+# the public contract changed: additions belong in the snapshot (and in
+# the README), removals need a deprecation shim first.
+API_SURFACE = {
+    "repro": {
+        "AccessMode", "AccessPattern", "BandwidthClass", "Cluster",
+        "ComputeKind", "Job", "JobStats", "LatencyClass", "MemoryKind",
+        "MemoryProperties", "OpClass", "PriorityClass", "RegionType",
+        "RegionUsage", "RuntimeSystem", "Session", "Task", "TaskContext",
+        "TaskProperties", "TenantQuota", "ValidationError", "WorkSpec",
+        "api", "baselines", "connect", "linear_job", "task",
+    },
+    "repro.api": {
+        "AdmittedJob", "PriorityClass", "Session", "Tenant", "TenantQuota",
+        "TenantRegistry", "connect",
+    },
+    "repro.runtime": {
+        "AdmittedJob", "CalibratedCostModel", "CostModel",
+        "DeclarativePlacement", "DeviceDown", "EncryptingPlacement",
+        "HandoverManager", "HandoverStats", "HealthMonitor", "HealthState",
+        "HealthStats", "HeftScheduler", "JobAbandoned", "JobPlan",
+        "JobStats", "NaivePlacement", "ObservationStats", "PlacementPolicy",
+        "PlacementRequest", "PlannedRegion", "Preempted", "PriorityClass",
+        "RackDriver", "RackStats", "RandomScheduler", "RecoveryPolicy",
+        "ResilienceStats", "ResilientRuntime", "RoundRobinScheduler",
+        "RuntimeSystem", "Scheduler", "SchedulingError",
+        "StaticKindPlacement", "TaskContext", "TaskPlan", "Tenant",
+        "TenantQuota", "TenantRegistry", "baselines",
+        "estimate_job_footprint", "plan_job", "prune_with_checkpoints",
+    },
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(API_SURFACE))
+def test_api_surface_snapshot(module_name):
+    module = importlib.import_module(module_name)
+    assert set(module.__all__) == API_SURFACE[module_name]
+
+
+def test_deprecated_entry_points_still_exist():
+    """The shims forward, so the legacy spelling must stay importable."""
+    from repro.runtime import RackDriver, RuntimeSystem
+
+    for cls, names in [
+        (RuntimeSystem, ("submit", "run_job", "run_jobs")),
+        (RackDriver, ("run_trace",)),
+    ]:
+        for name in names:
+            assert callable(getattr(cls, name)), f"{cls.__name__}.{name}"
