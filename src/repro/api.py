@@ -29,6 +29,7 @@ from __future__ import annotations
 import typing
 
 from repro.dataflow.graph import Job
+from repro.federation.session import FederatedSession
 from repro.hardware.cluster import Cluster
 from repro.runtime.admission import AdmittedJob, RackDriver, RackStats
 from repro.runtime.rts import JobStats, RuntimeSystem
@@ -44,6 +45,8 @@ def connect(
     cluster_preset: str = "pooled-rack",
     *,
     seed: int = 0,
+    racks: typing.Optional[int] = None,
+    routing: typing.Union[str, object] = "round_robin",
     cluster: typing.Optional[Cluster] = None,
     scheduler=None,
     placement=None,
@@ -60,7 +63,29 @@ def connect(
     everything else (``max_concurrent``, ``policy``,
     ``enable_preemption``, ...) forwards to
     :class:`~repro.runtime.admission.RackDriver`.
+
+    Pass ``racks=N`` to stand up a *federation* instead: N rack stacks
+    (each ``cluster_preset``, seeded ``seed .. seed+N-1``) on one
+    simulated clock behind a router, returned as a
+    :class:`~repro.federation.session.FederatedSession` whose
+    ``submit``/``run`` go through the routing policy named by
+    ``routing`` (``round_robin``, ``least_loaded``, or ``affinity``).
     """
+    if racks is not None:
+        if cluster is not None:
+            raise ValueError("racks=N builds its own clusters; drop cluster=")
+        if tenants is not None:
+            raise ValueError(
+                "racks=N keeps per-rack tenant registries; use "
+                "FederatedSession.register_tenant instead of tenants="
+            )
+        from repro.federation.session import federate
+
+        return federate(
+            racks, cluster_preset, seed=seed, routing=routing,
+            scheduler=scheduler, placement=placement, recovery=recovery,
+            **rack_options,
+        )
     if cluster is None:
         cluster = Cluster.preset(cluster_preset, seed=seed)
     rts = RuntimeSystem(
@@ -210,6 +235,7 @@ class Session:
 
 __all__ = [
     "AdmittedJob",
+    "FederatedSession",
     "PriorityClass",
     "Session",
     "Tenant",

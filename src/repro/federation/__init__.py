@@ -1,0 +1,44 @@
+"""Federated multi-rack serving: one engine, N racks, one front door.
+
+The paper scopes its runtime to one disaggregated rack; real
+deployments run fleets of them.  This package adds the tier production
+serving stacks put in front of replicated backends — service discovery
+(:mod:`~repro.federation.registry`), pluggable routing
+(:mod:`~repro.federation.router`), overload-aware spill/shed
+(:mod:`~repro.federation.overload`), and elastic join/drain
+(:mod:`~repro.federation.session`) — on top of the existing per-rack
+QoS admission and health machinery.  Entry point:
+``repro.api.connect(..., racks=N)`` or :func:`federate`.
+"""
+
+from repro.federation.overload import OverloadDetector
+from repro.federation.rack import Rack, StatsWindow
+from repro.federation.registry import RackRegistry, RackState, RegistryStats
+from repro.federation.router import (
+    POLICIES,
+    AffinityPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RoutedJob,
+    Router,
+    RouterStats,
+)
+from repro.federation.session import FederatedSession, federate
+
+__all__ = [
+    "AffinityPolicy",
+    "FederatedSession",
+    "LeastLoadedPolicy",
+    "OverloadDetector",
+    "POLICIES",
+    "Rack",
+    "RackRegistry",
+    "RackState",
+    "RegistryStats",
+    "RoundRobinPolicy",
+    "RoutedJob",
+    "Router",
+    "RouterStats",
+    "StatsWindow",
+    "federate",
+]

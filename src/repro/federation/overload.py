@@ -1,0 +1,70 @@
+"""Overload detection for federated routing.
+
+Mirrors the router/overload-detector split in production LLM serving
+stacks: the *policy* decides where a job would best run; the
+*overload detector* decides whether that rack can take it at all right
+now.  When the preferred rack is overloaded the router first tries to
+**spill** to the least-loaded non-overloaded sibling, and only **sheds**
+(rejects at the front door) when every routable rack is saturated —
+per-rack admission control never sees jobs the federation already knows
+it cannot serve.
+
+Two watermarks, either trips the detector:
+
+* ``queue_watermark`` — jobs waiting in the rack's admission queues.
+  A deep queue means new arrivals wait regardless of policy choice.
+* ``burn_watermark`` — worst SLO burn rate across the rack's tracked
+  workloads.  A rack may have short queues yet be missing deadlines
+  (stragglers, degraded devices); burn rate catches that.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.rack import Rack
+
+
+class OverloadDetector:
+    """Watermark-based per-rack overload predicate."""
+
+    def __init__(
+        self,
+        queue_watermark: int = 8,
+        burn_watermark: float = 2.0,
+    ):
+        if queue_watermark < 1:
+            raise ValueError(
+                f"queue watermark must be >= 1, got {queue_watermark}"
+            )
+        if burn_watermark <= 0:
+            raise ValueError(
+                f"burn watermark must be positive, got {burn_watermark}"
+            )
+        self.queue_watermark = int(queue_watermark)
+        self.burn_watermark = float(burn_watermark)
+
+    def is_overloaded(self, rack: "Rack") -> bool:
+        """Should the router route *around* this rack right now?"""
+        return self.reason(rack) is not None
+
+    def reason(self, rack: "Rack") -> typing.Optional[str]:
+        """Why the rack is overloaded, or ``None`` if it is not."""
+        if rack.queued >= self.queue_watermark:
+            return "queue"
+        if self.max_burn(rack) >= self.burn_watermark:
+            return "slo_burn"
+        return None
+
+    @staticmethod
+    def max_burn(rack: "Rack") -> float:
+        """Worst SLO burn rate across the rack's tracked workloads."""
+        workloads = rack.obs.slo.workloads.values()
+        burns = [
+            slo.burn_rate for slo in workloads if slo.burn_rate is not None
+        ]
+        return max(burns, default=0.0)
+
+
+__all__ = ["OverloadDetector"]

@@ -38,8 +38,13 @@ class Cluster:
         self,
         seed: int = 0,
         trace_categories: typing.Optional[typing.Iterable[str]] = None,
+        engine: typing.Optional[Engine] = None,
     ):
-        self.engine = Engine()
+        #: Passing an existing ``engine`` composes several clusters onto
+        #: one simulated clock — how :mod:`repro.federation` builds a
+        #: datacenter of racks that share a timeline but keep separate
+        #: fabrics, device inventories, and fault streams.
+        self.engine = engine if engine is not None else Engine()
         self.streams = RandomStreams(seed)
         self.trace = TraceLog(enabled=trace_categories)
         self.obs = Observability(trace=self.trace, engine=self.engine)

@@ -45,9 +45,9 @@ def build(name: str, **kwargs) -> Cluster:
     return cluster
 
 
-def table1_host(seed: int = 0) -> Cluster:
+def table1_host(seed: int = 0, engine=None) -> Cluster:
     """Single host exposing one device of every Table 1 kind."""
-    cluster = Cluster(seed=seed)
+    cluster = Cluster(seed=seed, engine=engine)
     cluster.add_compute(cal.make_cpu("cpu0"), node="host")
 
     cluster.add_memory(cal.make_cache("cache0"), node="host")
@@ -73,9 +73,11 @@ def table1_host(seed: int = 0) -> Cluster:
     return cluster
 
 
-def compute_centric(seed: int = 0, dram_per_node: int = 128 * GiB) -> Cluster:
+def compute_centric(
+    seed: int = 0, dram_per_node: int = 128 * GiB, engine=None
+) -> Cluster:
     """Figure 1a: per-server memory, accelerators as PCIe peripherals."""
-    cluster = Cluster(seed=seed)
+    cluster = Cluster(seed=seed, engine=engine)
 
     for i in (1, 2):
         node = f"server{i}"
@@ -112,9 +114,10 @@ def pooled_rack(
     seed: int = 0,
     dram_pool_devices: int = 2,
     dram_pool_capacity: int = 128 * GiB,
+    engine=None,
 ) -> Cluster:
     """Figure 1b: memory-centric rack with a CXL-switched shared pool."""
-    cluster = Cluster(seed=seed)
+    cluster = Cluster(seed=seed, engine=engine)
     cluster.add_switch("cxl-switch", node="fabric")
 
     # Compute pool (Fig. 1b bottom): CPUs, GPUs, TPU, FPGA.
@@ -165,9 +168,9 @@ def pooled_rack(
     return cluster
 
 
-def two_socket_numa(seed: int = 0) -> Cluster:
+def two_socket_numa(seed: int = 0, engine=None) -> Cluster:
     """Two NUMA sockets with local DRAM and a coherent inter-socket link."""
-    cluster = Cluster(seed=seed)
+    cluster = Cluster(seed=seed, engine=engine)
     upi = LinkSpec("upi", LinkKind.CXL, bandwidth=60.0, latency=60.0)
     for i in (0, 1):
         cluster.add_compute(cal.make_cpu(f"cpu{i}"), node=f"socket{i}")
@@ -178,11 +181,11 @@ def two_socket_numa(seed: int = 0) -> Cluster:
 
 
 def far_memory_rack(
-    seed: int = 0, n_nodes: int = 8, node_capacity: int = 64 * GiB
+    seed: int = 0, n_nodes: int = 8, node_capacity: int = 64 * GiB, engine=None
 ) -> Cluster:
     """A compute host plus ``n_nodes`` far-memory nodes behind a ToR switch
     — the Carbink-style substrate for the fault-tolerance experiments."""
-    cluster = Cluster(seed=seed)
+    cluster = Cluster(seed=seed, engine=engine)
     cluster.add_compute(cal.make_cpu("cpu0"), node="host")
     cluster.add_memory(cal.make_dram("dram0"), node="host")
     cluster.connect("cpu0", "dram0", LinkKind.DDR)
@@ -197,14 +200,14 @@ def far_memory_rack(
     return cluster
 
 
-def dual_plane_rack(seed: int = 0) -> Cluster:
+def dual_plane_rack(seed: int = 0, engine=None) -> Cluster:
     """A pooled rack with two independent CXL planes.
 
     Every compute device and every pool device connects to *both*
     switches, so any single switch (or link) failure leaves all routes
     intact — the fixture for the fault-aware-routing tests.
     """
-    cluster = Cluster(seed=seed)
+    cluster = Cluster(seed=seed, engine=engine)
     for plane in ("plane-a", "plane-b"):
         cluster.add_switch(plane, node=plane)
     for i in (1, 2):

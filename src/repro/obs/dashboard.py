@@ -23,6 +23,11 @@ from repro.obs.causal import (
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
+#: Decode of the ``fed.rack.state/<name>`` gauge — mirrors
+#: :data:`repro.federation.registry.STATE_ORDER` (kept literal here so
+#: loading a JSONL export never imports the federation package).
+_FED_STATES = ("up", "degraded", "draining", "down")
+
 #: Column headers for the attribution table, in BUCKETS order.
 _BUCKET_SHORT = {
     "dependency_wait": "dep",
@@ -220,6 +225,48 @@ def render_dashboard(
                 int(_metric_value(metrics, f"tenant.preemptions_won/{name}")),
             )
         sections.append(tenants.render())
+
+    # -- federation (router + per-rack gauges) ----------------------------
+    rack_names = sorted({
+        name.split("/", 1)[1]
+        for name in metrics
+        if name.startswith("fed.rack.state/")
+    })
+    if rack_names:
+        fed_table = Table(
+            ["rack", "state", "health", "load", "queued", "running",
+             "routed"],
+            title="Federation racks",
+        )
+        for name in rack_names:
+            state_idx = int(_metric_value(metrics, f"fed.rack.state/{name}"))
+            state = (
+                _FED_STATES[state_idx]
+                if 0 <= state_idx < len(_FED_STATES) else "?"
+            )
+            fed_table.add_row(
+                name, state,
+                f"{_metric_value(metrics, f'fed.rack.health/{name}'):.0%}",
+                f"{_metric_value(metrics, f'fed.rack.load/{name}'):.2f}",
+                int(_metric_value(metrics, f"fed.rack.queued/{name}")),
+                int(_metric_value(metrics, f"fed.rack.running/{name}")),
+                int(_metric_value(metrics, f"fed.routed/{name}")),
+            )
+        sections.append(fed_table.render())
+    if _metric_value(metrics, "fed.routed") or _metric_value(metrics, "fed.sheds"):
+        routing = Table(
+            ["routed", "spills", "sheds", "cross-rack fetches",
+             "cross-rack bytes"],
+            title="Federation routing decisions",
+        )
+        routing.add_row(
+            int(_metric_value(metrics, "fed.routed")),
+            int(_metric_value(metrics, "fed.spills")),
+            int(_metric_value(metrics, "fed.sheds")),
+            int(_metric_value(metrics, "fed.cross_rack_fetches")),
+            format_bytes(_metric_value(metrics, "fed.cross_rack_bytes")),
+        )
+        sections.append(routing.render())
 
     # -- per-device utilization timelines --------------------------------
     util = Table(["device", f"occupancy timeline (t→{format_ns(now or 0)})",

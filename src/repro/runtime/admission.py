@@ -235,6 +235,16 @@ class RackDriver:
     def _queued_count(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    @property
+    def queued_count(self) -> int:
+        """Jobs waiting in the admission queues right now."""
+        return self._queued_count()
+
+    @property
+    def running_count(self) -> int:
+        """Jobs admitted and not yet finished."""
+        return self._running
+
     def _reject(self, entry: _QueueEntry, reason: str) -> None:
         """Shed one queued entry (watermark or impossible quota)."""
         engine = self.rts.cluster.engine

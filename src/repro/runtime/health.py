@@ -195,7 +195,14 @@ class HealthMonitor:
 
     def unwatch(self, device_name: str, process: Process) -> None:
         """Stop watching ``process`` (its attempt on the device ended)."""
-        self._watched.get(device_name, set()).discard(process)
+        watched = self._watched.get(device_name)
+        if watched is None:
+            return
+        watched.discard(process)
+        if not watched:
+            # Drop the empty set: over a long soak every device that ever
+            # ran a task would otherwise keep a dead entry forever.
+            del self._watched[device_name]
 
     # -- transitions -------------------------------------------------------
 
@@ -231,16 +238,6 @@ class HealthMonitor:
             return
         self.stats.crashes_detected += 1
         for name in members:
-            self._failures[name] = self._failures.get(name, 0) + 1
-            if (
-                self._failures[name] >= self.blacklist_after
-                and name not in self._blacklist
-            ):
-                self._blacklist.add(name)
-                self.epoch += 1  # can_use changed even if state didn't
-                self.stats.blacklisted += 1
-                self.obs.event("health", "blacklist", device=name,
-                               failures=self._failures[name])
             self._set_state(name, HealthState.SUSPECT)
         if self.detection_delay_ns <= 0:
             self._confirm(members)
@@ -258,6 +255,19 @@ class HealthMonitor:
         for name in members:
             if not self._device_failed(name):
                 continue  # repaired inside the detection window
+            # Strikes (and blacklisting) only accrue on *confirmed*
+            # death: a device repaired inside the detection window was
+            # a transient blip and must not inch toward the blacklist.
+            self._failures[name] = self._failures.get(name, 0) + 1
+            if (
+                self._failures[name] >= self.blacklist_after
+                and name not in self._blacklist
+            ):
+                self._blacklist.add(name)
+                self.epoch += 1  # can_use changed even if state didn't
+                self.stats.blacklisted += 1
+                self.obs.event("health", "blacklist", device=name,
+                               failures=self._failures[name])
             self._set_state(name, HealthState.DOWN)
             self.obs.causal.note_fault(
                 "device_down", name, self.engine.now,

@@ -32,6 +32,10 @@ def bursty_arrivals(
     idle_length_ns: float,
 ) -> typing.List[float]:
     """On/off arrivals: Poisson at ``rate`` during bursts, silent between."""
+    if rate_per_ns <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_ns}")
+    if horizon_ns < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon_ns}")
     if burst_length_ns <= 0 or idle_length_ns < 0:
         raise ValueError("burst length must be positive, idle length >= 0")
     times = []

@@ -1,0 +1,59 @@
+"""Tests for the watermark overload detector (repro.federation.overload)."""
+
+import types
+
+import pytest
+
+from repro.federation import OverloadDetector
+from repro.obs.slo import SloTracker
+
+
+def fake_rack(queued=0, slo=None):
+    """The minimal duck the detector reads: ``queued`` + ``obs.slo``."""
+    return types.SimpleNamespace(
+        queued=queued,
+        obs=types.SimpleNamespace(slo=slo if slo is not None else SloTracker()),
+    )
+
+
+def burning_slo(miss_every=2, objective=0.5, n=20):
+    """An SLO tracker whose workload misses half its deadlines."""
+    slo = SloTracker()
+    slo.set_policy("w", target_ns=100.0, objective=objective)
+    for i in range(n):
+        slo.record("w", 1_000.0 if i % miss_every == 0 else 10.0)
+    return slo
+
+
+class TestWatermarks:
+    def test_healthy_rack_is_not_overloaded(self):
+        detector = OverloadDetector(queue_watermark=4, burn_watermark=2.0)
+        rack = fake_rack(queued=3)
+        assert not detector.is_overloaded(rack)
+        assert detector.reason(rack) is None
+
+    def test_deep_queue_trips(self):
+        detector = OverloadDetector(queue_watermark=4)
+        assert detector.reason(fake_rack(queued=4)) == "queue"
+        assert detector.is_overloaded(fake_rack(queued=10))
+
+    def test_slo_burn_trips_even_with_empty_queues(self):
+        # Objective 0.5 => budget 0.5; missing ~half the deadlines puts
+        # the burn rate near 1.0, so a 0.9 watermark trips.
+        detector = OverloadDetector(queue_watermark=100, burn_watermark=0.9)
+        rack = fake_rack(queued=0, slo=burning_slo())
+        assert detector.max_burn(rack) >= 0.9
+        assert detector.reason(rack) == "slo_burn"
+
+    def test_workloads_without_policies_never_burn(self):
+        slo = SloTracker()
+        slo.record("untracked", 1e9)  # latency recorded, no objective
+        detector = OverloadDetector(burn_watermark=0.1)
+        assert detector.max_burn(fake_rack(slo=slo)) == 0.0
+        assert not detector.is_overloaded(fake_rack(slo=slo))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverloadDetector(queue_watermark=0)
+        with pytest.raises(ValueError):
+            OverloadDetector(burn_watermark=0.0)

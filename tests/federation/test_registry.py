@@ -1,0 +1,128 @@
+"""Tests for federation service discovery (repro.federation.registry).
+
+The registry's liveness view must be *derived*: it never probes devices
+itself, it reads each rack's HealthMonitor — immediately on health
+transitions (on_change hooks) and periodically via the heartbeat.
+"""
+
+import pytest
+
+from repro.federation import RackState, federate
+from repro.sim.faults import FaultKind
+
+#: pooled-rack has 18 tracked devices; mem-shelf holds 4 of them, so a
+#: shelf crash drops the health fraction to 14/18 ~ 0.78.
+SHELF_FRACTION = 14 / 18
+
+
+def build(racks=2, **kwargs):
+    kwargs.setdefault("heartbeat_ns", 1_000.0)
+    return federate(racks, "pooled-rack", seed=5, **kwargs)
+
+
+class TestMembership:
+    def test_racks_start_up_and_routable(self):
+        fed = build()
+        assert [r.name for r in fed.registry.racks()] == ["rack0", "rack1"]
+        assert all(
+            fed.registry.state(r.name) is RackState.UP
+            for r in fed.registry.racks()
+        )
+        assert len(fed.registry.routable_racks()) == 2
+
+    def test_duplicate_name_rejected(self):
+        fed = build()
+        with pytest.raises(ValueError):
+            fed.registry.register(fed.registry.get("rack0"))
+
+    def test_deregister_forgets_the_rack(self):
+        fed = build()
+        fed.registry.deregister("rack1")
+        assert "rack1" not in fed.registry
+        assert [r.name for r in fed.registry.routable_racks()] == ["rack0"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build(heartbeat_ns=0.0)
+        with pytest.raises(ValueError):
+            build(degraded_below=0.3, down_below=0.7)  # inverted
+        with pytest.raises(ValueError):
+            federate(0)
+
+
+class TestLiveness:
+    def test_crash_degrades_via_on_change_hook(self):
+        fed = build(degraded_below=0.9, down_below=0.2,
+                    detection_delay_ns=0.0)
+        rack0 = fed.registry.get("rack0")
+        rack0.cluster.crash_node("mem-shelf")
+        # No heartbeat ran: the monitor's on_change hook alone must
+        # have refreshed the registry state.
+        assert rack0.health_fraction() == pytest.approx(SHELF_FRACTION)
+        assert fed.registry.state("rack0") is RackState.DEGRADED
+        # Degraded is still routable — capacity shrank, not vanished.
+        assert rack0 in fed.registry.routable_racks()
+
+    def test_degraded_recovers_to_up(self):
+        fed = build(degraded_below=0.9, detection_delay_ns=0.0)
+        rack0 = fed.registry.get("rack0")
+        rack0.cluster.crash_node("mem-shelf")
+        assert fed.registry.state("rack0") is RackState.DEGRADED
+        rack0.cluster.faults.inject_now(FaultKind.NODE_RESTART, "mem-shelf")
+        fed.engine.run()
+        assert fed.registry.state("rack0") is RackState.UP
+        assert fed.registry.stats.transitions >= 2
+
+    def test_down_rack_is_not_routable(self):
+        fed = build(degraded_below=0.9, down_below=0.7,
+                    detection_delay_ns=0.0)
+        rack0 = fed.registry.get("rack0")
+        rack0.cluster.crash_node("mem-shelf")     # 14/18 ~ 0.78
+        rack0.cluster.crash_node("blade-cpu1")    # 12/18 ~ 0.67 < 0.7
+        assert fed.registry.state("rack0") is RackState.DOWN
+        assert [r.name for r in fed.registry.routable_racks()] == ["rack1"]
+
+    def test_one_racks_faults_do_not_touch_siblings(self):
+        fed = build(degraded_below=0.9, detection_delay_ns=0.0)
+        fed.registry.get("rack0").cluster.crash_node("mem-shelf")
+        assert fed.registry.state("rack1") is RackState.UP
+        assert fed.registry.get("rack1").health_fraction() == 1.0
+
+
+class TestDrainState:
+    def test_begin_drain_is_sticky_and_unroutable(self):
+        fed = build()
+        fed.registry.begin_drain("rack0")
+        assert fed.registry.state("rack0") is RackState.DRAINING
+        assert [r.name for r in fed.registry.routable_racks()] == ["rack1"]
+        # Idempotent.
+        fed.registry.begin_drain("rack0")
+        assert fed.registry.stats.drains_started == 1
+
+
+class TestHeartbeat:
+    def test_heartbeat_samples_every_racks_window(self):
+        fed = build(heartbeat_ns=500.0)
+        fed.registry.start_heartbeat()
+        fed.engine.run(until=2_600.0)
+        for rack in fed.registry.racks():
+            assert len(rack.window) >= 5
+        assert fed.registry.stats.heartbeats >= 5
+        fed.registry.stop_heartbeat()
+        # With the heartbeat dead the queue drains — run() returns.
+        fed.engine.run()
+
+    def test_start_heartbeat_is_idempotent(self):
+        fed = build()
+        proc = fed.registry.start_heartbeat()
+        assert fed.registry.start_heartbeat() is proc
+        fed.registry.stop_heartbeat()
+
+    def test_gauges_exported_per_rack(self):
+        fed = build()
+        fed.registry.pulse()
+        metrics = fed.obs.data()["metrics"]
+        for name in ("rack0", "rack1"):
+            assert f"fed.rack.state/{name}" in metrics
+            assert metrics[f"fed.rack.health/{name}"]["value"] == 1.0
+            assert f"fed.rack.load/{name}" in metrics

@@ -1,0 +1,193 @@
+"""Tests for federation routing (repro.federation.router).
+
+Policy decisions are tested over synthetic rack stand-ins (they are
+duck-typed over ``name``/``load_score``); the router itself — overload
+spill/shed, the dataset catalog, and simulated cross-rack fetches — is
+tested against real two/three-rack federations.
+"""
+
+import pytest
+
+from repro.dataflow import Job, RegionUsage, Task, WorkSpec
+from repro.federation import (
+    AffinityPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    federate,
+)
+
+MiB = 1 << 20
+
+
+class FakeRack:
+    """A synthetic stats-window reading: just a name and a load score."""
+
+    def __init__(self, name, score):
+        self.name = name
+        self._score = score
+
+    def load_score(self, now):
+        return self._score
+
+
+def pipeline(name, ops=1e5, payload=2 * MiB):
+    job = Job(name)
+    a = job.add_task(Task("a", work=WorkSpec(
+        ops=ops, output=RegionUsage(payload))))
+    b = job.add_task(Task("b", work=WorkSpec(
+        ops=ops, input_usage=RegionUsage(0))))
+    job.connect(a, b)
+    return job
+
+
+class TestPolicies:
+    def test_round_robin_cycles_in_order(self):
+        racks = [FakeRack("a", 0.0), FakeRack("b", 0.0), FakeRack("c", 0.0)]
+        policy = RoundRobinPolicy()
+        picks = [policy.choose(racks, 0.0, None, set()).name
+                 for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_round_robin_adapts_to_membership_changes(self):
+        policy = RoundRobinPolicy()
+        three = [FakeRack("a", 0.0), FakeRack("b", 0.0), FakeRack("c", 0.0)]
+        policy.choose(three, 0.0, None, set())  # a
+        policy.choose(three, 0.0, None, set())  # b
+        two = three[:2]  # c left the federation
+        assert policy.choose(two, 0.0, None, set()).name in ("a", "b")
+
+    def test_least_loaded_picks_minimum_score(self):
+        racks = [FakeRack("a", 2.5), FakeRack("b", 0.25), FakeRack("c", 1.0)]
+        assert LeastLoadedPolicy().choose(
+            racks, 0.0, None, set()).name == "b"
+
+    def test_least_loaded_breaks_ties_by_name(self):
+        racks = [FakeRack("b", 1.0), FakeRack("a", 1.0)]
+        assert LeastLoadedPolicy().choose(
+            racks, 0.0, None, set()).name == "a"
+
+    def test_affinity_prefers_resident_rack_even_when_loaded(self):
+        racks = [FakeRack("a", 9.0), FakeRack("b", 0.0)]
+        pick = AffinityPolicy().choose(racks, 0.0, "s1", {"a"})
+        assert pick.name == "a"
+
+    def test_affinity_with_replicas_picks_least_loaded_replica(self):
+        racks = [FakeRack("a", 9.0), FakeRack("b", 1.0), FakeRack("c", 0.0)]
+        pick = AffinityPolicy().choose(racks, 0.0, "s1", {"a", "b"})
+        assert pick.name == "b"
+
+    def test_affinity_fallback_is_sticky(self):
+        policy = AffinityPolicy()
+        racks = [FakeRack("a", 5.0), FakeRack("b", 1.0)]
+        first = policy.choose(racks, 0.0, "s1", set())
+        assert first.name == "b"  # least-loaded fallback
+        # Load inverts, but the session sticks where it landed.
+        racks[0]._score, racks[1]._score = 0.0, 9.0
+        assert policy.choose(racks, 0.0, "s1", set()).name == "b"
+        # A different session is free to pick the now-idle rack.
+        assert policy.choose(racks, 0.0, "s2", set()).name == "a"
+
+    def test_affinity_ignores_residency_outside_candidates(self):
+        racks = [FakeRack("a", 1.0)]
+        pick = AffinityPolicy().choose(racks, 0.0, "s1", {"gone-rack"})
+        assert pick.name == "a"
+
+
+class TestRouterCatalog:
+    def test_pin_dataset_validates_rack(self):
+        fed = federate(2, "pooled-rack", seed=3)
+        with pytest.raises(KeyError):
+            fed.pin_dataset("d", "no-such-rack", 1 * MiB)
+        with pytest.raises(ValueError):
+            fed.pin_dataset("d", "rack0", -1.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            federate(2, "pooled-rack", routing="teleport")
+
+
+class TestCrossRackFetch:
+    def test_local_jobs_pay_no_fetch(self):
+        fed = federate(2, "pooled-rack", seed=3, routing="affinity")
+        fed.pin_dataset("d", "rack0", 8 * MiB)
+        stats = fed.run(pipeline("j"), session="d")
+        assert stats.ok
+        assert fed.router.stats.cross_rack_fetches == 0
+        assert fed.jobs[0].rack == "rack0"
+        assert fed.jobs[0].fetched_bytes == 0.0
+
+    def test_remote_jobs_pay_fetch_then_replicate(self):
+        # Round-robin ping-pongs the session across both racks: the
+        # first landing on rack1 fetches; once the replica exists,
+        # later rack1 landings start immediately.
+        fed = federate(
+            2, "pooled-rack", seed=3, routing="round_robin",
+            interrack_bandwidth=1.0, interrack_latency_ns=1_000.0,
+        )
+        fed.pin_dataset("d", "rack0", 8 * MiB)
+        first = fed.run(pipeline("j0"), pipeline("j1"), session="d")
+        assert all(r is not None and r.ok for r in first)
+        assert fed.router.stats.cross_rack_fetches == 1
+        assert fed.router.stats.cross_rack_bytes == 8 * MiB
+        assert fed.router.resident_racks("d") == {"rack0", "rack1"}
+        # Second wave: rack1 already holds the replica — no new fetch.
+        second = fed.run(pipeline("j2"), pipeline("j3"), session="d")
+        assert all(r is not None and r.ok for r in second)
+        assert fed.router.stats.cross_rack_fetches == 1
+        fetched = [j for j in fed.jobs if j.fetched_bytes]
+        assert len(fetched) == 1 and fetched[0].rack == "rack1"
+
+    def test_fetch_delays_submission_on_the_shared_clock(self):
+        fed = federate(
+        2, "pooled-rack", seed=3, routing="round_robin",
+            interrack_bandwidth=1.0, interrack_latency_ns=500.0,
+        )
+        fed.pin_dataset("d", "rack0", 1 * MiB)
+        fed.run(pipeline("j0"), pipeline("j1"), session="d")
+        remote = next(j for j in fed.jobs if j.rack == "rack1")
+        # Arrived at the rack only after latency + bytes/bandwidth.
+        assert remote.admitted.arrived_at == pytest.approx(500.0 + 1 * MiB)
+
+
+class TestOverloadRouting:
+    def test_spill_to_least_loaded_sibling(self):
+        fed = federate(
+            2, "pooled-rack", seed=3, routing="affinity",
+            max_concurrent=1, queue_watermark=2,
+        )
+        fed.pin_dataset("d", "rack0", 0.0)
+        for i in range(4):
+            fed.submit(pipeline(f"j{i}"), session="d")
+        # j0 runs, j1/j2 queue on rack0; j3 finds rack0 at the
+        # watermark and spills to rack1.
+        assert [j.rack for j in fed.jobs] == [
+            "rack0", "rack0", "rack0", "rack1",
+        ]
+        assert fed.jobs[3].spilled
+        assert fed.router.stats.spills == 1
+        assert fed.obs.counter("fed.spills").value == 1
+        fed.run()
+        assert not fed.job_failures()
+
+    def test_shed_when_every_rack_is_overloaded(self):
+        fed = federate(
+            2, "pooled-rack", seed=3, routing="round_robin",
+            max_concurrent=1, queue_watermark=1,
+        )
+        for i in range(6):
+            fed.submit(pipeline(f"j{i}"))
+        shed = [j for j in fed.jobs if j.shed]
+        assert shed and all(j.rack is None for j in shed)
+        assert fed.router.stats.sheds == len(shed)
+        fed.run()
+        # Shed jobs are failures by definition; routed ones completed.
+        assert {j.name for j in fed.job_failures()} == {
+            j.name for j in shed
+        }
+
+    def test_shed_when_no_rack_is_routable(self):
+        fed = federate(2, "pooled-rack", seed=3)
+        fed.registry.begin_drain("rack0")
+        fed.registry.begin_drain("rack1")
+        handle = fed.submit(pipeline("j"))
+        assert handle.shed and handle.rack is None

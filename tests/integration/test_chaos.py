@@ -179,6 +179,10 @@ class TestChaosWithRecovery:
         for device in cluster.memory.values():
             if not device.failed:
                 assert device.used == 0, device.name
+        # Quiescent means *fully* quiescent: every task attempt ended,
+        # so the monitor's watch table must not retain dead entries
+        # (empty per-device sets used to leak here forever).
+        assert cluster.health_monitor._watched == {}
 
     def test_power_outage_wipes_volatile_state_but_job_recovers(self):
         """A cluster-wide POWER_OUTAGE mid-run loses every volatile

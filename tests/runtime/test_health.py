@@ -95,6 +95,36 @@ class TestBlacklist:
         assert not monitor.is_blacklisted("far0")
         assert monitor.can_use("far0")
 
+    def test_blip_repaired_within_detection_window_earns_no_strike(
+        self, cluster
+    ):
+        """Regression: strikes used to fire at SUSPECT time, so a node
+        repaired inside the detection window (a transient blip the
+        monitor never confirmed dead) still inched toward the
+        blacklist.  Strikes must accrue only on confirmed DOWN."""
+        monitor = HealthMonitor(cluster, detection_delay_ns=500.0,
+                                blacklist_after=1)
+        cluster.crash_node("memnode0")
+        assert monitor.state("far0") is HealthState.SUSPECT
+        # Repaired before the 500ns confirmation fires.
+        cluster.faults.inject_at(100.0, FaultKind.NODE_RESTART, "memnode0")
+        cluster.engine.run()
+        assert monitor.state("far0") is HealthState.UP
+        assert not monitor.is_blacklisted("far0")
+        assert monitor.can_use("far0")
+        assert monitor.stats.blacklisted == 0
+
+    def test_confirmed_death_still_strikes(self, cluster):
+        """The counterpart: a crash that outlives the detection window
+        is confirmed and must count toward the blacklist."""
+        monitor = HealthMonitor(cluster, detection_delay_ns=500.0,
+                                blacklist_after=1)
+        cluster.crash_node("memnode0")
+        cluster.engine.run()
+        assert monitor.state("far0") is HealthState.DOWN
+        assert monitor.is_blacklisted("far0")
+        assert monitor.stats.blacklisted >= 1
+
 
 class TestWatch:
     def test_watched_process_interrupted_on_confirmed_death(self, cluster):
@@ -136,6 +166,42 @@ class TestWatch:
         engine.run()
         assert outcome == ["finished"]
         assert monitor.stats.tasks_interrupted == 0
+
+    def test_unwatch_drops_empty_device_entries(self, cluster):
+        """Regression: ``unwatch`` left an empty set per device forever,
+        so over a long soak ``_watched`` grew one dead entry for every
+        device that ever ran a task."""
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0)
+        engine = cluster.engine
+
+        def worker():
+            yield engine.timeout(10.0)
+
+        for device in ("cpu1", "cpu2", "gpu1"):
+            process = engine.process(worker(), name=f"w:{device}")
+            monitor.watch(device, process)
+            monitor.unwatch(device, process)
+        assert monitor._watched == {}
+        # Unwatching a never-watched device must stay a no-op.
+        monitor.unwatch("cpu1", engine.process(worker(), name="stray"))
+        assert monitor._watched == {}
+        engine.run()
+
+    def test_confirmed_death_clears_watch_entry(self, cluster):
+        monitor = HealthMonitor(cluster, detection_delay_ns=0.0)
+        engine = cluster.engine
+
+        def worker():
+            try:
+                yield engine.timeout(1e9)
+            except Interrupt:
+                pass
+
+        monitor.watch("cpu1", engine.process(worker(), name="worker"))
+        engine.run(until=1.0)  # let the worker reach its first yield
+        cluster.crash_node("blade-cpu1")
+        engine.run()
+        assert monitor._watched == {}
 
 
 class TestDrain:

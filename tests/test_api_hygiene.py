@@ -17,7 +17,7 @@ import repro
 PACKAGES = [
     "repro", "repro.sim", "repro.hardware", "repro.memory",
     "repro.dataflow", "repro.runtime", "repro.ft", "repro.apps",
-    "repro.workloads", "repro.metrics",
+    "repro.workloads", "repro.metrics", "repro.federation",
 ]
 
 
@@ -97,8 +97,14 @@ API_SURFACE = {
         "api", "baselines", "connect", "linear_job", "task",
     },
     "repro.api": {
-        "AdmittedJob", "PriorityClass", "Session", "Tenant", "TenantQuota",
-        "TenantRegistry", "connect",
+        "AdmittedJob", "FederatedSession", "PriorityClass", "Session",
+        "Tenant", "TenantQuota", "TenantRegistry", "connect",
+    },
+    "repro.federation": {
+        "AffinityPolicy", "FederatedSession", "LeastLoadedPolicy",
+        "OverloadDetector", "POLICIES", "Rack", "RackRegistry", "RackState",
+        "RegistryStats", "RoundRobinPolicy", "RoutedJob", "Router",
+        "RouterStats", "StatsWindow", "federate",
     },
     "repro.runtime": {
         "AdmittedJob", "CalibratedCostModel", "CostModel",

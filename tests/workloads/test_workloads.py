@@ -123,6 +123,19 @@ class TestArrivals:
         with pytest.raises(ValueError):
             bursty_arrivals(rng, 1.0, 100.0, burst_length_ns=0.0, idle_length_ns=1.0)
 
+    def test_bursty_rejects_bad_rate_like_poisson(self):
+        """Regression: a non-positive rate used to blow up with
+        ZeroDivisionError (1/rate inside the sampling loop) instead of
+        the ValueError ``poisson_arrivals`` raises for the same input."""
+        rng = np.random.default_rng(0)
+        for bad_rate in (0.0, -0.5):
+            with pytest.raises(ValueError):
+                bursty_arrivals(rng, bad_rate, 100.0,
+                                burst_length_ns=10.0, idle_length_ns=10.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(rng, 1.0, -1.0,
+                            burst_length_ns=10.0, idle_length_ns=10.0)
+
 
 class TestDatagen:
     def test_table_schema(self):
