@@ -1,0 +1,238 @@
+"""Gray-failure claim — fail-slow faults, evidence-only mitigation.
+
+Hard failures are the easy half of disaggregation: a crashed blade
+announces itself.  Fail-slow ("gray") faults — a throttled memory
+device, a flaky switch port, a thermally limited core — silently
+stretch every transfer and task that touches them while the nominal
+spec sheet the cost model plans against stays pristine.
+
+This bench runs the same seeded degradation storm (DEVICE_SLOW on the
+busy compute/memory devices, LINK_DEGRADED on the CXL fabric) against
+three stacks over a stream of pipeline jobs per seed:
+
+* **clean** — no storm; the p95 floor.
+* **blind** — storm, monitor attached but detection off: the runtime
+  rides out every slow episode at full price.
+* **mitigated** — storm plus the gray-failure stack: median+MAD
+  latency scoring flags DEGRADED devices from observed/expected timing
+  ratios alone, the scheduler and placement treat them as a last
+  resort, hedged transfers race a replica copy against slow reads, and
+  retries are token-budgeted with decorrelated jitter.
+
+Pass criteria: the mitigated stack claws back at least half of the
+p95 latency the storm inflicted on the blind stack, with zero
+job-level failures, retry volume inside the configured budget, and —
+checked structurally — no code path from the fault injector into the
+detector (the monitor registers no handler for any gray fault kind).
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.dataflow import Job, RegionUsage, Task, WorkSpec
+from repro.ft import OutputBackupStore
+from repro.hardware import Cluster
+from repro.metrics import Table, format_bytes, format_ns
+from repro.runtime import (
+    DegradationPolicy,
+    HealthMonitor,
+    HedgePolicy,
+    RecoveryPolicy,
+    RuntimeSystem,
+)
+from repro.sim.faults import FaultKind
+
+KiB = 1024
+MiB = 1024 * KiB
+
+SEEDS = range(10)
+JOBS_PER_SEED = 10
+RETRY_TOKENS = 6.0
+#: The devices the pipeline actually leans on: the blades that run its
+#: stages and the node-local memories hosting its 8 MiB stage outputs.
+#: Gray faults only matter on the hot path.
+SLOW_TARGETS = ["cpu1", "gpu1", "dram-local1", "gddr1"]
+
+
+def build_job(tag) -> Job:
+    job = Job(f"gray-{tag}")
+    previous = None
+    for i in range(4):
+        task = job.add_task(Task(f"s{i}", work=WorkSpec(
+            ops=2e5,
+            input_usage=RegionUsage(0, touches=2.0) if previous else None,
+            output=RegionUsage(8 * MiB) if i < 3 else None,
+        )))
+        if previous is not None:
+            job.connect(previous, task)
+        previous = task
+    return job
+
+
+def fabric_links(cluster, count=2):
+    """Names of the first CXL-switch links, the storm's link victims."""
+    names = sorted(
+        link.name for link in cluster.topology.links()
+        if "cxl-switch" in link.name
+    )
+    return names[:count]
+
+
+def build_stack(seed: int, mode: str):
+    """One (cluster, rts) pair per mode.
+
+    Every mode carries the output-backup store (durability is priced
+    into all three), so the blind/mitigated delta isolates exactly the
+    gray-failure stack: evidence-based detection, degraded-last
+    placement/scheduling, hedged copies, and retry budgets.
+    """
+    cluster = Cluster.preset("pooled-rack", seed=seed)
+    if mode == "mitigated":
+        HealthMonitor(
+            cluster, detection_delay_ns=5_000.0,
+            degradation=DegradationPolicy(min_samples=2, window=4),
+        )
+        rts = RuntimeSystem(
+            cluster,
+            recovery=RecoveryPolicy(
+                backoff_base_ns=5_000.0, max_task_attempts=4,
+                retry_budget_tokens=RETRY_TOKENS,
+            ),
+            hedge=HedgePolicy(),
+        )
+    else:
+        HealthMonitor(cluster, detection_delay_ns=5_000.0)
+        rts = RuntimeSystem(cluster)
+    rts.backups = OutputBackupStore(cluster, rts.memory)
+    return cluster, rts
+
+
+def schedule_storm(cluster, horizon: float) -> None:
+    """Persistent fail-slow episodes: each lasts a few jobs, the way a
+    flaky NIC or a thermally throttled DIMM stays flaky — long enough
+    that evidence accumulates, never announced to the control plane."""
+    cluster.faults.schedule_degradations(
+        FaultKind.DEVICE_SLOW, SLOW_TARGETS,
+        rate_per_ns=3.0 / horizon, horizon=horizon,
+        duration_ns=horizon / 3.0, factor=0.05,
+    )
+    # Link episodes are kept shorter and shallower than device ones:
+    # a degraded fabric link guards the *only* path to bytes that
+    # already live behind it, so even a perfect mitigation pays the
+    # slow path once to evacuate them (replica creation streams over
+    # the same link the consumer reads on).  Device slowness, by
+    # contrast, is fully dodgeable via replicas and re-placement.
+    cluster.faults.schedule_degradations(
+        FaultKind.LINK_DEGRADED, fabric_links(cluster),
+        rate_per_ns=1.5 / horizon, horizon=horizon,
+        duration_ns=horizon / 6.0, factor=0.25,
+    )
+
+
+def monitor_never_peeks(cluster) -> bool:
+    """Structural no-cheating check: no HealthMonitor method is wired
+    as a handler for any gray (fail-slow) fault kind."""
+    gray = (FaultKind.DEVICE_SLOW, FaultKind.DEVICE_RESTORED,
+            FaultKind.LINK_DEGRADED, FaultKind.LINK_RESTORED)
+    monitor = cluster.health_monitor
+    for kind in gray:
+        for handler in cluster.faults._handlers.get(kind, ()):
+            if getattr(handler, "__self__", None) is monitor:
+                return False
+    return True
+
+
+def p95(values):
+    ordered = sorted(values)
+    rank = 0.95 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def run_mode(seed: int, mode: str, horizon: float) -> dict:
+    cluster, rts = build_stack(seed, mode)
+    if mode != "clean":
+        schedule_storm(cluster, horizon)
+    latencies, failures, retries_ok = [], 0, True
+    for i in range(JOBS_PER_SEED):
+        stats = rts.run_job(build_job(f"{seed}-{i}"))
+        latencies.append(stats.makespan)
+        if not stats.ok:
+            failures += 1
+        if stats.task_retries > RETRY_TOKENS:
+            retries_ok = False
+    return {
+        "latencies": latencies,
+        "failures": failures,
+        "retries_ok": retries_ok,
+        "no_peek": monitor_never_peeks(cluster),
+        "degraded_events":
+            cluster.obs.counter("health.degraded_events").value,
+        "hedges": cluster.obs.counter("hedge.launched").value,
+        "hedge_wins": cluster.obs.counter("hedge.won").value,
+        "wasted_bytes": cluster.obs.counter("hedge.wasted_bytes").value,
+        "budget_denied": cluster.obs.counter("recovery.budget_denied").value,
+    }
+
+
+def test_claim_gray_failure_mitigation(benchmark, report):
+    results = {}
+
+    def experiment():
+        # Size the storm horizon off one clean seed's job stream.
+        probe = run_mode(0, "clean", horizon=0.0)
+        horizon = sum(probe["latencies"]) * 1.2
+        for mode in ("clean", "blind", "mitigated"):
+            runs = [run_mode(seed, mode, horizon) for seed in SEEDS]
+            latencies = [ns for r in runs for ns in r["latencies"]]
+            results[mode] = {
+                "p95": p95(latencies),
+                "failures": sum(r["failures"] for r in runs),
+                "retries_ok": all(r["retries_ok"] for r in runs),
+                "no_peek": all(r["no_peek"] for r in runs),
+                "degraded_events":
+                    sum(r["degraded_events"] for r in runs),
+                "hedges": sum(r["hedges"] for r in runs),
+                "hedge_wins": sum(r["hedge_wins"] for r in runs),
+                "wasted_bytes": sum(r["wasted_bytes"] for r in runs),
+                "budget_denied": sum(r["budget_denied"] for r in runs),
+            }
+        return results
+
+    once(benchmark, experiment)
+    jobs = len(SEEDS) * JOBS_PER_SEED
+    table = Table(
+        ["mode", "p95 latency", "job failures", "degraded events",
+         "hedges (won)", "hedge waste", "budget denials"],
+        title=f"Fail-slow storm over {jobs} jobs ({len(SEEDS)} seeds)",
+    )
+    for mode, r in results.items():
+        table.add_row(
+            mode, format_ns(r["p95"]), r["failures"],
+            r["degraded_events"],
+            f"{r['hedges']} ({r['hedge_wins']})",
+            format_bytes(r["wasted_bytes"]), r["budget_denied"],
+        )
+    report("claim_gray_failure", table.render())
+
+    clean, blind, mitigated = (
+        results["clean"], results["blind"], results["mitigated"])
+    inflicted = blind["p95"] - clean["p95"]
+    recovered = blind["p95"] - mitigated["p95"]
+    # The storm must actually hurt the blind stack, and the gray
+    # stack must recover at least half of that p95 inflation.
+    assert inflicted > 0
+    assert recovered >= 0.5 * inflicted
+    # Mitigation never trades latency for correctness.
+    assert mitigated["failures"] == 0
+    # Retry volume stays inside the per-job token budget.
+    assert mitigated["retries_ok"]
+    # Detection engaged, and purely from observed timings: the monitor
+    # holds no handler for any injected gray fault kind.
+    assert mitigated["degraded_events"] > 0
+    assert mitigated["no_peek"]
+    assert blind["degraded_events"] == 0  # detection off means off
+    # Hedge accounting stays coherent.
+    assert mitigated["hedge_wins"] <= mitigated["hedges"]
+    assert mitigated["wasted_bytes"] >= 0

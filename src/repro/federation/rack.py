@@ -105,10 +105,19 @@ class Rack:
         return self.driver.max_concurrent
 
     def health_fraction(self) -> float:
-        """Fraction of this rack's devices the control plane may use."""
+        """Fraction of this rack's devices the control plane may use.
+
+        Devices the monitor has flagged fail-slow (DEGRADED) count half:
+        they still serve, but a rack full of slow devices should read as
+        degraded to the federation registry so the router spills around
+        it before jobs start missing deadlines there.
+        """
         if not self._device_total:
             return 0.0
-        return len(self.monitor.up_devices()) / self._device_total
+        healthy = len(self.monitor.up_devices())
+        if hasattr(self.monitor, "degraded_devices"):
+            healthy -= 0.5 * len(self.monitor.degraded_devices())
+        return max(0.0, healthy) / self._device_total
 
     def load(self) -> float:
         """Instantaneous load: jobs in the system per admission slot."""

@@ -32,7 +32,7 @@ import typing
 
 from repro.federation.overload import OverloadDetector
 from repro.federation.rack import Rack
-from repro.federation.registry import RackRegistry
+from repro.federation.registry import RackRegistry, RackState
 
 
 @dataclasses.dataclass
@@ -157,6 +157,8 @@ class RouterStats:
     sheds: int = 0
     cross_rack_fetches: int = 0
     cross_rack_bytes: float = 0.0
+    #: Routings where a DEGRADED rack was routable but an UP rack won.
+    degraded_avoided: int = 0
 
 
 class Router:
@@ -253,6 +255,17 @@ class Router:
         candidates = self.registry.routable_racks()
         if not candidates:
             return self._shed(routed, reason="no_routable_rack")
+        # Racks the registry derives as DEGRADED (fail-slow members)
+        # stay routable, but only as a last resort: spill around them
+        # while any fully-UP rack can take the job.
+        fresh = [
+            r for r in candidates
+            if self.registry.state(r.name) is RackState.UP
+        ]
+        if fresh and len(fresh) < len(candidates):
+            candidates = fresh
+            self.stats.degraded_avoided += 1
+            self.obs.counter("fed.degraded_avoided").inc()
         now = self.engine.now
         resident = self.resident_racks(session)
         rack = self.policy.choose(candidates, now, session, resident)

@@ -107,6 +107,14 @@ class OutputBackupStore:
                 self.manager.drop_owner(copy, self.owner)
             self.stats.skipped += 1
             return None
+        if not source.alive:
+            # The copy streams concurrently with delivery; a source
+            # released before the stream finished leaves a torn copy
+            # that protects nothing.
+            if copy.alive:
+                self.manager.drop_owner(copy, self.owner)
+            self.stats.skipped += 1
+            return None
         entry = _BackupEntry(copy, job_owner, source.size)
         for region in live:
             self._entries[region.id] = entry
@@ -117,6 +125,37 @@ class OutputBackupStore:
             region=source.name, device=device, nbytes=source.size,
         )
         return entry
+
+    def register_delivered(
+        self,
+        entry: typing.Optional[_BackupEntry],
+        regions: typing.Sequence[MemoryRegion],
+    ) -> None:
+        """Register delivered regions against an existing backup entry.
+
+        Hedged handover backs the producer's *output* up before any
+        delivery copy starts (so the copies can race a hedge from the
+        replica); this re-keys the same protection onto the regions the
+        consumers actually received.
+        """
+        if entry is None or not entry.copy.alive:
+            return
+        for region in regions:
+            if region.alive:
+                self._entries[region.id] = entry
+
+    # -- hedging support ---------------------------------------------------
+
+    def replica_device(self, region: MemoryRegion) -> typing.Optional[str]:
+        """Device holding a live backup of ``region`` (hedge source).
+
+        ``None`` when the region is unprotected — the hedged transfer
+        then simply runs unhedged.
+        """
+        entry = self._entries.get(region.id)
+        if entry is None or not entry.copy.alive:
+            return None
+        return entry.copy.device.name
 
     def _pick_device(self, region: MemoryRegion) -> typing.Optional[str]:
         """A healthy device with room in a different failure domain

@@ -61,6 +61,10 @@ class Cluster:
         self.faults.on(FaultKind.NODE_REBOOT, self._on_node_reboot)
         self.faults.on(FaultKind.LINK_DOWN, self._on_link_down)
         self.faults.on(FaultKind.LINK_UP, self._on_link_up)
+        self.faults.on(FaultKind.LINK_DEGRADED, self._on_link_degraded)
+        self.faults.on(FaultKind.LINK_RESTORED, self._on_link_restored)
+        self.faults.on(FaultKind.DEVICE_SLOW, self._on_device_slow)
+        self.faults.on(FaultKind.DEVICE_RESTORED, self._on_device_restored)
         #: Optional :class:`repro.runtime.health.HealthMonitor`; when
         #: attached it owns restart draining and health-aware filtering.
         self.health_monitor = None
@@ -158,24 +162,66 @@ class Cluster:
         route.append(device.port)
         return route
 
+    def transfer_route(
+        self, src_memory: str, dst_memory: str, nbytes: float
+    ) -> typing.Tuple[typing.List[Link], float]:
+        """Route and effective payload for a device-to-device copy.
+
+        A device-internal copy moves bytes in *and* out of the same
+        media, so it crosses the lone port link with twice the payload.
+        """
+        src = self.memory[src_memory]
+        if src_memory == dst_memory:
+            return [src.port], 2 * nbytes
+        route = [src.port] + list(self.topology.route(src_memory, dst_memory))
+        route.append(self.memory[dst_memory].port)
+        return route, nbytes
+
+    def estimate_transfer_ns(
+        self, route: typing.Sequence[Link], nbytes: float
+    ) -> float:
+        """Nominal uncontended duration of a copy over ``route`` (ns).
+
+        Uses the links' *advertised* bandwidth, never the physical
+        degrade factor — this is the expectation the health monitor
+        compares observed timings against.
+        """
+        if not route:
+            return 0.0
+        latency = sum(link.latency for link in route)
+        bandwidth = min(link.bandwidth for link in route)
+        return latency + nbytes / bandwidth
+
     def transfer(self, src_memory: str, dst_memory: str, nbytes: float) -> Event:
         """Move ``nbytes`` from one memory device to another through the
         fabric, contending with all other traffic.  Both device ports are
         on the route, so both media bandwidths throttle the copy."""
-        src = self.memory[src_memory]
-        dst = self.memory[dst_memory]
-        if src_memory == dst_memory:
-            # Device-internal copy: in and out of the same media.
-            route = [src.port]
-            nbytes = 2 * nbytes
-        else:
-            route = [src.port] + list(self.topology.route(src_memory, dst_memory))
-            route.append(dst.port)
+        route, nbytes = self.transfer_route(src_memory, dst_memory, nbytes)
         self.trace.emit(
             self.engine.now, "transfer", "start",
             src=src_memory, dst=dst_memory, nbytes=nbytes,
         )
         return self.flownet.transfer(route, nbytes)
+
+    def _observe_transfer_evidence(
+        self, src_memory: str, dst_memory: str, nbytes: float, duration: float
+    ) -> None:
+        """Feed one finished (or abandoned) copy's timing to the monitor.
+
+        The expectation is the nominal uncontended estimate, so the
+        recorded ratio folds in both contention and fail-slow state; the
+        monitor's peer-relative outlier test separates the two.  No-op
+        without an attached monitor running degradation detection.
+        """
+        monitor = self.health_monitor
+        if monitor is None or getattr(monitor, "degradation", None) is None:
+            return
+        try:
+            route, effective = self.transfer_route(src_memory, dst_memory, nbytes)
+        except Exception:
+            return  # route gone (link died since); nothing to attribute
+        expected = self.estimate_transfer_ns(route, effective)
+        monitor.observe_transfer(route, duration, expected)
 
     def reliable_transfer(
         self,
@@ -188,6 +234,8 @@ class Cluster:
         backoff_factor: float = 2.0,
         timeout_ns: typing.Optional[float] = None,
         report: typing.Optional[list] = None,
+        hedge_delay_ns: typing.Optional[float] = None,
+        hedge_source: typing.Optional[str] = None,
     ):
         """Generator: :meth:`transfer` with timeout, retry-with-backoff,
         and reroute semantics for faults landing mid-flight.
@@ -202,37 +250,66 @@ class Cluster:
         Yields from a simulation process; returns the transfer duration
         of the successful attempt.
 
+        **Hedging** (the gray-failure mitigation): when both
+        ``hedge_delay_ns`` and ``hedge_source`` are given and the
+        primary attempt has not finished after the delay, a backup copy
+        of the same bytes is launched from ``hedge_source`` (a replica
+        holder) and the two race; the first finisher wins and the loser
+        is cancelled with its partial progress charged to the
+        ``hedge.wasted_bytes`` counter.
+
         ``report``, when given, receives one dict describing the
-        successful attempt — bytes, duration, retry count, and the
-        bottleneck link the waterfill froze the flow at (``None`` when
-        causal tracing is off or the transfer never contended).
+        successful attempt — bytes, duration, retry count, the actual
+        ``source`` the bytes came from, whether the ``hedged`` copy won,
+        and the bottleneck link the waterfill froze the flow at
+        (``None`` when causal tracing is off or the transfer never
+        contended).
         """
         from repro.hardware.interconnect import NoRouteError
         from repro.sim.flows import LinkDown, TransferTimeout
 
+        hedging = (
+            hedge_delay_ns is not None
+            and hedge_source is not None
+            and hedge_source != src_memory
+            and hedge_source in self.memory
+        )
         attempt = 0
         while True:
             try:
-                done = self.transfer(src_memory, dst_memory, nbytes)
-                if timeout_ns is None:
-                    duration = yield done
-                else:
-                    timer = self.engine.timeout(timeout_ns)
-                    yield self.engine.any_of([done, timer])
-                    if not done.triggered:
-                        self.flownet.cancel(
-                            done, TransferTimeout(nbytes, timeout_ns)
+                if hedging:
+                    duration, used_src, hedged, winner = yield from (
+                        self._hedged_attempt(
+                            src_memory, dst_memory, nbytes,
+                            hedge_source, hedge_delay_ns, timeout_ns,
                         )
-                        raise TransferTimeout(nbytes, timeout_ns)
-                    if not done._ok:  # lost a same-timestamp race
-                        raise done._value
-                    duration = done._value
+                    )
+                else:
+                    done = self.transfer(src_memory, dst_memory, nbytes)
+                    if timeout_ns is None:
+                        duration = yield done
+                    else:
+                        timer = self.engine.timeout(timeout_ns)
+                        yield self.engine.any_of([done, timer])
+                        if not done.triggered:
+                            self.flownet.cancel(
+                                done, TransferTimeout(nbytes, timeout_ns)
+                            )
+                            raise TransferTimeout(nbytes, timeout_ns)
+                        if not done._ok:  # lost a same-timestamp race
+                            raise done._value
+                        duration = done._value
+                    used_src, hedged, winner = src_memory, False, done
+                self._observe_transfer_evidence(
+                    used_src, dst_memory, nbytes, duration
+                )
                 if report is not None:
                     report.append({
                         "src": src_memory, "dst": dst_memory,
                         "bytes": nbytes, "duration": duration,
                         "attempts": attempt + 1,
-                        "link": getattr(done, "_bottleneck", None),
+                        "source": used_src, "hedged": hedged,
+                        "link": getattr(winner, "_bottleneck", None),
                     })
                 return duration
             except (LinkDown, TransferTimeout, NoRouteError) as exc:
@@ -247,6 +324,109 @@ class Cluster:
                 )
                 delay = min(backoff_ns * backoff_factor ** (attempt - 1), 1e7)
                 yield self.engine.timeout(delay)
+
+    def _hedged_attempt(
+        self,
+        src_memory: str,
+        dst_memory: str,
+        nbytes: float,
+        hedge_source: str,
+        hedge_delay_ns: float,
+        timeout_ns: typing.Optional[float],
+    ):
+        """One transfer attempt raced against a hedge from a replica.
+
+        Returns ``(duration, used_source, hedge_won, winner_event)``;
+        raises the primary's error when every copy fails, or
+        :class:`TransferTimeout` when the overall deadline fires first.
+        The loser of a decided race is cancelled and its settled partial
+        progress — exact bytes, via ``FlowNetwork.cancel`` — is charged
+        to ``hedge.wasted_bytes``.
+        """
+        from repro.sim.flows import TransferTimeout
+
+        started = self.engine.now
+        done = self.transfer(src_memory, dst_memory, nbytes)
+        deadline = (
+            self.engine.timeout(timeout_ns) if timeout_ns is not None else None
+        )
+        hedge = None
+        # Phase 1: give the primary its hedge delay to finish alone.
+        if not done.triggered:
+            waits = [done, self.engine.timeout(hedge_delay_ns)]
+            if deadline is not None:
+                waits.append(deadline)
+            yield self.engine.any_of(waits)
+        if not done.triggered and (deadline is None or not deadline.triggered):
+            hedge = self.transfer(hedge_source, dst_memory, nbytes)
+            self.obs.counter("hedge.launched").inc()
+            self.trace.emit(
+                self.engine.now, "transfer", "hedge",
+                src=hedge_source, dst=dst_memory, nbytes=nbytes,
+            )
+        # Phase 2: race primary, hedge, and deadline to a verdict.
+        winner = None
+        while True:
+            if done.triggered and done._ok:
+                winner = done  # primary wins same-tick ties
+                break
+            if hedge is not None and hedge.triggered and hedge._ok:
+                winner = hedge
+                break
+            if done.triggered and (hedge is None or hedge.triggered):
+                break  # every copy failed
+            if deadline is not None and deadline.triggered:
+                break  # out of time
+            waits = [
+                event for event in (done, hedge)
+                if event is not None and not event.triggered
+            ]
+            if deadline is not None:
+                waits.append(deadline)
+            yield self.engine.any_of(waits)
+
+        if winner is None:
+            for event in (done, hedge):
+                if event is not None and not event.triggered:
+                    self.flownet.cancel(
+                        event,
+                        TransferTimeout(
+                            nbytes,
+                            timeout_ns if timeout_ns is not None
+                            else hedge_delay_ns,
+                        ),
+                    )
+                    if event is hedge:
+                        self.obs.counter("hedge.wasted_bytes").inc(
+                            getattr(event, "_progress", 0.0)
+                        )
+            if deadline is not None and deadline.triggered:
+                raise TransferTimeout(nbytes, timeout_ns)
+            raise done._value  # primary (and any hedge) failed outright
+
+        loser = hedge if winner is done else done
+        if loser is not None and not loser.triggered:
+            self.flownet.cancel(
+                loser, TransferTimeout(nbytes, self.engine.now - started)
+            )
+            self.obs.counter("hedge.wasted_bytes").inc(
+                getattr(loser, "_progress", 0.0)
+            )
+            if loser is done:
+                # The abandoned primary ran the whole race without
+                # finishing: its elapsed time is a lower bound on its
+                # true duration — honest fail-slow evidence.
+                self._observe_transfer_evidence(
+                    src_memory, dst_memory, nbytes, self.engine.now - started
+                )
+        if winner is hedge:
+            self.obs.counter("hedge.won").inc()
+            self.trace.emit(
+                self.engine.now, "transfer", "hedge_won",
+                src=hedge_source, dst=dst_memory, nbytes=nbytes,
+            )
+            return winner._value, hedge_source, True, winner
+        return winner._value, src_memory, False, winner
 
     # -- fault handling ----------------------------------------------------
 
@@ -313,6 +493,37 @@ class Cluster:
             if link.name == fault.target:
                 self.flownet.restore_link(link)
         self.topology.invalidate_routes()
+
+    def _on_link_degraded(self, fault: FaultEvent) -> None:
+        """Fail-slow a fabric link: ``detail['factor']`` is the speed
+        multiplier (0.1 = ten times slower).  The link stays up, routes
+        are unchanged, and the nominal bandwidth the control plane sees
+        is untouched — only observed transfer timings reveal it."""
+        factor = float(fault.detail.get("factor", 0.1))
+        for link in self.topology.links():
+            if link.name == fault.target:
+                self.flownet.degrade_link(link, factor)
+
+    def _on_link_restored(self, fault: FaultEvent) -> None:
+        for link in self.topology.links():
+            if link.name == fault.target:
+                self.flownet.restore_link_speed(link)
+
+    def _on_device_slow(self, fault: FaultEvent) -> None:
+        """Fail-slow a device.  Compute devices stretch execution time;
+        memory devices throttle their port link, which physically slows
+        both transfers and far-memory accesses through it."""
+        factor = float(fault.detail.get("factor", 0.1))
+        if fault.target in self.compute:
+            self.compute[fault.target].slow_factor = factor
+        elif fault.target in self.memory:
+            self.flownet.degrade_link(self.memory[fault.target].port, factor)
+
+    def _on_device_restored(self, fault: FaultEvent) -> None:
+        if fault.target in self.compute:
+            self.compute[fault.target].slow_factor = 1.0
+        elif fault.target in self.memory:
+            self.flownet.restore_link_speed(self.memory[fault.target].port)
 
     # -- observability ----------------------------------------------------
 

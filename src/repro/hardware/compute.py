@@ -24,6 +24,11 @@ class ComputeDevice:
         self.spec = spec
         self.engine = engine
         self.failed = False
+        #: Gray-failure (fail-slow) speed multiplier: 0.1 = ten times
+        #: slower.  Only the *physical* execution time scales with it;
+        #: :meth:`nominal_compute_time` keeps advertising spec speed so
+        #: cost models stay blind and must detect slowness from evidence.
+        self.slow_factor = 1.0
         self._slots = Resource(engine, capacity=spec.slots)
         self.busy_slots = MetricRecorder()
         self.tasks_completed = 0
@@ -53,11 +58,20 @@ class ComputeDevice:
         """Whether this device can execute the given op class."""
         return self.spec.supports(op)
 
-    def compute_time(self, op: OpClass, ops: float) -> float:
-        """Pure compute time (ns) for ``ops`` operations of class ``op``."""
+    def nominal_compute_time(self, op: OpClass, ops: float) -> float:
+        """Spec-sheet compute time (ns), ignoring any fail-slow state.
+
+        This is what cost models and schedulers estimate with — the
+        advertised speed.  The gap between this and observed duration is
+        the health monitor's degradation evidence.
+        """
         if ops < 0:
             raise ValueError(f"negative op count: {ops}")
         return ops / self.spec.ops_per_ns(op)
+
+    def compute_time(self, op: OpClass, ops: float) -> float:
+        """Physical compute time (ns), including any fail-slow slowdown."""
+        return self.nominal_compute_time(op, ops) / self.slow_factor
 
     def acquire_slot(self) -> Request:
         """Request one execution slot (yieldable event, context manager)."""

@@ -183,13 +183,28 @@ class Accessor:
         handle: RegionHandle,
         observer: str,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        source_device: typing.Optional[str] = None,
     ):
         self.cluster = cluster
         self.handle = handle
         self.observer = observer
         self.queue_depth = queue_depth
+        #: Hedged read-around: physical device to serve *reads* from in
+        #: place of the region's primary backing — a replica that holds
+        #: the same bytes (e.g. an output backup).  Writes always go to
+        #: the primary; the handle's ownership checks still apply.
+        self.source_device = source_device
+        #: Nominal expectation for the most recent access (ns) — the
+        #: same figure fed to the health monitor, kept so callers can
+        #: compare an observed duration against it (write-path abort).
+        #: Stays 0.0 while fail-slow detection is off.
+        self.last_expected_ns: float = 0.0
         if observer not in cluster.compute and observer not in cluster.memory:
             raise InterfaceError(f"unknown observer device {observer!r}")
+        if source_device is not None and source_device not in cluster.memory:
+            raise InterfaceError(
+                f"unknown source device {source_device!r}"
+            )
         self._validate_static()
 
     # -- validation ----------------------------------------------------------
@@ -287,6 +302,16 @@ class Accessor:
         self._validate_mode(mode)
 
         device = region.device
+        if self.source_device is not None and not is_write:
+            # Serve the bytes from the replica; fall back to the async
+            # interface when the replica medium cannot do load/store.
+            device = self.cluster.memory[self.source_device]
+            if mode is AccessMode.SYNC and not (
+                device.spec.supports_sync
+                and self.cluster.topology.addressable(
+                    self.observer, device.name)
+            ):
+                mode = AccessMode.ASYNC
         path_latency = self.cluster.topology.path_latency(self.observer, device.name)
         plan = access_plan(
             device, path_latency, nbytes, pattern, mode, access_size,
@@ -321,4 +346,32 @@ class Accessor:
         started = engine.now
         yield engine.all_of(pending)
         self.handle.validate()  # ownership may have changed while blocked
-        return engine.now - started
+        observed = engine.now - started
+        self._feed_evidence(route, plan.wire_bytes, total_latency, observed)
+        return observed
+
+    def _feed_evidence(
+        self, route, wire_bytes: float, extra_latency_ns: float, observed: float
+    ) -> None:
+        """Report this access's observed-vs-nominal timing to the health
+        monitor (when fail-slow detection is on).
+
+        The expectation mirrors the access structure — the nominal
+        uncontended stream time racing the latency term — so the ratio
+        the detector sees approximates the physical degrade factor once
+        the wire time dominates.  Contention inflates it too; the
+        monitor's peer-relative gate is what separates a genuinely slow
+        device from a busy fabric.
+        """
+        self.last_expected_ns = 0.0
+        monitor = getattr(self.cluster, "health_monitor", None)
+        if monitor is None or getattr(monitor, "degradation", None) is None:
+            return
+        expected = max(
+            self.cluster.estimate_transfer_ns(route, wire_bytes),
+            extra_latency_ns,
+        )
+        if expected <= 0:
+            return
+        self.last_expected_ns = expected
+        monitor.observe_transfer(route, observed, expected)

@@ -313,6 +313,24 @@ def render_dashboard(
         )
         sections.append(handover.render())
 
+    # -- gray-failure mitigation -----------------------------------------
+    hedges = _metric_value(metrics, "hedge.launched")
+    degradations = _metric_value(metrics, "health.degraded_events")
+    if hedges or degradations:
+        gray = Table(
+            ["degraded events", "hedges launched", "hedges won",
+             "hedge wasted bytes", "budget denials"],
+            title="Gray-failure mitigation",
+        )
+        gray.add_row(
+            int(degradations),
+            int(hedges),
+            int(_metric_value(metrics, "hedge.won")),
+            format_bytes(_metric_value(metrics, "hedge.wasted_bytes")),
+            int(_metric_value(metrics, "recovery.budget_denied")),
+        )
+        sections.append(gray.render())
+
     # -- trace-ring health ------------------------------------------------
     dropped = meta.get("dropped", {})
     retained = meta.get("retained", {})

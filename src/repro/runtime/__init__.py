@@ -42,13 +42,16 @@ from repro.runtime.scheduler import (
     SchedulingError,
 )
 from repro.runtime.health import (
+    DegradationPolicy,
     DeviceDown,
     HealthMonitor,
     HealthState,
     HealthStats,
+    LatencyScorecard,
     RecoveryPolicy,
+    RetryBudget,
 )
-from repro.runtime.transfer import HandoverManager, HandoverStats
+from repro.runtime.transfer import HandoverManager, HandoverStats, HedgePolicy
 from repro.runtime.rts import JobStats, RuntimeSystem, TaskContext
 from repro.runtime.resilience import (
     JobAbandoned,
@@ -74,6 +77,7 @@ __all__ = [
     "CalibratedCostModel",
     "CostModel",
     "DeclarativePlacement",
+    "DegradationPolicy",
     "DeviceDown",
     "EncryptingPlacement",
     "HandoverManager",
@@ -81,10 +85,12 @@ __all__ = [
     "HealthMonitor",
     "HealthState",
     "HealthStats",
+    "HedgePolicy",
     "HeftScheduler",
     "JobAbandoned",
     "JobPlan",
     "JobStats",
+    "LatencyScorecard",
     "NaivePlacement",
     "ObservationStats",
     "PlacementPolicy",
@@ -98,6 +104,7 @@ __all__ = [
     "RecoveryPolicy",
     "ResilienceStats",
     "ResilientRuntime",
+    "RetryBudget",
     "RoundRobinScheduler",
     "RuntimeSystem",
     "Scheduler",

@@ -157,14 +157,20 @@ class CostModel:
     # -- task costs -----------------------------------------------------------
 
     def compute_time(self, task: Task, compute_name: str) -> float:
-        """Pure compute time of ``task`` on a compute device (ns)."""
+        """Pure compute time of ``task`` on a compute device (ns).
+
+        Deliberately the *nominal* (spec-sheet) time: a fail-slow device
+        must not leak its physical slowdown into estimates — the control
+        plane only learns about gray failures through the health
+        monitor's evidence-based DEGRADED state.
+        """
         device = self.cluster.compute[compute_name]
         work = task.work
         if work.ops == 0:
             return 0.0
         if not device.supports(work.op_class):
             return float("inf")
-        return device.compute_time(work.op_class, work.ops)
+        return device.nominal_compute_time(work.op_class, work.ops)
 
     def task_time_estimate(
         self,

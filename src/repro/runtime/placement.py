@@ -46,6 +46,11 @@ class PlacementRequest:
     region_type: typing.Optional[RegionType] = None
     #: Declared usage; lets the policy rank by expected access cost.
     usage: typing.Optional[RegionUsage] = None
+    #: Devices to treat as a last resort — e.g. ones this request's
+    #: task already fled with a fail-slow abort, which the health
+    #: monitor may not have flagged yet.  Soft: honoured only while
+    #: some other candidate remains.
+    avoid: typing.Tuple[str, ...] = ()
 
     def __post_init__(self):
         if self.size <= 0:
@@ -109,6 +114,38 @@ class PlacementPolicy:
 
     def _has_room(self, device: MemoryDevice, size: int) -> bool:
         return self.manager.allocators[device.name].largest_free_extent >= size
+
+    def _prefer_non_degraded(
+        self, devices: typing.List[MemoryDevice]
+    ) -> typing.List[MemoryDevice]:
+        """Devices not flagged DEGRADED by the health monitor, when any
+        exist — otherwise the full list.  DEGRADED devices stay usable
+        (``can_use`` admits them) but become the last resort, so a
+        fail-slow device stops attracting fresh placements while still
+        backstopping a cluster where everything else is worse."""
+        monitor = getattr(self.cluster, "health_monitor", None)
+        if monitor is None or not hasattr(monitor, "is_degraded"):
+            return devices
+        fresh = [d for d in devices if not monitor.is_degraded(d.name)]
+        return fresh or devices
+
+    def _prefer_unavoided(
+        self,
+        devices: typing.List[MemoryDevice],
+        request: PlacementRequest,
+    ) -> typing.List[MemoryDevice]:
+        """Devices outside the request's ``avoid`` set, when any exist.
+
+        A retry after a fail-slow abort names the device it fled in
+        ``avoid`` before the health monitor's evidence catches up;
+        without this, the retry can be placed straight back onto the
+        same slow device.  Soft like ``_prefer_non_degraded``: when
+        every candidate is avoided, the full list survives."""
+        if not request.avoid:
+            return devices
+        avoided = set(request.avoid)
+        fresh = [d for d in devices if d.name not in avoided]
+        return fresh or devices
 
     def _alive_devices(self) -> typing.List[MemoryDevice]:
         """Live memory devices, minus any a health monitor rules out.
@@ -192,7 +229,11 @@ class DeclarativePlacement(PlacementPolicy):
         return cost * (1.0 + 0.25 * pressure) + 1e-3 * media_price
 
     def choose_device(self, request: PlacementRequest) -> MemoryDevice:
-        """The lowest-scoring satisfying candidate (raises if none)."""
+        """The lowest-scoring satisfying candidate (raises if none).
+
+        Candidates observed fail-slow (DEGRADED) are considered only
+        when no healthy candidate satisfies the request.
+        """
         survivors = self.candidates(request)
         if not survivors:
             self._reject(request, "no satisfying device")
@@ -201,6 +242,8 @@ class DeclarativePlacement(PlacementPolicy):
                 f"for observers {list(request.observers)} "
                 f"(size {request.size} B)"
             )
+        survivors = self._prefer_unavoided(survivors, request)
+        survivors = self._prefer_non_degraded(survivors)
         return min(survivors, key=lambda d: self.score(request, d))
 
 

@@ -37,6 +37,7 @@ from repro.runtime.placement import (
     PlacementRequest,
 )
 from repro.obs.span import NOOP_SPAN
+from repro.runtime.health import DeviceDegraded
 from repro.runtime.scheduler import HeftScheduler, Scheduler
 from repro.runtime.tenancy import DEFAULT_TENANT, Preempted, coerce_priority
 from repro.runtime.transfer import HandoverManager
@@ -64,6 +65,9 @@ class TaskStats:
     #: How many times the task was preempted by a higher-class job and
     #: re-queued (does not consume the recovery attempt budget).
     preemptions: int = 0
+    #: The backoff the task's last retry actually slept (feeds the
+    #: decorrelated-jitter schedule: next sleep ~ U(base, 3·previous)).
+    last_backoff_ns: float = 0.0
 
     @property
     def started(self) -> bool:
@@ -135,6 +139,10 @@ class TaskContext:
         self._scratch: typing.Optional[MemoryRegion] = None
         self._output: typing.Optional[MemoryRegion] = None
         self._extra_regions: typing.List[MemoryRegion] = []
+        #: Nominal (spec-sheet) cost of the work this attempt has done
+        #: so far — what a retry would have to redo at healthy speed.
+        #: Feeds the economics gate of the voluntary fail-slow aborts.
+        self.attempt_nominal_ns = 0.0
 
     # -- identity / time ------------------------------------------------------
 
@@ -158,6 +166,15 @@ class TaskContext:
         if not self.inputs:
             raise TaskFailure(f"{self.owner} has no input region")
         return self.inputs[0]
+
+    def _avoided_devices(self) -> typing.Tuple[str, ...]:
+        """Devices this task fled in earlier attempts (fail-slow aborts
+        or implicated failures).  Passed to placement as a soft avoid
+        list: the monitor's flag can lag the abort by a detection
+        window, and without this a retry is routinely placed straight
+        back onto the device it just escaped."""
+        failed_on = self._execution._failed_on.get(self.task.name, ())
+        return tuple(sorted(failed_on))
 
     def _scratch_properties(self) -> MemoryProperties:
         """Table 2 Private Scratch defaults, tightened by the task card."""
@@ -183,6 +200,7 @@ class TaskContext:
                 name=f"{self.owner}#scratch",
                 region_type=RegionType.PRIVATE_SCRATCH,
                 usage=self.task.work.scratch,
+                avoid=self._avoided_devices(),
             ))
             self._scratch = region
         return self._scratch.handle(self.owner)
@@ -212,6 +230,7 @@ class TaskContext:
                 name=f"{self.owner}#out",
                 region_type=RegionType.OUTPUT,
                 usage=self.task.work.output,
+                avoid=self._avoided_devices(),
             ))
             self._output = region
         return self._output.handle(self.owner)
@@ -303,15 +322,72 @@ class TaskContext:
         remaining = region_size if nbytes is None else nbytes
         requested = remaining
         total = 0.0
+        monitor = self._rts.health
+        # With fail-slow detection on, large touches run in slices so
+        # evidence lands — and mitigation can react — *mid-access*
+        # instead of only at the end.  Same bytes at the same rates;
+        # only the per-access latency term repeats per slice.
+        sliced = (
+            monitor is not None
+            and getattr(monitor, "degradation", None) is not None
+        )
+        step = (
+            max(1, region_size // self.TOUCH_SLICES)
+            if sliced else region_size
+        )
         # Larger-than-region touches wrap around (multiple passes).
+        redirect = None
         while remaining > 0:
-            chunk = min(remaining, region_size)
+            if not is_write:
+                # Re-check the path between slices: a device flagged
+                # fail-slow mid-read stops hurting after one slow slice
+                # when a healthy replica can serve the rest.
+                target = self._read_redirect(handle.region)
+                if target != redirect:
+                    redirect = target
+                    accessor = Accessor(
+                        self._rts.cluster, handle, self.compute,
+                        source_device=redirect,
+                    )
+                    if redirect is not None:
+                        self._rts.cluster.obs.counter(
+                            "hedge.read_around").inc()
+                        self.log("read_around", region=handle.region.name,
+                                 primary=handle.region.device.name,
+                                 replica=redirect)
+            chunk = min(remaining, step)
             op = accessor.write if is_write else accessor.read
             duration = yield from op(
                 chunk, pattern=pattern, mode=mode, access_size=access_size
             )
             total += duration
             remaining -= chunk
+            self.attempt_nominal_ns += accessor.last_expected_ns
+            chunks_left = (remaining + step - 1) // step
+            if (
+                is_write and remaining > 0
+                and self._abort_write_if_degraded(
+                    handle.region, duration, accessor.last_expected_ns
+                )
+                and self._abort_pays_off(
+                    duration * chunks_left,
+                    accessor.last_expected_ns * chunks_left,
+                )
+            ):
+                # Writes have no replica to redirect to — the escape
+                # hatch is a voluntary abort: the retry re-places the
+                # output region off the flagged device (placement
+                # treats it as a last resort) and re-runs the attempt.
+                if sp:
+                    region = handle.region
+                    sp.set(
+                        task=self.owner, device=self.compute,
+                        region=region.name, backing=region.device.name,
+                        op="write", nbytes=requested, duration=total,
+                        aborted=True,
+                    )
+                sp.close()
+                raise DeviceDegraded(handle.region.device.name)
         if sp:
             region = handle.region
             sp.set(
@@ -334,6 +410,151 @@ class TaskContext:
                 backing=region.device.name,
             )
         return total
+
+    #: Memory touches run in this many slices while fail-slow detection
+    #: is on, so the detector gets evidence (and the read-around /
+    #: write-abort mitigations a decision point) every slice instead of
+    #: once per whole-region access.
+    TOUCH_SLICES = 8
+
+    def _retry_affordable(self) -> bool:
+        """Whether recovery could actually pay for one more attempt.
+
+        A voluntary fail-slow abort that recovery cannot afford (no
+        policy, attempt cap reached, dry retry budget) would turn a
+        slow-but-correct attempt into a job failure — so the escape
+        hatches stay shut without headroom.
+        """
+        policy = self._rts.recovery
+        if policy is None:
+            return False
+        stats = self._execution.stats.tasks.get(self.task.name)
+        if stats is not None and stats.attempts >= policy.max_task_attempts:
+            return False
+        budget = self._execution.retry_budget
+        if budget is not None and not budget.can_spend(self.now):
+            return False
+        return True
+
+    def _abort_pays_off(
+        self, projected_ns: float, nominal_remaining_ns: float
+    ) -> bool:
+        """Economics gate for voluntary aborts.
+
+        Fleeing a flagged device is only worth it when riding out the
+        *remaining* slices at the observed slow rate costs more than a
+        whole fresh attempt at nominal speed — the work already done
+        plus the remainder plus one retry backoff.  Without this gate a
+        mildly slow device triggers aborts that spend more (and drain
+        the retry budget that a genuinely pathological episode will
+        need) than they save.
+        """
+        policy = self._rts.recovery
+        retry_cost = (
+            self.attempt_nominal_ns + nominal_remaining_ns
+            + (policy.backoff_base_ns if policy is not None else 0.0)
+        )
+        return projected_ns > retry_cost
+
+    def _abort_if_degraded(
+        self, observed_ns: float, nominal_ns: float
+    ) -> bool:
+        """Whether this attempt should abandon its flagged compute device.
+
+        True only when the mitigation stack can actually act on the
+        evidence: detection flagged this device, *this* slice really ran
+        slow (a stale flag over a since-restored device must not abort
+        healthy work), recovery can afford the re-placement, and the
+        task has not already fled this device once (a repeat abort
+        would burn retry budget for nothing when no better candidate
+        existed).
+        """
+        monitor = self._rts.health
+        if monitor is None or getattr(monitor, "degradation", None) is None:
+            return False
+        if nominal_ns <= 0 or (
+            observed_ns < monitor.degradation.degrade_ratio * nominal_ns
+        ):
+            return False
+        if not monitor.is_degraded(self.compute):
+            return False
+        if not self._retry_affordable():
+            return False
+        failed_on = self._execution._failed_on.get(self.task.name, set())
+        return self.compute not in failed_on
+
+    def _abort_write_if_degraded(
+        self, region, observed_ns: float, expected_ns: float
+    ) -> bool:
+        """Whether an in-flight write should flee its flagged backing.
+
+        The write-side analogue of :meth:`_abort_if_degraded`: the
+        evidence must have flagged the region's device (or its route),
+        *this* slice must really have run slow against the cost model's
+        nominal expectation, recovery must be able to afford the retry,
+        and the task must not have fled this backing device already.
+        """
+        monitor = self._rts.health
+        if monitor is None or getattr(monitor, "degradation", None) is None:
+            return False
+        if expected_ns <= 0 or (
+            observed_ns < monitor.degradation.degrade_ratio * expected_ns
+        ):
+            return False
+        if not self._rts.handover.path_degraded(
+            region.device.name, self.compute
+        ):
+            return False
+        if not self._retry_affordable():
+            return False
+        failed_on = self._execution._failed_on.get(self.task.name, set())
+        return region.device.name not in failed_on
+
+    def _read_redirect(self, region) -> typing.Optional[str]:
+        """Replica device to serve reads from, or ``None`` to read in place.
+
+        The hedged read-around: when evidence has flagged the region's
+        primary path fail-slow and a backup replica of the same bytes
+        sits on a device whose path is healthy, the remaining read
+        passes are served from the replica — the mid-access analogue of
+        the hedged handover copy, at zero extra data movement.  Engaged
+        only with the full gray-failure stack (detection + hedge policy
+        + backup store); otherwise reads always go to the primary.
+        """
+        handover = self._rts.handover
+        if handover.hedge is None or handover.replica_source is None:
+            return None
+        if not handover.path_degraded(region.device.name, self.compute):
+            return None
+        replica = handover.replica_source(region)
+        if replica is None or replica == region.device.name:
+            return None
+        monitor = self._rts.cluster.health_monitor
+        if monitor.is_degraded(replica):
+            return None
+        # Only links *unique* to the replica route can veto: the
+        # monitor blames every link on a slow route, so a flagged link
+        # both paths share says nothing about which is faster — and a
+        # shared slow hop costs the same either way.
+        degraded_links = monitor.degraded_links()
+        if degraded_links:
+            topo = self._rts.cluster.topology
+            try:
+                primary_links = {
+                    link.name
+                    for link in topo.route(self.compute, region.device.name)
+                }
+                replica_links = {
+                    link.name for link in topo.route(self.compute, replica)
+                }
+            except Exception:
+                return None
+            if any(
+                name in degraded_links
+                for name in replica_links - primary_links
+            ):
+                return None
+        return replica
 
     def read_async(
         self,
@@ -375,16 +596,54 @@ class TaskContext:
             generator, name=f"{self.owner}#writeback"
         )
 
+    #: Compute phases run as this many slices, each priced at the
+    #: device's *current* speed — so a fault or restore landing
+    #: mid-phase changes the remainder, the way real hardware behaves,
+    #: and the detector gets evidence per slice instead of per phase.
+    COMPUTE_SLICES = 8
+
     def compute_ops(self, ops: float, op_class: typing.Optional[OpClass] = None):
-        """Generator: burn ``ops`` operations on this task's device."""
+        """Generator: burn ``ops`` operations on this task's device.
+
+        When latency evidence flags this device fail-slow mid-phase
+        (and the recovery machinery can still move the task), the
+        attempt aborts with :class:`~repro.runtime.health.DeviceDegraded`
+        rather than riding the slow device to the end — the retry
+        re-places it onto a healthy peer, budget permitting.
+        """
         if op_class is None:
             op_class = self.task.work.op_class
         sp = self._rts.cluster.obs.span("profile", "compute_phase",
                                         parent=self.span)
         device = self._rts.cluster.compute[self.compute]
         began = self.now
-        duration = device.compute_time(op_class, ops)
-        yield self._rts.cluster.engine.timeout(duration)
+        monitor = self._rts.health
+        slices = self.COMPUTE_SLICES if ops > 0 else 1
+        duration = 0.0
+        for i in range(slices):
+            slice_ops = ops / slices
+            slice_duration = device.compute_time(op_class, slice_ops)
+            yield self._rts.cluster.engine.timeout(slice_duration)
+            duration += slice_duration
+            nominal = device.nominal_compute_time(op_class, slice_ops)
+            self.attempt_nominal_ns += nominal
+            if monitor is not None and slice_ops > 0:
+                # Evidence for the fail-slow detector: physical duration
+                # vs the spec-sheet estimate (no-op with detection off).
+                monitor.observe_latency(
+                    self.compute, slice_duration, nominal)
+            slices_left = slices - (i + 1)
+            if slices_left > 0 and self._abort_if_degraded(
+                slice_duration, nominal
+            ) and self._abort_pays_off(
+                slice_duration * slices_left, nominal * slices_left
+            ):
+                if sp:
+                    sp.set(task=self.owner, device=self.compute,
+                           op=op_class.value, ops=ops, duration=duration,
+                           aborted=True)
+                sp.close()
+                raise DeviceDegraded(self.compute)
         if sp:
             sp.set(task=self.owner, device=self.compute,
                    op=op_class.value, ops=ops, duration=duration)
@@ -487,6 +746,20 @@ class _JobExecution:
             rts.handover.stats.bytes_copied,
         )
         self._regions_base = rts.placement.placements
+        #: Set once the job's backups were released; a concurrent backup
+        #: that lands after this point re-releases itself (see
+        #: :meth:`_follow_backup`).
+        self._backups_released = False
+        #: Per-job retry token bucket (None = unlimited, the legacy shape).
+        self.retry_budget = (
+            rts.recovery.make_retry_budget() if rts.recovery is not None else None
+        )
+        #: Seeded per-job stream for decorrelated retry jitter: co-failed
+        #: tasks draw different delays, so one storm's retries fan out
+        #: instead of colliding on the same wake tick.
+        self._retry_rng = rts.cluster.streams.stream(
+            f"retry-jitter:{self.job_owner}"
+        )
         self._start()
 
     # -- startup -----------------------------------------------------------
@@ -677,6 +950,19 @@ class _JobExecution:
             # failure path below.  The repair itself runs inside the
             # loop: a fault landing mid-restore burns an attempt and is
             # retried too (with the dead device replaced by then).
+            if policy is not None:
+                monitor = self.rts.cluster.health_monitor
+                if (
+                    monitor is not None
+                    and getattr(monitor, "degradation", None) is not None
+                    and monitor.is_degraded(self.assignment[task.name])
+                ):
+                    # Degraded-last applies at dispatch time too: the
+                    # assignment was made at submit, and evidence that
+                    # arrived while we waited on upstream tasks should
+                    # move us off a since-flagged device *before* we
+                    # pay a slow attempt to find out.
+                    self._replace(task)
             repair_cause: typing.Optional[BaseException] = None
             requeue_cause: typing.Optional[BaseException] = None
             while True:
@@ -711,6 +997,9 @@ class _JobExecution:
                         policy is None
                         or stats.attempts >= policy.max_task_attempts
                         or not policy.recoverable(exc)
+                        # Last in the chain: tokens are only spent on
+                        # failures that would otherwise retry.
+                        or not self._budget_allows(task)
                     ):
                         raise
                     repair_cause = exc
@@ -874,6 +1163,30 @@ class _JobExecution:
             ):
                 self.rts.memory.drop_owner(region, ctx.owner)
 
+    def _budget_allows(self, task: Task) -> bool:
+        """Spend one retry token; a dry bucket ends recovery for good.
+
+        The budget is per *job*, deadline-aware, and token-bucketed
+        (see :class:`~repro.runtime.health.RetryBudget`): a degradation
+        storm that keeps failing attempts drains the bucket and the job
+        fails fast instead of amplifying into a retry storm.
+        """
+        if self.retry_budget is None:
+            return True
+        rts = self.rts
+        if self.retry_budget.try_spend(rts.cluster.engine.now):
+            return True
+        rts.cluster.obs.counter("recovery.budget_denied").inc()
+        rts.cluster.obs.event(
+            "recovery", "budget_denied", job=self.job.name,
+            task=task.qualified_name, spent=self.retry_budget.spent,
+        )
+        rts.cluster.trace.emit(
+            rts.cluster.engine.now, "recovery", "budget_denied",
+            task=task.qualified_name, spent=self.retry_budget.spent,
+        )
+        return False
+
     def _prepare_retry(self, task: Task, stats: TaskStats, exc: BaseException):
         """Between attempts: back off, move off bad devices, repair
         lost inputs.  Raises (ending recovery) when the job's global
@@ -890,11 +1203,21 @@ class _JobExecution:
             task=task.qualified_name, attempt=stats.attempts,
             device=self.assignment[task.name], error=type(exc).__name__,
         )
-        if self._device_implicated(task, exc):
+        if isinstance(exc, DeviceDegraded):
+            # The abort names the slow device itself — for a write
+            # abort that is the *memory* backing, not the task's
+            # compute, and pinning the right one keeps a healthy
+            # compute assignment in place.
+            self._failed_on.setdefault(task.name, set()).add(exc.device)
+        elif self._device_implicated(task, exc):
             self._failed_on.setdefault(task.name, set()).add(
                 self.assignment[task.name]
             )
-        yield engine.timeout(rts.recovery.backoff_ns(stats.attempts))
+        delay = rts.recovery.jittered_backoff_ns(
+            stats.attempts, self._retry_rng, stats.last_backoff_ns
+        )
+        stats.last_backoff_ns = delay
+        yield engine.timeout(delay)
         if self.global_state is not None and not self.global_state.alive:
             raise TaskFailure(
                 f"job {self.job.name!r} lost its Global State region"
@@ -962,7 +1285,7 @@ class _JobExecution:
         from repro.runtime.health import DeviceDown
         from repro.sim.events import Interrupt
 
-        if isinstance(exc, DeviceDown):
+        if isinstance(exc, (DeviceDown, DeviceDegraded)):
             return True
         if isinstance(exc, Interrupt) and isinstance(exc.cause, DeviceDown):
             return True
@@ -977,15 +1300,26 @@ class _JobExecution:
         current = self.assignment[task.name]
         avoid = self._failed_on.get(task.name, set())
         device = cluster.compute.get(current)
+        flagged = (
+            monitor is not None
+            and getattr(monitor, "degradation", None) is not None
+            and monitor.is_degraded(current)
+        )
         if (
             device is not None
             and not device.failed
             and current not in avoid
+            and not flagged
             and (monitor is None or monitor.can_use(current))
         ):
             return
         candidates = Scheduler.candidates(task, cluster)
         preferred = [d for d in candidates if d.name not in avoid] or candidates
+        if monitor is not None and hasattr(monitor, "is_degraded"):
+            # A re-placed task should land on a device the evidence
+            # trusts; flagged peers stay last-resort candidates.
+            fresh = [d for d in preferred if not monitor.is_degraded(d.name)]
+            preferred = fresh or preferred
 
         def estimate(d):
             try:
@@ -1042,6 +1376,21 @@ class _JobExecution:
         event = self._task_done.get(name)
         return bool(event is not None and event.triggered and event.ok)
 
+    def _follow_backup(self, proc, delivered):
+        """Simulation generator: re-key a finished concurrent backup
+        onto the regions the consumers actually received.
+
+        If the job was already torn down by the time the copy lands,
+        the protection is moot — release it again so the store holds
+        no orphaned copies."""
+        entry = yield proc
+        backups = self.rts.backups
+        if entry is None or backups is None:
+            return
+        backups.register_delivered(entry, delivered)
+        if self._backups_released:
+            backups.release_job(self.job_owner)
+
     def _epilogue(self, task: Task, ctx: TaskContext):
         # Hand the output over first: if the handover fails, the inputs
         # below are still intact and a retried attempt can re-run the
@@ -1055,6 +1404,21 @@ class _JobExecution:
             receivers = [
                 (d.qualified_name, self.assignment[d.name]) for d in downstream
             ]
+            backup_proc = None
+            if self.rts.backups is not None:
+                # The backup copy streams *concurrently* with delivery
+                # instead of serializing a full extra transfer into the
+                # critical path.  Protection — and the hedge/read-around
+                # replica — becomes available the moment the copy lands;
+                # until then transfers simply run unhedged.  Best-effort
+                # either way: a copy whose source died mid-stream is
+                # discarded by the store, not registered.
+                backup_proc = engine.process(
+                    self.rts.backups.backup_delivery(
+                        [output], self.job_owner
+                    ),
+                    name=f"{task.qualified_name}#backup",
+                )
             if len(receivers) == 1:
                 owner, compute = receivers[0]
                 region = yield from self.rts.handover.hand_over(
@@ -1065,10 +1429,11 @@ class _JobExecution:
                 delivered = yield from self.rts.handover.share_out(
                     output, ctx.owner, receivers, report=report
                 )
-            if self.rts.backups is not None:
+            if backup_proc is not None:
                 unique = {id(r): r for r in delivered.values()}
-                yield from self.rts.backups.backup_delivery(
-                    list(unique.values()), self.job_owner
+                engine.process(
+                    self._follow_backup(backup_proc, list(unique.values())),
+                    name=f"{task.qualified_name}#backup-register",
                 )
             # A fault may have wiped a delivered region while the
             # epilogue was still in flight.  Fail THIS attempt (the
@@ -1127,6 +1492,7 @@ class _JobExecution:
                 if region.alive and not region.ownership.released:
                     region.ownership.drop(owner)
         if self.rts.backups is not None:
+            self._backups_released = True
             self.rts.backups.release_job(self.job_owner)
 
     def _finalize(self):
@@ -1140,6 +1506,7 @@ class _JobExecution:
             if region.ownership.is_owner(self.job_owner):
                 self.rts.memory.drop_owner(region, self.job_owner)
         if self.rts.backups is not None:
+            self._backups_released = True
             self.rts.backups.release_job(self.job_owner)
         self.stats.finished_at = engine.now
         zc, cp, bc = self._handover_base
@@ -1248,6 +1615,7 @@ class RuntimeSystem:
         health=None,
         recovery=None,
         backups=None,
+        hedge=None,
     ):
         self.cluster = cluster
         self.memory = memory if memory is not None else MemoryManager(cluster)
@@ -1265,7 +1633,10 @@ class RuntimeSystem:
             else getattr(cluster, "health_monitor", None)
         )
         self.recovery = recovery
-        self.backups = backups
+        #: Optional :class:`~repro.runtime.transfer.HedgePolicy`: with a
+        #: backup store attached, handover copies race a backup replica
+        #: after an evidence-based delay (gray-failure mitigation).
+        self.hedge = hedge
         self.handover = HandoverManager(
             cluster, self.memory, self.costmodel, self.placement,
             transfer_retries=(
@@ -1274,7 +1645,12 @@ class RuntimeSystem:
             transfer_timeout_ns=(
                 recovery.transfer_timeout_ns if recovery is not None else None
             ),
+            hedge=hedge,
         )
+        # Through the property setter so the handover's hedge replica
+        # source stays wired even when callers attach the store later
+        # (``rts.backups = OutputBackupStore(...)`` is a common idiom).
+        self.backups = backups
         self.executions: typing.List[_JobExecution] = []
         if self.health is not None:
             # Health transitions change which offers exist; the cached
@@ -1282,14 +1658,32 @@ class RuntimeSystem:
             self.health.on_change(self.costmodel.invalidate)
         cluster.obs.registry.add_collector(self._collect_runtime_metrics)
 
+    @property
+    def backups(self):
+        """The attached :class:`~repro.ft.backups.OutputBackupStore`."""
+        return self._backups
+
+    @backups.setter
+    def backups(self, store) -> None:
+        self._backups = store
+        self.handover.replica_source = (
+            store.replica_device
+            if store is not None and hasattr(store, "replica_device")
+            else None
+        )
+
     def _collect_runtime_metrics(self):
         """Runtime-layer readings for the obs registry snapshot (the
         subsystems already count these; no hot-path double counting)."""
         yield "handover.zero_copy", self.handover.stats.zero_copy
         yield "handover.copies", self.handover.stats.copies
         yield "handover.bytes_copied", self.handover.stats.bytes_copied
+        yield "handover.hedged_copies", self.handover.stats.hedged_copies
         yield "placement.placements", self.placement.placements
         yield "placement.rejections", self.placement.rejections
+        if self.health is not None and self.health.degradation is not None:
+            yield "health.degraded_now", len(self.health.degraded_devices())
+            yield "health.degraded_links_now", len(self.health.degraded_links())
 
     def _submit(
         self,

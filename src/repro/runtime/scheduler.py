@@ -67,6 +67,13 @@ class Scheduler:
                    if allowed is not None else "")
                 + ")"
             )
+        if monitor is not None and hasattr(monitor, "is_degraded"):
+            # Devices observed fail-slow are a last resort: schedule
+            # around them while any non-degraded *feasible* device
+            # exists.  This runs after the kind/op filters so a fresh
+            # device that can't run the task never starves it.
+            fresh = [d for d in devices if not monitor.is_degraded(d.name)]
+            devices = fresh or devices
         return devices
 
     @staticmethod

@@ -30,11 +30,48 @@ class HandoverStats:
     copies: int = 0
     bytes_copied: float = 0.0
     transfer_time_ns: float = 0.0
+    hedged_copies: int = 0
 
     @property
     def zero_copy_ratio(self) -> float:
         total = self.zero_copy + self.copies
         return self.zero_copy / total if total else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class HedgePolicy:
+    """When to launch a backup copy racing a slow handover transfer.
+
+    The hedge delay is evidence-based: the nominal uncontended estimate
+    for the copy, stretched by the source's observed
+    ``quantile``-latency ratio from the health monitor's scorecard
+    (clamped to ``[floor_multiplier, max_multiplier]``).  A healthy
+    source therefore hedges only after several expected-durations have
+    passed; a source already observed slow hedges sooner in *relative*
+    terms while never before ``floor_multiplier``× the estimate.
+    """
+
+    #: Which observed latency-ratio quantile sizes the delay (p99 by
+    #: default: hedge only transfers slower than ~all recent peers).
+    quantile: float = 0.99
+    #: Never hedge before this many simulated ns have passed.
+    min_delay_ns: float = 1_000.0
+    #: Lower clamp on the delay multiplier (guards cold scorecards).
+    floor_multiplier: float = 2.0
+    #: Upper clamp (a pathological p99 must not disable hedging).
+    max_multiplier: float = 8.0
+
+    def delay_ns(
+        self, expected_ns: float, ratio: typing.Optional[float]
+    ) -> float:
+        """Hedge delay for a copy expected to take ``expected_ns``."""
+        if ratio is None:
+            multiplier = self.floor_multiplier
+        else:
+            multiplier = min(
+                self.max_multiplier, max(self.floor_multiplier, ratio)
+            )
+        return max(self.min_delay_ns, expected_ns * multiplier)
 
 
 class HandoverManager:
@@ -49,6 +86,7 @@ class HandoverManager:
         transfer_retries: int = 0,
         transfer_backoff_ns: float = 10_000.0,
         transfer_timeout_ns: typing.Optional[float] = None,
+        hedge: typing.Optional[HedgePolicy] = None,
     ):
         self.cluster = cluster
         self.manager = manager
@@ -59,6 +97,14 @@ class HandoverManager:
         self.transfer_retries = transfer_retries
         self.transfer_backoff_ns = transfer_backoff_ns
         self.transfer_timeout_ns = transfer_timeout_ns
+        #: Gray-failure mitigation: with a policy set *and* a
+        #: ``replica_source`` wired (the runtime points it at
+        #: ``OutputBackupStore.replica_device``), every handover copy
+        #: races a hedge from the replica after an evidence-based delay.
+        self.hedge = hedge
+        self.replica_source: typing.Optional[
+            typing.Callable[[MemoryRegion], typing.Optional[str]]
+        ] = None
         self.stats = HandoverStats()
 
     def can_hand_over(self, region: MemoryRegion, to_compute: str) -> bool:
@@ -69,7 +115,36 @@ class HandoverManager:
         # declared properties and reachability.
         if offer.bytes_per_ns == 0.0:
             return False
-        return offer.satisfies(region.properties)
+        if not offer.satisfies(region.properties):
+            return False
+        # A region on a device the monitor flagged fail-slow still
+        # hands over zero-copy: forcing a physical copy would stream
+        # the whole payload through the slow path *up front*, while
+        # the reader's replica redirect (see TaskContext._read_redirect)
+        # sidesteps it pass by pass at no extra data movement.
+        return True
+
+    def path_degraded(self, device_name: str, to_compute: str) -> bool:
+        """Whether evidence flags ``to_compute``'s path to a device.
+
+        True when the health monitor (with fail-slow detection on) has
+        flagged the device itself or any link on the route to it.  Used
+        by the handover decision and by the runtime's mid-read
+        replica redirect.
+        """
+        monitor = getattr(self.cluster, "health_monitor", None)
+        if monitor is None or getattr(monitor, "degradation", None) is None:
+            return False
+        if monitor.is_degraded(device_name):
+            return True
+        degraded_links = monitor.degraded_links()
+        if not degraded_links:
+            return False
+        try:
+            route = self.cluster.topology.route(to_compute, device_name)
+        except Exception:
+            return False
+        return any(link.name in degraded_links for link in route)
 
     def hand_over(
         self,
@@ -181,6 +256,7 @@ class HandoverManager:
                 ),
             )
             replica = self.placement.place(relaxed)
+        hedge_delay, hedge_source = self._hedge_plan(region, replica)
         try:
             yield from self.cluster.reliable_transfer(
                 region.device.name, replica.device.name, region.size,
@@ -188,10 +264,43 @@ class HandoverManager:
                 backoff_ns=self.transfer_backoff_ns,
                 timeout_ns=self.transfer_timeout_ns,
                 report=report,
+                hedge_delay_ns=hedge_delay,
+                hedge_source=hedge_source,
             )
+            if hedge_source is not None:
+                self.stats.hedged_copies += 1
         except BaseException:
             # The bytes never arrived; do not leak the half-made replica.
             if replica.alive and replica.ownership.is_owner(to_owner):
                 self.manager.drop_owner(replica, to_owner)
             raise
         return replica
+
+    def _hedge_plan(
+        self, region: MemoryRegion, replica: MemoryRegion
+    ) -> typing.Tuple[typing.Optional[float], typing.Optional[str]]:
+        """``(hedge_delay_ns, hedge_source)`` for one copy, or Nones.
+
+        Hedging requires a policy, a wired replica source, a live
+        replica on a *different* device than the primary source, and a
+        computable nominal estimate for the copy.
+        """
+        if self.hedge is None or self.replica_source is None:
+            return None, None
+        source = self.replica_source(region)
+        if source is None or source == region.device.name:
+            return None, None
+        try:
+            route, effective = self.cluster.transfer_route(
+                region.device.name, replica.device.name, region.size
+            )
+        except Exception:
+            return None, None
+        expected = self.cluster.estimate_transfer_ns(route, effective)
+        monitor = getattr(self.cluster, "health_monitor", None)
+        ratio = None
+        if monitor is not None:
+            quantile_of = getattr(monitor, "latency_ratio_quantile", None)
+            if quantile_of is not None:
+                ratio = quantile_of(region.device.name, self.hedge.quantile)
+        return self.hedge.delay_ns(expected, ratio), source

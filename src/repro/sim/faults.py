@@ -30,8 +30,19 @@ class FaultKind(enum.Enum):
     NODE_REBOOT = "node_reboot"  # the power-cycle instant of a restart
     LINK_DOWN = "link_down"  # network error
     LINK_UP = "link_up"  # network repair
+    LINK_DEGRADED = "link_degraded"  # fail-slow: link loses bandwidth, stays up
+    LINK_RESTORED = "link_restored"  # degraded link back to nominal speed
+    DEVICE_SLOW = "device_slow"  # fail-slow: device compute/access slowdown
+    DEVICE_RESTORED = "device_restored"  # slow device back to nominal speed
     MEMORY_CORRUPTION = "memory_corruption"  # bit flips / corrupted region
     POWER_OUTAGE = "power_outage"  # volatile contents lost
+
+
+#: Gray-failure pairs: the restore kind that undoes each degradation.
+RESTORE_OF = {
+    FaultKind.LINK_DEGRADED: FaultKind.LINK_RESTORED,
+    FaultKind.DEVICE_SLOW: FaultKind.DEVICE_RESTORED,
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,6 +115,53 @@ class FaultInjector:
                 break
             target = targets[int(rng.integers(0, len(targets)))]
             self.inject_at(t, kind, target)
+            n += 1
+        return n
+
+    def schedule_degradations(
+        self,
+        kind: FaultKind,
+        targets: typing.Sequence[str],
+        rate_per_ns: float,
+        horizon: float,
+        duration_ns: float,
+        factor: float = 0.1,
+        stream: str = "degradations",
+    ) -> int:
+        """Schedule a fail-slow *storm*: degrade/restore pairs over ``targets``.
+
+        Each episode fires ``kind`` (``LINK_DEGRADED`` or ``DEVICE_SLOW``)
+        with ``detail["factor"]`` — the *speed multiplier* while degraded
+        (0.1 = ten times slower) — and the matching ``*_RESTORED`` fault
+        ``duration_ns`` later.  Episode start times are Poisson with the
+        given rate; targets are drawn uniformly.  Deterministic for a
+        fixed root seed.  Returns the number of scheduled episodes.
+        """
+        try:
+            restore = RESTORE_OF[kind]
+        except KeyError:
+            raise ValueError(
+                f"{kind} is not a degradation kind; pick one of "
+                f"{sorted(k.value for k in RESTORE_OF)}"
+            ) from None
+        if rate_per_ns <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_ns}")
+        if duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ns}")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        if not targets:
+            raise ValueError("no targets to degrade")
+        rng = self.streams.stream(stream)
+        t = self.engine.now
+        n = 0
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_ns))
+            if t >= horizon:
+                break
+            target = targets[int(rng.integers(0, len(targets)))]
+            self.inject_at(t, kind, target, factor=factor)
+            self.inject_at(t + duration_ns, restore, target)
             n += 1
         return n
 

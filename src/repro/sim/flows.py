@@ -75,11 +75,23 @@ class Link:
         self.bandwidth = float(bandwidth)  # bytes / ns
         self.latency = float(latency)  # ns
         self.up = True
+        #: Gray-failure (fail-slow) multiplier on the *physical* capacity.
+        #: ``bandwidth`` stays nominal — cost models and topology queries
+        #: keep seeing the advertised speed, so the control plane can only
+        #: learn about degradation from observed transfer timings.
+        self.degrade_factor = 1.0
         #: Cumulative bytes that finished crossing this link.
         self.bytes_carried = 0.0
 
+    @property
+    def effective_bandwidth(self) -> float:
+        """Physical capacity right now: nominal × degrade factor."""
+        return self.bandwidth * self.degrade_factor
+
     def __repr__(self) -> str:
         state = "up" if self.up else "DOWN"
+        if self.degrade_factor != 1.0:
+            state += f" degraded×{self.degrade_factor:g}"
         return f"<Link {self.name} {self.bandwidth:.3f}B/ns {self.latency:.0f}ns {state}>"
 
 
@@ -144,7 +156,7 @@ def waterfill(
         for link in flows_by_id[fid].links:
             entry = by_link.get(link.id)
             if entry is None:
-                by_link[link.id] = entry = [link.bandwidth, set()]
+                by_link[link.id] = entry = [link.effective_bandwidth, set()]
             entry[1].add(fid)
 
     rates: typing.Dict[int, float] = {}
@@ -307,6 +319,31 @@ class FlowNetwork:
         link.up = True
         self.topology_epoch += 1
 
+    def degrade_link(self, link: Link, factor: float) -> None:
+        """Fail-slow a link: scale its physical capacity by ``factor``.
+
+        Unlike :meth:`fail_link` the link stays up and in-flight flows
+        keep streaming — just slower.  The nominal ``link.bandwidth`` is
+        untouched so cost models stay blind; only the solver's capacity
+        (and hence observed durations) change.  Re-solves the affected
+        component so every sharing flow's rate reflects the new capacity.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degrade factor must be in (0, 1], got {factor}")
+        if link.degrade_factor == factor:
+            return
+        link.degrade_factor = factor
+        self.topology_epoch += 1
+        self._resolve([link])
+
+    def restore_link_speed(self, link: Link) -> None:
+        """Undo :meth:`degrade_link`: back to nominal capacity."""
+        if link.degrade_factor == 1.0:
+            return
+        link.degrade_factor = 1.0
+        self.topology_epoch += 1
+        self._resolve([link])
+
     def cancel(self, event: Event, cause: typing.Optional[Exception] = None) -> bool:
         """Cancel the transfer identified by its completion ``event``.
 
@@ -323,8 +360,13 @@ class FlowNetwork:
         flow = self._by_event.get(event)
         if flow is not None:
             self._settle(flow, self.engine.now)
+            # Exact accounting for the abandoned attempt: bytes that made
+            # it across before the cancel (hedging charges these as waste).
+            event._progress = flow.total_bytes - flow.remaining
             self._remove(flow)
             self._resolve(flow.links)
+        else:
+            event._progress = 0.0  # still in the latency phase: no bytes moved
         event.fail(cause or TransferTimeout(float("nan"), float("nan")))
         event.defuse()
         return True

@@ -1,0 +1,140 @@
+"""Tests for gray-failure awareness at the federation layer.
+
+Two derived behaviours: a rack's ``health_fraction`` half-weights
+members its own HealthMonitor has flagged fail-slow (so enough slow
+devices tip the registry state to DEGRADED without any crash), and the
+router treats DEGRADED racks as a last resort — it spills jobs around
+them while any fully-UP rack is routable, but never sheds work that a
+slow rack could still carry.
+"""
+
+import pytest
+
+from repro.dataflow import Job, RegionUsage, Task, WorkSpec
+from repro.federation import RackState, federate
+from repro.runtime.health import DegradationPolicy
+
+MiB = 1 << 20
+
+#: pooled-rack has 18 tracked devices.
+DEVICE_TOTAL = 18
+
+#: Evidence-only detection with the peer gate short-circuited so a
+#: single slow sample flags a device (tests drive the ratios by hand).
+EAGER = DegradationPolicy(min_samples=1, min_peers=99)
+
+
+def build(racks=2, **kwargs):
+    kwargs.setdefault("heartbeat_ns", 1_000.0)
+    kwargs.setdefault("degraded_below", 0.9)
+    kwargs.setdefault("detection_delay_ns", 0.0)
+    return federate(racks, "pooled-rack", seed=5, **kwargs)
+
+
+def slow_down(rack, count):
+    """Feed fail-slow evidence for ``count`` of the rack's devices."""
+    rack.monitor.degradation = EAGER
+    victims = sorted(rack.monitor.up_devices())[:count]
+    for name in victims:
+        rack.monitor.observe_latency(name, 300.0, 100.0)
+    return victims
+
+
+def pipeline(name, ops=1e5, payload=2 * MiB):
+    job = Job(name)
+    a = job.add_task(Task("a", work=WorkSpec(
+        ops=ops, output=RegionUsage(payload))))
+    b = job.add_task(Task("b", work=WorkSpec(
+        ops=ops, input_usage=RegionUsage(0))))
+    job.connect(a, b)
+    return job
+
+
+class TestHealthFraction:
+    def test_degraded_members_count_half(self):
+        fed = build()
+        rack0 = fed.registry.get("rack0")
+        assert rack0.health_fraction() == pytest.approx(1.0)
+        victims = slow_down(rack0, 3)
+        assert len(rack0.monitor.degraded_devices()) == len(victims)
+        assert rack0.health_fraction() == pytest.approx(
+            (DEVICE_TOTAL - 0.5 * len(victims)) / DEVICE_TOTAL
+        )
+
+    def test_degraded_members_remain_usable(self):
+        # Half-weighting is a routing signal, not an eviction: the
+        # monitor still admits the slow devices.
+        fed = build()
+        rack0 = fed.registry.get("rack0")
+        victims = slow_down(rack0, 2)
+        for name in victims:
+            assert rack0.monitor.can_use(name)
+
+
+class TestRegistryDerivation:
+    def test_enough_slow_members_tip_the_rack_to_degraded(self):
+        fed = build()
+        rack0 = fed.registry.get("rack0")
+        # degraded_below=0.9 needs health_fraction < 0.9: with 18
+        # devices at half-weight that takes ceil(1.8 / 0.5) = 4 slow
+        # members; mark 5 for margin.
+        slow_down(rack0, 5)
+        assert fed.registry.state("rack0") is RackState.DEGRADED
+        # Degraded is still routable — slow, not gone.
+        assert rack0 in fed.registry.routable_racks()
+        assert fed.registry.state("rack1") is RackState.UP
+
+    def test_cleared_evidence_recovers_the_rack(self):
+        fed = build()
+        rack0 = fed.registry.get("rack0")
+        victims = slow_down(rack0, 5)
+        assert fed.registry.state("rack0") is RackState.DEGRADED
+        # Healthy ratios push every score back under clear_ratio.
+        for name in victims:
+            for _ in range(8):
+                rack0.monitor.observe_latency(name, 100.0, 100.0)
+        assert not rack0.monitor.degraded_devices()
+        assert fed.registry.state("rack0") is RackState.UP
+
+
+class TestRouterAvoidance:
+    def test_jobs_spill_around_a_degraded_rack(self):
+        fed = build(routing="round_robin")
+        slow_down(fed.registry.get("rack0"), 5)
+        for i in range(4):
+            fed.submit(pipeline(f"j{i}"))
+        assert [j.rack for j in fed.jobs] == ["rack1"] * 4
+        assert fed.router.stats.degraded_avoided == 4
+        assert fed.obs.counter("fed.degraded_avoided").value == 4
+        fed.run()
+        assert not fed.job_failures()
+
+    def test_degraded_rack_is_the_last_resort_not_a_shed(self):
+        # Every rack slow: route anyway instead of shedding.
+        fed = build(routing="round_robin")
+        for name in ("rack0", "rack1"):
+            slow_down(fed.registry.get(name), 5)
+        handle = fed.submit(pipeline("j"))
+        assert not handle.shed
+        assert handle.rack in ("rack0", "rack1")
+        assert fed.router.stats.degraded_avoided == 0
+        fed.run()
+        assert not fed.job_failures()
+
+    def test_recovered_rack_rejoins_the_rotation(self):
+        fed = build(routing="round_robin")
+        rack0 = fed.registry.get("rack0")
+        victims = slow_down(rack0, 5)
+        fed.submit(pipeline("j0"))
+        assert fed.jobs[0].rack == "rack1"
+        for name in victims:
+            for _ in range(8):
+                rack0.monitor.observe_latency(name, 100.0, 100.0)
+        assert fed.registry.state("rack0") is RackState.UP
+        before = fed.router.stats.degraded_avoided
+        for i in range(1, 5):
+            fed.submit(pipeline(f"j{i}"))
+        assert {j.rack for j in fed.jobs[1:]} == {"rack0", "rack1"}
+        assert fed.router.stats.degraded_avoided == before
+        fed.run()
+        assert not fed.job_failures()

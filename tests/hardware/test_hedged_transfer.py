@@ -1,0 +1,170 @@
+"""Tests for hedged transfers (gray-failure mitigation in the fabric).
+
+``Cluster.reliable_transfer`` can race a backup copy from a replica
+holder against a slow primary: the hedge launches only after the
+configured delay, the first finisher wins, and the loser is cancelled
+with its exact partial progress charged to ``hedge.wasted_bytes``.
+"""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.hardware.spec import OpClass
+from repro.sim.faults import FaultKind
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def rack():
+    return Cluster.preset("pooled-rack")
+
+
+def run_transfer(cluster, *args, **kwargs):
+    """Drive one reliable_transfer to completion; returns its report."""
+    report = []
+    out = {}
+
+    def proc():
+        out["duration"] = yield from cluster.reliable_transfer(
+            *args, report=report, **kwargs
+        )
+
+    cluster.engine.process(proc())
+    cluster.engine.run()
+    out["report"] = report[-1]
+    return out
+
+
+class TestHedgeLaunch:
+    def test_fast_primary_never_hedges(self, rack):
+        result = run_transfer(
+            rack, "dram-pool0", "dram-pool1", 1 * MiB,
+            hedge_delay_ns=1e9, hedge_source="far0",
+        )
+        assert rack.obs.counter("hedge.launched").value == 0
+        assert result["report"]["hedged"] is False
+        assert result["report"]["source"] == "dram-pool0"
+
+    def test_hedge_needs_a_distinct_known_source(self, rack):
+        # Same source or an unknown device: the legacy path runs.
+        for source in ("dram-pool0", "no-such-device"):
+            run_transfer(
+                rack, "dram-pool0", "dram-pool1", 1 * MiB,
+                hedge_delay_ns=1.0, hedge_source=source,
+            )
+        assert rack.obs.counter("hedge.launched").value == 0
+
+    def test_slow_primary_launches_hedge_after_delay(self, rack):
+        rack.faults.inject_now(FaultKind.DEVICE_SLOW, "dram-pool0",
+                               factor=0.001)
+        run_transfer(
+            rack, "dram-pool0", "dram-pool1", 8 * MiB,
+            hedge_delay_ns=50_000.0, hedge_source="dram-local1",
+        )
+        assert rack.obs.counter("hedge.launched").value == 1
+
+
+class TestHedgeRace:
+    def test_hedge_wins_against_degraded_primary(self, rack):
+        rack.faults.inject_now(FaultKind.DEVICE_SLOW, "dram-pool0",
+                               factor=0.001)
+        hedged = run_transfer(
+            rack, "dram-pool0", "dram-pool1", 8 * MiB,
+            hedge_delay_ns=50_000.0, hedge_source="dram-local1",
+        )
+        assert rack.obs.counter("hedge.won").value == 1
+        assert hedged["report"]["hedged"] is True
+        assert hedged["report"]["source"] == "dram-local1"
+        # The abandoned primary's partial bytes are accounted as waste.
+        wasted = rack.obs.counter("hedge.wasted_bytes").value
+        assert 0.0 <= wasted < 8 * MiB
+        assert rack.flownet.active_flows == 0  # loser fully released
+
+    def test_hedging_beats_riding_out_the_degradation(self):
+        durations = {}
+        for hedge in (False, True):
+            cluster = Cluster.preset("pooled-rack")
+            cluster.faults.inject_now(
+                FaultKind.DEVICE_SLOW, "dram-pool0", factor=0.001)
+            kwargs = dict(hedge_delay_ns=50_000.0,
+                          hedge_source="dram-local1") if hedge else {}
+            durations[hedge] = run_transfer(
+                cluster, "dram-pool0", "dram-pool1", 8 * MiB, **kwargs
+            )["duration"]
+        assert durations[True] < durations[False] / 10
+
+    def test_healthy_primary_beats_its_own_hedge(self, rack):
+        # Force a hedge launch with a tiny delay; the primary (fast CXL
+        # pool device) still outruns the far-memory hedge.
+        result = run_transfer(
+            rack, "dram-pool0", "dram-pool1", 8 * MiB,
+            hedge_delay_ns=1.0, hedge_source="far0",
+        )
+        assert rack.obs.counter("hedge.launched").value == 1
+        assert rack.obs.counter("hedge.won").value == 0
+        assert result["report"]["hedged"] is False
+        assert result["report"]["source"] == "dram-pool0"
+        assert rack.flownet.active_flows == 0
+
+    def test_byte_accounting_is_exact_after_a_decided_race(self, rack):
+        """Winner's payload lands once; the loser's partial progress is
+        charged to waste; per-link totals stay consistent."""
+        rack.faults.inject_now(FaultKind.DEVICE_SLOW, "dram-pool0",
+                               factor=0.001)
+        nbytes = 8 * MiB
+        run_transfer(
+            rack, "dram-pool0", "dram-pool1", nbytes,
+            hedge_delay_ns=50_000.0, hedge_source="dram-local1",
+        )
+        carried = sum(
+            link.bytes_carried for link in rack.topology.links()
+        ) + sum(dev.port.bytes_carried for dev in rack.memory.values())
+        wasted = rack.obs.counter("hedge.wasted_bytes").value
+        # The hedge's full payload crossed its route (>= 2 links); the
+        # primary contributed exactly its wasted partial progress per
+        # crossed link.  Everything is bounded and nothing double-counts.
+        assert carried >= nbytes
+        assert carried <= 6 * nbytes + 6 * wasted
+        assert rack.flownet.active_flows == 0
+
+
+class TestDeviceSlowFaults:
+    def test_compute_slowdown_stretches_execution_not_estimates(self, rack):
+        device = rack.compute["cpu1"]
+        nominal = device.nominal_compute_time(OpClass.SCALAR, 1e6)
+        rack.faults.inject_now(FaultKind.DEVICE_SLOW, "cpu1", factor=0.25)
+        assert device.nominal_compute_time(OpClass.SCALAR, 1e6) == nominal
+        assert device.compute_time(OpClass.SCALAR, 1e6) == pytest.approx(
+            4 * nominal)
+        rack.faults.inject_now(FaultKind.DEVICE_RESTORED, "cpu1")
+        assert device.compute_time(OpClass.SCALAR, 1e6) == pytest.approx(
+            nominal)
+
+    def test_memory_slowdown_throttles_the_port(self, rack):
+        port = rack.memory["dram-pool0"].port
+        rack.faults.inject_now(FaultKind.DEVICE_SLOW, "dram-pool0",
+                               factor=0.5)
+        assert port.degrade_factor == 0.5
+        assert port.bandwidth == port.effective_bandwidth * 2
+        rack.faults.inject_now(FaultKind.DEVICE_RESTORED, "dram-pool0")
+        assert port.degrade_factor == 1.0
+
+    def test_link_degraded_fault_reaches_the_fabric(self, rack):
+        victim = next(
+            link for link in rack.topology.links()
+            if "cxl-switch" in link.name
+        )
+        rack.faults.inject_now(FaultKind.LINK_DEGRADED, victim.name,
+                               factor=0.1)
+        assert victim.degrade_factor == 0.1
+        rack.faults.inject_now(FaultKind.LINK_RESTORED, victim.name)
+        assert victim.degrade_factor == 1.0
+
+    def test_estimate_uses_nominal_bandwidth(self, rack):
+        route, effective = rack.transfer_route(
+            "dram-pool0", "dram-pool1", 1 * MiB)
+        before = rack.estimate_transfer_ns(route, effective)
+        rack.faults.inject_now(FaultKind.DEVICE_SLOW, "dram-pool0",
+                               factor=0.01)
+        assert rack.estimate_transfer_ns(route, effective) == before

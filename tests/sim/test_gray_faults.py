@@ -1,0 +1,223 @@
+"""Tests for fail-slow (gray-failure) fault primitives.
+
+Three properties matter here:
+
+1. **Physical effect, blind control plane.**  ``degrade_link`` scales
+   only the waterfill capacity; the nominal ``link.bandwidth`` every
+   cost model reads stays untouched.
+2. **Solver compatibility.**  Degradation re-solves through the same
+   shared ``waterfill``, so incremental and reference modes agree.
+3. **Exact cancel accounting.**  ``FlowNetwork.cancel`` settles the
+   flow before removing it: ``event._progress`` is the exact byte
+   count, per-link ``bytes_carried`` is never double-counted when a
+   retry lands on the same links, and the flow slot is released.
+"""
+
+import pytest
+
+from repro.sim import Engine, FlowNetwork, Link
+from repro.sim.faults import RESTORE_OF, FaultInjector, FaultKind
+from repro.sim.flows import TransferTimeout
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import TraceLog
+
+
+def make_net(incremental=True):
+    engine = Engine()
+    net = FlowNetwork(engine)
+    net.incremental = incremental
+    return engine, net
+
+
+class TestLinkDegradation:
+    def test_degraded_link_slows_transfer_by_factor(self):
+        engine, net = make_net()
+        link = Link("l0", bandwidth=2.0, latency=0.0)
+        net.degrade_link(link, 0.5)
+        done = net.transfer([link], nbytes=1000.0)
+        engine.run(until=done)
+        assert engine.now == pytest.approx(1000.0)  # 1 B/ns, not 2
+
+    def test_nominal_bandwidth_stays_advertised(self):
+        _engine, net = make_net()
+        link = Link("l0", bandwidth=2.0, latency=0.0)
+        net.degrade_link(link, 0.25)
+        assert link.bandwidth == 2.0  # the control plane's view
+        assert link.effective_bandwidth == pytest.approx(0.5)
+        assert "degraded" in repr(link)
+
+    def test_mid_flight_degradation_reshapes_the_flow(self):
+        engine, net = make_net()
+        link = Link("l0", bandwidth=1.0, latency=0.0)
+        done = net.transfer([link], nbytes=1000.0)
+        engine.run(until=500.0)  # 500 B across at 1 B/ns
+        net.degrade_link(link, 0.5)
+        engine.run(until=done)
+        # Remaining 500 B at 0.5 B/ns -> 1000 ns more.
+        assert engine.now == pytest.approx(1500.0)
+
+    def test_restore_returns_to_nominal(self):
+        engine, net = make_net()
+        link = Link("l0", bandwidth=1.0, latency=0.0)
+        net.degrade_link(link, 0.1)
+        net.restore_link_speed(link)
+        assert link.degrade_factor == 1.0
+        done = net.transfer([link], nbytes=100.0)
+        engine.run(until=done)
+        assert engine.now == pytest.approx(100.0)
+
+    def test_degradation_bumps_topology_epoch(self):
+        _engine, net = make_net()
+        link = Link("l0", bandwidth=1.0, latency=0.0)
+        before = net.topology_epoch
+        net.degrade_link(link, 0.5)
+        assert net.topology_epoch == before + 1
+        net.degrade_link(link, 0.5)  # no-op: same factor
+        assert net.topology_epoch == before + 1
+        net.restore_link_speed(link)
+        assert net.topology_epoch == before + 2
+
+    def test_invalid_factor_rejected(self):
+        _engine, net = make_net()
+        link = Link("l0", bandwidth=1.0, latency=0.0)
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                net.degrade_link(link, bad)
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_both_solver_modes_agree_under_degradation(self, incremental):
+        engine, net = make_net(incremental)
+        shared = Link("shared", bandwidth=4.0, latency=0.0)
+        spur = Link("spur", bandwidth=1.0, latency=0.0)
+        d1 = net.transfer([shared], nbytes=1000.0)
+        d2 = net.transfer([shared, spur], nbytes=1000.0)
+        net.degrade_link(shared, 0.5)  # capacity 2: 1 B/ns each
+        engine.run(until=engine.all_of([d1, d2]))
+        assert engine.now == pytest.approx(1000.0)
+
+
+class TestCancelAccounting:
+    def test_cancel_settles_exact_progress_and_releases_flow(self):
+        engine, net = make_net()
+        link = Link("l0", bandwidth=1.0, latency=0.0)
+        done = net.transfer([link], nbytes=1000.0)
+        engine.run(until=400.0)
+        assert net.cancel(done, TransferTimeout(1000.0, 400.0))
+        assert done._progress == pytest.approx(400.0)
+        assert link.bytes_carried == pytest.approx(400.0)
+        assert net.active_flows == 0
+
+    def test_retry_on_same_link_never_double_counts_bytes(self):
+        """Regression (timeout-path audit): a cancelled attempt's settled
+        bytes plus a successful retry on the *same* link must sum to
+        exactly progress + payload — no re-crediting of the partial
+        bytes when the flow is torn down or when the retry lands."""
+        engine, net = make_net()
+        link = Link("l0", bandwidth=1.0, latency=0.0)
+        first = net.transfer([link], nbytes=1000.0)
+        engine.run(until=250.0)
+        net.cancel(first, TransferTimeout(1000.0, 250.0))
+        wasted = first._progress
+        assert wasted == pytest.approx(250.0)
+        retry = net.transfer([link], nbytes=1000.0)
+        engine.run(until=retry)
+        assert link.bytes_carried == pytest.approx(wasted + 1000.0)
+
+    def test_cancel_in_latency_phase_reports_zero_progress(self):
+        engine, net = make_net()
+        link = Link("l0", bandwidth=1.0, latency=500.0)
+        done = net.transfer([link], nbytes=1000.0)
+        engine.run(until=100.0)  # still inside the 500 ns latency phase
+        assert net.cancel(done, TransferTimeout(1000.0, 100.0))
+        assert done._progress == 0.0
+        assert link.bytes_carried == 0.0
+        engine.run()  # the defused event must not explode the engine
+
+    def test_cancel_frees_capacity_for_sharing_flows(self):
+        engine, net = make_net()
+        link = Link("l0", bandwidth=2.0, latency=0.0)
+        victim = net.transfer([link], nbytes=10_000.0)
+        keeper = net.transfer([link], nbytes=1000.0)
+        engine.run(until=100.0)  # each at 1 B/ns: keeper moved 100 B
+        net.cancel(victim, TransferTimeout(10_000.0, 100.0))
+        engine.run(until=keeper)
+        # Remaining 900 B at the full 2 B/ns after the cancel.
+        assert engine.now == pytest.approx(100.0 + 450.0)
+
+
+class TestDegradationStorms:
+    def make_injector(self):
+        engine = Engine()
+        injector = FaultInjector(engine, RandomStreams(7), TraceLog())
+        return engine, injector
+
+    def test_every_episode_schedules_its_restore(self):
+        engine, injector = self.make_injector()
+        seen = []
+        injector.on(FaultKind.LINK_DEGRADED,
+                    lambda f: seen.append(("slow", f.target, f.time)))
+        injector.on(FaultKind.LINK_RESTORED,
+                    lambda f: seen.append(("restored", f.target, f.time)))
+        n = injector.schedule_degradations(
+            FaultKind.LINK_DEGRADED, ["a", "b"], rate_per_ns=1e-3,
+            horizon=50_000.0, duration_ns=2_000.0, factor=0.2,
+        )
+        engine.run()
+        assert n > 0
+        slows = [s for s in seen if s[0] == "slow"]
+        restores = [s for s in seen if s[0] == "restored"]
+        assert len(slows) == n
+        assert len(restores) == n
+
+    def test_episode_carries_factor_detail(self):
+        engine, injector = self.make_injector()
+        factors = []
+        injector.on(FaultKind.DEVICE_SLOW,
+                    lambda f: factors.append(f.detail["factor"]))
+        injector.schedule_degradations(
+            FaultKind.DEVICE_SLOW, ["dev"], rate_per_ns=1e-3,
+            horizon=20_000.0, duration_ns=500.0, factor=0.05,
+        )
+        engine.run()
+        assert factors and all(f == 0.05 for f in factors)
+
+    def test_deterministic_for_fixed_seed(self):
+        schedules = []
+        for _ in range(2):
+            engine, injector = self.make_injector()
+            fired = []
+            injector.on(FaultKind.DEVICE_SLOW,
+                        lambda f: fired.append((f.time, f.target)))
+            injector.schedule_degradations(
+                FaultKind.DEVICE_SLOW, ["x", "y", "z"], rate_per_ns=5e-4,
+                horizon=100_000.0, duration_ns=1_000.0,
+            )
+            engine.run()
+            schedules.append(fired)
+        assert schedules[0] == schedules[1]
+
+    def test_validation(self):
+        _engine, injector = self.make_injector()
+        good = dict(rate_per_ns=1e-3, horizon=1000.0, duration_ns=10.0)
+        with pytest.raises(ValueError, match="not a degradation kind"):
+            injector.schedule_degradations(
+                FaultKind.NODE_CRASH, ["a"], **good)
+        with pytest.raises(ValueError, match="factor"):
+            injector.schedule_degradations(
+                FaultKind.DEVICE_SLOW, ["a"], factor=0.0, **good)
+        with pytest.raises(ValueError, match="rate"):
+            injector.schedule_degradations(
+                FaultKind.DEVICE_SLOW, ["a"], rate_per_ns=0.0,
+                horizon=1000.0, duration_ns=10.0)
+        with pytest.raises(ValueError, match="duration"):
+            injector.schedule_degradations(
+                FaultKind.DEVICE_SLOW, ["a"], rate_per_ns=1e-3,
+                horizon=1000.0, duration_ns=0.0)
+        with pytest.raises(ValueError, match="targets"):
+            injector.schedule_degradations(
+                FaultKind.DEVICE_SLOW, [], **good)
+
+    def test_restore_pairs_cover_every_degradation_kind(self):
+        for kind, restore in RESTORE_OF.items():
+            assert kind is not restore
+            assert restore not in RESTORE_OF

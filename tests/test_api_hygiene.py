@@ -108,16 +108,17 @@ API_SURFACE = {
     },
     "repro.runtime": {
         "AdmittedJob", "CalibratedCostModel", "CostModel",
-        "DeclarativePlacement", "DeviceDown", "EncryptingPlacement",
-        "HandoverManager", "HandoverStats", "HealthMonitor", "HealthState",
-        "HealthStats", "HeftScheduler", "JobAbandoned", "JobPlan",
-        "JobStats", "NaivePlacement", "ObservationStats", "PlacementPolicy",
-        "PlacementRequest", "PlannedRegion", "Preempted", "PriorityClass",
-        "RackDriver", "RackStats", "RandomScheduler", "RecoveryPolicy",
-        "ResilienceStats", "ResilientRuntime", "RoundRobinScheduler",
-        "RuntimeSystem", "Scheduler", "SchedulingError",
-        "StaticKindPlacement", "TaskContext", "TaskPlan", "Tenant",
-        "TenantQuota", "TenantRegistry", "baselines",
+        "DeclarativePlacement", "DegradationPolicy", "DeviceDown",
+        "EncryptingPlacement", "HandoverManager", "HandoverStats",
+        "HealthMonitor", "HealthState", "HealthStats", "HedgePolicy",
+        "HeftScheduler", "JobAbandoned", "JobPlan", "JobStats",
+        "LatencyScorecard", "NaivePlacement", "ObservationStats",
+        "PlacementPolicy", "PlacementRequest", "PlannedRegion", "Preempted",
+        "PriorityClass", "RackDriver", "RackStats", "RandomScheduler",
+        "RecoveryPolicy", "ResilienceStats", "ResilientRuntime",
+        "RetryBudget", "RoundRobinScheduler", "RuntimeSystem", "Scheduler",
+        "SchedulingError", "StaticKindPlacement", "TaskContext", "TaskPlan",
+        "Tenant", "TenantQuota", "TenantRegistry", "baselines",
         "estimate_job_footprint", "plan_job", "prune_with_checkpoints",
     },
 }
