@@ -536,6 +536,8 @@ class Cluster:
         yield "flow.peak_active", self.flownet.peak_active_flows
         yield "flow.rebalances", self.flownet.rebalances
         yield "flow.flows_resolved", self.flownet.flows_resolved
+        yield "flow.resolves_coalesced", self.flownet.resolves_coalesced
+        yield "flow.settle_skipped", self.flownet.settle_skipped
         # Flow progress is settled lazily (only when a flow's rate
         # changes); bring every in-flight flow current so the per-link
         # byte counters below are exact as of this snapshot.

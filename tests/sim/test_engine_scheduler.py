@@ -1,0 +1,232 @@
+"""Conformance suite for the engine's scheduler backends.
+
+The engine offers two interchangeable event-queue implementations
+(DESIGN.md §5.2): the reference binary heap and the calendar queue.
+Every test here drives both backends through the same scenario and
+asserts *identical* observable behaviour — event processing order,
+clock trajectory, ``peek()``, and ``queue_depth`` — so the backend
+choice stays a pure performance knob.  The scenarios deliberately hit
+the spots where a calendar queue could diverge from a heap: timestamp
+ties broken by priority/sequence, zero-delay self-reschedules, bursts
+that pile thousands of entries into one bucket, sparse far-future
+jumps that force a width rebuild, and seeded random interleavings of
+all of the above.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Engine
+from repro.sim.engine import (
+    NORMAL,
+    URGENT,
+    _CalendarScheduler,
+    _HeapScheduler,
+)
+from repro.sim.events import Event
+
+BACKENDS = ("heap", "calendar")
+
+
+def _trace_run(scheduler, build):
+    """Run ``build(engine, trace)`` on a fresh engine; return the trace."""
+    engine = Engine(scheduler=scheduler)
+    trace = []
+    build(engine, trace)
+    engine.run()
+    return trace
+
+
+def _assert_backends_agree(build):
+    traces = {s: _trace_run(s, build) for s in BACKENDS}
+    assert traces["calendar"] == traces["heap"]
+    return traces["heap"]
+
+
+# -- direct scheduler-level conformance ---------------------------------
+
+
+def _drain(sched):
+    out = []
+    while len(sched):
+        out.append(sched.pop())
+    return out
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23, 99])
+def test_push_pop_total_order_matches_heap(seed):
+    """Random (time, priority, seq) entries drain in identical order."""
+    rng = random.Random(seed)
+    entries = []
+    seq = 0
+    for _ in range(500):
+        t = float(rng.choice([0, 1, 5, 10, 10, 1000, 10**6, 10**9]))
+        t += rng.random() * rng.choice([0.0, 1.0, 1e3])
+        entries.append((t, rng.choice([URGENT, NORMAL, 3]), seq, None))
+        seq += 1
+    heap, cal = _HeapScheduler(), _CalendarScheduler()
+    for e in entries:
+        heap.push(e)
+        cal.push(e)
+    assert _drain(cal) == _drain(heap) == sorted(entries, key=lambda e: e[:3])
+
+
+@pytest.mark.parametrize("seed", [3, 17, 42])
+def test_interleaved_push_pop_matches_heap(seed):
+    """Pops interleaved with monotone pushes agree entry-for-entry."""
+    rng = random.Random(seed)
+    heap, cal = _HeapScheduler(), _CalendarScheduler()
+    seq = 0
+    now = 0.0
+    popped = []
+    for _ in range(2000):
+        if len(heap) == 0 or rng.random() < 0.55:
+            # New work is never scheduled into the past, mirroring the
+            # engine contract the calendar queue relies on.
+            t = now + float(rng.randrange(0, 10**6))
+            e = (t, rng.choice([URGENT, NORMAL]), seq, None)
+            seq += 1
+            heap.push(e)
+            cal.push(e)
+        else:
+            assert cal.peek_entry() == heap.peek_entry()
+            a, b = heap.pop(), cal.pop()
+            assert a == b
+            now = a[0]
+            popped.append(a)
+    assert popped == sorted(popped)
+
+
+def test_same_timestamp_burst_drains_in_seq_order():
+    """20k entries at one instant: the one-bucket pile stays ordered."""
+    cal = _CalendarScheduler()
+    entries = [(0.0, NORMAL, i, None) for i in range(20000)]
+    for e in reversed(entries):
+        cal.push(e)
+    assert _drain(cal) == entries
+
+
+def test_sparse_far_future_jump():
+    """A huge time gap triggers the width rebuild, not an entry loss."""
+    cal = _CalendarScheduler()
+    near = [(float(i), NORMAL, i, None) for i in range(50)]
+    far = [(1e15 + i, NORMAL, 50 + i, None) for i in range(50)]
+    for e in near + far:
+        cal.push(e)
+    assert _drain(cal) == near + far
+
+
+def test_infinity_entries_park_and_drain_last():
+    cal = _CalendarScheduler()
+    inf = float("inf")
+    cal.push((inf, NORMAL, 0, None))
+    cal.push((5.0, NORMAL, 1, None))
+    cal.push((inf, URGENT, 2, None))
+    assert cal.peek_entry() == (5.0, NORMAL, 1, None)
+    assert [e[2] for e in _drain(cal)] == [1, 2, 0]
+
+
+# -- engine-level conformance -------------------------------------------
+
+
+def test_engine_rejects_unknown_scheduler():
+    with pytest.raises(ValueError):
+        Engine(scheduler="fifo")
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS)
+def test_peek_and_queue_depth_track_schedule(scheduler):
+    engine = Engine(scheduler=scheduler)
+    assert engine.peek() == float("inf")
+    assert engine.queue_depth == 0
+    engine.timeout(30.0)
+    engine.timeout(10.0)
+    engine.timeout(20.0)
+    assert engine.queue_depth == 3
+    assert engine.peek() == 10.0
+    engine.step()
+    assert engine.now == 10.0
+    assert engine.peek() == 20.0
+    assert engine.queue_depth == 2
+
+
+def test_tie_order_priority_then_sequence():
+    """Same-instant events: URGENT first, then schedule order."""
+
+    def build(engine, trace):
+        for tag in "abc":
+            event = Event(engine)
+            event._ok = True
+            event._value = None
+            event.callbacks.append(
+                lambda ev, tag=tag: trace.append((engine.now, tag))
+            )
+            engine.schedule(event, delay=50.0,
+                            priority=URGENT if tag == "b" else NORMAL)
+
+    trace = _assert_backends_agree(build)
+    assert trace == [(50.0, "b"), (50.0, "a"), (50.0, "c")]
+
+
+def test_zero_delay_self_reschedule_runs_same_instant():
+    """yield timeout(0) re-enters the queue at now and runs before later
+    events — on both backends, in the same order."""
+
+    def build(engine, trace):
+        def bouncer():
+            for i in range(5):
+                trace.append(("bounce", i, engine.now))
+                yield engine.timeout(0.0)
+
+        def later():
+            yield engine.timeout(1.0)
+            trace.append(("later", engine.now))
+
+        engine.process(bouncer())
+        engine.process(later())
+
+    trace = _assert_backends_agree(build)
+    assert trace[:5] == [("bounce", i, 0.0) for i in range(5)]
+    assert trace[-1] == ("later", 1.0)
+
+
+@pytest.mark.parametrize("seed", [11, 29, 61])
+def test_random_interleaving_traces_identical(seed):
+    """Seeded random process soup: identical event traces on both
+    backends (timer churn, ties, zero delays, urgent pings, far jumps)."""
+
+    def build(engine, trace):
+        rng = random.Random(seed)
+
+        def worker(wid):
+            for r in range(rng.randrange(3, 12)):
+                delay = float(rng.choice([0, 0, 1, 7, 100, 10**4, 10**7]))
+                yield engine.timeout(delay)
+                trace.append((engine.now, wid, r))
+                if rng.random() < 0.2:
+                    event = Event(engine)
+                    event._ok = True
+                    event._value = None
+                    engine.schedule(event, delay=0.0, priority=URGENT)
+
+        for wid in range(40):
+            engine.process(worker(wid))
+
+    _assert_backends_agree(build)
+
+
+@pytest.mark.parametrize("scheduler", BACKENDS)
+def test_run_until_horizon_equivalent(scheduler):
+    engine = Engine(scheduler=scheduler)
+    hits = []
+
+    def proc():
+        while True:
+            yield engine.timeout(10.0)
+            hits.append(engine.now)
+
+    engine.process(proc())
+    engine.run(until=55.0)
+    assert hits == [10.0, 20.0, 30.0, 40.0, 50.0]
+    assert engine.now == 55.0

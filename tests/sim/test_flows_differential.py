@@ -11,13 +11,42 @@ whole optimization: if component restriction ever changed a single
 float, the traces would diverge.
 """
 
+import contextlib
 import random
 
 import pytest
 
+import repro.sim.flows as flows_mod
 from repro.sim import Engine, FlowNetwork, Link
 from repro.sim.flows import waterfill
 from repro.sim.trace import TraceLog
+
+needs_numpy = pytest.mark.skipif(
+    flows_mod._np is None, reason="numpy unavailable"
+)
+
+
+@contextlib.contextmanager
+def _forced_core(mode):
+    """Pin the solver-core cutover so every component takes one path.
+
+    ``vector`` admits any component (sharing degree 0, no sparsity
+    floor); ``scalar`` sets an unreachable sharing degree.  Degenerate
+    routes still fall back to scalar by design — the scenarios here
+    never build one (routes are hop-deduped).
+    """
+    saved = (flows_mod._VECTOR_MIN_FLOWS, flows_mod._VECTOR_SPARSITY)
+    try:
+        if mode == "vector":
+            flows_mod._VECTOR_MIN_FLOWS = 0
+            flows_mod._VECTOR_SPARSITY = 1 << 40
+        elif mode == "scalar":
+            flows_mod._VECTOR_MIN_FLOWS = float("inf")
+        else:  # "auto": leave production thresholds in place
+            assert mode == "auto"
+        yield
+    finally:
+        flows_mod._VECTOR_MIN_FLOWS, flows_mod._VECTOR_SPARSITY = saved
 
 
 def _build_fabric(rng, n_segments):
@@ -68,13 +97,15 @@ def _random_script(seed, n_flows=60, n_segments=4):
     return links, script
 
 
-def _run(script_seed, incremental, with_faults=False):
+def _run(script_seed, incremental, with_faults=False, with_degrades=False,
+         core="auto", batch=True, script_kwargs=None):
     """Execute one scenario; returns (trace events, completion stamps,
     per-link bytes, stats tuple)."""
-    links, script = _random_script(script_seed)
+    links, script = _random_script(script_seed, **(script_kwargs or {}))
     engine = Engine()
     trace = TraceLog(enabled={"flow"}, capacity=100_000)
-    net = FlowNetwork(engine, trace=trace, incremental=incremental)
+    net = FlowNetwork(engine, trace=trace, incremental=incremental,
+                      batch=batch)
     stamps = []
 
     def launcher():
@@ -103,9 +134,21 @@ def _run(script_seed, incremental, with_faults=False):
                     yield engine.timeout(500.0)
                     net.restore_link(link)
                 engine.process(flapper())
+            elif with_degrades and rng.random() < 0.15:
+                victim = route[rng.randrange(len(route))]
+                factor = rng.choice([0.25, 0.5, 0.75])
+                def crawler(link=victim, f=factor,
+                            delay=rng.uniform(10.0, 3_000.0),
+                            hold=rng.uniform(100.0, 1_000.0)):
+                    yield engine.timeout(delay)
+                    net.degrade_link(link, f)
+                    yield engine.timeout(hold)
+                    net.restore_link_speed(link)
+                engine.process(crawler())
 
     engine.process(launcher())
-    engine.run()
+    with _forced_core(core):
+        engine.run()
     events = [
         (e.time, e.category, e.name, tuple(sorted(e.fields.items())))
         for e in trace.events
@@ -178,3 +221,119 @@ class TestRatesMatchReferenceSolver:
         engine.run()
         assert not mismatches, mismatches[:5]
         assert net.active_flows == 0
+
+
+def _assert_identical(a, b):
+    assert a[0] == b[0], "trace logs diverged"
+    assert a[1] == b[1], "completion stamps diverged"
+    assert a[2] == b[2], "per-link bytes diverged"
+    assert a[3] == b[3], "aggregate stats diverged"
+
+
+class TestVectorVsScalarCore:
+    """The numpy slot-space core and the per-flow scalar core are two
+    implementations of the same freeze-at-bottleneck recurrence; pinning
+    the cutover drives *every* component through one core or the other
+    and demands byte-identical outcomes — rates, settlement stamps,
+    per-link byte crediting, completion order, everything."""
+
+    @needs_numpy
+    @pytest.mark.parametrize("seed", range(6))
+    def test_forced_cores_identical(self, seed):
+        vec = _run(seed, incremental=True, core="vector")
+        sca = _run(seed, incremental=True, core="scalar")
+        _assert_identical(vec, sca)
+
+    @needs_numpy
+    @pytest.mark.parametrize("seed", range(3))
+    def test_forced_cores_identical_under_faults(self, seed):
+        """Link flaps kill flows mid-transfer on both cores alike."""
+        vec = _run(seed + 300, incremental=True, with_faults=True,
+                   core="vector")
+        sca = _run(seed + 300, incremental=True, with_faults=True,
+                   core="scalar")
+        _assert_identical(vec, sca)
+
+    @needs_numpy
+    @pytest.mark.parametrize("seed", range(3))
+    def test_forced_cores_identical_under_degrades(self, seed):
+        """degrade_link / restore_link_speed shrink and restore capacity
+        mid-flight; the cores must re-rate identically."""
+        vec = _run(seed + 400, incremental=True, with_degrades=True,
+                   core="vector")
+        sca = _run(seed + 400, incremental=True, with_degrades=True,
+                   core="scalar")
+        _assert_identical(vec, sca)
+
+    @needs_numpy
+    def test_vector_core_actually_ran(self):
+        """Guard against the forced-vector leg silently running scalar
+        (which would make the whole class vacuous)."""
+        engine = Engine()
+        net = FlowNetwork(engine, incremental=True)
+        links = [Link("shared", bandwidth=8.0, latency=0.0)]
+        with _forced_core("vector"):
+            for _ in range(4):
+                net.transfer(links, 1000.0)
+            engine.run()
+        assert net.completed_transfers == 4
+        # The scalar fallback exists only for degenerate routes here.
+        assert not net._degenerate
+
+
+class TestBatchedVsEager:
+    """Same-timestamp rebalance coalescing (``batch=True``) elides
+    intermediate same-instant solves whose results are never observable
+    (dt == 0 moves no bytes); eager mode solves on every mutation.  The
+    two must agree on every observable."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batched_matches_eager(self, seed):
+        bat = _run(seed, incremental=True, batch=True)
+        eag = _run(seed, incremental=True, batch=False)
+        _assert_identical(bat, eag)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched_matches_eager_under_faults(self, seed):
+        bat = _run(seed + 700, incremental=True, with_faults=True,
+                   batch=True)
+        eag = _run(seed + 700, incremental=True, with_faults=True,
+                   batch=False)
+        _assert_identical(bat, eag)
+
+    def test_coalescing_counter_moves(self):
+        """A burst of same-instant arrivals coalesces into one solve."""
+        engine = Engine()
+        net = FlowNetwork(engine, incremental=True, batch=True)
+        link = [Link("l", bandwidth=4.0, latency=0.0)]
+        for _ in range(10):
+            net.transfer(link, 500.0)
+        engine.run()
+        assert net.resolves_coalesced > 0
+        assert net.completed_transfers == 10
+
+
+class TestRandomizedTopologySweep:
+    """Property-style sweep: for *any* randomized fabric shape, flow
+    count, cancel pattern, and fault/degrade mix, the incremental
+    network is observationally identical to the full-resolve reference
+    — and (numpy present) the forced-vector leg matches both."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_incremental_matches_reference(self, seed):
+        shape_rng = random.Random(seed * 7919 + 13)
+        script_kwargs = {
+            "n_flows": shape_rng.randrange(20, 110),
+            "n_segments": shape_rng.randrange(2, 7),
+        }
+        knobs = {
+            "with_faults": seed % 2 == 1,
+            "with_degrades": seed % 3 == 0,
+            "script_kwargs": script_kwargs,
+        }
+        inc = _run(seed + 2000, incremental=True, **knobs)
+        ref = _run(seed + 2000, incremental=False, **knobs)
+        _assert_identical(inc, ref)
+        if flows_mod._np is not None:
+            vec = _run(seed + 2000, incremental=True, core="vector", **knobs)
+            _assert_identical(vec, inc)
