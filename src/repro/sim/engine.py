@@ -115,11 +115,26 @@ class _CalendarScheduler:
         t = entry[0]
         if t == _INF:
             heapq.heappush(self._inf_entries, entry)
+            m = self._min
+            if m is not None and entry < m[0]:
+                # Only possible when the cached min is itself infinite
+                # (URGENT beats NORMAL at t == inf); without this the
+                # cache would return the old root while pop() removes
+                # the new one — one entry processed twice, one lost.
+                self._min = (entry, self._inf_entries)
             return
         if self._count > 4 * self._nb:
             self._resize(2 * self._nb)
         self._count += 1
-        bucket = self._buckets[int(t * self._inv) % self._nb]
+        w = int(t * self._inv)
+        if w < self._vb:
+            # peek() may have parked _vb on a far-future window (e.g.
+            # run(until=...) peeked past the horizon and broke without
+            # popping); a later push at an earlier — still legal,
+            # t >= now — time must drag the cursor back or every scan
+            # would start beyond this entry and skip it.
+            self._vb = w
+        bucket = self._buckets[w % self._nb]
         heapq.heappush(bucket, entry)
         m = self._min
         if m is not None and entry < m[0]:
@@ -162,8 +177,9 @@ class _CalendarScheduler:
                 self._min = (best, self._inf_entries)
                 return best
             return None
-        # Every entry's window is >= _vb (pops commit _vb to the popped
-        # window; pushes are never in the past; resize parks _vb on the
+        # Every entry's window is >= _vb (peeks commit _vb only after a
+        # scan proves no earlier window holds an entry; pushes drag _vb
+        # back when they land below it; resize parks _vb on the
         # minimum).  A bucket's heap root is its smallest entry, so a
         # current-window entry — smaller than any later-year entry in
         # the same bucket — is the root whenever one exists: checking

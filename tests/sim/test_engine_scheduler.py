@@ -127,6 +127,34 @@ def test_infinity_entries_park_and_drain_last():
     assert [e[2] for e in _drain(cal)] == [1, 2, 0]
 
 
+def test_infinity_push_refreshes_cached_min():
+    """An URGENT inf entry pushed while an inf entry is the cached min
+    must become the new min — a stale cache would pop the new heap root
+    but return the old entry (one processed twice, one lost)."""
+    cal = _CalendarScheduler()
+    inf = float("inf")
+    cal.push((inf, NORMAL, 0, None))
+    assert cal.peek_entry() == (inf, NORMAL, 0, None)  # primes the cache
+    cal.push((inf, URGENT, 1, None))
+    assert cal.peek_entry() == (inf, URGENT, 1, None)
+    assert [e[2] for e in _drain(cal)] == [1, 0]
+
+
+def test_push_below_parked_cursor_is_not_skipped():
+    """peek at a far-future entry (nothing popped), then push earlier
+    entries: the cursor must come back to them, in full — not just the
+    single entry the min cache happens to protect."""
+    cal = _CalendarScheduler()
+    far = (1000.5, NORMAL, 0, None)
+    cal.push(far)
+    assert cal.peek_entry() == far  # parks the cursor far ahead
+    a1 = (160.0, NORMAL, 1, None)
+    a2 = (161.0, NORMAL, 2, None)
+    cal.push(a1)
+    cal.push(a2)
+    assert _drain(cal) == [a1, a2, far]
+
+
 # -- engine-level conformance -------------------------------------------
 
 
@@ -214,6 +242,61 @@ def test_random_interleaving_traces_identical(seed):
             engine.process(worker(wid))
 
     _assert_backends_agree(build)
+
+
+def test_schedule_after_horizon_break_preserves_order():
+    """run(until=...) breaks on a peek beyond the horizon without
+    popping; work scheduled afterwards at earlier (legal, t >= now)
+    times must still fire first.  This is the reviewed repro: the
+    calendar backend used to park its cursor on the far entry's window
+    and skip all but one of the later-pushed earlier events, firing
+    160, 1000.5, 161 with a backward-jumping clock."""
+    traces = {}
+    for scheduler in BACKENDS:
+        engine = Engine(scheduler=scheduler)
+        trace = []
+        far = engine.timeout(1000.5)
+        far.callbacks.append(lambda ev, e=engine: trace.append(e.now))
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+        for delay in (60.0, 61.0):  # fires at t=160, t=161
+            tmo = engine.timeout(delay)
+            tmo.callbacks.append(lambda ev, e=engine: trace.append(e.now))
+        engine.run()
+        traces[scheduler] = trace
+        assert trace == sorted(trace), f"{scheduler}: clock went backwards"
+    assert traces["calendar"] == traces["heap"] == [160.0, 161.0, 1000.5]
+
+
+@pytest.mark.parametrize("seed", [5, 13, 37])
+def test_random_horizon_breaks_with_late_scheduling(seed):
+    """Interleave run(until=horizon) breaks with scheduling work that
+    lands before the queue's current next event: both backends must
+    produce the identical trace and a monotone clock."""
+    traces = {}
+    for scheduler in BACKENDS:
+        rng = random.Random(seed)
+        engine = Engine(scheduler=scheduler)
+        trace = []
+
+        def note(ev, e=engine, t=trace):
+            t.append(e.now)
+
+        # Seed a sparse far-future backbone so peeks overshoot horizons.
+        for i in range(10):
+            tmo = engine.timeout(float(10**4 * (i + 1)) + 0.5)
+            tmo.callbacks.append(note)
+        for _ in range(200):
+            horizon = engine.now + float(rng.randrange(1, 5000))
+            engine.run(until=horizon)
+            assert engine.now == horizon
+            for _ in range(rng.randrange(0, 4)):
+                tmo = engine.timeout(float(rng.randrange(0, 3000)))
+                tmo.callbacks.append(note)
+        engine.run()
+        assert trace == sorted(trace), f"{scheduler}: clock went backwards"
+        traces[scheduler] = trace
+    assert traces["calendar"] == traces["heap"]
 
 
 @pytest.mark.parametrize("scheduler", BACKENDS)
