@@ -155,6 +155,80 @@ def bench_flows_2k_causal(
     )
 
 
+def bench_flows_2k_telemetry(
+    n_flows: int = 2000, segments: int = 64, seed: int = 7
+) -> dict:
+    """``bench_flows_2k`` with continuous telemetry on: the overhead probe.
+
+    Identical workload, but an :class:`~repro.obs.Observability` hub
+    rides along doing everything the telemetry layer does in a real
+    run: watchers over the engine/flow counters folded by a ``pump``
+    process once per 50µs window (~430 windows over the run), a
+    per-flow pushed sample, and 1/64-sampled hotness on every
+    transfer.  ``scripts/perf_report.py --check``
+    gates the wall-clock ratio against plain ``flows_2k`` (<10%
+    overhead is the acceptance bar, same as the causal gate).
+    """
+    from repro.obs import Observability
+
+    engine = Engine()
+    net = FlowNetwork(engine)
+    obs = Observability(engine=engine)
+    hub = obs.telemetry.configure(window_ns=50_000.0)
+    hub.watch("engine.events", lambda: float(engine.events_processed),
+              kind="rate")
+    hub.watch("engine.queue_depth", lambda: float(engine.queue_depth),
+              kind="level")
+    hub.watch("flow.bytes", lambda: net.bytes_completed, kind="rate")
+    hub.watch("flow.transfers", lambda: float(net.completed_transfers),
+              kind="rate")
+    engine.process(hub.pump(engine))  # one poll per window
+    # Hot-path push idiom: hold the series handle, skip the name lookup.
+    requested = hub.series("flow.requested_bytes", "sample")
+    hotness = hub.hotness
+    rng = random.Random(seed)
+    segs = [
+        (
+            Link(f"tseg{s}-a", bandwidth=2.0, latency=50.0),
+            Link(f"tseg{s}-spine", bandwidth=4.0, latency=100.0),
+            Link(f"tseg{s}-b", bandwidth=2.0, latency=50.0),
+        )
+        for s in range(segments)
+    ]
+    events: typing.List = []
+
+    def workload():
+        for i in range(n_flows):
+            seg = segs[i % segments]
+            route = seg if rng.random() < 0.7 else seg[:2]
+            nbytes = float(rng.randrange(256 * KiB, 2 * MiB))
+            requested.observe(engine.now, nbytes)
+            hotness.record_access(
+                f"region{i % 256}", seg[0].name, nbytes, engine.now
+            )
+            events.append(net.transfer(route, nbytes))
+            if i % 100 == 99:
+                yield engine.timeout(5_000.0)
+        yield engine.all_of(events)
+
+    start = time.perf_counter()
+    done = engine.process(workload())
+    engine.run(until=done)
+    hub.finalize(engine.now)
+    wall = time.perf_counter() - start
+    assert net.completed_transfers == n_flows
+    assert hub.polls > 10
+    assert requested.windows() and hotness.sampled > 0
+    return _result(
+        "flows_2k_telemetry", wall, ops=n_flows,
+        events=engine.events_processed,
+        peak_active_flows=net.peak_active_flows,
+        telemetry_polls=hub.polls,
+        telemetry_samples=hub.samples,
+        telemetry_memory_bytes=hub.memory_bytes(),
+    )
+
+
 def bench_flows_shared_link(n_flows: int = 600, seed: int = 11) -> dict:
     """Worst case for incremental solving: every flow shares one core link.
 
@@ -452,6 +526,7 @@ def bench_soak_1m_events(
 ALL_BENCHES: typing.Dict[str, typing.Callable[[], dict]] = {
     "flows_2k": bench_flows_2k,
     "flows_2k_causal": bench_flows_2k_causal,
+    "flows_2k_telemetry": bench_flows_2k_telemetry,
     "flows_shared_link": bench_flows_shared_link,
     "flows_20k": bench_flows_20k,
     "heft_500": bench_heft_500,

@@ -96,6 +96,29 @@ def main(argv=None) -> int:
             return 1
         print(f"[{args.category}] {count} events retained\n")
 
+    # Truncated history changes what the tables below can claim; lead
+    # with the warning instead of letting a silent ring drop read as a
+    # complete record.
+    dropped = {
+        category: n
+        for category, n in (data.get("meta", {}).get("dropped") or {}).items()
+        if n
+    }
+    timeline_drops = sum(
+        int(snap.get("dropped", 0))
+        for snap in data.get("metrics", {}).values()
+        if snap.get("type") == "timeline"
+    )
+    if dropped or timeline_drops:
+        parts = [f"{category}: {n} events" for category, n in sorted(dropped.items())]
+        if timeline_drops:
+            parts.append(f"timelines: {timeline_drops} change points")
+        print(
+            "WARNING: history truncated — bounded rings dropped "
+            + ", ".join(parts)
+            + " (oldest first); tables below reflect retained data only\n"
+        )
+
     print(render_dashboard(data, job=args.job, width=args.width))
 
     if args.metrics:

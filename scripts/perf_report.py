@@ -78,9 +78,33 @@ def run_benches(names=None, profile_dir=None) -> dict:
 
 def check(current: dict, baseline: dict, threshold: float,
           causal_overhead: float = 1.10,
-          soak_floor: float = 100_000.0) -> int:
+          telemetry_overhead: float = 1.10,
+          soak_floor: float = 100_000.0,
+          overhead_samples: dict = None) -> int:
     """Compare wall-clock against the checked-in baseline; 0 = pass."""
     failures = []
+
+    def paired_ratio(inst_name: str):
+        """Instrumented/plain wall ratio, noise-robust when possible.
+
+        Wall-clock noise is one-sided — the machine can only be slower
+        than its best, never faster — so every per-pass ratio and the
+        min/min quotient are upper bounds on the true cost, each
+        inflated by different noise.  The tightest (smallest) of them is
+        the best estimate: a *real* overhead regression inflates every
+        sample and survives the min, a scheduling hiccup inflates only
+        some and is discarded.
+        """
+        inst, plain = current.get(inst_name), current.get("flows_2k")
+        if not (inst and plain):
+            return None, 0
+        samples = overhead_samples or {}
+        insts = samples.get(inst_name) or [inst["wall_s"]]
+        plains = samples.get("flows_2k") or [plain["wall_s"]]
+        ratios = [i / max(p, 1e-9) for i, p in zip(insts, plains)]
+        ratios.append(min(insts) / max(min(plains), 1e-9))
+        return min(ratios), len(ratios)
+
     for name, result in current.items():
         base = baseline.get(name)
         if base is None:
@@ -99,17 +123,30 @@ def check(current: dict, baseline: dict, threshold: float,
 
     # Causal tracing must stay cheap: gate the same-machine, same-run
     # wall ratio of the traced flow bench against the plain one.
-    plain = current.get("flows_2k")
-    traced = current.get("flows_2k_causal")
-    if plain and traced:
-        ratio = traced["wall_s"] / max(plain["wall_s"], 1e-9)
+    ratio, n = paired_ratio("flows_2k_causal")
+    if ratio is not None:
         verdict = "OK" if ratio <= causal_overhead else "REGRESSION"
         print(
             f"  causal overhead: flows_2k_causal / flows_2k = {ratio:.3f}x "
-            f"(max {causal_overhead:.2f}x) {verdict}"
+            f"(max {causal_overhead:.2f}x, best of {n} estimates) "
+            f"{verdict}"
         )
         if ratio > causal_overhead:
             failures.append(("causal_overhead", ratio))
+
+    # Continuous telemetry prices itself the same way: watchers + pump
+    # + per-flow samples + sampled hotness on the identical workload
+    # must stay within the overhead bar.
+    ratio, n = paired_ratio("flows_2k_telemetry")
+    if ratio is not None:
+        verdict = "OK" if ratio <= telemetry_overhead else "REGRESSION"
+        print(
+            f"  telemetry overhead: flows_2k_telemetry / flows_2k = "
+            f"{ratio:.3f}x (max {telemetry_overhead:.2f}x, best of {n} "
+            f"estimates) {verdict}"
+        )
+        if ratio > telemetry_overhead:
+            failures.append(("telemetry_overhead", ratio))
 
     # The million-event soak gates absolute engine throughput, not a
     # ratio: the scheduler must sustain >=100k events/s at ~20k queue
@@ -149,6 +186,9 @@ def main(argv=None) -> int:
     parser.add_argument("--causal-overhead", type=float, default=1.10,
                         help="max allowed flows_2k_causal/flows_2k wall "
                              "ratio in --check mode (default 1.10)")
+    parser.add_argument("--telemetry-overhead", type=float, default=1.10,
+                        help="max allowed flows_2k_telemetry/flows_2k wall "
+                             "ratio in --check mode (default 1.10)")
     parser.add_argument("--soak-floor", type=float, default=100_000.0,
                         help="min sustained events/s for soak_1m_events "
                              "in --check mode (default 100k)")
@@ -179,17 +219,27 @@ def main(argv=None) -> int:
                 current[name] = result
 
     if args.check:
-        if "flows_2k" in current and "flows_2k_causal" in current:
-            # The overhead gate compares two ~100ms sections; one noisy
-            # scheduler hiccup would flake CI.  Re-run the pair once and
-            # keep the faster sample of each.
-            rerun = run_benches({"flows_2k", "flows_2k_causal"})
-            for name, result in rerun.items():
-                if result["wall_s"] < current[name]["wall_s"]:
-                    current[name] = result
+        overhead_group = {"flows_2k", "flows_2k_causal", "flows_2k_telemetry"}
+        present = overhead_group & set(current)
+        samples = {name: [current[name]["wall_s"]] for name in present}
+        if present > {"flows_2k"}:
+            # The overhead gates compare ~300ms sections whose run-to-run
+            # noise (CPU frequency, co-tenants) can exceed the 10% bar
+            # itself.  Re-run the group twice more: the absolute-baseline
+            # check keeps each bench's fastest sample, and the overhead
+            # gates use the tightest of the per-pass ratios (see
+            # ``check``), which cancels machine drift between passes.
+            for _ in range(2):
+                rerun = run_benches(present)
+                for name, result in rerun.items():
+                    samples[name].append(result["wall_s"])
+                    if result["wall_s"] < current[name]["wall_s"]:
+                        current[name] = result
         return check(current, existing.get("after", {}), args.threshold,
                      causal_overhead=args.causal_overhead,
-                     soak_floor=args.soak_floor)
+                     telemetry_overhead=args.telemetry_overhead,
+                     soak_floor=args.soak_floor,
+                     overhead_samples=samples)
 
     if args.profile:
         # Profiled wall-clock is instrumentation-inflated; recording it

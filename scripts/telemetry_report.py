@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""Per-window telemetry report from JSONL run exports.
+
+Render the continuous-telemetry section of one export — per-window
+utilization / queue-depth / throughput tables, SLO burn per window,
+burn-rate alerts, sampled hotness, and the telemetry layer's own cost —
+or sweep several exports (one per offered-load point) and locate the
+capacity **knee point**::
+
+    python scripts/telemetry_report.py run.jsonl
+    python scripts/telemetry_report.py run.jsonl --series engine.queue_depth
+    python scripts/telemetry_report.py sweep_*.jsonl --knee --json knee.json
+
+The report is *assertive*: an export with no telemetry series exits
+non-zero (the run predates the hub or never polled), so CI pipelines
+can depend on the artifact.
+
+Knee-point detection: each export contributes one ``(offered,
+response)`` point — the run-mean of ``--x-series`` (a rate series;
+default ``jobs.completed``) against the mean per-window p95 of
+``--y-series`` (default the first ``slo.latency/*`` series).  The knee
+is the point with the maximum perpendicular distance to the chord
+joining the sweep's endpoints — the standard parameter-free "kneedle"
+criterion, robust to the absolute scale of either axis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+#: Series rendered by default (when present), in display order.
+DEFAULT_SERIES = (
+    "util.compute",
+    "engine.queue_depth",
+    "engine.events",
+    "jobs.completed",
+    "rack.running",
+    "rack.queued",
+    "rack.memory_util",
+    "flow.bytes",
+)
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{float(value):.{digits}g}"
+
+
+def render_series_table(name: str, snap: dict, limit: int) -> str:
+    """One windowed series as an aligned per-window table."""
+    from repro.metrics.report import Table, format_ns
+
+    kind = snap.get("kind", "?")
+    width = float(snap.get("width_ns") or 0.0)
+    dropped = int(snap.get("dropped", 0))
+    title = f"{name} [{kind}, window {format_ns(width)}]"
+    if dropped:
+        title += f"  ** history truncated: {dropped} windows dropped **"
+    columns = ["window start", "count"]
+    if kind == "level":
+        columns += ["mean", "max"]
+    else:
+        columns += ["total", "rate/ns", "mean", "max"]
+    has_p95 = any("p95" in w for w in snap.get("windows", []))
+    if has_p95:
+        columns.append("p95")
+    table = Table(columns, title=title)
+    for window in snap.get("windows", [])[-limit:]:
+        row = [format_ns(float(window.get("start", 0.0))),
+               int(window.get("count", 0))]
+        if kind == "level":
+            row += [_fmt(window.get("mean")), _fmt(window.get("max"))]
+        else:
+            row += [_fmt(window.get("total")), _fmt(window.get("rate")),
+                    _fmt(window.get("mean")), _fmt(window.get("max"))]
+        if has_p95:
+            row.append(format_ns(window["p95"]) if "p95" in window else "-")
+        table.add_row(*row)
+    return table.render()
+
+
+def burn_table(telemetry: dict, slo: dict, limit: int):
+    """Per-window burn rate for every workload with a policy, or None."""
+    from repro.metrics.report import Table, format_ns
+
+    workloads = [
+        (name, snap) for name, snap in sorted(slo.items())
+        if "target_ns" in snap
+        and f"slo.total/{name}" in telemetry.get("series", {})
+    ]
+    if not workloads:
+        return None
+    table = Table(
+        ["workload", "window start", "obs", "missed", "burn"],
+        title="SLO burn per window (burn 1.0 = budget consumed on pace)",
+    )
+    for name, snap in workloads:
+        budget = 1.0 - float(snap["objective"])
+        totals = telemetry["series"][f"slo.total/{name}"].get("windows", [])
+        missed = {
+            w["index"]: w
+            for w in telemetry["series"]
+            .get(f"slo.missed/{name}", {})
+            .get("windows", [])
+        }
+        for window in totals[-limit:]:
+            total = float(window.get("total", 0.0))
+            if total <= 0:
+                continue
+            miss = float(missed.get(window["index"], {}).get("total", 0.0))
+            burn = (miss / total) / budget if budget else float("inf")
+            table.add_row(
+                name, format_ns(float(window.get("start", 0.0))),
+                int(total), int(miss), f"{burn:.2f}",
+            )
+    return table.render() if table.rows else None
+
+
+def summarize(path: str, data: dict) -> dict:
+    """One export's telemetry reduced to sweep-level scalars."""
+    telemetry = data.get("telemetry") or {}
+    series = telemetry.get("series") or {}
+    out = {"file": path, "series": {}}
+    for name, snap in series.items():
+        windows = snap.get("windows", [])
+        if not windows:
+            continue
+        kind = snap.get("kind")
+        key = "rate" if kind == "rate" else "mean"
+        values = [float(w.get(key, 0.0)) for w in windows]
+        p95s = [float(w["p95"]) for w in windows if "p95" in w]
+        out["series"][name] = {
+            "kind": kind,
+            "windows": len(windows),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+            "mean_p95": sum(p95s) / len(p95s) if p95s else None,
+        }
+    alerts = telemetry.get("alerts") or {}
+    out["alerts"] = {
+        "opened": alerts.get("opened", 0),
+        "closed": alerts.get("closed", 0),
+    }
+    out["self"] = telemetry.get("self", {})
+    return out
+
+
+def knee_point(points):
+    """Index of the knee in ``[(x, y), ...]`` (max distance to chord).
+
+    Points are sorted by x first.  Returns ``None`` for degenerate
+    sweeps (fewer than 3 points, or a zero-length chord).
+    """
+    pts = sorted(points)
+    if len(pts) < 3:
+        return None
+    (x0, y0), (x1, y1) = pts[0], pts[-1]
+    dx, dy = x1 - x0, y1 - y0
+    norm = math.hypot(dx, dy)
+    if norm == 0:
+        return None
+    best, best_dist = None, 0.0
+    for i in range(1, len(pts) - 1):
+        x, y = pts[i]
+        dist = abs(dy * (x - x0) - dx * (y - y0)) / norm
+        if dist > best_dist:
+            best, best_dist = i, dist
+    return None if best is None else (pts, best, best_dist)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Per-window telemetry tables and capacity knee "
+                    "detection from obs JSONL exports."
+    )
+    parser.add_argument("jsonl", nargs="+",
+                        help="export(s) written by export_jsonl()")
+    parser.add_argument("--series", action="append", default=None,
+                        help="series name(s) to render (default: the "
+                             "standard utilization/queue/throughput set)")
+    parser.add_argument("--windows", type=int, default=12,
+                        help="max windows per table (default 12)")
+    parser.add_argument("--knee", action="store_true",
+                        help="treat the files as an offered-load sweep "
+                             "and locate the knee point")
+    parser.add_argument("--x-series", default="jobs.completed",
+                        help="sweep x axis: run-mean of this rate series "
+                             "(default jobs.completed)")
+    parser.add_argument("--y-series", default=None,
+                        help="sweep y axis: mean per-window p95 of this "
+                             "sample series (default: first slo.latency/*)")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="write the machine-readable artifact here")
+    args = parser.parse_args(argv)
+
+    from repro.metrics.report import Table, format_ns
+    from repro.obs.export import load_jsonl
+
+    loaded = []
+    for path in args.jsonl:
+        try:
+            data = load_jsonl(path)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"error: {path} is not a JSONL export: {exc}",
+                  file=sys.stderr)
+            return 1
+        if not (data.get("telemetry") or {}).get("series"):
+            print(
+                f"error: {path} has no telemetry series (run predates "
+                "the telemetry hub, or it never polled)",
+                file=sys.stderr,
+            )
+            return 1
+        loaded.append((path, data))
+
+    artifact = {"files": [summarize(p, d) for p, d in loaded]}
+
+    # -- single-file (or per-file) detail ---------------------------------
+    for path, data in loaded:
+        telemetry = data["telemetry"]
+        series = telemetry["series"]
+        if len(loaded) > 1:
+            print(f"=== {path} ===\n")
+        wanted = args.series if args.series else [
+            name for name in DEFAULT_SERIES if name in series
+        ]
+        missing = [name for name in (args.series or []) if name not in series]
+        if missing:
+            print(
+                "error: series not in export: " + ", ".join(missing)
+                + "; available: " + ", ".join(sorted(series)),
+                file=sys.stderr,
+            )
+            return 1
+        for name in wanted:
+            print(render_series_table(name, series[name], args.windows))
+            print()
+        burn = burn_table(telemetry, data.get("slo") or {}, args.windows)
+        if burn:
+            print(burn)
+            print()
+        alerts = telemetry.get("alerts") or {}
+        if alerts.get("opened"):
+            table = Table(
+                ["workload", "scope", "opened", "closed", "peak burn"],
+                title="Burn-rate alerts",
+            )
+            for entry in list(alerts.get("log", [])) + list(
+                alerts.get("active", [])
+            ):
+                closed_at = entry.get("closed_at")
+                table.add_row(
+                    entry.get("workload", "?"), entry.get("scope") or "-",
+                    format_ns(float(entry.get("opened_at", 0.0))),
+                    format_ns(float(closed_at))
+                    if closed_at is not None else "OPEN",
+                    f"{float(entry.get('peak_burn', 0.0)):.2f}",
+                )
+            print(table.render())
+            print()
+        hotness = telemetry.get("hotness") or {}
+        if hotness.get("sampled"):
+            table = Table(
+                ["rank", "region", "est. bytes"],
+                title=f"Hotness top-k (sampled 1/{hotness.get('rate')})",
+            )
+            for i, (key, score) in enumerate(hotness.get("regions", [])[:10]):
+                table.add_row(i + 1, key, _fmt(score, 6))
+            print(table.render())
+            print()
+        self_cost = telemetry.get("self") or {}
+        if self_cost:
+            print(
+                "telemetry self-cost: "
+                f"{self_cost.get('samples', 0)} samples, "
+                f"{self_cost.get('polls', 0)} polls, "
+                f"{float(self_cost.get('self_wall_s', 0.0)) * 1e3:.2f} ms "
+                f"wall, ~{int(self_cost.get('memory_bytes', 0))} B retained"
+            )
+            print()
+
+    # -- sweep / knee ------------------------------------------------------
+    if args.knee:
+        y_name = args.y_series
+        points, labels = [], {}
+        for path, data in loaded:
+            series = data["telemetry"]["series"]
+            if y_name is None:
+                candidates = sorted(
+                    n for n in series if n.startswith("slo.latency/")
+                )
+                if not candidates:
+                    print(
+                        f"error: {path} has no slo.latency/* series; pass "
+                        "--y-series",
+                        file=sys.stderr,
+                    )
+                    return 1
+                y_name = candidates[0]
+            for name, axis in ((args.x_series, "x"), (y_name, "y")):
+                if name not in series:
+                    print(
+                        f"error: {axis}-series {name!r} not in {path}; "
+                        "available: " + ", ".join(sorted(series)),
+                        file=sys.stderr,
+                    )
+                    return 1
+            xs = summarize(path, data)["series"]
+            x = xs[args.x_series]["mean"]
+            y = xs[y_name]["mean_p95"]
+            if y is None:
+                y = xs[y_name]["mean"]
+            points.append((x, y))
+            labels[(x, y)] = path
+        knee = knee_point(points)
+        table = Table(
+            ["file", args.x_series, f"{y_name} (p95)", "knee"],
+            title="Offered-load sweep",
+        )
+        pts = sorted(points)
+        knee_idx = knee[1] if knee else None
+        for i, (x, y) in enumerate(pts):
+            table.add_row(
+                labels[(x, y)], _fmt(x, 6), format_ns(y),
+                "<== KNEE" if i == knee_idx else "",
+            )
+        print(table.render())
+        if knee:
+            pts, idx, dist = knee
+            artifact["knee"] = {
+                "file": labels[pts[idx]],
+                "x": pts[idx][0],
+                "y": pts[idx][1],
+                "distance": dist,
+                "x_series": args.x_series,
+                "y_series": y_name,
+            }
+            print(
+                f"\nknee point: {labels[pts[idx]]} "
+                f"({args.x_series}={_fmt(pts[idx][0], 6)}, "
+                f"p95={format_ns(pts[idx][1])})"
+            )
+        else:
+            artifact["knee"] = None
+            print("\nknee point: n/a (need >= 3 sweep points with a "
+                  "non-degenerate chord)")
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        raise SystemExit(0)

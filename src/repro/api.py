@@ -141,7 +141,10 @@ class Session:
         The SLO is tracked on workload ``tenant:<name>`` (arrival ->
         finish latency recorded by the admission layer) and funds the
         tenant's quota burst credits: remaining error budget scales
-        ``quota.burst_ns``.
+        ``quota.burst_ns``.  A default multi-window burn-rate alert
+        rule is installed alongside the policy, so sustained breaches
+        open ``alert`` spans during the run (see
+        :mod:`repro.obs.telemetry`).
         """
         tenant = self.tenants.register(
             name, weight=weight, priority=priority, quota=quota,
@@ -150,6 +153,13 @@ class Session:
             self.obs.slo.set_policy(
                 f"tenant:{name}", slo_target_ns, objective=slo_objective,
             )
+            from repro.obs.telemetry import BurnRateRule
+
+            window = self.obs.telemetry.window_ns
+            self.obs.telemetry.alerts.add_rule(BurnRateRule(
+                f"tenant:{name}", fast_ns=5 * window, slow_ns=30 * window,
+                scope=f"tenant {name}",
+            ))
         return tenant
 
     # -- submission / execution -------------------------------------------

@@ -220,3 +220,6 @@ class RackRegistry:
             yield f"fed.rack.queued/{name}", float(rack.queued)
             yield f"fed.rack.running/{name}", float(rack.running)
             yield f"fed.rack.load/{name}", rack.load()
+            yield f"fed.rack.alerts/{name}", float(
+                len(rack.obs.telemetry.alerts.active)
+            )

@@ -253,6 +253,15 @@ class FederatedSession:
                 f"tenant:{name}", spec["slo_target_ns"],
                 objective=spec["slo_objective"],
             )
+            # Per-rack burn-rate rule: the alert names which rack is
+            # burning this tenant's budget, not just that someone is.
+            from repro.obs.telemetry import BurnRateRule
+
+            window = rack.obs.telemetry.window_ns
+            rack.obs.telemetry.alerts.add_rule(BurnRateRule(
+                f"tenant:{name}", fast_ns=5 * window, slow_ns=30 * window,
+                scope=f"rack {rack.name}",
+            ))
 
     # -- data placement ----------------------------------------------------
 

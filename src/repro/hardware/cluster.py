@@ -50,6 +50,19 @@ class Cluster:
         self.obs = Observability(trace=self.trace, engine=self.engine)
         self.obs.registry.add_collector(self._collect_hardware_metrics)
         self.flownet = FlowNetwork(self.engine, trace=self.trace)
+        # Default hub watchers: per-window event/traffic rates and queue
+        # depth, folded on every telemetry poll (admission sampler,
+        # federation heartbeat, or an explicit hub.pump process).
+        telem = self.obs.telemetry
+        telem.watch("engine.events", lambda: self.engine.events_processed,
+                    kind="rate")
+        telem.watch("engine.queue_depth", lambda: self.engine.queue_depth,
+                    kind="level")
+        telem.watch("flow.bytes", lambda: self.flownet.bytes_completed,
+                    kind="rate")
+        telem.watch("flow.transfers",
+                    lambda: self.flownet.completed_transfers, kind="rate")
+        telem.watch("util.compute", self._compute_busy_total, kind="rate")
         self.topology = Topology()
         self.memory: typing.Dict[str, MemoryDevice] = {}
         self.compute: typing.Dict[str, ComputeDevice] = {}
@@ -526,6 +539,15 @@ class Cluster:
             self.flownet.restore_link_speed(self.memory[fault.target].port)
 
     # -- observability ----------------------------------------------------
+
+    def _compute_busy_total(self) -> float:
+        """Total compute busy-time (ns), cumulative across devices.
+
+        Watched as a ``rate`` series: each telemetry window's total is
+        busy-ns accrued that window, so ``total / (width * n_compute)``
+        is the fleet utilization fraction for the window.
+        """
+        return sum(d.busy_time for d in self.compute.values())
 
     def _collect_hardware_metrics(self):
         """Hardware-layer metric readings for the obs registry snapshot."""

@@ -322,6 +322,11 @@ class Accessor:
             region.bytes_written += plan.wire_bytes
         else:
             device.bytes_read += plan.wire_bytes
+        # Sampled hotness: all but every Nth access return immediately
+        # inside record_access, so the hot path stays O(1) and cheap.
+        self.cluster.obs.telemetry.hotness.record_access(
+            region.id, device.name, plan.wire_bytes, self.cluster.engine.now
+        )
 
         engine = self.cluster.engine
         route = list(self.cluster.topology.route(self.observer, device.name))

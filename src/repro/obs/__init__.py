@@ -15,7 +15,12 @@ package is the measurement substrate that makes every layer answerable:
   Chrome/Perfetto ``trace_event`` JSON;
 * a **text dashboard** (:mod:`repro.obs.dashboard`) rendering per-job
   makespans, device utilization timelines, per-link bytes, and handover
-  economics — also available offline via ``scripts/obs_report.py``.
+  economics — also available offline via ``scripts/obs_report.py``;
+* **continuous telemetry** (:mod:`repro.obs.telemetry`): bounded
+  fixed-window series over any signal, multi-window SLO burn-rate
+  alerting, and 1-in-N sampled hotness tracking, all self-metered
+  under ``obs.telemetry.*`` — also available offline via
+  ``scripts/telemetry_report.py``.
 
 Every :class:`~repro.hardware.cluster.Cluster` owns an
 :class:`Observability` instance as ``cluster.obs``.  The disabled path
@@ -41,6 +46,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.slo import SloTracker
 from repro.obs.span import NOOP_SPAN, Span
+from repro.obs.telemetry import BurnRateRule, TelemetryHub, WindowedSeries
 from repro.sim.trace import TraceLog
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -70,6 +76,11 @@ class Observability:
         self.causal = CausalTracer(self)
         #: Per-workload latency percentiles + error-budget accounting.
         self.slo = SloTracker()
+        #: Continuous telemetry: windowed series, burn-rate alerts,
+        #: sampled hotness.  The SLO tracker feeds it on every record.
+        self.telemetry = TelemetryHub(self)
+        self.slo.telemetry = self.telemetry
+        self.registry.add_collector(self.telemetry._collect_self_metrics)
         self._stack: typing.List[Span] = []
         self._span_ids = count(1)
 
@@ -165,6 +176,7 @@ class Observability:
             "metrics": self.registry.snapshot(),
             "causal": self.causal.data(),
             "slo": self.slo.snapshot(),
+            "telemetry": self.telemetry.data(),
         }
 
     def export_jsonl(self, path: str) -> int:
@@ -188,6 +200,7 @@ class Observability:
 
 
 __all__ = [
+    "BurnRateRule",
     "CausalTracer",
     "Counter",
     "Gauge",
@@ -197,6 +210,8 @@ __all__ = [
     "Observability",
     "SloTracker",
     "Span",
+    "TelemetryHub",
     "TimeWeightedHistogram",
     "Timeline",
+    "WindowedSeries",
 ]

@@ -53,14 +53,28 @@ def sparkline(
     The series is resampled onto ``width`` equal time columns between
     the first change point and ``until`` (default: the last change
     point); each column shows the level entering it, scaled to ``peak``
-    (default: the series max).
+    (default: the series max; an explicit ``peak=0`` also falls back to
+    the max — a zero scale has no sensible rendering).  Samples are
+    sorted by time first, so out-of-order change points (e.g. merged
+    from multiple sources) render the same as their sorted equivalent.
+    A single sample (or ``until`` at/before the first change point)
+    collapses to one block showing whether the level is nonzero.
     """
     if not samples:
         return ""
+    samples = sorted(samples, key=lambda sample: sample[0])
     t0 = samples[0][0]
     t1 = until if until is not None else samples[-1][0]
     if t1 <= t0:
-        return _BLOCKS[-1] if samples[-1][1] > 0 else _BLOCKS[0]
+        # Degenerate window: show the level in effect at the horizon
+        # (the last change point at or before it; before the series
+        # starts, the first level).
+        level = samples[0][1]
+        for t, v in samples:
+            if t > t1:
+                break
+            level = v
+        return _BLOCKS[-1] if level > 0 else _BLOCKS[0]
     top = peak if peak not in (None, 0) else max(v for _t, v in samples) or 1.0
     cells = []
     idx = 0
@@ -270,7 +284,7 @@ def render_dashboard(
 
     # -- per-device utilization timelines --------------------------------
     util = Table(["device", f"occupancy timeline (t→{format_ns(now or 0)})",
-                  "mean", "peak"],
+                  "mean", "peak", "history"],
                  title="Device utilization")
     util_rows = 0
     for name in sorted(metrics):
@@ -278,11 +292,15 @@ def render_dashboard(
             continue
         snap = metrics[name]
         samples = snap.get("samples", [])
+        tl_dropped = int(snap.get("dropped", 0))
         util.add_row(
             name.split("/", 1)[1],
             sparkline(samples, width=width, until=now),
             f"{float(snap.get('mean', 0.0)):.2f}",
             f"{float(snap.get('max', 0.0)):g}",
+            # A truncated ring means the sparkline only shows the tail
+            # of the run; say so instead of dropping silently.
+            f"TRUNCATED (-{tl_dropped})" if tl_dropped else "full",
         )
         util_rows += 1
     if util_rows:
@@ -331,15 +349,103 @@ def render_dashboard(
         )
         sections.append(gray.render())
 
+    # -- continuous telemetry (windowed series) ---------------------------
+    telemetry = data.get("telemetry") or {}
+    series = telemetry.get("series") or {}
+    if series:
+        telem_table = Table(
+            ["series", "kind", "last windows (mean)", "last", "windows",
+             "history"],
+            title="Telemetry (per-window, width "
+                  f"{format_ns(float(telemetry.get('window_ns') or 0))})",
+        )
+        for name in sorted(series):
+            snap = series[name]
+            windows = snap.get("windows", [])
+            if not windows:
+                continue
+            # Per-workload SLO series honor the job filter like the SLO
+            # table does; cluster-wide series always show.
+            if job is not None and "/" in name:
+                workload = name.split("/", 1)[1]
+                if workload not in (job, f"{job}@e2e") and not (
+                    workload.startswith("tenant:")
+                ):
+                    continue
+            kind = snap.get("kind", "?")
+            key = "rate" if kind == "rate" else "mean"
+            values = [float(w.get(key, 0.0)) for w in windows]
+            points = [[i, v] for i, v in enumerate(values)]
+            dropped_w = int(snap.get("dropped", 0))
+            telem_table.add_row(
+                name, kind,
+                sparkline(points, width=min(width, len(values))),
+                f"{values[-1]:.4g}",
+                len(windows),
+                f"TRUNCATED (-{dropped_w})" if dropped_w else "full",
+            )
+        sections.append(telem_table.render())
+
+    # -- burn-rate alerts --------------------------------------------------
+    alerts = telemetry.get("alerts") or {}
+    if alerts.get("opened"):
+        alert_table = Table(
+            ["workload", "scope", "opened", "closed", "duration",
+             "peak burn"],
+            title="Burn-rate alerts",
+        )
+        for entry in list(alerts.get("log", [])) + list(
+            alerts.get("active", [])
+        ):
+            workload = entry.get("workload", "?")
+            if job is not None and workload not in (
+                job, f"{job}@e2e"
+            ) and not workload.startswith("tenant:"):
+                continue
+            closed_at = entry.get("closed_at")
+            alert_table.add_row(
+                entry.get("workload", "?"), entry.get("scope") or "-",
+                format_ns(float(entry.get("opened_at", 0.0))),
+                format_ns(float(closed_at)) if closed_at is not None
+                else "OPEN",
+                format_ns(float(closed_at) - float(entry["opened_at"]))
+                if closed_at is not None else "-",
+                f"{float(entry.get('peak_burn', 0.0)):.2f}",
+            )
+        sections.append(alert_table.render())
+
+    # -- sampled hotness ---------------------------------------------------
+    hotness = telemetry.get("hotness") or {}
+    if hotness.get("sampled"):
+        hot_table = Table(
+            ["rank", "region", "est. bytes", "device", "est. bytes "],
+            title=f"Hotness (sampled 1/{hotness.get('rate', '?')}, "
+                  f"{hotness.get('sampled', 0)}/{hotness.get('seen', 0)} "
+                  "accesses sampled)",
+        )
+        regions = hotness.get("regions", [])
+        devices = hotness.get("devices", [])
+        for i in range(min(8, max(len(regions), len(devices)))):
+            region = regions[i] if i < len(regions) else ("-", 0.0)
+            device = devices[i] if i < len(devices) else ("-", 0.0)
+            hot_table.add_row(
+                i + 1,
+                region[0], format_bytes(float(region[1])),
+                device[0], format_bytes(float(device[1])),
+            )
+        sections.append(hot_table.render())
+
     # -- trace-ring health ------------------------------------------------
     dropped = meta.get("dropped", {})
     retained = meta.get("retained", {})
     if retained or dropped:
-        health = Table(["category", "retained", "dropped"],
+        health = Table(["category", "retained", "dropped", "history"],
                        title="Trace rings")
         for category in sorted(set(retained) | set(dropped)):
+            n_dropped = dropped.get(category, 0)
             health.add_row(category, retained.get(category, 0),
-                           dropped.get(category, 0))
+                           n_dropped,
+                           "TRUNCATED" if n_dropped else "full")
         sections.append(health.render())
 
     if not sections:

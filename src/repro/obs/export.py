@@ -11,7 +11,12 @@ per line, with three record kinds —
   (``JobGraph.to_dict()`` shape, consumed by
   ``scripts/critical_path_report.py``);
 * ``{"kind": "causal_meta", ...}`` — tracer-level fault/rejection log;
-* ``{"kind": "slo", ...}`` — one workload's SLO snapshot.
+* ``{"kind": "slo", ...}`` — one workload's SLO snapshot;
+* ``{"kind": "telemetry_meta", ...}`` — hub config + self-metering;
+* ``{"kind": "telemetry_series", ...}`` — one windowed series (its
+  retained per-window stats, consumed by ``scripts/telemetry_report.py``);
+* ``{"kind": "telemetry_alerts", ...}`` — burn-rate rules + alert log;
+* ``{"kind": "telemetry_hotness", ...}`` — the sampled top-k estimate.
 
 The Chrome exporter turns span-complete events into ``"X"`` duration
 events grouped into rows by task (or category), loadable in
@@ -100,18 +105,53 @@ def write_jsonl(path: str, obs: "Observability") -> int:
             record.update(_json_safe(snap))
             handle.write(json.dumps(record) + "\n")
             lines += 1
+        telemetry = obs.telemetry.data()
+        handle.write(json.dumps({
+            "kind": "telemetry_meta",
+            "window_ns": telemetry["window_ns"],
+            "self": _json_safe(telemetry["self"]),
+        }) + "\n")
+        lines += 1
+        for name, series in sorted(telemetry["series"].items()):
+            record = {"kind": "telemetry_series", "name": name}
+            payload = _json_safe(series)
+            # The snapshot's own "kind" (sample/level/rate) must not
+            # clobber the record kind; load_jsonl restores it.
+            payload["series_kind"] = payload.pop("kind", "?")
+            record.update(payload)
+            handle.write(json.dumps(record) + "\n")
+            lines += 1
+        alerts = telemetry["alerts"]
+        if alerts["rules"] or alerts["opened"]:
+            record = {"kind": "telemetry_alerts"}
+            record.update(_json_safe(alerts))
+            handle.write(json.dumps(record) + "\n")
+            lines += 1
+        hotness = telemetry["hotness"]
+        if hotness["seen"]:
+            record = {"kind": "telemetry_hotness"}
+            record.update(_json_safe(hotness))
+            handle.write(json.dumps(record) + "\n")
+            lines += 1
     return lines
 
 
 def load_jsonl(path: str) -> dict:
     """Parse a JSONL export back into
-    ``{meta, events, metrics, causal, slo}``."""
+    ``{meta, events, metrics, causal, slo, telemetry}``."""
     meta: dict = {}
     events: typing.List[dict] = []
     metrics: typing.Dict[str, dict] = {}
     causal: dict = {"jobs": {}, "dropped_jobs": 0, "rejections": 0,
                     "faults": []}
     slo: typing.Dict[str, dict] = {}
+    telemetry: dict = {
+        "window_ns": None, "series": {},
+        "alerts": {"opened": 0, "closed": 0, "rules": {}, "log": [],
+                   "active": []},
+        "hotness": {"seen": 0, "sampled": 0, "regions": [], "devices": []},
+        "self": {},
+    }
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -133,8 +173,19 @@ def load_jsonl(path: str) -> dict:
                 causal["faults"] = record.get("faults", [])
             elif kind == "slo":
                 slo[record["workload"]] = record
+            elif kind == "telemetry_meta":
+                telemetry["window_ns"] = record.get("window_ns")
+                telemetry["self"] = record.get("self", {})
+            elif kind == "telemetry_series":
+                snap = dict(record)
+                snap["kind"] = snap.pop("series_kind", "?")
+                telemetry["series"][record["name"]] = snap
+            elif kind == "telemetry_alerts":
+                telemetry["alerts"] = record
+            elif kind == "telemetry_hotness":
+                telemetry["hotness"] = record
     return {"meta": meta, "events": events, "metrics": metrics,
-            "causal": causal, "slo": slo}
+            "causal": causal, "slo": slo, "telemetry": telemetry}
 
 
 # -- Chrome / Perfetto ----------------------------------------------------

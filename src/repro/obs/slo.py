@@ -78,6 +78,39 @@ class WorkloadSlo:
         ):
             self.missed += 1
 
+    def retro_classify(self) -> int:
+        """Re-derive the miss count from the recorded histogram.
+
+        Called when a policy is attached after observations already
+        landed: the exact per-observation latencies are gone, but the
+        log-bucket counts bound how many exceeded the target.  Buckets
+        entirely above ``target_ns`` count in full; the bucket straddling
+        the target contributes a linearly interpolated share (the same
+        interpolation the quantile estimator uses).  Failures always
+        count as misses.  Returns the new miss count.
+        """
+        if self.policy is None:
+            return self.missed
+        target = self.policy.target_ns
+        bounds = self.histogram.bounds
+        above = 0.0
+        for i, n in enumerate(self.histogram.counts):
+            if n == 0:
+                continue
+            lo = bounds[i - 1] if i > 0 else 0.0
+            hi = bounds[i] if i < len(bounds) else max(
+                self.histogram.maximum, lo
+            )
+            if lo >= target:
+                above += n
+            elif hi > target and hi > lo:
+                above += n * (hi - target) / (hi - lo)
+        # Failures are misses regardless of latency; the histogram share
+        # may already include some of them, so take the max rather than
+        # the sum to stay a defensible estimate, then clamp to total.
+        self.missed = min(self.total, int(round(max(above, self.failures))))
+        return self.missed
+
     @property
     def miss_fraction(self) -> float:
         return self.missed / self.total if self.total else 0.0
@@ -122,20 +155,42 @@ class SloTracker:
 
     def __init__(self):
         self.workloads: typing.Dict[str, WorkloadSlo] = {}
+        #: Optional :class:`~repro.obs.telemetry.TelemetryHub` fed on
+        #: every record (set by :class:`~repro.obs.Observability`).
+        self.telemetry = None
+        #: Workloads whose policy arrived after observations did, and
+        #: whose miss count was therefore re-derived from bucket counts
+        #: (an estimate, not an exact classification).
+        self.retro_classified: typing.Dict[str, int] = {}
 
     def set_policy(self, workload: str, target_ns: float,
                    objective: float = 0.99) -> WorkloadSlo:
         """Attach (or replace) the latency objective for a workload.
 
-        Misses are classified at record time, so set policies before
-        running; observations recorded earlier only feed percentiles.
+        Misses are classified exactly at record time; when observations
+        landed *before* the policy, the miss count is retro-classified
+        from the recorded log-bucket histogram (interpolated within the
+        bucket straddling the target) so the budget accounting reflects
+        the whole run.  Retro-classified workloads are flagged in the
+        snapshot and counted under ``telemetry.slo_retro_classified``
+        because the derived count is an estimate, not a replay.
         """
         state = self._state(workload)
         state.policy = SloPolicy(target_ns=target_ns, objective=objective)
+        if state.total:
+            state.retro_classify()
+            self.retro_classified[workload] = state.total
+            if self.telemetry is not None and self.telemetry.obs is not None:
+                self.telemetry.obs.counter(
+                    "telemetry.slo_retro_classified"
+                ).inc()
         return state
 
     def record(self, workload: str, latency_ns: float, ok: bool = True) -> None:
-        self._state(workload).record(latency_ns, ok=ok)
+        state = self._state(workload)
+        state.record(latency_ns, ok=ok)
+        if self.telemetry is not None:
+            self.telemetry.slo_observation(workload, latency_ns, ok, state)
 
     def _state(self, workload: str) -> WorkloadSlo:
         state = self.workloads.get(workload)
@@ -150,10 +205,13 @@ class SloTracker:
         return self.workloads[workload]
 
     def snapshot(self) -> typing.Dict[str, dict]:
-        return {
-            name: state.snapshot()
-            for name, state in sorted(self.workloads.items())
-        }
+        out = {}
+        for name, state in sorted(self.workloads.items()):
+            snap = state.snapshot()
+            if name in self.retro_classified:
+                snap["retro_classified"] = self.retro_classified[name]
+            out[name] = snap
+        return out
 
 
 __all__ = ["LATENCY_BOUNDS_NS", "SloPolicy", "SloTracker", "WorkloadSlo"]

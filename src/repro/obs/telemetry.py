@@ -1,0 +1,1066 @@
+"""Continuous telemetry: windowed series, burn-rate alerts, sampled hotness.
+
+The rest of :mod:`repro.obs` answers questions *after* a run (critical
+paths, lifetime SLO budgets, utilization timelines).  This module is
+the *during*-the-run half the capacity-planning and adaptive-tiering
+roadmap items need — three primitives, all bounded in memory by
+construction and all priced honestly via self-metering:
+
+* :class:`WindowedSeries` folds any signal — discrete samples, a
+  piecewise-constant level, or a cumulative counter — into fixed
+  sim-time windows with deterministic boundaries (window ``i`` covers
+  ``[i*width, (i+1)*width)``; two runs with the same events produce the
+  same windows).  Each window keeps count/sum/min/max (plus log-bucket
+  counts for in-window percentiles of sampled values); a bounded deque
+  of closed windows gives recent history, older windows are dropped and
+  counted.
+* :class:`AlertEngine` evaluates multi-window SLO **burn-rate** rules
+  (:class:`BurnRateRule`: a fast and a slow trailing window must both
+  burn above the open threshold; a lower close threshold provides
+  hysteresis) over the windowed miss/total series the
+  :class:`~repro.obs.slo.SloTracker` feeds on every observation.
+  Alert open/close pairs are recorded as ``alert``-category spans and
+  counted, so they land in exports and on the dashboard.
+* :class:`SampledHotness` tracks per-region and per-device access heat
+  from a deterministic 1-in-N sample of accesses, with space-saving
+  top-k estimation so memory stays O(k) no matter how many regions a
+  run touches.  It is query-compatible with
+  :class:`repro.memory.pointers.HotnessTracker` (``record`` /
+  ``hotness`` / ``ranked`` / ``forget``), so the tiering layer can
+  consume either.
+
+Everything the telemetry layer costs is accounted under
+``obs.telemetry.*`` metrics (samples taken, windows retained, wall
+seconds spent inside telemetry code, estimated resident bytes), and
+``scripts/perf_report.py --check`` gates the end-to-end overhead of an
+instrumented run at 1.10x of the uninstrumented one — MIND's lesson
+that tracking cost must be priced, applied to the tracker itself.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import time as _time
+import typing
+
+from repro.obs.metrics import LATENCY_BOUNDS_NS
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.slo import WorkloadSlo
+
+#: Default fixed window width (sim ns).  Runs with very different time
+#: scales should size this via ``TelemetryHub.configure``.
+DEFAULT_WINDOW_NS = 100_000.0
+#: Default closed windows retained per series.
+DEFAULT_MAX_WINDOWS = 256
+#: Nominal resident bytes per retained window (slots + floats); used by
+#: the self-metering estimate, deliberately on the generous side.
+_WINDOW_NOMINAL_BYTES = 160
+_BUCKET_NOMINAL_BYTES = 8
+
+_KINDS = ("sample", "level", "rate")
+
+
+class _Window:
+    """One closed or open aggregation window."""
+
+    __slots__ = ("index", "count", "total", "vmin", "vmax", "weighted",
+                 "buckets")
+
+    def __init__(self, index: int, buckets: typing.Optional[int] = None):
+        self.index = index
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+        #: Time-weighted level integral (level kind only).
+        self.weighted = 0.0
+        self.buckets = [0] * buckets if buckets else None
+
+
+class WindowedSeries:
+    """A bounded fixed-window aggregation of one signal.
+
+    ``kind`` selects the folding semantics:
+
+    * ``"sample"`` — discrete observations (latencies, sizes):
+      per-window count, mean, min/max, and — when ``bounds`` is set —
+      an in-window log-bucket histogram answering :meth:`quantile`.
+    * ``"level"`` — a piecewise-constant signal (queue depth,
+      utilization): per-window time-weighted mean and max; dwell time is
+      split exactly at window boundaries, so boundaries are
+      deterministic functions of sim time alone.
+    * ``"rate"`` — deltas of a cumulative counter: per-window sum, with
+      ``rate = sum / width``.
+
+    Memory is bounded: at most ``max_windows`` closed windows are
+    retained (older ones are dropped and counted in :attr:`dropped`),
+    and a far time jump materializes at most ``max_windows`` empty gap
+    windows (the rest are counted dropped without being built).
+    """
+
+    __slots__ = ("name", "kind", "width", "max_windows", "bounds",
+                 "closed", "dropped", "_cur", "_level", "_last_time")
+
+    def __init__(
+        self,
+        name: str,
+        width_ns: float,
+        kind: str = "sample",
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+        bounds: typing.Optional[typing.Sequence[float]] = None,
+        start_time: float = 0.0,
+    ):
+        if width_ns <= 0:
+            raise ValueError(f"window width must be positive: {width_ns}")
+        if kind not in _KINDS:
+            raise ValueError(f"unknown series kind {kind!r}; one of {_KINDS}")
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        self.name = name
+        self.kind = kind
+        self.width = float(width_ns)
+        self.max_windows = max_windows
+        self.bounds = tuple(bounds) if bounds is not None else None
+        self.closed: typing.Deque[_Window] = collections.deque(
+            maxlen=max_windows
+        )
+        self.dropped = 0
+        self._cur: typing.Optional[_Window] = None
+        self._level = 0.0
+        self._last_time = float(start_time)
+
+    # -- window bookkeeping ----------------------------------------------
+
+    def window_index(self, t: float) -> int:
+        """The deterministic window an instant belongs to."""
+        return int(t // self.width)
+
+    def _new_window(self, index: int) -> _Window:
+        return _Window(index, len(self.bounds) + 1 if self.bounds else None)
+
+    def _close(self, window: _Window) -> None:
+        if len(self.closed) == self.closed.maxlen:
+            self.dropped += 1
+        self.closed.append(window)
+
+    def _roll_to(self, index: int) -> _Window:
+        """Make ``index`` the open window, closing/synthesizing the gap.
+
+        Gap windows are synthesized so the retained sequence stays
+        contiguous (a per-window rate table must show the zero-traffic
+        windows); only the last ``max_windows`` of a huge jump are
+        materialized, the rest are counted dropped.
+        """
+        cur = self._cur
+        if cur is not None and cur.index == index:
+            return cur
+        if cur is not None and index < cur.index:
+            raise ValueError(
+                f"series {self.name!r}: time went backwards "
+                f"(window {index} < open window {cur.index})"
+            )
+        if cur is not None:
+            self._close(cur)
+            first_gap = cur.index + 1
+        else:
+            first_gap = index
+        gap = index - first_gap
+        if gap > 0:
+            skip = max(0, gap - self.max_windows)
+            self.dropped += skip
+            for i in range(first_gap + skip, index):
+                filler = self._new_window(i)
+                if self.kind == "level":
+                    filler.weighted = self._level * self.width
+                    filler.vmin = filler.vmax = self._level
+                self._close(filler)
+        self._cur = self._new_window(index)
+        if self.kind == "level":
+            self._cur.vmin = self._cur.vmax = self._level
+        return self._cur
+
+    # -- folding ----------------------------------------------------------
+
+    def observe(self, t: float, value: float) -> None:
+        """Fold one discrete sample (``sample`` kind)."""
+        if self.kind != "sample":
+            raise TypeError(f"observe() on a {self.kind!r} series")
+        window = self._roll_to(self.window_index(t))
+        window.count += 1
+        window.total += value
+        if value < window.vmin:
+            window.vmin = value
+        if value > window.vmax:
+            window.vmax = value
+        if window.buckets is not None:
+            window.buckets[self._bucket(value)] += 1
+
+    def add(self, t: float, delta: float) -> None:
+        """Fold one counter delta (``rate`` kind)."""
+        if self.kind != "rate":
+            raise TypeError(f"add() on a {self.kind!r} series")
+        window = self._roll_to(self.window_index(t))
+        window.count += 1
+        window.total += delta
+        if delta < window.vmin:
+            window.vmin = delta
+        if delta > window.vmax:
+            window.vmax = delta
+
+    def record_level(self, t: float, level: float) -> None:
+        """The signal changes to ``level`` at ``t`` (``level`` kind).
+
+        Dwell time at the previous level is integrated into every window
+        between the last change and ``t``, split exactly at window
+        boundaries.
+        """
+        if self.kind != "level":
+            raise TypeError(f"record_level() on a {self.kind!r} series")
+        if t < self._last_time:
+            raise ValueError(
+                f"series {self.name!r}: time went backwards "
+                f"({t} < {self._last_time})"
+            )
+        target = self.window_index(t)
+        window = self._roll_to(self.window_index(self._last_time))
+        cursor = self._last_time
+        while window.index < target:
+            boundary = (window.index + 1) * self.width
+            window.weighted += self._level * (boundary - cursor)
+            cursor = boundary
+            window = self._roll_to(window.index + 1)
+        window.weighted += self._level * (t - cursor)
+        self._last_time = t
+        self._level = float(level)
+        if level < window.vmin:
+            window.vmin = level
+        if level > window.vmax:
+            window.vmax = level
+        window.count += 1
+
+    def adjust(self, t: float, delta: float) -> None:
+        """Shift a level signal by ``delta`` at ``t``."""
+        self.record_level(t, self._level + delta)
+
+    @property
+    def level(self) -> float:
+        """Current level of a ``level`` series."""
+        return self._level
+
+    def _bucket(self, value: float) -> int:
+        bounds = self.bounds
+        lo, hi = 0, len(bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- queries ----------------------------------------------------------
+
+    def windows(self) -> typing.List[_Window]:
+        """Retained windows, oldest first, including the open one."""
+        out = list(self.closed)
+        if self._cur is not None:
+            out.append(self._cur)
+        return out
+
+    def window_stats(self, window: _Window) -> dict:
+        """One window as plain data (shape depends on the series kind)."""
+        start = window.index * self.width
+        out = {
+            "index": window.index,
+            "start": start,
+            "end": start + self.width,
+            "count": window.count,
+        }
+        if self.kind == "level":
+            out["mean"] = window.weighted / self.width
+            out["max"] = window.vmax if window.count or window.weighted else 0.0
+        else:
+            out["total"] = window.total
+            out["rate"] = window.total / self.width
+            out["mean"] = window.total / window.count if window.count else 0.0
+            out["max"] = window.vmax if window.count else 0.0
+            out["min"] = window.vmin if window.count else 0.0
+            if window.buckets is not None and window.count:
+                out["p95"] = self._window_quantile(window, 0.95)
+        return out
+
+    def _window_quantile(self, window: _Window, q: float) -> float:
+        """Interpolated in-window quantile from the log-bucket counts."""
+        target = q * window.count
+        cumulative = 0
+        bounds = self.bounds
+        for i, n in enumerate(window.buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = bounds[i - 1] if i > 0 else min(window.vmin, bounds[0])
+                hi = bounds[i] if i < len(bounds) else window.vmax
+                frac = (target - cumulative) / n
+                value = lo + (hi - lo) * max(0.0, min(1.0, frac))
+                return max(window.vmin, min(window.vmax, value))
+            cumulative += n
+        return window.vmax
+
+    def sum_over(
+        self, since: float, until: float
+    ) -> typing.Tuple[float, int]:
+        """``(total, count)`` over windows overlapping ``[since, until]``.
+
+        Window-aligned and deterministic: a window contributes iff its
+        span intersects the interval.  For ``level`` series the total is
+        the time-weighted integral instead.
+        """
+        total = 0.0
+        count = 0
+        for window in self.windows():
+            start = window.index * self.width
+            if start + self.width <= since or start > until:
+                continue
+            total += window.weighted if self.kind == "level" else window.total
+            count += window.count
+        return total, count
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes (self-metering; nominal, not exact)."""
+        n = len(self.closed) + (1 if self._cur is not None else 0)
+        per = _WINDOW_NOMINAL_BYTES
+        if self.bounds is not None:
+            per += (len(self.bounds) + 1) * _BUCKET_NOMINAL_BYTES
+        return n * per
+
+    def snapshot(self, limit: typing.Optional[int] = None) -> dict:
+        """The series as plain data (last ``limit`` windows)."""
+        windows = [self.window_stats(w) for w in self.windows()]
+        if limit is not None:
+            windows = windows[-limit:]
+        return {
+            "type": "windowed",
+            "kind": self.kind,
+            "width_ns": self.width,
+            "dropped": self.dropped,
+            "windows": windows,
+        }
+
+
+# -- burn-rate alerting ----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BurnRateRule:
+    """A multi-window burn-rate alert condition for one SLO workload.
+
+    The alert **opens** when the burn rate over the trailing
+    ``fast_ns`` *and* the trailing ``slow_ns`` both exceed
+    ``open_above`` (the classic fast+slow pairing: the slow window
+    proves it is not a blip, the fast window proves it is still
+    happening) with at least ``min_samples`` observations in the fast
+    window.  It **closes** — with hysteresis — only once the fast *and*
+    slow burns drop to ``close_below`` or lower.
+    """
+
+    workload: str
+    fast_ns: float
+    slow_ns: float
+    open_above: float = 2.0
+    close_below: float = 1.0
+    min_samples: int = 5
+    #: Display label (e.g. the tenant or rack the workload belongs to).
+    scope: str = ""
+
+    def __post_init__(self):
+        if self.fast_ns <= 0 or self.slow_ns <= 0:
+            raise ValueError("burn windows must be positive")
+        if self.fast_ns > self.slow_ns:
+            raise ValueError(
+                f"fast window ({self.fast_ns}) must not exceed the slow "
+                f"window ({self.slow_ns})"
+            )
+        if self.close_below > self.open_above:
+            raise ValueError(
+                "close_below above open_above would open/close every tick"
+            )
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+
+
+class Alert:
+    """One open (or closed) burn-rate alert."""
+
+    __slots__ = ("workload", "scope", "opened_at", "closed_at", "peak_burn",
+                 "open_fast", "open_slow", "span")
+
+    def __init__(self, workload: str, scope: str, opened_at: float,
+                 fast: float, slow: float, span=None):
+        self.workload = workload
+        self.scope = scope
+        self.opened_at = opened_at
+        self.closed_at: typing.Optional[float] = None
+        self.peak_burn = max(fast, slow)
+        self.open_fast = fast
+        self.open_slow = slow
+        self.span = span
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scope": self.scope,
+            "opened_at": self.opened_at,
+            "closed_at": self.closed_at,
+            "peak_burn": self.peak_burn,
+            "open_fast": self.open_fast,
+            "open_slow": self.open_slow,
+        }
+
+
+class AlertEngine:
+    """Evaluates burn-rate rules over the hub's windowed SLO series.
+
+    Driven from two directions: every SLO observation re-evaluates its
+    own workload's rule (detection delay is bounded by the traffic
+    itself), and every hub poll sweeps all rules (so alerts close when
+    traffic stops arriving).  Open/close transitions are recorded as
+    ``alert``-category spans plus instant events and counters.
+    """
+
+    MAX_LOG = 256
+
+    def __init__(self, hub: "TelemetryHub"):
+        self.hub = hub
+        self.rules: typing.Dict[str, BurnRateRule] = {}
+        self.active: typing.Dict[str, Alert] = {}
+        self.log: typing.Deque[Alert] = collections.deque(maxlen=self.MAX_LOG)
+        self.opened = 0
+        self.closed = 0
+
+    def add_rule(self, rule: BurnRateRule) -> BurnRateRule:
+        """Install (or replace) the rule for one workload."""
+        self.rules[rule.workload] = rule
+        return rule
+
+    def burn_over(
+        self, workload: str, window_ns: float, now: float
+    ) -> typing.Tuple[typing.Optional[float], int]:
+        """``(burn_rate, samples)`` over the trailing window.
+
+        ``None`` burn when the workload has no policy or no samples in
+        the window.
+        """
+        state = self.hub.slo_state(workload)
+        if state is None or state.policy is None:
+            return None, 0
+        totals = self.hub.get_series(f"slo.total/{workload}")
+        misses = self.hub.get_series(f"slo.missed/{workload}")
+        if totals is None:
+            return None, 0
+        since = now - window_ns
+        total, _ = totals.sum_over(since, now)
+        missed = misses.sum_over(since, now)[0] if misses is not None else 0.0
+        if total <= 0:
+            return None, 0
+        return (missed / total) / state.policy.budget, int(total)
+
+    def evaluate(self, workload: str, now: float) -> None:
+        """Re-evaluate one workload's rule at ``now``."""
+        rule = self.rules.get(workload)
+        if rule is None:
+            return
+        fast, fast_n = self.burn_over(workload, rule.fast_ns, now)
+        slow, _ = self.burn_over(workload, rule.slow_ns, now)
+        alert = self.active.get(workload)
+        if alert is None:
+            if (
+                fast is not None and slow is not None
+                and fast_n >= rule.min_samples
+                and fast > rule.open_above and slow > rule.open_above
+            ):
+                self._open(rule, now, fast, slow)
+        else:
+            alert.peak_burn = max(
+                alert.peak_burn, fast or 0.0, slow or 0.0
+            )
+            if (fast or 0.0) <= rule.close_below and (
+                slow or 0.0
+            ) <= rule.close_below:
+                self._close(alert, now, fast or 0.0, slow or 0.0)
+
+    def sweep(self, now: float) -> None:
+        """Re-evaluate every rule (called from the hub's poll)."""
+        for workload in self.rules:
+            self.evaluate(workload, now)
+
+    def _open(self, rule: BurnRateRule, now: float,
+              fast: float, slow: float) -> None:
+        obs = self.hub.obs
+        span = None
+        if obs is not None:
+            span = obs.begin_span(
+                "alert", "burn", workload=rule.workload, scope=rule.scope,
+            )
+            obs.event(
+                "alert", "open", workload=rule.workload, scope=rule.scope,
+                fast_burn=round(fast, 3), slow_burn=round(slow, 3),
+            )
+            obs.counter("telemetry.alerts_opened").inc()
+        self.active[rule.workload] = Alert(
+            rule.workload, rule.scope, now, fast, slow, span=span
+        )
+        self.opened += 1
+
+    def _close(self, alert: Alert, now: float,
+               fast: float, slow: float) -> None:
+        alert.closed_at = now
+        obs = self.hub.obs
+        if obs is not None:
+            obs.event(
+                "alert", "close", workload=alert.workload, scope=alert.scope,
+                fast_burn=round(fast, 3), slow_burn=round(slow, 3),
+                peak_burn=round(alert.peak_burn, 3),
+                duration=now - alert.opened_at,
+            )
+            obs.counter("telemetry.alerts_closed").inc()
+        if alert.span is not None:
+            alert.span.set(peak_burn=round(alert.peak_burn, 3))
+            alert.span.close()
+            alert.span = None
+        del self.active[alert.workload]
+        self.log.append(alert)
+        self.closed += 1
+
+    def finalize(self, now: float) -> None:
+        """End-of-run: close the spans of still-open alerts (the alerts
+        themselves stay open in the data — an unresolved breach is a
+        finding, not something to paper over)."""
+        for alert in self.active.values():
+            if alert.span is not None:
+                alert.span.set(
+                    peak_burn=round(alert.peak_burn, 3), still_open=True
+                )
+                alert.span.close()
+                alert.span = None
+
+    def data(self) -> dict:
+        return {
+            "opened": self.opened,
+            "closed": self.closed,
+            "rules": {
+                w: {
+                    "fast_ns": r.fast_ns, "slow_ns": r.slow_ns,
+                    "open_above": r.open_above, "close_below": r.close_below,
+                    "min_samples": r.min_samples, "scope": r.scope,
+                }
+                for w, r in sorted(self.rules.items())
+            },
+            "log": [a.to_dict() for a in self.log],
+            "active": [a.to_dict() for a in self.active.values()],
+        }
+
+
+# -- sampled hotness -------------------------------------------------------
+
+
+class SampledHotness:
+    """Per-region and per-device access heat from a 1-in-N sample.
+
+    Every Nth access (deterministic stride — no RNG, so runs replay
+    bit-identically) is recorded with weight ``nbytes * N`` (unbiased
+    in expectation).  Each table is a **space-saving** sketch of at most
+    ``capacity`` entries: an untracked key evicts the coldest entry and
+    inherits its score, so the true top-k survive with bounded error
+    while memory stays O(capacity) no matter how many regions a soak
+    run touches.  Scores decay exponentially (``half_life_ns``) like
+    the full-counting :class:`repro.memory.pointers.HotnessTracker`,
+    whose query API (``record``/``hotness``/``ranked``/``forget``) this
+    class matches so the tiering layer can consume either.
+    """
+
+    def __init__(
+        self,
+        rate: int = 64,
+        k: int = 32,
+        half_life_ns: typing.Optional[float] = None,
+    ):
+        if rate < 1:
+            raise ValueError(f"sampling rate must be >= 1, got 1/{rate}")
+        if k < 1:
+            raise ValueError("top-k must be >= 1")
+        self.rate = int(rate)
+        self.k = int(k)
+        #: Sketch capacity: 2k entries keeps the classic space-saving
+        #: top-k guarantee comfortable at Zipf-ish skews.
+        self.capacity = max(2 * self.k, 8)
+        if half_life_ns is not None and half_life_ns <= 0:
+            raise ValueError("half life must be positive")
+        self.decay = (
+            0.6931471805599453 / half_life_ns if half_life_ns else 0.0
+        )
+        #: key -> [score, last_time]
+        self._regions: typing.Dict[typing.Hashable, list] = {}
+        self._devices: typing.Dict[str, list] = {}
+        self.seen = 0
+        self.sampled = 0
+        self.evictions = 0
+        self.enabled = True
+
+    # -- recording --------------------------------------------------------
+
+    def record_access(
+        self,
+        region_id: typing.Hashable,
+        device: typing.Optional[str],
+        nbytes: float,
+        time: float,
+    ) -> None:
+        """One access; all but every ``rate``-th return immediately."""
+        if not self.enabled:
+            return
+        self.seen += 1
+        if self.seen % self.rate:
+            return
+        self.sampled += 1
+        weight = nbytes * self.rate
+        self._bump(self._regions, region_id, weight, time)
+        if device is not None:
+            self._bump(self._devices, device, weight, time)
+
+    def record(self, region_id, nbytes: float, time: float) -> None:
+        """Drop-in for ``memory.pointers.HotnessTracker.record``."""
+        self.record_access(region_id, None, nbytes, time)
+
+    def _bump(self, table: dict, key, weight: float, time: float) -> None:
+        entry = table.get(key)
+        if entry is not None:
+            if self.decay:
+                entry[0] *= self._decay_factor(time - entry[1])
+            entry[0] += weight
+            entry[1] = time
+            return
+        if len(table) < self.capacity:
+            table[key] = [weight, time]
+            return
+        # Space-saving eviction: the newcomer inherits the coldest
+        # entry's (decayed) score — an upper bound on its true heat.
+        coldest = min(table, key=lambda k: table[k][0])
+        floor = table.pop(coldest)[0]
+        table[key] = [floor + weight, time]
+        self.evictions += 1
+
+    def _decay_factor(self, elapsed: float) -> float:
+        if elapsed <= 0 or not self.decay:
+            return 1.0
+        import math
+
+        return math.exp(-self.decay * elapsed)
+
+    # -- queries ----------------------------------------------------------
+
+    def hotness(self, region_id, time: float = 0.0) -> float:
+        """Estimated (decayed) bytes-touched score of a region."""
+        entry = self._regions.get(region_id)
+        if entry is None:
+            return 0.0
+        return entry[0] * self._decay_factor(time - entry[1])
+
+    def ranked(
+        self, time: float = 0.0, kind: str = "region"
+    ) -> typing.List[typing.Tuple[typing.Hashable, float]]:
+        """Tracked keys hottest-first (``kind``: "region" or "device")."""
+        table = self._regions if kind == "region" else self._devices
+        pairs = [
+            (key, entry[0] * self._decay_factor(time - entry[1]))
+            for key, entry in table.items()
+        ]
+        pairs.sort(key=lambda p: (-p[1], str(p[0])))
+        return pairs
+
+    def top(
+        self, k: typing.Optional[int] = None, time: float = 0.0,
+        kind: str = "region",
+    ) -> typing.List[typing.Tuple[typing.Hashable, float]]:
+        """The estimated ``k`` hottest keys (default: the configured k)."""
+        return self.ranked(time, kind)[: (k if k is not None else self.k)]
+
+    def forget(self, region_id) -> None:
+        """Drop one region's history (e.g. after it is freed)."""
+        self._regions.pop(region_id, None)
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of both sketches (self-metering)."""
+        return (len(self._regions) + len(self._devices)) * 120
+
+    def snapshot(self) -> dict:
+        return {
+            "rate": self.rate,
+            "k": self.k,
+            "seen": self.seen,
+            "sampled": self.sampled,
+            "evictions": self.evictions,
+            "regions": [
+                [str(key), score] for key, score in self.top()
+            ],
+            "devices": [
+                [str(key), score] for key, score in self.top(kind="device")
+            ],
+        }
+
+
+# -- the hub ---------------------------------------------------------------
+
+
+class _Watcher:
+    """One polled fold source: a cumulative/level/sample callable."""
+
+    __slots__ = ("series", "fn", "mode", "last")
+
+    def __init__(self, series: WindowedSeries, fn, mode: str):
+        self.series = series
+        self.fn = fn
+        self.mode = mode  # "rate" | "level" | "latency"
+        self.last = None
+
+
+class TelemetryHub:
+    """One run's continuous-telemetry state (``obs.telemetry``).
+
+    Folds live signals into :class:`WindowedSeries` three ways:
+
+    * **push** — subsystems call :meth:`record` / :meth:`record_level`
+      / :meth:`add` at the instant something happens;
+    * **watch** — :meth:`watch` registers a zero-argument callable
+      (or :meth:`watch_counter` / :meth:`watch_gauge` /
+      :meth:`watch_timeline` / :meth:`watch_latency` an existing
+      registry instrument) folded on every :meth:`poll`;
+    * **SLO feed** — the :class:`~repro.obs.slo.SloTracker` calls
+      :meth:`slo_observation` on every recorded completion, producing
+      the windowed total/missed/latency series the
+      :class:`AlertEngine` burns rules over.
+
+    Polling is driven by whoever owns a convenient cadence (the
+    admission sampler, the federation heartbeat, or a :meth:`pump`
+    process in standalone benches); alert *detection* additionally
+    rides every SLO observation, so a breach is noticed within one
+    observation of the fast window filling, pump or no pump.
+    """
+
+    def __init__(
+        self,
+        obs: typing.Optional["Observability"] = None,
+        window_ns: float = DEFAULT_WINDOW_NS,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+        hotness_rate: int = 64,
+        hotness_k: int = 32,
+    ):
+        self.obs = obs
+        self.window_ns = float(window_ns)
+        self.max_windows = int(max_windows)
+        self._series: typing.Dict[str, WindowedSeries] = {}
+        self._watchers: typing.List[_Watcher] = []
+        self.alerts = AlertEngine(self)
+        self.hotness = SampledHotness(rate=hotness_rate, k=hotness_k)
+        # -- self-metering (obs.telemetry.*) --
+        self.polls = 0
+        self.samples = 0
+        self.self_wall_s = 0.0
+        self._pump_proc = None
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(
+        self,
+        window_ns: typing.Optional[float] = None,
+        max_windows: typing.Optional[int] = None,
+        hotness_rate: typing.Optional[int] = None,
+        hotness_k: typing.Optional[int] = None,
+    ) -> "TelemetryHub":
+        """Re-size the defaults (applies to series created afterwards)."""
+        if window_ns is not None:
+            if window_ns <= 0:
+                raise ValueError("window width must be positive")
+            self.window_ns = float(window_ns)
+        if max_windows is not None:
+            if max_windows < 1:
+                raise ValueError("max_windows must be >= 1")
+            self.max_windows = int(max_windows)
+        if hotness_rate is not None or hotness_k is not None:
+            self.hotness = SampledHotness(
+                rate=hotness_rate or self.hotness.rate,
+                k=hotness_k or self.hotness.k,
+            )
+        return self
+
+    def now(self) -> float:
+        return self.obs.now() if self.obs is not None else 0.0
+
+    # -- series ------------------------------------------------------------
+
+    def series(
+        self,
+        name: str,
+        kind: str = "sample",
+        width_ns: typing.Optional[float] = None,
+        bounds: typing.Optional[typing.Sequence[float]] = None,
+    ) -> WindowedSeries:
+        """Get-or-create one windowed series."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = WindowedSeries(
+                name,
+                width_ns if width_ns is not None else self.window_ns,
+                kind=kind,
+                max_windows=self.max_windows,
+                bounds=bounds,
+            )
+            return series
+        if series.kind != kind:
+            raise TypeError(
+                f"series {name!r} already registered as {series.kind}, "
+                f"requested {kind}"
+            )
+        return series
+
+    def get_series(self, name: str) -> typing.Optional[WindowedSeries]:
+        return self._series.get(name)
+
+    def names(self) -> typing.List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    # -- push API ----------------------------------------------------------
+
+    def record(self, name: str, t: float, value: float,
+               bounds: typing.Optional[typing.Sequence[float]] = None) -> None:
+        """Push one discrete sample."""
+        self.samples += 1
+        self.series(name, "sample", bounds=bounds).observe(t, value)
+
+    def record_level(self, name: str, t: float, level: float) -> None:
+        """Push one level change."""
+        self.samples += 1
+        self.series(name, "level").record_level(t, level)
+
+    def adjust(self, name: str, t: float, delta: float) -> None:
+        """Shift a level series by ``delta``."""
+        self.samples += 1
+        self.series(name, "level").adjust(t, delta)
+
+    def add(self, name: str, t: float, delta: float) -> None:
+        """Push one counter delta."""
+        self.samples += 1
+        self.series(name, "rate").add(t, delta)
+
+    # -- watchers ----------------------------------------------------------
+
+    def watch(self, name: str, fn: typing.Callable[[], float],
+              kind: str = "rate") -> WindowedSeries:
+        """Fold ``fn()`` into ``name`` on every poll.
+
+        ``kind="rate"`` treats ``fn`` as a cumulative counter (the
+        per-poll delta is folded); ``kind="level"`` samples it as a
+        piecewise-constant level; ``kind="sample"`` folds the raw value
+        as a discrete observation.
+        """
+        mode = "rate" if kind == "rate" else kind
+        series = self.series(name, kind)
+        for watcher in self._watchers:
+            # Re-registering a name replaces its source (e.g. a rebuilt
+            # runtime on the same cluster) instead of double-folding.
+            if watcher.series is series:
+                watcher.fn = fn
+                watcher.mode = mode
+                watcher.last = None
+                return series
+        self._watchers.append(_Watcher(series, fn, mode))
+        return series
+
+    def watch_counter(self, counter) -> WindowedSeries:
+        """Fold a registry :class:`~repro.obs.metrics.Counter`."""
+        return self.watch(counter.name, lambda: counter.value, kind="rate")
+
+    def watch_gauge(self, gauge) -> WindowedSeries:
+        """Sample a registry :class:`~repro.obs.metrics.Gauge`."""
+        return self.watch(gauge.name, lambda: gauge.value, kind="level")
+
+    def watch_timeline(self, timeline) -> WindowedSeries:
+        """Sample a registry :class:`~repro.obs.metrics.Timeline` level."""
+        return self.watch(
+            timeline.name, lambda: timeline.recorder.level, kind="level"
+        )
+
+    def watch_latency(self, histogram) -> WindowedSeries:
+        """Fold a :class:`~repro.obs.metrics.LatencyHistogram` so each
+        window carries the observations recorded *during* it (count,
+        mean, and in-window p95 via bucket-count deltas)."""
+        series = self.series(
+            name=histogram.name, kind="sample", bounds=histogram.bounds
+        )
+        for watcher in self._watchers:
+            if watcher.series is series:
+                watcher.fn = histogram
+                watcher.mode = "latency"
+                watcher.last = None
+                return series
+        watcher = _Watcher(series, histogram, "latency")
+        self._watchers.append(watcher)
+        return series
+
+    # -- polling -----------------------------------------------------------
+
+    def poll(self, now: typing.Optional[float] = None) -> None:
+        """Fold every watcher and sweep the alert rules at ``now``."""
+        t0 = _time.perf_counter()
+        t = self.now() if now is None else now
+        for watcher in self._watchers:
+            series = watcher.series
+            mode = watcher.mode
+            if mode == "rate":
+                value = float(watcher.fn())
+                last = watcher.last
+                if last is not None and (value != last or series._cur is not None):
+                    series.add(t, value - last)
+                watcher.last = value
+            elif mode == "level":
+                series.record_level(t, float(watcher.fn()))
+            elif mode == "latency":
+                hist = watcher.fn
+                if watcher.last is None:
+                    watcher.last = (0, 0.0, [0] * len(hist.counts))
+                count, total, buckets = watcher.last
+                dcount = hist.total - count
+                if dcount > 0:
+                    window = series._roll_to(series.window_index(t))
+                    window.count += dcount
+                    window.total += hist._sum - total
+                    window.vmin = min(window.vmin, hist.minimum)
+                    window.vmax = max(window.vmax, hist.maximum)
+                    for i, n in enumerate(hist.counts):
+                        window.buckets[i] += n - buckets[i]
+                    watcher.last = (hist.total, hist._sum, list(hist.counts))
+            else:  # sample
+                series.observe(t, float(watcher.fn()))
+        self.samples += len(self._watchers)
+        if self.alerts.rules:
+            self.alerts.sweep(t)
+        self.polls += 1
+        self.self_wall_s += _time.perf_counter() - t0
+
+    def pump(self, engine, interval_ns: typing.Optional[float] = None):
+        """Generator: poll forever at ``interval_ns`` (a sim process).
+
+        ``proc = engine.process(hub.pump(engine))``; kill the process
+        (or let ``engine.run(until=...)`` abandon it) when done.
+        """
+        interval = interval_ns if interval_ns is not None else self.window_ns
+        if interval <= 0:
+            raise ValueError("pump interval must be positive")
+        while True:
+            self.poll(engine.now)
+            yield engine.timeout(interval)
+
+    # -- SLO feed ----------------------------------------------------------
+
+    def slo_state(self, workload: str) -> typing.Optional["WorkloadSlo"]:
+        if self.obs is None or workload not in self.obs.slo:
+            return None
+        return self.obs.slo[workload]
+
+    def slo_observation(
+        self, workload: str, latency_ns: float, ok: bool,
+        state: "WorkloadSlo",
+    ) -> None:
+        """Fold one SLO observation; called by the tracker on record.
+
+        Only workloads with a policy or an alert rule get windowed
+        series: ad-hoc per-job workload names (every submitted job
+        records one observation under its own name) would otherwise
+        each allocate three series for a single point.
+        """
+        if state.policy is None and workload not in self.alerts.rules:
+            return
+        t0 = _time.perf_counter()
+        now = self.now()
+        self.series(f"slo.total/{workload}", "rate").add(now, 1.0)
+        missed = not ok or (
+            state.policy is not None and latency_ns > state.policy.target_ns
+        )
+        self.series(f"slo.missed/{workload}", "rate").add(
+            now, 1.0 if missed else 0.0
+        )
+        self.series(
+            f"slo.latency/{workload}", "sample", bounds=LATENCY_BOUNDS_NS
+        ).observe(now, latency_ns)
+        self.samples += 3
+        if state.policy is not None:
+            self.alerts.evaluate(workload, now)
+        self.self_wall_s += _time.perf_counter() - t0
+
+    # -- self-metering / export --------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of all telemetry state."""
+        return (
+            sum(s.memory_bytes() for s in self._series.values())
+            + self.hotness.memory_bytes()
+            + len(self.alerts.log) * 96
+        )
+
+    def _collect_self_metrics(self):
+        """The telemetry layer's own cost, as ``obs.telemetry.*``."""
+        yield "obs.telemetry.series", float(len(self._series))
+        yield "obs.telemetry.windows_retained", float(
+            sum(len(s.closed) for s in self._series.values())
+        )
+        yield "obs.telemetry.windows_dropped", float(
+            sum(s.dropped for s in self._series.values())
+        )
+        yield "obs.telemetry.samples", float(self.samples)
+        yield "obs.telemetry.polls", float(self.polls)
+        yield "obs.telemetry.self_wall_s", self.self_wall_s
+        yield "obs.telemetry.memory_bytes", float(self.memory_bytes())
+        yield "obs.telemetry.hotness_seen", float(self.hotness.seen)
+        yield "obs.telemetry.hotness_sampled", float(self.hotness.sampled)
+        yield "obs.telemetry.hotness_evictions", float(self.hotness.evictions)
+        yield "obs.telemetry.alerts_active", float(len(self.alerts.active))
+
+    def finalize(self, now: typing.Optional[float] = None) -> None:
+        """End-of-run: final poll + close still-open alert spans."""
+        t = self.now() if now is None else now
+        self.poll(t)
+        self.alerts.finalize(t)
+
+    def data(self, window_limit: typing.Optional[int] = None) -> dict:
+        """The hub as plain data (the JSONL/dashboard interchange)."""
+        return {
+            "window_ns": self.window_ns,
+            "series": {
+                name: series.snapshot(limit=window_limit)
+                for name, series in sorted(self._series.items())
+            },
+            "alerts": self.alerts.data(),
+            "hotness": self.hotness.snapshot(),
+            "self": {
+                "samples": self.samples,
+                "polls": self.polls,
+                "self_wall_s": self.self_wall_s,
+                "memory_bytes": self.memory_bytes(),
+            },
+        }
+
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "BurnRateRule",
+    "DEFAULT_WINDOW_NS",
+    "SampledHotness",
+    "TelemetryHub",
+    "WindowedSeries",
+]

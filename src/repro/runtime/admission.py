@@ -207,6 +207,10 @@ class RackDriver:
         self._running_tl = obs.timeline("rack.running")
         self._queued_tl = obs.timeline("rack.queued")
         obs.registry.add_collector(self._collect_tenant_metrics)
+        # Continuous telemetry: per-window running/queued levels fold
+        # from the timelines the admission paths already record.
+        obs.telemetry.watch_timeline(self._running_tl)
+        obs.telemetry.watch_timeline(self._queued_tl)
 
     # -- admission gate ------------------------------------------------------
 
@@ -621,11 +625,15 @@ class RackDriver:
 
         def sampler():
             capacity = sum(d.capacity for d in self.rts.cluster.memory.values())
+            telem = self._obs.telemetry
             while self._sampling:
                 used = sum(d.used for d in self.rts.cluster.memory.values())
-                self.stats.memory_utilization.record(
-                    engine.now, used / capacity if capacity else 0.0
-                )
+                util = used / capacity if capacity else 0.0
+                self.stats.memory_utilization.record(engine.now, util)
+                telem.record_level("rack.memory_util", engine.now, util)
+                # The sampler is the rack's telemetry cadence: fold
+                # every watcher and sweep the burn-rate rules.
+                telem.poll(engine.now)
                 yield engine.timeout(self.sample_interval_ns)
 
         engine.process(arrival_process(), name="rack-arrivals")
@@ -643,6 +651,9 @@ class RackDriver:
         self._sampling = False
         sampler_proc.kill()
         engine.run()
+        # End-of-trace: one final fold so the last partial window and
+        # any still-open alert spans land in the export.
+        self._obs.telemetry.finalize(engine.now)
         return self.stats
 
     # -- per-tenant observability --------------------------------------------

@@ -390,6 +390,20 @@ class HealthMonitor:
         self._watched: typing.Dict[str, typing.Set[Process]] = {}
         self._callbacks: typing.List[typing.Callable[[], None]] = []
         cluster.health_monitor = self
+        # Continuous telemetry: per-window degradation-detection rate
+        # and the currently-degraded level, folded on every poll.
+        telem = self.obs.telemetry
+        telem.watch(
+            "health.degraded_events",
+            lambda: self.obs.counter("health.degraded_events").value,
+            kind="rate",
+        )
+        telem.watch(
+            "health.degraded_now",
+            lambda: float(len(self.degraded_devices())
+                          + len(self.degraded_links())),
+            kind="level",
+        )
         cluster.faults.on(FaultKind.NODE_CRASH, self._on_node_crash)
         cluster.faults.on(FaultKind.NODE_REBOOT, self._on_node_reboot)
         cluster.faults.on(FaultKind.LINK_DOWN, self._on_link_down)

@@ -1657,6 +1657,28 @@ class RuntimeSystem:
             # cost model must not keep quoting dead devices.
             self.health.on_change(self.costmodel.invalidate)
         cluster.obs.registry.add_collector(self._collect_runtime_metrics)
+        # Continuous-telemetry watchers: per-window job throughput and
+        # the in-flight level, derived from counters the hot paths
+        # already maintain (no extra work per job event).
+        obs = cluster.obs
+        telem = obs.telemetry
+        telem.watch(
+            "jobs.completed",
+            lambda: obs.counter("jobs.completed").value, kind="rate",
+        )
+        telem.watch(
+            "jobs.failed",
+            lambda: obs.counter("jobs.failed").value, kind="rate",
+        )
+        telem.watch(
+            "rts.inflight",
+            lambda: (
+                obs.counter("jobs.submitted").value
+                - obs.counter("jobs.completed").value
+                - obs.counter("jobs.failed").value
+            ),
+            kind="level",
+        )
 
     @property
     def backups(self):

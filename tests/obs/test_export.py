@@ -69,6 +69,24 @@ class TestJsonlRoundTrip:
         loaded = load_jsonl(str(path))
         assert isinstance(loaded["events"][0]["fields"]["weird"], str)
 
+    def test_telemetry_section_round_trips(self, tmp_path):
+        obs = Observability()
+        obs.telemetry.record("lat", 50_000.0, 123.0)
+        obs.telemetry.record_level("depth", 10_000.0, 3.0)
+        obs.telemetry.hotness.record_access("r1", "dev", 4096.0, 0.0)
+        path = tmp_path / "telem.jsonl"
+        obs.export_jsonl(str(path))
+        loaded = load_jsonl(str(path))["telemetry"]
+        live = obs.telemetry.data()
+        assert loaded["window_ns"] == live["window_ns"]
+        assert set(loaded["series"]) == {"lat", "depth"}
+        # The per-series kind survives the record-kind collision.
+        assert loaded["series"]["lat"]["kind"] == "sample"
+        assert loaded["series"]["depth"]["kind"] == "level"
+        assert (loaded["series"]["lat"]["windows"]
+                == live["series"]["lat"]["windows"])
+        assert loaded["hotness"]["seen"] == 1
+
 
 class TestChromeTrace:
     def test_spans_become_duration_events(self, traced_run, tmp_path):
@@ -97,6 +115,35 @@ class TestSparkline:
         assert sparkline([]) == ""
         assert sparkline([(3.0, 1.0)]) == "█"
         assert sparkline([(3.0, 0.0)]) == " "
+
+    def test_single_sample_with_later_until(self):
+        # One change point plus an `until` horizon is a valid window:
+        # the level holds from the sample to the horizon.
+        line = sparkline([(3.0, 1.0)], width=5, until=8.0)
+        assert line == "█████"
+
+    def test_until_before_first_change_point(self):
+        # A horizon at/before the first sample collapses to the
+        # single-block degenerate rendering, not a crash or negative
+        # window.
+        assert sparkline([(5.0, 2.0), (9.0, 0.0)], until=5.0) == "█"
+        assert sparkline([(5.0, 0.0), (9.0, 2.0)], until=1.0) == " "
+
+    def test_explicit_peak_zero_falls_back_to_series_max(self):
+        # peak=0 cannot scale anything; it must behave like the
+        # default (series max), not divide by zero.
+        with_zero = sparkline([(0.0, 1.0), (5.0, 3.0)], width=4,
+                              until=10.0, peak=0)
+        with_default = sparkline([(0.0, 1.0), (5.0, 3.0)], width=4,
+                                 until=10.0)
+        assert with_zero == with_default
+        assert with_zero[-1] == "█"
+
+    def test_non_monotone_sample_times_render_as_sorted(self):
+        shuffled = [(5.0, 2.0), (0.0, 0.0), (9.0, 1.0)]
+        ordered = sorted(shuffled)
+        assert (sparkline(shuffled, width=6, until=10.0)
+                == sparkline(ordered, width=6, until=10.0))
 
 
 class TestDashboard:

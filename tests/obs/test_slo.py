@@ -1,0 +1,124 @@
+"""SLO tracking: policies, budgets, and retroactive miss classification."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.slo import SloPolicy, SloTracker
+
+
+class TestSloPolicy:
+    def test_budget_is_one_minus_objective(self):
+        assert SloPolicy(1e6, objective=0.99).budget == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(1e6, objective=1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(1e6, objective=0.0)
+
+
+class TestLiveClassification:
+    def test_misses_counted_exactly_at_record_time(self):
+        tracker = SloTracker()
+        tracker.set_policy("web", target_ns=1e6)
+        for _ in range(9):
+            tracker.record("web", 1e5)
+        tracker.record("web", 5e6)
+        state = tracker["web"]
+        assert state.missed == 1
+        assert state.miss_fraction == pytest.approx(0.1)
+
+    def test_failures_always_miss(self):
+        tracker = SloTracker()
+        tracker.set_policy("web", target_ns=1e6)
+        tracker.record("web", 1e3, ok=False)  # fast but failed
+        assert tracker["web"].missed == 1
+
+
+class TestRetroClassification:
+    def test_pre_policy_observations_are_reclassified(self):
+        tracker = SloTracker()
+        # Observations land BEFORE the policy.  Use bucket-aligned
+        # latencies (powers of two) so the interpolated estimate is
+        # exact: 1024 sits at a bucket boundary, so everything above
+        # the 1024 target counts in full and nothing below leaks in.
+        for _ in range(90):
+            tracker.record("late", 512.0)
+        for _ in range(10):
+            tracker.record("late", 1_000_000.0)
+        assert tracker["late"].missed == 0  # no policy yet
+        state = tracker.set_policy("late", target_ns=1024.0)
+        assert state.missed == 10
+        assert state.burn_rate == pytest.approx(10.0)  # 0.1 / 0.01
+
+    def test_interpolated_share_within_straddling_bucket(self):
+        tracker = SloTracker()
+        # All 100 observations in one bucket [1024, 2048); a target at
+        # the bucket midpoint should classify about half as misses.
+        for _ in range(100):
+            tracker.record("mid", 1_500.0)
+        state = tracker.set_policy("mid", target_ns=1_536.0)
+        assert 40 <= state.missed <= 60
+
+    def test_estimate_clamped_to_total(self):
+        tracker = SloTracker()
+        for _ in range(5):
+            tracker.record("all", 1e9, ok=False)
+        state = tracker.set_policy("all", target_ns=1.0)
+        assert state.missed == 5  # never exceeds total
+
+    def test_failures_floor_the_estimate(self):
+        tracker = SloTracker()
+        # Fast latencies (below any future target) but all failed:
+        # the histogram share is ~0, failures must still count.
+        for _ in range(4):
+            tracker.record("fail", 100.0, ok=False)
+        state = tracker.set_policy("fail", target_ns=1e9)
+        assert state.missed == 4
+
+    def test_snapshot_flags_retro_classified_workloads(self):
+        tracker = SloTracker()
+        tracker.record("late", 5e6)
+        tracker.set_policy("late", target_ns=1e6)
+        tracker.set_policy("fresh", target_ns=1e6)
+        tracker.record("fresh", 5e6)
+        snap = tracker.snapshot()
+        assert snap["late"]["retro_classified"] == 1
+        assert "retro_classified" not in snap["fresh"]
+
+    def test_policy_before_any_observation_is_not_flagged(self):
+        tracker = SloTracker()
+        tracker.set_policy("web", target_ns=1e6)
+        assert tracker.retro_classified == {}
+
+    def test_retro_classification_counted_in_telemetry(self):
+        obs = Observability()
+        obs.slo.record("late", 5e6)
+        obs.slo.set_policy("late", target_ns=1e6)
+        snap = obs.registry.snapshot()
+        assert snap["telemetry.slo_retro_classified"]["value"] == 1.0
+
+    def test_retro_classify_without_policy_is_noop(self):
+        tracker = SloTracker()
+        tracker.record("free", 5e6)
+        assert tracker["free"].retro_classify() == 0
+
+
+class TestTelemetryFeed:
+    def test_every_record_feeds_the_hub(self):
+        obs = Observability()
+        obs.slo.set_policy("web", target_ns=1e6)
+        obs.slo.record("web", 5e5)
+        obs.slo.record("web", 5e6)
+        totals = obs.telemetry.get_series("slo.total/web")
+        misses = obs.telemetry.get_series("slo.missed/web")
+        assert totals.sum_over(0.0, 0.0)[0] == 2.0
+        assert misses.sum_over(0.0, 0.0)[0] == 1.0
+
+    def test_standalone_tracker_tolerates_no_hub(self):
+        tracker = SloTracker()
+        tracker.set_policy("web", target_ns=1e6)
+        tracker.record("web", 5e5)  # telemetry is None; must not raise
+        assert tracker["web"].total == 1
