@@ -17,8 +17,9 @@ Run:  python examples/database_analytics.py
 
 import numpy as np
 
-from repro import Cluster, RegionType, RuntimeSystem
-from repro.apps import MiniDB, build_query_job, region_census
+import repro.api as api
+from repro import Cluster, RegionType
+from repro.apps import MiniDB, region_census
 from repro.metrics import Table, format_ns
 from repro.workloads import synthetic_table
 
@@ -43,9 +44,10 @@ def logical_query() -> None:
 
 def physical_run() -> None:
     cluster = Cluster.preset("pooled-rack", trace_categories={"memory"})
-    rts = RuntimeSystem(cluster)
-    job = build_query_job(n_rows=500_000, selectivity=0.2)
-    stats = rts.run_job(job)
+    with api.connect(cluster=cluster) as session:
+        handle = session.submit_app("dbms", n_rows=500_000, selectivity=0.2)
+        session.run()
+        stats = session.result(handle)
 
     print("\nPhysical execution (runtime on the pooled rack):")
     schedule = Table(["operator", "device", "duration"])

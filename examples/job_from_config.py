@@ -13,7 +13,8 @@ Run:  python examples/job_from_config.py
 
 import pathlib
 
-from repro import Cluster, RuntimeSystem
+import repro.api as api
+from repro import Cluster
 from repro.dataflow import job_from_json
 from repro.metrics import format_ns
 
@@ -25,21 +26,21 @@ def main() -> None:
     print(f"loaded {CONFIG.name} ({len(text)} bytes of declarative job)\n")
 
     cluster = Cluster.preset("pooled-rack", seed=11)
-    rts = RuntimeSystem(cluster)
+    with api.connect(cluster=cluster) as session:
+        # Dry run: what would the runtime do, and why?
+        plan = session.rts.plan(job_from_json(text))
+        print(plan.render())
+        print(f"\ncritical path: {' -> '.join(plan.critical_path())}")
 
-    # Dry run: what would the runtime do, and why?
-    plan = rts.plan(job_from_json(text))
-    print(plan.render())
-    print(f"\ncritical path: {' -> '.join(plan.critical_path())}")
-
-    # Now for real (jobs are single-use; load a fresh copy).
-    stats = rts.run_job(job_from_json(text))
-    print(f"\nexecuted: makespan {format_ns(stats.makespan)} "
-          f"(predicted {format_ns(plan.predicted_makespan)}, "
-          f"ratio {stats.makespan / plan.predicted_makespan:.2f}x)")
-    print(f"assignment matched the plan: {stats.assignment == plan.assignment}")
-    print(f"zero-copy handovers: {stats.zero_copy_handover}, "
-          f"leaked regions: {len(rts.memory.live_regions())}")
+        # Now for real (jobs are single-use; load a fresh copy).
+        stats = session.run(job_from_json(text))
+        print(f"\nexecuted: makespan {format_ns(stats.makespan)} "
+              f"(predicted {format_ns(plan.predicted_makespan)}, "
+              f"ratio {stats.makespan / plan.predicted_makespan:.2f}x)")
+        print(f"assignment matched the plan: "
+              f"{stats.assignment == plan.assignment}")
+        print(f"zero-copy handovers: {stats.zero_copy_handover}, leaked "
+              f"regions: {len(session.rts.memory.live_regions())}")
 
 
 if __name__ == "__main__":

@@ -12,8 +12,8 @@ media.
 Run:  python examples/ml_training_cachew.py
 """
 
-from repro import Cluster, ComputeKind, RuntimeSystem
-from repro.apps import build_training_job
+import repro.api as api
+from repro import Cluster, ComputeKind
 from repro.metrics import Table, format_bytes, format_ns
 
 MiB = 1024 * 1024
@@ -21,19 +21,19 @@ MiB = 1024 * 1024
 
 def main() -> None:
     cluster = Cluster.preset("pooled-rack", trace_categories={"memory"})
-    rts = RuntimeSystem(cluster)
-
-    job = build_training_job(
-        n_samples=50_000, sample_bytes=1024,
-        model_bytes=16 * MiB, epochs=3,
-        accelerator=ComputeKind.GPU,
-    )
-    stats = rts.run_job(job)
+    with api.connect(cluster=cluster) as session:
+        handle = session.submit_app(
+            "ml",
+            n_samples=50_000, sample_bytes=1024,
+            model_bytes=16 * MiB, epochs=3,
+            accelerator=ComputeKind.GPU,
+        )
+        session.run()
+        stats = session.result(handle)
 
     print(f"training pipeline finished in {format_ns(stats.makespan)}\n")
     table = Table(["stage", "device", "duration"], title="Schedule")
-    for name in [t.name for t in job.topological_order()]:
-        ts = stats.tasks[name]
+    for name, ts in stats.tasks.items():
         table.add_row(name, ts.device, format_ns(ts.duration))
     print(table)
 

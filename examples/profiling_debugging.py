@@ -12,7 +12,8 @@ makespan improve.
 Run:  python examples/profiling_debugging.py
 """
 
-from repro import Cluster, RuntimeSystem
+import repro.api as api
+from repro import Cluster
 from repro.apps import build_hospital_job
 from repro.metrics import Profile, format_ns
 
@@ -20,7 +21,6 @@ from repro.metrics import Profile, format_ns
 def profiled_run(tune_hot_region: bool):
     cluster = Cluster.preset("pooled-rack", seed=11,
                              trace_categories={"profile"})
-    rts = RuntimeSystem(cluster)
     job = build_hospital_job(n_frames=64)
     if tune_hot_region:
         # The fix the profiler suggests below: the track-hours timesheet
@@ -32,7 +32,8 @@ def profiled_run(tune_hot_region: bool):
         track = job.tasks["track_hours"]
         tuned_scratch = dataclasses.replace(track.work.scratch, access_size=256)
         track.work = dataclasses.replace(track.work, scratch=tuned_scratch)
-    stats = rts.run_job(job)
+    with api.connect(cluster=cluster) as session:
+        stats = session.run(job)
     return cluster, stats
 
 

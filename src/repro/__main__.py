@@ -6,7 +6,9 @@ Commands:
 * ``info <preset>`` — describe a cluster: devices, capacities, and the
   end-to-end access characteristics every CPU observes (a live Table 1);
 * ``demo [preset]`` — run the quickstart pipeline and print the
-  schedule, placements, and handover summary.
+  schedule, placements, and handover summary;
+* ``llm [preset]`` — serve an LLM request stream colocated vs
+  disaggregated-with-prefix-reuse and print the comparison.
 """
 
 from __future__ import annotations
@@ -96,7 +98,6 @@ def cmd_demo(args) -> int:
 
     MiB = 1 << 20
     cluster = Cluster.preset(args.preset, trace_categories={"memory"})
-    session = connect(cluster=cluster)
     # No Global State: the demo must run even on Figure 1a architectures,
     # where CPU and GPU share no coherence domain (see Scheduler.state_domain).
     job = Job("demo")
@@ -116,7 +117,9 @@ def cmd_demo(args) -> int:
     job.connect(ingest, train)
     job.connect(train, report)
 
-    stats = session.run(job)
+    with connect(cluster=cluster) as session:
+        stats = session.run(job)
+        leaked = len(session.rts.memory.live_regions())
     print(f"demo job finished in {format_ns(stats.makespan)} (simulated)\n")
     schedule = Table(["task", "device", "duration"], title="Schedule")
     for name, task_stats in stats.tasks.items():
@@ -128,8 +131,58 @@ def cmd_demo(args) -> int:
         placement.add_row(event.fields["region"], event.fields["device"])
     print(placement)
     print(f"\nhandover: {stats.zero_copy_handover} zero-copy, "
-          f"{stats.copy_handover} copies; leaked regions: "
-          f"{len(session.rts.memory.live_regions())}")
+          f"{stats.copy_handover} copies; leaked regions: {leaked}")
+    return 0
+
+
+def cmd_llm(args) -> int:
+    from repro import connect
+    from repro.apps import LLMEngine, define_pd_pools
+    from repro.workloads import llm_request_stream
+
+    # The regime that motivates P/D splits: long mixed prompts (heavy
+    # prefill), short interactive outputs, enough admitted concurrency
+    # that prefills and decodes actually contend for device slots.
+    requests = llm_request_stream(
+        64, seed=7,
+        prompt_tail_tokens=(64, 512), output_tokens=(4, 16),
+        template_blocks=(4, 12), mean_interarrival_ns=400_000.0,
+    )
+
+    def serve(disaggregate: bool, prefix_caching: bool):
+        with connect(args.preset, seed=7, max_concurrent=32) as session:
+            session.register_tenant("chat", weight=2.0,
+                                    priority="interactive")
+            if disaggregate:
+                define_pd_pools(session.cluster)
+            engine = LLMEngine(session, disaggregate=disaggregate,
+                               prefix_caching=prefix_caching,
+                               kv_bytes_per_token=512,
+                               ops_per_token=1e8)
+            result = engine.serve(requests)
+            engine.shutdown()
+            return result
+
+    table = Table(
+        ["configuration", "completed", "prefix hit rate", "KV moved",
+         "decode p95", "e2e p95"],
+        title="LLM serving: colocated vs disaggregated + prefix reuse",
+    )
+    for label, disagg, reuse in (
+        ("colocated", False, False),
+        ("disaggregated P/D", True, False),
+        ("disaggregated + prefix reuse", True, True),
+    ):
+        result = serve(disagg, reuse)
+        table.add_row(
+            label, result.completed, f"{result.hit_rate:.0%}",
+            format_bytes(result.kv_bytes_moved),
+            format_ns(result.percentile(result.decode_ns(), 95)),
+            format_ns(result.percentile(result.e2e_ns(), 95)),
+        )
+        assert not result.leaked, "shared KV regions must drain to 0"
+    print(table)
+    print("\nall shared prefix regions drained to refcount 0 (no leaks)")
     return 0
 
 
@@ -148,9 +201,13 @@ def main(argv=None) -> int:
     demo = subparsers.add_parser("demo", help="run the quickstart pipeline")
     demo.add_argument("preset", nargs="?", default="pooled-rack",
                       choices=presets.available())
+    llm = subparsers.add_parser(
+        "llm", help="compare colocated vs disaggregated LLM serving")
+    llm.add_argument("preset", nargs="?", default="pooled-rack",
+                     choices=presets.available())
     args = parser.parse_args(argv)
     handlers = {"presets": cmd_presets, "info": cmd_info,
-                "topo": cmd_topo, "demo": cmd_demo}
+                "topo": cmd_topo, "demo": cmd_demo, "llm": cmd_llm}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:  # e.g. `python -m repro info ... | head`

@@ -26,6 +26,8 @@ The old entry points keep working behind once-per-process
 
 from __future__ import annotations
 
+import difflib
+import inspect
 import typing
 
 from repro.dataflow.graph import Job
@@ -69,8 +71,15 @@ def connect(
     simulated clock behind a router, returned as a
     :class:`~repro.federation.session.FederatedSession` whose
     ``submit``/``run`` go through the routing policy named by
-    ``routing`` (``round_robin``, ``least_loaded``, or ``affinity``).
+    ``routing`` (``round_robin``, ``least_loaded``, ``affinity``, or
+    ``prefix_affinity``).
+
+    Both session kinds are context managers: ``with api.connect(...)
+    as s:`` finalizes telemetry and renders the final dashboard on
+    exit.  Unknown keyword options raise ``TypeError`` naming the
+    nearest valid one.
     """
+    _check_rack_options(rack_options, federated=racks is not None)
     if racks is not None:
         if cluster is not None:
             raise ValueError("racks=N builds its own clusters; drop cluster=")
@@ -95,12 +104,47 @@ def connect(
     return Session(rts, driver)
 
 
+def _valid_rack_options(federated: bool) -> typing.FrozenSet[str]:
+    """The option vocabulary ``connect(**rack_options)`` accepts."""
+    params = inspect.signature(RackDriver.__init__).parameters
+    valid = {n for n in params if n not in ("self", "rts")}
+    if federated:
+        from repro.federation.session import federate
+
+        fed = inspect.signature(federate).parameters
+        valid |= {
+            n for n, p in fed.items()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        }
+        valid -= {"tenants"}  # per-rack registries in a federation
+    return frozenset(valid)
+
+
+def _check_rack_options(options: typing.Mapping[str, object],
+                        federated: bool) -> None:
+    """Reject unknown ``connect`` options, naming the nearest valid one."""
+    valid = _valid_rack_options(federated)
+    for name in options:
+        if name in valid:
+            continue
+        close = difflib.get_close_matches(name, sorted(valid), n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise TypeError(
+            f"connect() got an unexpected keyword argument {name!r}{hint} "
+            f"(valid options: {', '.join(sorted(valid))})"
+        )
+
+
 class Session:
     """A connected rack: tenants, submission, execution, reporting."""
 
     def __init__(self, rts: RuntimeSystem, driver: RackDriver):
         self.rts = rts
         self.driver = driver
+        #: True once :meth:`close` has finalized the run.
+        self.closed = False
+        #: The end-of-run dashboard rendered by :meth:`close`.
+        self.final_dashboard: typing.Optional[str] = None
 
     # -- plumbing accessors ----------------------------------------------
 
@@ -184,6 +228,32 @@ class Session:
             job.name, job, tenant=tenant, priority=priority, cost=cost,
         )
 
+    def submit_app(
+        self,
+        app: str,
+        spec: typing.Optional[typing.Mapping[str, object]] = None,
+        *,
+        tenant: typing.Optional[str] = None,
+        priority: typing.Union[PriorityClass, str, int, None] = None,
+        cost: float = 1.0,
+        **spec_kwargs,
+    ) -> AdmittedJob:
+        """Queue one app-class job by name through QoS admission.
+
+        ``app`` names a class from :data:`repro.apps.APP_BUILDERS`
+        (``census``, ``dbms``, ``hpc``, ``llm``, ``ml``,
+        ``streaming``); ``spec`` (a mapping) and/or keyword arguments
+        forward to its builder.  This is the typed front door: every
+        app class enters through the same admission/tenancy path,
+        instead of each driver submitting ad hoc.
+        """
+        from repro.apps import build_app_job
+
+        merged = dict(spec or {})
+        merged.update(spec_kwargs)
+        job = build_app_job(app, **merged)
+        return self.submit(job, tenant=tenant, priority=priority, cost=cost)
+
     def run(
         self,
         *jobs: Job,
@@ -210,6 +280,15 @@ class Session:
             stats = self._result(handle)
             results.append(stats)
         return results[0] if len(jobs) == 1 else results
+
+    def result(self, handle: AdmittedJob) -> typing.Optional[JobStats]:
+        """Finished stats for a ``submit``/``submit_app`` handle.
+
+        ``None`` for a shed job; raises the job's error if it failed;
+        raises ``RuntimeError`` if the clock was never driven far
+        enough for the job to be admitted.
+        """
+        return self._result(handle)
 
     def _result(self, handle: AdmittedJob) -> typing.Optional[JobStats]:
         """Finished stats for a handle; raises the job's error."""
@@ -241,6 +320,30 @@ class Session:
         from repro.obs.dashboard import render_dashboard
 
         return render_dashboard(self.obs.data(), job=job)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Finalize the run: flush telemetry, render the last dashboard.
+
+        The telemetry hub takes its final poll and still-open alert
+        spans are closed (an unresolved breach stays visible in the
+        data); the end-of-run dashboard is kept on
+        :attr:`final_dashboard`.  Idempotent.
+        """
+        if self.closed:
+            return
+        self.obs.telemetry.finalize(self.rts.cluster.engine.now)
+        self.final_dashboard = self.dashboard()
+        self.closed = True
+
+    def __enter__(self) -> "Session":
+        """``with api.connect(...) as session:`` support."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the session when the ``with`` block ends."""
+        self.close()
 
 
 __all__ = [

@@ -13,8 +13,20 @@ each:
 * :mod:`repro.apps.hpc` — an iterative stencil job (node-local working
   memory, job metadata in Global State, results to Global Scratch);
 * :mod:`repro.apps.streaming` — the hospital CCTV job of Figure 2 with
-  the exact property cards of Figure 2c.
+  the exact property cards of Figure 2c;
+* :mod:`repro.apps.llm` — LLM serving with disaggregated
+  prefill/decode, KV-cache ownership transfer, and refcounted shared
+  prefix regions (the executor lives in :mod:`repro.apps.llm_exec`);
+* :mod:`repro.apps.census` — the region-usage census plus a probe job
+  touching every Table 2 region type.
+
+Every class is also launchable by name through the facade:
+``Session.submit_app("llm", spec)`` resolves the builder via
+:data:`APP_BUILDERS` / :func:`build_app_job`, so all six enter through
+admission/tenancy uniformly.
 """
+
+import typing
 
 from repro.apps.streaming import build_hospital_job
 from repro.apps.dbms import MiniDB, build_query_job
@@ -27,29 +39,76 @@ from repro.apps.dbms_exec import (
 )
 from repro.apps.ml import build_training_job
 from repro.apps.hpc import build_stencil_job
-from repro.apps.census import region_census
+from repro.apps.census import build_probe_job, region_census
 from repro.apps.stream_exec import StreamExecutor, StreamStats, WindowRecord
 from repro.apps.ml_exec import LinearTrainer, TrainingResult, make_regression_data
 from repro.apps.hpc_exec import JacobiSolver, SolveResult, make_heat_problem
+from repro.apps.llm import (
+    DECODE_POOL,
+    PREFILL_POOL,
+    PrefixTrie,
+    build_request_job,
+    define_pd_pools,
+)
+from repro.apps.llm_exec import LLMEngine, RequestRecord, ServeResult
+
+#: The typed app-submission registry: app-class name -> job builder.
+#: Every builder takes only keyword-friendly scalars (the "spec") and
+#: returns a validated :class:`~repro.dataflow.graph.Job`.
+APP_BUILDERS: typing.Dict[str, typing.Callable] = {
+    "census": build_probe_job,
+    "dbms": build_query_job,
+    "hpc": build_stencil_job,
+    "llm": build_request_job,
+    "ml": build_training_job,
+    "streaming": build_hospital_job,
+}
+
+
+def build_app_job(app: str, **spec):
+    """Build one app-class job by name (``Session.submit_app``'s core).
+
+    ``spec`` forwards to the class's builder (see :data:`APP_BUILDERS`);
+    an unknown app name raises ``ValueError`` listing the valid ones.
+    """
+    builder = APP_BUILDERS.get(app)
+    if builder is None:
+        raise ValueError(
+            f"unknown app class {app!r}; valid classes: "
+            f"{', '.join(sorted(APP_BUILDERS))}"
+        )
+    return builder(**spec)
+
 
 __all__ = [
+    "APP_BUILDERS",
+    "DECODE_POOL",
     "Filter",
     "GroupCount",
     "HashJoin",
     "JacobiSolver",
+    "LLMEngine",
     "LinearTrainer",
     "MiniDB",
+    "PREFILL_POOL",
     "PhysicalQueryEngine",
+    "PrefixTrie",
+    "RequestRecord",
     "Scan",
+    "ServeResult",
     "SolveResult",
     "StreamExecutor",
     "StreamStats",
     "TrainingResult",
     "WindowRecord",
+    "build_app_job",
     "build_hospital_job",
+    "build_probe_job",
     "build_query_job",
+    "build_request_job",
     "build_stencil_job",
     "build_training_job",
+    "define_pd_pools",
     "make_heat_problem",
     "make_regression_data",
     "region_census",

@@ -9,8 +9,15 @@ from __future__ import annotations
 
 import typing
 
+from repro.dataflow.graph import Job, Task
+from repro.dataflow.properties import TaskProperties
+from repro.dataflow.workspec import RegionUsage, WorkSpec
+from repro.hardware.spec import ComputeKind, OpClass
+from repro.memory.interfaces import AccessPattern
 from repro.memory.regions import RegionType, lookup_region_type
 from repro.sim.trace import TraceLog
+
+KiB = 1024
 
 
 def region_census(trace: TraceLog) -> typing.Dict[object, int]:
@@ -31,3 +38,56 @@ def region_census(trace: TraceLog) -> typing.Dict[object, int]:
             region_type = str(rtype)
         census[region_type] = census.get(region_type, 0) + 1
     return census
+
+
+def build_probe_job(
+    payload_bytes: int = 256 * KiB,
+    *,
+    name: str = "region-probe",
+) -> Job:
+    """A three-task job that touches every Table 2 region type.
+
+    ``source -> worker -> sink``: the source emits an Output/Input edge,
+    the worker keeps Private Scratch, checkpoints into Global State,
+    and publishes a Global Scratch slot the sink consumes.  Running it
+    and taking a :func:`region_census` of the trace is the smoke test
+    that a stack allocates the full region vocabulary.
+    """
+    if payload_bytes < 64:
+        raise ValueError(f"payload must be >= 64 bytes, got {payload_bytes}")
+    job = Job(name, global_state_size=64 * KiB)
+
+    source = job.add_task(Task(
+        "source",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=float(payload_bytes) / 64,
+            output=RegionUsage(payload_bytes),
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU),
+    ))
+    worker = job.add_task(Task(
+        "worker",
+        work=WorkSpec(
+            op_class=OpClass.VECTOR, ops=float(payload_bytes) / 16,
+            input_usage=RegionUsage(0),
+            scratch=RegionUsage(payload_bytes, touches=2.0),
+            state_usage=RegionUsage(4 * KiB, pattern=AccessPattern.RANDOM),
+            scratch_puts={"probe-cache": RegionUsage(payload_bytes)},
+            output=RegionUsage(4 * KiB),
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU),
+    ))
+    sink = job.add_task(Task(
+        "sink",
+        work=WorkSpec(
+            op_class=OpClass.SCALAR, ops=float(payload_bytes) / 64,
+            input_usage=RegionUsage(0),
+            scratch_gets=("probe-cache",),
+            output=RegionUsage(4 * KiB),
+        ),
+        properties=TaskProperties(compute=ComputeKind.CPU),
+    ))
+    job.connect(source, worker)
+    job.connect(worker, sink)
+    job.validate()
+    return job

@@ -31,6 +31,7 @@ from repro.hardware.spec import ComputeKind, OpClass
 from repro.memory.interfaces import AccessPattern
 from repro.memory.properties import LatencyClass
 from repro.runtime.rts import JobStats, RuntimeSystem
+from repro.apps import _session
 
 KiB = 1024
 
@@ -107,8 +108,10 @@ def _nbytes(value) -> int:
 class PhysicalQueryEngine:
     """Compiles plans to jobs and runs them on a RuntimeSystem."""
 
-    def __init__(self, rts: RuntimeSystem):
-        self.rts = rts
+    def __init__(self, session=None, rts: typing.Optional[RuntimeSystem] = None):
+        self.session, self.rts = _session.resolve(
+            "PhysicalQueryEngine", session, rts,
+        )
         self.db = MiniDB()
         self._query_counter = 0
 
@@ -147,8 +150,7 @@ class PhysicalQueryEngine:
     def execute(self, plan: PlanNode) -> typing.Tuple[object, JobStats]:
         """Compile, run, and return (real result, simulated stats)."""
         job, results = self.compile(plan)
-        execution = self.rts._submit(job)
-        stats = self.rts.cluster.engine.run(until=execution.done)
+        stats = _session.run_job(self.session, self.rts, job)
         return results["__root__"], stats
 
     # -- operator tasks ------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.hardware.spec import ComputeKind, OpClass
 from repro.memory.interfaces import AccessPattern
 from repro.memory.properties import LatencyClass
 from repro.runtime.rts import JobStats, RuntimeSystem
+from repro.apps import _session
 
 KiB = 1024
 
@@ -56,14 +57,15 @@ class JacobiSolver:
 
     def __init__(
         self,
-        rts: RuntimeSystem,
+        session=None,
         n_workers: int = 4,
         iterations: int = 10,
         tolerance: float = 1e-4,
+        rts: typing.Optional[RuntimeSystem] = None,
     ):
         if n_workers < 1 or iterations < 1 or tolerance <= 0:
             raise ValueError("invalid solver parameters")
-        self.rts = rts
+        self.session, self.rts = _session.resolve("JacobiSolver", session, rts)
         self.n_workers = n_workers
         self.iterations = iterations
         self.tolerance = tolerance
@@ -182,8 +184,7 @@ class JacobiSolver:
             previous = barrier
 
         job.validate()
-        execution = self.rts._submit(job)
-        stats = self.rts.cluster.engine.run(until=execution.done)
+        stats = _session.run_job(self.session, self.rts, job)
         return SolveResult(
             field=state["grid"],
             residuals=state["residuals"],

@@ -1,0 +1,229 @@
+"""LLM serving on the programming model: disaggregated prefill/decode.
+
+The app class that made memory disaggregation mainstream, mapped onto
+the paper's abstractions:
+
+* **prefill** runs the whole prompt through the model once —
+  compute-bound MATMUL work — and materializes the request's KV cache
+  as its *output region*;
+* the KV region's **ownership transfers** to the decode task through
+  the runtime's ordinary handover (Figure 4 move semantics): zero-copy
+  when both devices address the pool, an explicit fabric copy
+  otherwise;
+* **decode** generates tokens autoregressively on a *different* compute
+  device — memory-bandwidth-bound work that re-reads the KV cache and
+  streams the model weights once per generated token;
+* common prompt *prefixes* are shareable: their KV blocks become
+  refcounted read-only shared regions in a :class:`PrefixTrie`-indexed
+  cache (:mod:`repro.apps.llm_exec`), so a hit skips prefill for the
+  shared span.
+
+The prefill/decode split is declared with
+:data:`~repro.dataflow.properties.TaskProperties` ``device_pool`` roles
+(:data:`PREFILL_POOL` / :data:`DECODE_POOL`) — the job never names a
+device; :func:`define_pd_pools` teaches a cluster which accelerators
+play which role.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataflow.graph import Job, Task
+from repro.dataflow.properties import TaskProperties
+from repro.dataflow.workspec import RegionUsage, WorkSpec
+from repro.hardware.spec import ComputeKind, OpClass
+from repro.memory.interfaces import AccessPattern
+from repro.memory.properties import LatencyClass
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.cluster import Cluster
+
+KiB = 1024
+MiB = 1024 * KiB
+
+#: Compute-pool roles for the P/D split (see ``Cluster.define_pool``).
+PREFILL_POOL = "llm-prefill"
+DECODE_POOL = "llm-decode"
+
+
+def define_pd_pools(
+    cluster: "Cluster",
+    kind: ComputeKind = ComputeKind.GPU,
+) -> typing.Tuple[typing.Tuple[str, ...], typing.Tuple[str, ...]]:
+    """Split a cluster's accelerators into prefill and decode pools.
+
+    Devices of ``kind`` are split in name order: the first half serves
+    prefill, the second half decode — the minimal faithful rendering of
+    production P/D disaggregation (dedicated prefill and decode
+    replicas).  Returns ``(prefill_devices, decode_devices)``.  Needs
+    at least two devices of ``kind``; with fewer, skip the split and
+    run colocated (pool-annotated jobs still schedule: an undefined
+    pool does not constrain).
+    """
+    names = sorted(d.name for d in cluster.compute.values() if d.kind == kind)
+    if len(names) < 2:
+        raise ValueError(
+            f"P/D disaggregation needs >= 2 {kind.value} devices, "
+            f"found {names}"
+        )
+    half = len(names) // 2
+    prefill, decode = tuple(names[:half]), tuple(names[half:])
+    cluster.define_pool(PREFILL_POOL, prefill)
+    cluster.define_pool(DECODE_POOL, decode)
+    return prefill, decode
+
+
+def build_request_job(
+    prompt_tokens: int = 256,
+    output_tokens: int = 64,
+    *,
+    cached_prefix_tokens: int = 0,
+    kv_bytes_per_token: int = 2 * KiB,
+    weight_bytes: int = 4 * MiB,
+    ops_per_token: float = 4_000.0,
+    disaggregate: bool = True,
+    name: str = "llm-request",
+) -> Job:
+    """One serving request as a two-phase dataflow job.
+
+    ``cached_prefix_tokens`` is the span a prefix-cache hit covers:
+    prefill only computes (and only emits KV for) the remaining
+    ``prompt_tokens - cached_prefix_tokens`` suffix, while decode still
+    reads the *full* KV working set per generated token — the cached
+    span's bytes come from the shared prefix regions instead of this
+    job's transfer.  With ``disaggregate`` the two phases carry the
+    :data:`PREFILL_POOL` / :data:`DECODE_POOL` roles so a cluster with
+    defined pools runs them on different accelerators.
+    """
+    if prompt_tokens < 1 or output_tokens < 1:
+        raise ValueError(
+            f"need >= 1 prompt and output token, got "
+            f"{prompt_tokens}/{output_tokens}"
+        )
+    if not 0 <= cached_prefix_tokens <= prompt_tokens:
+        raise ValueError(
+            f"cached prefix ({cached_prefix_tokens}) must be within the "
+            f"prompt ({prompt_tokens})"
+        )
+    # A full hit still recomputes the final token (it seeds decode).
+    new_tokens = max(1, prompt_tokens - cached_prefix_tokens)
+    suffix_kv = new_tokens * kv_bytes_per_token
+    prompt_kv = prompt_tokens * kv_bytes_per_token
+
+    job = Job(name)
+
+    prefill = job.add_task(Task(
+        "prefill",
+        work=WorkSpec(
+            # Compute-bound: every new prompt token runs the full model.
+            op_class=OpClass.MATMUL,
+            ops=ops_per_token * new_tokens,
+            scratch=RegionUsage(weight_bytes, touches=2.0),
+            # The KV cache for the uncached suffix: this output region's
+            # ownership transfers to decode (the P->D handover).
+            output=RegionUsage(suffix_kv),
+        ),
+        properties=TaskProperties(
+            compute=ComputeKind.GPU, mem_latency=LatencyClass.LOW,
+            device_pool=PREFILL_POOL if disaggregate else None,
+        ),
+    ))
+
+    # Decode re-reads the whole KV working set once per generated token;
+    # scaling the input touches by prompt/suffix keeps the *total* KV
+    # bytes read independent of where the cached span's bytes live.
+    kv_touches = float(output_tokens) * prompt_kv / suffix_kv
+    decode = job.add_task(Task(
+        "decode",
+        work=WorkSpec(
+            # Bandwidth-bound: light math, heavy streaming.
+            op_class=OpClass.VECTOR,
+            ops=0.25 * ops_per_token * output_tokens,
+            input_usage=RegionUsage(
+                0, touches=kv_touches,
+                pattern=AccessPattern.RANDOM, access_size=256,
+            ),
+            # The model weights stream through once per generated token.
+            scratch=RegionUsage(
+                weight_bytes, touches=float(min(output_tokens, 48)),
+            ),
+            output=RegionUsage(max(256, 4 * output_tokens)),
+        ),
+        properties=TaskProperties(
+            compute=ComputeKind.GPU, mem_latency=LatencyClass.LOW,
+            streaming=True,
+            device_pool=DECODE_POOL if disaggregate else None,
+        ),
+    ))
+
+    job.connect(prefill, decode)
+    job.validate()
+    return job
+
+
+class _TrieNode:
+    __slots__ = ("children", "cached")
+
+    def __init__(self):
+        self.children: typing.Dict[str, "_TrieNode"] = {}
+        self.cached = False
+
+
+class PrefixTrie:
+    """Longest-cached-prefix index over block-id paths.
+
+    Each cached node corresponds to one KV block region in the shared
+    cache, keyed by its full path (``request.blocks[:depth]``).  Lookup
+    walks from the root and stops at the first uncached edge, so a hit
+    always covers a *contiguous* leading span — the only span decode
+    can skip prefill for.
+    """
+
+    def __init__(self):
+        self._root = _TrieNode()
+        self._cached = 0
+
+    def __len__(self) -> int:
+        return self._cached
+
+    def insert(self, path: typing.Sequence[str]) -> None:
+        """Mark the block at ``path`` cached (creating intermediates)."""
+        if not path:
+            raise ValueError("cannot cache the empty path")
+        node = self._root
+        for part in path:
+            node = node.children.setdefault(part, _TrieNode())
+        if not node.cached:
+            node.cached = True
+            self._cached += 1
+
+    def remove(self, path: typing.Sequence[str]) -> None:
+        """Un-cache the block at ``path`` (eviction); idempotent."""
+        node = self._root
+        for part in path:
+            node = node.children.get(part)
+            if node is None:
+                return
+        if node.cached:
+            node.cached = False
+            self._cached -= 1
+
+    def longest_cached(self, blocks: typing.Sequence[str]) -> int:
+        """Length of the longest fully-cached leading run of ``blocks``."""
+        node, depth = self._root, 0
+        for part in blocks:
+            node = node.children.get(part)
+            if node is None or not node.cached:
+                break
+            depth += 1
+        return depth
+
+
+__all__ = [
+    "DECODE_POOL",
+    "PREFILL_POOL",
+    "PrefixTrie",
+    "build_request_job",
+    "define_pd_pools",
+]

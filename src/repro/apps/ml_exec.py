@@ -30,6 +30,7 @@ from repro.hardware.spec import ComputeKind, OpClass
 from repro.memory.interfaces import AccessPattern
 from repro.memory.properties import LatencyClass
 from repro.runtime.rts import JobStats, RuntimeSystem
+from repro.apps import _session
 
 KiB = 1024
 
@@ -53,15 +54,16 @@ class LinearTrainer:
 
     def __init__(
         self,
-        rts: RuntimeSystem,
+        session=None,
         epochs: int = 5,
         batch_size: int = 256,
         learning_rate: float = 0.05,
         accelerator: ComputeKind = ComputeKind.GPU,
+        rts: typing.Optional[RuntimeSystem] = None,
     ):
         if epochs < 1 or batch_size < 1 or learning_rate <= 0:
             raise ValueError("invalid training hyperparameters")
-        self.rts = rts
+        self.session, self.rts = _session.resolve("LinearTrainer", session, rts)
         self.epochs = epochs
         self.batch_size = batch_size
         self.learning_rate = learning_rate
@@ -191,8 +193,7 @@ class LinearTrainer:
         job.connect(previous, evaluate)
         job.validate()
 
-        execution = self.rts._submit(job)
-        stats = self.rts.cluster.engine.run(until=execution.done)
+        stats = _session.run_job(self.session, self.rts, job)
         return TrainingResult(
             weights=state["w"], bias=state["b"],
             loss_per_epoch=loss_per_epoch,

@@ -17,6 +17,7 @@ import typing
 
 from repro.dataflow.graph import Job
 from repro.runtime.rts import RuntimeSystem
+from repro.apps import _session
 
 
 @dataclasses.dataclass
@@ -78,18 +79,26 @@ class StreamStats:
 class StreamExecutor:
     """Pipelined window-at-a-time execution of a job template."""
 
+    #: How often a queued-behind-admission window checks for its slot.
+    ADMISSION_POLL_NS = 2_000.0
+
     def __init__(
         self,
-        rts: RuntimeSystem,
-        template: typing.Callable[[int], Job],
+        session=None,
+        template: typing.Optional[typing.Callable[[int], Job]] = None,
         max_in_flight: int = 2,
         backpressure: str = "queue",
+        rts: typing.Optional[RuntimeSystem] = None,
     ):
+        if template is None:
+            raise TypeError("StreamExecutor needs a template callable")
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         if backpressure not in ("queue", "drop"):
             raise ValueError(f"unknown backpressure policy {backpressure!r}")
-        self.rts = rts
+        self.session, self.rts = _session.resolve(
+            "StreamExecutor", session, rts,
+        )
         self.template = template
         self.max_in_flight = max_in_flight
         self.backpressure = backpressure
@@ -103,20 +112,57 @@ class StreamExecutor:
         engine = self.rts.cluster.engine
         record.started_at = engine.now
         self._in_flight += 1
+        if self.session is not None:
+            admitted = self.session.submit(self.template(record.index))
+            self._track(record, admitted)
+            return
         execution = self.rts._submit(self.template(record.index))
         execution.done.add_callback(
             lambda event, rec=record: self._on_done(rec, event)
         )
 
-    def _on_done(self, record: WindowRecord, event) -> None:
+    def _track(self, record: WindowRecord, admitted) -> None:
+        """Finish the window's bookkeeping once admission runs its job.
+
+        Admission pumps synchronously, so the common case attaches the
+        done-callback immediately; a window queued behind a quota or the
+        concurrency gate is watched by a cheap polling process instead.
+        """
+        engine = self.rts.cluster.engine
+        if admitted.shed:
+            self._settle(record, ok=False)
+            return
+        if admitted.execution is not None:
+            admitted.execution.done.add_callback(
+                lambda event, rec=record: self._on_done(rec, event)
+            )
+            return
+
+        def watcher():
+            while admitted.execution is None and not admitted.shed:
+                yield engine.timeout(self.ADMISSION_POLL_NS)
+            if admitted.shed:
+                self._settle(record, ok=False)
+            else:
+                admitted.execution.done.add_callback(
+                    lambda event, rec=record: self._on_done(rec, event)
+                )
+
+        engine.process(watcher(), name=f"stream-admit-{record.index}")
+
+    def _settle(self, record: WindowRecord, ok: bool) -> None:
         self._in_flight -= 1
-        if event._ok:
+        if ok:
             record.finished_at = self.rts.cluster.engine.now
         else:
-            event.defuse()
             record.dropped = True
         while self._queue and self._in_flight < self.max_in_flight:
             self._launch(self._queue.pop(0))
+
+    def _on_done(self, record: WindowRecord, event) -> None:
+        if not event._ok:
+            event.defuse()
+        self._settle(record, ok=event._ok)
 
     def _on_arrival(self, record: WindowRecord) -> None:
         self.stats.windows.append(record)

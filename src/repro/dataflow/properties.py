@@ -39,6 +39,14 @@ class TaskProperties:
     mem_latency: typing.Optional[LatencyClass] = None
     #: Streamed tasks prefer smaller buffers and incremental handover.
     streaming: bool = False
+    #: Restrict scheduling to a named compute pool
+    #: (:meth:`repro.hardware.cluster.Cluster.define_pool`).  How
+    #: phase-disaggregated pipelines (LLM prefill vs decode) keep paired
+    #: tasks on different devices declaratively: the job names a *role*,
+    #: the cluster decides which devices play it.  A pool the cluster
+    #: does not define leaves the task unconstrained, so pool-annotated
+    #: jobs still run on clusters without the split.
+    device_pool: typing.Optional[str] = None
 
     def scratch_properties(self) -> MemoryProperties:
         """Memory properties for this task's private scratch."""
@@ -67,4 +75,6 @@ class TaskProperties:
             parts.append(f"mem_latency={self.mem_latency.name.lower()}")
         if self.streaming:
             parts.append("streaming")
+        if self.device_pool is not None:
+            parts.append(f"device_pool={self.device_pool}")
         return " ".join(parts)

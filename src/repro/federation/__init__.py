@@ -18,6 +18,7 @@ from repro.federation.router import (
     POLICIES,
     AffinityPolicy,
     LeastLoadedPolicy,
+    PrefixAffinityPolicy,
     RoundRobinPolicy,
     RoutedJob,
     Router,
@@ -31,6 +32,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "OverloadDetector",
     "POLICIES",
+    "PrefixAffinityPolicy",
     "Rack",
     "RackRegistry",
     "RackState",

@@ -23,6 +23,12 @@ Policies (``repro.api.connect(racks=N, routing=...)``):
     fetch: ``interrack_latency_ns + bytes / interrack_bandwidth`` on
     the shared clock, after which the destination rack holds a replica
     (fetch-once, then local).
+``prefix_affinity``
+    Affinity over hierarchical session keys (``"/"``-separated block
+    paths, as the LLM app's prompt prefixes).  A key with no replica
+    of its own routes to the rack holding its *longest resident
+    ancestor* — the rack whose KV prefix cache covers the most of the
+    prompt — before falling back to the sticky least-loaded choice.
 """
 
 from __future__ import annotations
@@ -143,10 +149,54 @@ class AffinityPolicy:
         return rack
 
 
+class PrefixAffinityPolicy(AffinityPolicy):
+    """Affinity over hierarchical keys: longest resident ancestor wins.
+
+    Session keys are ``"/"``-separated paths (the LLM app submits each
+    request under its prompt's block path).  When no rack holds the
+    exact key, the policy consults the router's dataset catalog for the
+    key's ancestors — longest first — and routes to a rack holding one:
+    that rack's prefix cache covers the most of the prompt, so decode
+    reuses the most KV state.  With no resident ancestor either, the
+    sticky least-loaded fallback of :class:`AffinityPolicy` applies.
+    """
+
+    name = "prefix_affinity"
+
+    def __init__(self):
+        super().__init__()
+        self._router = None
+
+    def bind_router(self, router: "Router") -> None:
+        """Give the policy catalog access (called by the router)."""
+        self._router = router
+
+    def choose(
+        self,
+        candidates: typing.List[Rack],
+        now: float,
+        session: typing.Optional[str],
+        resident: typing.Set[str],
+    ) -> Rack:
+        """A rack holding the longest resident prefix of ``session``."""
+        if (
+            not resident and session is not None
+            and self._router is not None and "/" in session
+        ):
+            parts = session.split("/")
+            for depth in range(len(parts) - 1, 0, -1):
+                holders = self._router.resident_racks("/".join(parts[:depth]))
+                if holders:
+                    resident = holders
+                    break
+        return super().choose(candidates, now, session, resident)
+
+
 POLICIES: typing.Dict[str, typing.Callable[[], object]] = {
     "round_robin": RoundRobinPolicy,
     "least_loaded": LeastLoadedPolicy,
     "affinity": AffinityPolicy,
+    "prefix_affinity": PrefixAffinityPolicy,
 }
 
 
@@ -205,6 +255,9 @@ class Router:
         #: dataset key -> replica size in bytes
         self._dataset_bytes: typing.Dict[str, float] = {}
         self._fetches_in_flight = 0
+        bind = getattr(self.policy, "bind_router", None)
+        if bind is not None:
+            bind(self)
 
     # -- dataset catalog ---------------------------------------------------
 
@@ -352,6 +405,7 @@ __all__ = [
     "AffinityPolicy",
     "LeastLoadedPolicy",
     "POLICIES",
+    "PrefixAffinityPolicy",
     "RoundRobinPolicy",
     "RoutedJob",
     "Router",

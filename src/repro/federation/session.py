@@ -136,6 +136,10 @@ class FederatedSession:
         self._all_racks: typing.List[Rack] = []
         self._active_drains = 0
         self._next_seed = 0
+        #: True once :meth:`close` has finalized the run.
+        self.closed = False
+        #: The end-of-run dashboard rendered by :meth:`close`.
+        self.final_dashboard: typing.Optional[str] = None
 
     # -- membership --------------------------------------------------------
 
@@ -291,6 +295,34 @@ class FederatedSession:
             session=session,
         )
 
+    def submit_app(
+        self,
+        app: str,
+        spec: typing.Optional[typing.Mapping[str, object]] = None,
+        *,
+        tenant: typing.Optional[str] = None,
+        priority: typing.Union[PriorityClass, str, int, None] = None,
+        cost: float = 1.0,
+        session: typing.Optional[str] = None,
+        **spec_kwargs,
+    ) -> RoutedJob:
+        """Route one app-class job by name (the federated twin of
+        :meth:`repro.api.Session.submit_app`).
+
+        ``app`` names a class from :data:`repro.apps.APP_BUILDERS`;
+        ``spec``/keyword arguments forward to its builder; ``session``
+        is the affinity key as in :meth:`submit`.
+        """
+        from repro.apps import build_app_job
+
+        merged = dict(spec or {})
+        merged.update(spec_kwargs)
+        job = build_app_job(app, **merged)
+        return self.submit(
+            job, tenant=tenant, priority=priority, cost=cost,
+            session=session,
+        )
+
     def run(
         self,
         *jobs: "Job",
@@ -341,6 +373,14 @@ class FederatedSession:
         self.engine.process(arrival_process(), name="federation:arrivals")
         self._drive(expect_jobs=len(ordered))
         return handles
+
+    def result(self, handle: RoutedJob) -> typing.Optional[JobStats]:
+        """Finished stats for a ``submit``/``submit_app`` handle.
+
+        ``None`` for a job shed at the front door or by its rack;
+        raises the job's error if it failed on-rack.
+        """
+        return self._result(handle)
 
     def _result(self, handle: RoutedJob) -> typing.Optional[JobStats]:
         """Finished stats for a routed job (None if shed anywhere)."""
@@ -447,6 +487,32 @@ class FederatedSession:
         from repro.obs.dashboard import render_dashboard
 
         return render_dashboard(self.obs.data())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Finalize the run on every rack and the federation hub.
+
+        Each rack's telemetry hub takes its final poll and closes its
+        open alert spans, then the federation-level hub does the same;
+        the end-of-run dashboard lands on :attr:`final_dashboard`.
+        Idempotent.
+        """
+        if self.closed:
+            return
+        for rack in self._all_racks:
+            rack.obs.telemetry.finalize(self.engine.now)
+        self.obs.telemetry.finalize(self.engine.now)
+        self.final_dashboard = self.dashboard()
+        self.closed = True
+
+    def __enter__(self) -> "FederatedSession":
+        """``with api.connect(..., racks=N) as fed:`` support."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the session when the ``with`` block ends."""
+        self.close()
 
 
 __all__ = ["FederatedSession", "federate"]

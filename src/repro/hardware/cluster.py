@@ -81,6 +81,12 @@ class Cluster:
         #: Optional :class:`repro.runtime.health.HealthMonitor`; when
         #: attached it owns restart draining and health-aware filtering.
         self.health_monitor = None
+        #: Named compute pools (:meth:`define_pool`): a task whose
+        #: properties carry ``device_pool=<name>`` may only be scheduled
+        #: on the pool's members.  How disaggregated phases (e.g. LLM
+        #: prefill vs decode) keep paired tasks on *different* devices
+        #: without ever naming a device in the job itself.
+        self.device_pools: typing.Dict[str, typing.Tuple[str, ...]] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -107,6 +113,23 @@ class Cluster:
         self.topology.add_node(spec.name, role="compute")
         self._register_node_member(node, spec.name)
         return device
+
+    def define_pool(self, name: str, devices: typing.Iterable[str]) -> None:
+        """Name a compute pool for ``TaskProperties(device_pool=...)``.
+
+        ``devices`` must be registered compute devices.  Re-defining a
+        pool replaces its membership.  Pools partition *scheduling*, not
+        hardware: the same device may belong to several pools.
+        """
+        members = tuple(dict.fromkeys(devices))
+        if not members:
+            raise ValueError(f"pool {name!r} needs at least one device")
+        for device in members:
+            if device not in self.compute:
+                raise KeyError(
+                    f"pool {name!r} names unknown compute device {device!r}"
+                )
+        self.device_pools[name] = members
 
     def add_switch(self, name: str, node: typing.Optional[str] = None) -> None:
         """Register a fabric switch vertex in the topology."""

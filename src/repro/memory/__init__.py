@@ -13,6 +13,9 @@ This package implements the paper's central abstractions (§2.2):
 * **Ownership** (:mod:`repro.memory.ownership`): every region is
   exclusively owned or explicitly shared; exclusive ownership can be
   *transferred* like a C++ move, invalidating stale handles.
+* **Shared-region reuse** (:mod:`repro.memory.sharing`): a keyed cache
+  of refcounted read-only shared regions with deferred eviction — the
+  substrate LLM serving uses for KV-cache prefix blocks.
 * **Access interfaces** (:mod:`repro.memory.interfaces`): synchronous
   load/store for near memory, asynchronous batched access for far
   memory.
@@ -47,6 +50,7 @@ from repro.memory.regions import (
     region_properties,
 )
 from repro.memory.manager import MemoryManager, PlacementError
+from repro.memory.sharing import CacheEntry, SharedRegionCache, SharedRegionError
 from repro.memory.interfaces import AccessMode, AccessPattern, InterfaceError
 from repro.memory.pointers import HotnessTracker, RemotePointer
 from repro.memory.tiering import TieringPolicy, TieringDaemon
@@ -70,6 +74,7 @@ __all__ = [
     "Allocation",
     "AllocationError",
     "BandwidthClass",
+    "CacheEntry",
     "CoherenceModel",
     "CustomRegionType",
     "FreeListAllocator",
@@ -93,6 +98,8 @@ __all__ = [
     "RemoteArray",
     "RemoteHashMap",
     "RemotePointer",
+    "SharedRegionCache",
+    "SharedRegionError",
     "StructureError",
     "TieringDaemon",
     "TieringPolicy",

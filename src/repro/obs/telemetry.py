@@ -769,6 +769,8 @@ class TelemetryHub:
         self.samples = 0
         self.self_wall_s = 0.0
         self._pump_proc = None
+        #: Set by :meth:`finalize`; session ``close()`` relies on it.
+        self.finalized = False
 
     # -- configuration -----------------------------------------------------
 
@@ -1035,6 +1037,7 @@ class TelemetryHub:
         t = self.now() if now is None else now
         self.poll(t)
         self.alerts.finalize(t)
+        self.finalized = True
 
     def data(self, window_limit: typing.Optional[int] = None) -> dict:
         """The hub as plain data (the JSONL/dashboard interchange)."""

@@ -55,6 +55,17 @@ class Scheduler:
             devices = healthy or devices
         if allowed is not None:
             devices = [d for d in devices if d.name in allowed]
+        pool = getattr(task.properties, "device_pool", None)
+        if pool is not None and pool in cluster.device_pools:
+            members = set(cluster.device_pools[pool])
+            pooled = [d for d in devices if d.name in members]
+            if not pooled:
+                raise SchedulingError(
+                    f"no device in pool {pool!r} can run task "
+                    f"{task.qualified_name!r} (pool members: "
+                    f"{sorted(members)})"
+                )
+            devices = pooled
         if task.properties.compute is not None:
             devices = [d for d in devices if d.kind == task.properties.compute]
         if task.work.ops > 0:

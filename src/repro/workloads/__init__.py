@@ -1,6 +1,7 @@
 """Workload generators: access patterns, skew, arrivals, synthetic data."""
 
 from repro.workloads.zipf import ZipfSampler
+from repro.workloads.llm import LLMRequest, llm_request_stream
 from repro.workloads.patterns import (
     AccessEvent,
     mixed_trace,
@@ -17,8 +18,10 @@ from repro.workloads.datagen import (
 
 __all__ = [
     "AccessEvent",
+    "LLMRequest",
     "ZipfSampler",
     "bursty_arrivals",
+    "llm_request_stream",
     "mixed_trace",
     "poisson_arrivals",
     "sequential_trace",

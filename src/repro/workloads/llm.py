@@ -1,0 +1,140 @@
+"""LLM serving request streams: Zipf-popular prefixes, mixed lengths.
+
+Models the request mix production LLM routers see: every prompt starts
+with a shared system preamble, most continue with one of a small set of
+popular templates (few-shot preambles, tool schemas, per-persona system
+prompts) whose popularity is Zipf-distributed, and each ends with a
+unique user tail.  Prompt and output lengths are drawn from wide ranges
+so the stream mixes short interactive turns with long-context requests.
+
+The shared span is expressed as a tuple of *block ids* (each covering
+``block_tokens`` tokens): two requests that share a template share the
+leading blocks of their sequences, which is exactly what a prefix-trie
+KV cache can deduplicate (see :mod:`repro.apps.llm_exec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclasses.dataclass(frozen=True)
+class LLMRequest:
+    """One serving request: arrival, lengths, and its prefix blocks."""
+
+    index: int
+    #: Arrival offset from the start of the trace (open-loop streams).
+    arrival_ns: float
+    tenant: typing.Optional[str]
+    #: Total prompt length, including the shared prefix span.
+    prompt_tokens: int
+    #: Tokens to generate (the decode phase's length).
+    output_tokens: int
+    #: Ids of the shareable prefix blocks, outermost first.  Two
+    #: requests sharing a template share a leading run of these.
+    blocks: typing.Tuple[str, ...] = ()
+    #: Tokens per entry of ``blocks``.
+    block_tokens: int = 32
+
+    @property
+    def name(self) -> str:
+        """The job name this request submits under."""
+        return f"llm-req{self.index}"
+
+    @property
+    def prefix_tokens(self) -> int:
+        """Tokens covered by the shareable prefix blocks."""
+        return len(self.blocks) * self.block_tokens
+
+    @property
+    def unique_tokens(self) -> int:
+        """Prompt tokens outside the shareable span (the user tail)."""
+        return max(0, self.prompt_tokens - self.prefix_tokens)
+
+
+def llm_request_stream(
+    n_requests: int,
+    *,
+    seed: int = 0,
+    n_templates: int = 12,
+    zipf_skew: float = 0.99,
+    system_blocks: int = 2,
+    template_blocks: typing.Tuple[int, int] = (2, 8),
+    block_tokens: int = 32,
+    prompt_tail_tokens: typing.Tuple[int, int] = (16, 256),
+    output_tokens: typing.Tuple[int, int] = (8, 192),
+    mean_interarrival_ns: float = 60_000.0,
+    tenant: typing.Optional[str] = "chat",
+    batch_tenant: typing.Optional[str] = None,
+    batch_fraction: float = 0.0,
+) -> typing.List[LLMRequest]:
+    """Generate a mixed open-loop request stream.
+
+    Every request's prompt is ``system blocks + template blocks + a
+    unique tail``: templates are drawn from a :class:`~repro.workloads.
+    zipf.ZipfSampler` over ``n_templates`` (hot templates recur, so
+    their KV blocks are worth caching), template depth varies per
+    template within ``template_blocks``, tail and output lengths are
+    uniform over the given ranges, and arrivals are Poisson with the
+    given mean gap.  With ``batch_tenant`` set, ``batch_fraction`` of
+    requests (the long-output tail of the mix) are attributed to it —
+    the interactive/batch split the tenancy layer schedules between.
+
+    Deterministic for a given ``seed``.  Closed-loop use: ignore
+    ``arrival_ns`` and feed the list to a concurrency-bounded driver
+    (``LLMEngine.serve(..., mode="closed")``).
+    """
+    if n_requests < 1:
+        raise ValueError(f"need at least one request, got {n_requests}")
+    if block_tokens < 1:
+        raise ValueError(f"block_tokens must be >= 1, got {block_tokens}")
+    if not 0.0 <= batch_fraction <= 1.0:
+        raise ValueError(f"batch_fraction must be in [0, 1], got {batch_fraction}")
+    lo_t, hi_t = template_blocks
+    if lo_t < 0 or hi_t < lo_t:
+        raise ValueError(f"bad template_blocks range {template_blocks}")
+    rng = np.random.default_rng(seed)
+    sampler = ZipfSampler(n_templates, skew=zipf_skew)
+    ranks = sampler.sample(rng, n_requests)
+    # Each template has a fixed depth, so repeats share identical block
+    # runs (depth re-randomized per template, not per request).
+    depths = rng.integers(lo_t, hi_t + 1, size=n_templates)
+    gaps = rng.exponential(mean_interarrival_ns, size=n_requests)
+    tails = rng.integers(prompt_tail_tokens[0], prompt_tail_tokens[1] + 1,
+                         size=n_requests)
+    outputs = rng.integers(output_tokens[0], output_tokens[1] + 1,
+                           size=n_requests)
+    # Long-output requests are the batch-y part of the mix.
+    batch_cut = (
+        float(np.quantile(outputs, 1.0 - batch_fraction))
+        if batch_fraction > 0.0 else float("inf")
+    )
+
+    system = tuple(f"sys{i}" for i in range(system_blocks))
+    requests: typing.List[LLMRequest] = []
+    now = 0.0
+    for i in range(n_requests):
+        template = int(ranks[i])  # rank 0 is the hottest template
+        blocks = system + tuple(
+            f"t{template}b{j}" for j in range(int(depths[template]))
+        )
+        out = int(outputs[i])
+        prompt = len(blocks) * block_tokens + int(tails[i])
+        now += float(gaps[i])
+        who = tenant
+        if batch_tenant is not None and out >= batch_cut:
+            who = batch_tenant
+        requests.append(LLMRequest(
+            index=i, arrival_ns=now, tenant=who,
+            prompt_tokens=prompt, output_tokens=out,
+            blocks=blocks, block_tokens=block_tokens,
+        ))
+    return requests
+
+
+__all__ = ["LLMRequest", "llm_request_stream"]

@@ -12,6 +12,7 @@ from repro.dataflow import Job, RegionUsage, Task, WorkSpec
 from repro.federation import (
     AffinityPolicy,
     LeastLoadedPolicy,
+    PrefixAffinityPolicy,
     RoundRobinPolicy,
     federate,
 )
@@ -91,6 +92,41 @@ class TestPolicies:
         racks = [FakeRack("a", 1.0)]
         pick = AffinityPolicy().choose(racks, 0.0, "s1", {"gone-rack"})
         assert pick.name == "a"
+
+
+class TestPrefixAffinity:
+    def test_routes_to_longest_resident_prefix(self):
+        fed = federate(2, "pooled-rack", seed=3, routing="prefix_affinity")
+        # The shared template's KV blocks live on rack1; a request keyed
+        # by a deeper path should land there even though nothing is
+        # resident under its exact key.
+        fed.pin_dataset("sys0/sys1", "rack1", 1 * MiB)
+        racks = fed.registry.routable_racks()
+        pick = fed.router.policy.choose(
+            racks, 0.0, "sys0/sys1/t3b0/tail42", set())
+        assert pick.name == "rack1"
+
+    def test_falls_back_to_affinity_without_prefix_residency(self):
+        fed = federate(2, "pooled-rack", seed=3, routing="prefix_affinity")
+        racks = fed.registry.routable_racks()
+        first = fed.router.policy.choose(racks, 0.0, "nowhere/else", set())
+        # Sticky like plain affinity: the same session stays put.
+        again = fed.router.policy.choose(racks, 0.0, "nowhere/else", set())
+        assert first.name == again.name
+
+    def test_exact_residency_still_wins(self):
+        # `resident` (the exact-key holders) takes precedence over any
+        # ancestor lookup, matching AffinityPolicy semantics.
+        fed = federate(2, "pooled-rack", seed=3, routing="prefix_affinity")
+        fed.pin_dataset("sys0", "rack1", 1 * MiB)
+        racks = fed.registry.routable_racks()
+        pick = fed.router.policy.choose(
+            racks, 0.0, "sys0/deeper", {"rack0"})
+        assert pick.name == "rack0"
+
+    def test_registered_in_policy_table(self):
+        from repro.federation import POLICIES
+        assert POLICIES["prefix_affinity"] is PrefixAffinityPolicy
 
 
 class TestRouterCatalog:

@@ -55,6 +55,112 @@ class TestConnect:
         session = connect(cluster=cluster)
         assert session.cluster is cluster
 
+    def test_typoed_kwarg_names_nearest_option(self):
+        # Regression: unknown **rack_options used to be swallowed by
+        # RackDriver's constructor blowing up far from the call site.
+        with pytest.raises(TypeError, match="max_concurrent"):
+            connect("pooled-rack", max_concurent=3)
+
+    def test_unknown_kwarg_lists_valid_options(self):
+        with pytest.raises(TypeError, match="valid options"):
+            connect("pooled-rack", definitely_not_an_option=1)
+
+    def test_federated_only_kwargs_rejected_for_single_rack(self):
+        with pytest.raises(TypeError, match="heartbeat_ns"):
+            connect("pooled-rack", heartbeat_ns=1e5)
+        # ... but accepted when racks are requested.
+        session = connect("pooled-rack", racks=2, heartbeat_ns=1e5)
+        session.close()
+
+
+class TestContextManager:
+    def test_close_finalizes_telemetry_and_keeps_dashboard(self):
+        with connect("pooled-rack") as session:
+            session.run(pipeline())
+        assert session.closed
+        assert session.final_dashboard is not None
+        assert "Jobs" in session.final_dashboard
+        # Telemetry was finalized: open alert spans were flushed.
+        assert session.obs.telemetry.finalized
+
+    def test_close_is_idempotent(self):
+        session = connect("pooled-rack")
+        session.run(pipeline())
+        session.close()
+        first = session.final_dashboard
+        session.close()
+        assert session.final_dashboard is first
+
+    def test_exit_closes_even_on_error(self):
+        with pytest.raises(RuntimeError, match="mid-task crash"):
+            with connect("pooled-rack") as session:
+                session.run(failing_job())
+        assert session.closed
+
+    def test_federated_close_finalizes_every_rack(self):
+        with connect("pooled-rack", racks=2) as fed:
+            fed.submit(pipeline())
+            fed.run()
+        assert fed.closed
+        assert fed.final_dashboard is not None
+        for rack in fed.racks:
+            assert rack.obs.telemetry.finalized
+
+
+class TestSubmitApp:
+    """All six app classes enter through one typed facade."""
+
+    APPS = {
+        "census": {},
+        "dbms": dict(n_rows=20_000, selectivity=0.2),
+        "hpc": dict(n_workers=2, grid_bytes=1 << 20, iterations=2),
+        "llm": dict(prompt_tokens=64, output_tokens=8),
+        "ml": dict(n_samples=2_000, sample_bytes=256, epochs=1),
+        "streaming": dict(n_frames=4),
+    }
+
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_each_app_class_submits_and_completes(self, app):
+        with connect("pooled-rack", seed=5) as session:
+            handle = session.submit_app(app, **self.APPS[app])
+            session.run()
+            stats = session.result(handle)
+        assert handle.completed
+        assert stats.ok
+
+    def test_submission_goes_through_admission(self):
+        with connect("pooled-rack") as session:
+            session.register_tenant("web", priority="interactive")
+            handle = session.submit_app(
+                "llm", dict(prompt_tokens=32, output_tokens=4),
+                tenant="web")
+            session.run()
+        assert handle.tenant == "web"
+        assert handle.priority.name == "INTERACTIVE"
+        assert handle.admission_index == 0
+
+    def test_spec_dict_and_kwargs_merge(self):
+        with connect("pooled-rack") as session:
+            handle = session.submit_app(
+                "dbms", dict(n_rows=10_000), selectivity=0.5)
+            session.run()
+        assert handle.completed
+
+    def test_unknown_app_class_names_the_valid_ones(self):
+        session = connect("pooled-rack")
+        with pytest.raises(ValueError, match="census.*llm.*streaming"):
+            session.submit_app("spreadsheet")
+
+    def test_federated_submit_app_routes(self):
+        with connect("pooled-rack", racks=2) as fed:
+            handle = fed.submit_app("ml", n_samples=2_000,
+                                    sample_bytes=256, epochs=1)
+            fed.run()
+            stats = fed.result(handle)
+        assert not handle.shed
+        assert handle.rack is not None
+        assert stats.ok
+
 
 class TestSessionRun:
     def test_run_single_job_returns_its_stats(self):

@@ -100,11 +100,22 @@ API_SURFACE = {
         "AdmittedJob", "FederatedSession", "PriorityClass", "Session",
         "Tenant", "TenantQuota", "TenantRegistry", "connect",
     },
+    "repro.apps": {
+        "APP_BUILDERS", "DECODE_POOL", "Filter", "GroupCount", "HashJoin",
+        "JacobiSolver", "LLMEngine", "LinearTrainer", "MiniDB",
+        "PREFILL_POOL", "PhysicalQueryEngine", "PrefixTrie", "RequestRecord",
+        "Scan", "ServeResult", "SolveResult", "StreamExecutor", "StreamStats",
+        "TrainingResult", "WindowRecord", "build_app_job",
+        "build_hospital_job", "build_probe_job", "build_query_job",
+        "build_request_job", "build_stencil_job", "build_training_job",
+        "define_pd_pools", "make_heat_problem", "make_regression_data",
+        "region_census",
+    },
     "repro.federation": {
         "AffinityPolicy", "FederatedSession", "LeastLoadedPolicy",
-        "OverloadDetector", "POLICIES", "Rack", "RackRegistry", "RackState",
-        "RegistryStats", "RoundRobinPolicy", "RoutedJob", "Router",
-        "RouterStats", "StatsWindow", "federate",
+        "OverloadDetector", "POLICIES", "PrefixAffinityPolicy", "Rack",
+        "RackRegistry", "RackState", "RegistryStats", "RoundRobinPolicy",
+        "RoutedJob", "Router", "RouterStats", "StatsWindow", "federate",
     },
     "repro.runtime": {
         "AdmittedJob", "CalibratedCostModel", "CostModel",
@@ -120,6 +131,12 @@ API_SURFACE = {
         "SchedulingError", "StaticKindPlacement", "TaskContext", "TaskPlan",
         "Tenant", "TenantQuota", "TenantRegistry", "baselines",
         "estimate_job_footprint", "plan_job", "prune_with_checkpoints",
+    },
+    "repro.workloads": {
+        "AccessEvent", "LLMRequest", "ZipfSampler", "bursty_arrivals",
+        "llm_request_stream", "mixed_trace", "poisson_arrivals",
+        "sequential_trace", "synthetic_frames", "synthetic_table",
+        "synthetic_tensor", "uniform_trace", "zipfian_trace",
     },
 }
 
